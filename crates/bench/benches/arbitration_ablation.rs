@@ -1,0 +1,68 @@
+//! **A1 — Arbitration policy ablation** (design-choice ablation from
+//! DESIGN.md): how the CCATB bus arbitration policy shapes per-master wait
+//! under an asymmetric hotspot load.
+//!
+//! Expected shape: fixed priority minimizes the favoured master's wait but
+//! starves the rest; round-robin evens mean waits out; TDMA bounds the
+//! worst case at the cost of idle slots (lower utilization, longer total).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shiptlm::prelude::*;
+
+fn the_app() -> AppSpec {
+    workload::hotspot(3, 8, 256)
+}
+
+fn policies() -> Vec<(&'static str, ArbPolicy)> {
+    vec![
+        ("priority", ArbPolicy::FixedPriority),
+        ("round_robin", ArbPolicy::RoundRobin),
+        (
+            "tdma",
+            ArbPolicy::Tdma {
+                slot: SimDur::us(1),
+                slots: 6,
+            },
+        ),
+    ]
+}
+
+fn bench_arbitration(c: &mut Criterion) {
+    let roles = run_component_assembly(&the_app()).unwrap().roles;
+    let mut g = c.benchmark_group("arbitration_ablation");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (name, policy) in policies() {
+        g.bench_with_input(BenchmarkId::new("hotspot", name), &policy, |b, p| {
+            b.iter(|| run_mapped(&the_app(), &roles, &ArchSpec::plb().with_arb(p.clone())))
+        });
+    }
+    g.finish();
+
+    println!("\n=== A1: per-master wait cycles by arbitration policy (3-master hotspot) ===");
+    println!(
+        "{:<12} {:>12} {:>8} | {:>24}",
+        "policy", "total time", "util", "mean wait cycles per master"
+    );
+    for (name, policy) in policies() {
+        let run = run_mapped(&the_app(), &roles, &ArchSpec::plb().with_arb(policy));
+        let waits: Vec<String> = run
+            .bus
+            .per_master
+            .iter()
+            .map(|(m, s)| format!("M{m}:{:.1}", s.wait_cycles.mean()))
+            .collect();
+        println!(
+            "{:<12} {:>12} {:>7.0}% | {}",
+            name,
+            run.output.sim_time.to_string(),
+            run.bus.utilization(run.output.sim_time) * 100.0,
+            waits.join("  ")
+        );
+    }
+    println!();
+}
+
+criterion_group!(benches, bench_arbitration);
+criterion_main!(benches);

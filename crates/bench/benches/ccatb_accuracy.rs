@@ -1,0 +1,56 @@
+//! **A2 — CCATB timing accuracy** (design-choice ablation from DESIGN.md):
+//! how close the CCATB bus model's boundary timing comes to the
+//! pin-accurate reference, per the CCATB trade-off of Pasricha et al. [4]
+//! that the paper's CAM layer adopts.
+//!
+//! Expected shape: the CCATB model is consistently *faster to simulate* yet
+//! tracks the pin-accurate end-to-end time within a bounded factor; the gap
+//! grows with per-transaction pin overhead (small payloads) and shrinks for
+//! bulk transfers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shiptlm::prelude::*;
+
+fn app(blocks: u32, bytes: usize) -> AppSpec {
+    workload::pipeline(3, blocks, bytes, SimDur::ZERO)
+}
+
+fn bench_accuracy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ccatb_accuracy");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let roles = run_component_assembly(&app(16, 256)).unwrap().roles;
+    g.bench_function("ccatb_16x256", |b| {
+        b.iter(|| run_mapped(&app(16, 256), &roles, &ArchSpec::plb()))
+    });
+    g.bench_function("pin_16x256", |b| {
+        b.iter(|| run_pin_accurate(&app(16, 256), &roles, &ArchSpec::plb()))
+    });
+    g.finish();
+
+    println!("\n=== A2: CCATB vs pin-accurate end-to-end time ===");
+    println!(
+        "{:<16} {:>14} {:>14} {:>10} {:>14} {:>14}",
+        "workload", "ccatb time", "pin time", "ratio", "ccatb deltas", "pin deltas"
+    );
+    for (blocks, bytes) in [(16u32, 32usize), (16, 256), (8, 2048)] {
+        let a = app(blocks, bytes);
+        let roles = run_component_assembly(&a).unwrap().roles;
+        let ccatb = run_mapped(&a, &roles, &ArchSpec::plb());
+        let pin = run_pin_accurate(&a, &roles, &ArchSpec::plb());
+        println!(
+            "{:<16} {:>14} {:>14} {:>9.2}x {:>14} {:>14}",
+            format!("{blocks}x{bytes}B"),
+            ccatb.output.sim_time.to_string(),
+            pin.output.sim_time.to_string(),
+            pin.output.sim_time.as_ps() as f64 / ccatb.output.sim_time.as_ps().max(1) as f64,
+            ccatb.output.delta_cycles,
+            pin.output.delta_cycles,
+        );
+    }
+    println!("(ratio > 1: the pin interface adds per-beat handshake cycles the\n CCATB model intentionally abstracts into its analytic cycle counts)\n");
+}
+
+criterion_group!(benches, bench_accuracy);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! **E2 — Fast communication architecture exploration** (paper §3: "fast
+//! yet timing-accurate communication architecture exploration is feasible").
+//!
+//! Sweeps {PLB, OPB, crossbar} × {priority, round-robin, TDMA} × burst
+//! {16, 64, 256} over a parallel-streams workload, printing the full
+//! latency/throughput/utilization table and benchmarking the host cost of
+//! one sweep (the "fast" part of the claim).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shiptlm::prelude::*;
+
+fn the_app() -> AppSpec {
+    workload::parallel_streams(4, 24, 256)
+}
+
+fn candidates() -> Vec<ArchSpec> {
+    let mut v = Vec::new();
+    for burst in [16usize, 64, 256] {
+        v.push(ArchSpec::plb().with_burst(burst));
+        v.push(
+            ArchSpec::plb()
+                .with_arb(ArbPolicy::RoundRobin)
+                .with_burst(burst),
+        );
+        v.push(ArchSpec::opb().with_burst(burst));
+        v.push(ArchSpec::crossbar().with_burst(burst));
+    }
+    v.push(ArchSpec::plb().with_arb(ArbPolicy::Tdma {
+        slot: SimDur::us(2),
+        slots: 4,
+    }));
+    v
+}
+
+fn bench_exploration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exploration");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("sweep_13_configs", |b| {
+        b.iter(|| {
+            Sweep::new(the_app())
+                .archs(candidates())
+                .run()
+                .unwrap()
+        })
+    });
+    g.bench_function("single_candidate", |b| {
+        let roles = run_component_assembly(&the_app()).unwrap().roles;
+        b.iter(|| run_mapped(&the_app(), &roles, &ArchSpec::plb()))
+    });
+    g.finish();
+
+    println!("\n=== E2: architecture exploration table (4 parallel streams, 24x256B) ===");
+    let report = Sweep::new(the_app())
+        .with_untimed_baseline()
+        .archs(candidates())
+        .run()
+        .unwrap();
+    println!("{report}");
+    println!("csv:\n{}", report.to_csv());
+}
+
+criterion_group!(benches, bench_exploration);
+criterion_main!(benches);

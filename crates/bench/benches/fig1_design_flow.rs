@@ -1,0 +1,53 @@
+//! **F1 — Figure 1 (the design flow).**
+//!
+//! One source application refined through component-assembly → CCATB →
+//! pin-accurate, with transaction-log equivalence checked at every step.
+//! Measures the host cost of each flow stage and prints the per-level
+//! comparison table (the reproduction's rendition of Figure 1's flow).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shiptlm::prelude::*;
+
+fn the_app() -> AppSpec {
+    workload::pipeline(4, 16, 256, SimDur::us(1))
+}
+
+fn bench_flow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_design_flow");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    g.bench_function("component_assembly", |b| {
+        b.iter(|| run_component_assembly(&the_app()).unwrap())
+    });
+    let roles = run_component_assembly(&the_app()).unwrap().roles;
+    g.bench_function("ccatb_mapping", |b| {
+        b.iter(|| run_mapped(&the_app(), &roles, &ArchSpec::plb()))
+    });
+    g.bench_function("pin_accurate", |b| {
+        b.iter(|| run_pin_accurate(&the_app(), &roles, &ArchSpec::plb()))
+    });
+    g.bench_function("full_flow_with_checks", |b| {
+        b.iter(|| {
+            DesignFlow::new(the_app(), ArchSpec::plb())
+                .with_pin_level()
+                .run()
+                .unwrap()
+        })
+    });
+    g.finish();
+
+    // The per-level table (printed once per bench run).
+    let run = DesignFlow::new(the_app(), ArchSpec::plb())
+        .with_pin_level()
+        .run()
+        .unwrap();
+    println!("\n=== F1: per-level summary (pipeline 4 stages, 16x256B) ===");
+    println!("{}", run.report());
+    println!("detected roles: {:?}", run.component_assembly.roles.master_of);
+    println!("equivalence: all levels content-equivalent\n");
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

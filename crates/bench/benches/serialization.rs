@@ -1,0 +1,101 @@
+//! **E5 — SHIP serialization** (paper §2: the channel "transfers any C++
+//! object that implements the `ship_serializable_if` interface … to
+//! transform communication objects into serial data streams and vice
+//! versa").
+//!
+//! Measures serialize/deserialize throughput of the wire codec for the
+//! object shapes embedded workloads move: raw byte blocks, numeric vectors,
+//! nested structures (via serde), across payload sizes 16 B – 64 KiB.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use serde::{Deserialize, Serialize};
+use shiptlm_ship::codec::{from_bytes, to_bytes, Serde};
+use shiptlm_ship::serialize::{from_wire, to_wire};
+
+#[derive(Serialize, Deserialize, Clone, PartialEq, Debug)]
+struct Frame {
+    seq: u32,
+    ts: u64,
+    kind: FrameKind,
+    payload: Vec<u8>,
+}
+
+#[derive(Serialize, Deserialize, Clone, PartialEq, Debug)]
+enum FrameKind {
+    Video { width: u16, height: u16 },
+    Audio { rate: u32 },
+    Control(String),
+}
+
+fn frame(size: usize) -> Frame {
+    Frame {
+        seq: 7,
+        ts: 123_456_789,
+        kind: FrameKind::Video {
+            width: 640,
+            height: 480,
+        },
+        payload: (0..size).map(|i| i as u8).collect(),
+    }
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serialization");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    for &size in &[16usize, 256, 4096, 65536] {
+        g.throughput(Throughput::Bytes(size as u64));
+
+        let bytes_vec: Vec<u8> = (0..size).map(|i| i as u8).collect();
+        g.bench_with_input(BenchmarkId::new("vec_u8/encode", size), &size, |b, _| {
+            b.iter(|| to_wire(&bytes_vec))
+        });
+        let encoded = to_wire(&bytes_vec);
+        g.bench_with_input(BenchmarkId::new("vec_u8/decode", size), &size, |b, _| {
+            b.iter(|| from_wire::<Vec<u8>>(&encoded).unwrap())
+        });
+
+        let words: Vec<u32> = (0..size / 4).map(|i| i as u32).collect();
+        g.bench_with_input(BenchmarkId::new("vec_u32/encode", size), &size, |b, _| {
+            b.iter(|| to_wire(&words))
+        });
+
+        let f = frame(size);
+        g.bench_with_input(BenchmarkId::new("serde_struct/encode", size), &size, |b, _| {
+            b.iter(|| to_bytes(&f).unwrap())
+        });
+        let fe = to_bytes(&f).unwrap();
+        g.bench_with_input(BenchmarkId::new("serde_struct/decode", size), &size, |b, _| {
+            b.iter(|| from_bytes::<Frame>(&fe).unwrap())
+        });
+
+        let wrapped = Serde(f.clone());
+        g.bench_with_input(
+            BenchmarkId::new("serde_wrapper/roundtrip", size),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    let bytes = to_wire(&wrapped);
+                    from_wire::<Serde<Frame>>(&bytes).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+
+    println!("\n=== E5: wire sizes ===");
+    for size in [16usize, 256, 4096] {
+        let f = frame(size);
+        println!(
+            "frame payload {size} B -> wire {} B (overhead {} B)",
+            to_bytes(&f).unwrap().len(),
+            to_bytes(&f).unwrap().len() - size
+        );
+    }
+    println!();
+}
+
+criterion_group!(benches, bench_serialization);
+criterion_main!(benches);

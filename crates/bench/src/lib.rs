@@ -1,0 +1,5 @@
+//! Shared helpers for the shiptlm benchmark harness.
+//!
+//! The benches themselves live in `benches/`; see `EXPERIMENTS.md` at the
+//! repository root for the experiment index.
+pub use shiptlm;

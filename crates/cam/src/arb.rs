@@ -1,0 +1,185 @@
+//! Bus arbitration policies.
+
+use std::fmt;
+
+use shiptlm_kernel::time::{SimDur, SimTime};
+use shiptlm_ocp::tl::MasterId;
+
+/// How a bus grants access among competing masters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArbPolicy {
+    /// Lower master id wins (CoreConnect-style static priority; id order is
+    /// the priority order).
+    FixedPriority,
+    /// Cyclic fairness: the master after the previous owner wins.
+    RoundRobin,
+    /// Time-division multiple access: master *i* owns slot *i* of a fixed
+    /// rotation; a master may only be granted during its own slot.
+    Tdma {
+        /// Duration of one slot.
+        slot: SimDur,
+        /// Number of slots in the rotation (usually the master count).
+        slots: usize,
+    },
+}
+
+impl ArbPolicy {
+    /// Short name used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArbPolicy::FixedPriority => "priority",
+            ArbPolicy::RoundRobin => "round-robin",
+            ArbPolicy::Tdma { .. } => "tdma",
+        }
+    }
+
+    /// Picks a winner among `pending` tickets, or `None` when nobody may be
+    /// granted right now (TDMA outside every pending master's slot).
+    pub fn pick(
+        &self,
+        pending: &[Ticket],
+        last_granted: Option<MasterId>,
+        now: SimTime,
+    ) -> Option<Ticket> {
+        if pending.is_empty() {
+            return None;
+        }
+        match self {
+            ArbPolicy::FixedPriority => pending.iter().min_by_key(|t| (t.master, t.seq)).copied(),
+            ArbPolicy::RoundRobin => {
+                // Smallest cyclic distance from the master after the last
+                // grantee wins; arrival order breaks ties.
+                let start = last_granted.map(|m| m.0 as u64 + 1).unwrap_or(0);
+                pending
+                    .iter()
+                    .min_by_key(|t| {
+                        let m = t.master.0 as u64;
+                        let d = if m >= start {
+                            m - start
+                        } else {
+                            m + (1u64 << 32) - start
+                        };
+                        (d, t.seq)
+                    })
+                    .copied()
+            }
+            ArbPolicy::Tdma { slot, slots } => {
+                let owner = self.slot_owner(now, *slot, *slots);
+                pending
+                    .iter()
+                    .filter(|t| t.master.0 % slots == owner)
+                    .min_by_key(|t| t.seq)
+                    .copied()
+            }
+        }
+    }
+
+    fn slot_owner(&self, now: SimTime, slot: SimDur, slots: usize) -> usize {
+        ((SimDur::ps(now.as_ps()) / slot) % slots as u64) as usize
+    }
+
+    /// For TDMA: the delay until the next slot boundary, when waiters must
+    /// re-arbitrate. `None` for purely event-driven policies.
+    pub fn recheck_delay(&self, now: SimTime) -> Option<SimDur> {
+        match self {
+            ArbPolicy::Tdma { slot, .. } => {
+                let into = SimDur::ps(now.as_ps() % slot.as_ps());
+                let d = *slot - into;
+                Some(if d.is_zero() { *slot } else { d })
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ArbPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A pending bus request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ticket {
+    /// Requesting master.
+    pub master: MasterId,
+    /// Monotonic arrival number (FIFO tie-break).
+    pub seq: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(m: usize, seq: u64) -> Ticket {
+        Ticket {
+            master: MasterId(m),
+            seq,
+        }
+    }
+
+    #[test]
+    fn fixed_priority_prefers_lowest_id() {
+        let p = ArbPolicy::FixedPriority;
+        let pending = [t(2, 0), t(0, 5), t(1, 1)];
+        assert_eq!(p.pick(&pending, None, SimTime::ZERO), Some(t(0, 5)));
+    }
+
+    #[test]
+    fn fixed_priority_breaks_ties_by_arrival() {
+        let p = ArbPolicy::FixedPriority;
+        let pending = [t(1, 7), t(1, 3)];
+        assert_eq!(p.pick(&pending, None, SimTime::ZERO), Some(t(1, 3)));
+    }
+
+    #[test]
+    fn round_robin_rotates_after_last_grant() {
+        let p = ArbPolicy::RoundRobin;
+        let pending = [t(0, 0), t(1, 0), t(2, 0)];
+        assert_eq!(
+            p.pick(&pending, Some(MasterId(0)), SimTime::ZERO),
+            Some(t(1, 0))
+        );
+        assert_eq!(
+            p.pick(&pending, Some(MasterId(2)), SimTime::ZERO),
+            Some(t(0, 0)) // wraps: 3 is not pending, 0 is next in cycle
+        );
+        let pending2 = [t(0, 0), t(2, 0)];
+        assert_eq!(
+            p.pick(&pending2, Some(MasterId(0)), SimTime::ZERO),
+            Some(t(2, 0)) // 1 missing, 2 is the next pending in the cycle
+        );
+    }
+
+    #[test]
+    fn round_robin_without_history_starts_at_zero() {
+        let p = ArbPolicy::RoundRobin;
+        let pending = [t(2, 0), t(1, 0)];
+        assert_eq!(p.pick(&pending, None, SimTime::ZERO), Some(t(1, 0)));
+    }
+
+    #[test]
+    fn tdma_grants_only_slot_owner() {
+        let p = ArbPolicy::Tdma {
+            slot: SimDur::ns(100),
+            slots: 4,
+        };
+        let pending = [t(0, 0), t(1, 0), t(3, 0)];
+        // At t=0 slot 0 owns the bus.
+        assert_eq!(p.pick(&pending, None, SimTime::ZERO), Some(t(0, 0)));
+        // At t=150ns slot 1 owns it.
+        let at = SimTime::ZERO + SimDur::ns(150);
+        assert_eq!(p.pick(&pending, None, at), Some(t(1, 0)));
+        // At t=250ns slot 2 owns it, but master 2 is not pending: nobody.
+        let at = SimTime::ZERO + SimDur::ns(250);
+        assert_eq!(p.pick(&pending, None, at), None);
+    }
+
+    #[test]
+    fn empty_pending_yields_none() {
+        assert_eq!(
+            ArbPolicy::FixedPriority.pick(&[], None, SimTime::ZERO),
+            None
+        );
+    }
+}

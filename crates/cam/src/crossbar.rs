@@ -1,0 +1,205 @@
+//! A crossbar communication architecture model: one arbitration gate per
+//! output port, so transfers to different slaves proceed in parallel.
+
+use std::fmt;
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
+
+use shiptlm_kernel::process::ThreadCtx;
+use shiptlm_kernel::sim::SimHandle;
+use shiptlm_kernel::time::SimDur;
+use shiptlm_ocp::error::OcpError;
+use shiptlm_ocp::payload::{OcpRequest, OcpResponse, TxTiming};
+use shiptlm_ocp::tl::{MasterId, OcpMasterPort, OcpTarget};
+
+use crate::arb::ArbPolicy;
+use crate::bus::{ArbGate, BusStats};
+
+/// Crossbar parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossbarConfig {
+    /// Name for reports.
+    pub name: String,
+    /// Switch clock period.
+    pub clock: SimDur,
+    /// Data path width in bytes.
+    pub width_bytes: usize,
+    /// Cycles per data beat.
+    pub cycles_per_beat: u64,
+    /// Route-setup cycles per transaction.
+    pub setup_cycles: u64,
+    /// Per-output arbitration policy.
+    pub arb: ArbPolicy,
+}
+
+impl CrossbarConfig {
+    /// A 64-bit, 100 MHz full crossbar with round-robin output arbitration.
+    pub fn default_64bit(name: &str) -> Self {
+        CrossbarConfig {
+            name: name.to_string(),
+            clock: SimDur::ns(10),
+            width_bytes: 8,
+            cycles_per_beat: 1,
+            setup_cycles: 2,
+            arb: ArbPolicy::RoundRobin,
+        }
+    }
+}
+
+struct OutputPort {
+    range: Range<u64>,
+    target: Arc<dyn OcpTarget>,
+    relative: bool,
+    gate: ArbGate,
+}
+
+/// A crossbar switch: concurrent non-conflicting transfers, per-output
+/// arbitration on conflicts.
+pub struct Crossbar {
+    cfg: CrossbarConfig,
+    sim: SimHandle,
+    outputs: Vec<OutputPort>,
+    stats: Mutex<BusStats>,
+}
+
+impl Crossbar {
+    /// Creates a crossbar; attach outputs with
+    /// [`map_slave`](Self::map_slave) before sharing.
+    pub fn new(sim: &SimHandle, cfg: CrossbarConfig) -> Self {
+        assert!(cfg.width_bytes > 0, "crossbar width must be non-zero");
+        Crossbar {
+            sim: sim.clone(),
+            outputs: Vec::new(),
+            stats: Mutex::new(BusStats::default()),
+            cfg,
+        }
+    }
+
+    /// Maps a slave behind its own output port.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overlapping ranges.
+    pub fn map_slave(&mut self, range: Range<u64>, target: Arc<dyn OcpTarget>, relative: bool) {
+        assert!(range.start < range.end, "empty address range");
+        for o in &self.outputs {
+            assert!(
+                range.end <= o.range.start || range.start >= o.range.end,
+                "crossbar range overlap"
+            );
+        }
+        let gate = ArbGate::new(
+            &self.sim,
+            &format!("{}.out{}", self.cfg.name, self.outputs.len()),
+            self.cfg.arb.clone(),
+        );
+        self.outputs.push(OutputPort {
+            range,
+            target,
+            relative,
+            gate,
+        });
+    }
+
+    /// The crossbar configuration.
+    pub fn config(&self) -> &CrossbarConfig {
+        &self.cfg
+    }
+
+    /// A master port bound to this crossbar.
+    pub fn master_port(self: &Arc<Self>, id: MasterId) -> OcpMasterPort {
+        OcpMasterPort::bind(id, Arc::<Crossbar>::clone(self))
+    }
+
+    /// A snapshot of the accumulated statistics.
+    pub fn stats(&self) -> BusStats {
+        self.stats.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+impl OcpTarget for Crossbar {
+    fn transact(
+        &self,
+        ctx: &mut ThreadCtx,
+        master: MasterId,
+        mut req: OcpRequest,
+    ) -> Result<OcpResponse, OcpError> {
+        let t_req = ctx.now();
+        let len = req.cmd.len();
+        let out = self
+            .outputs
+            .iter()
+            .find(|o| o.range.contains(&req.addr))
+            .ok_or(OcpError::AddressDecode { addr: req.addr })?;
+        if req.addr + len as u64 > out.range.end {
+            return Err(OcpError::BadRequest(format!(
+                "burst at {:#x} crosses output boundary {:#x}",
+                req.addr, out.range.end
+            )));
+        }
+        if out.relative {
+            req.addr -= out.range.start;
+        }
+
+        let (granted_at, _b2b) = out.gate.acquire(ctx, master);
+        let result = (|| {
+            ctx.wait_for(self.cfg.clock.saturating_mul(self.cfg.setup_cycles));
+            let beats = req.beats(self.cfg.width_bytes);
+            let data_time = self
+                .cfg
+                .clock
+                .saturating_mul(beats * self.cfg.cycles_per_beat);
+            let t_data = ctx.now();
+            let resp = out.target.transact(ctx, master, req)?;
+            let slave_time = ctx.now().since(t_data);
+            if slave_time < data_time {
+                ctx.wait_for(data_time - slave_time);
+            }
+            Ok(resp)
+        })();
+        let end = ctx.now();
+        out.gate.release(end);
+
+        let wait_cycles = granted_at.since(t_req) / self.cfg.clock;
+        let total_cycles = end.since(t_req) / self.cfg.clock;
+        {
+            let mut s = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+            match &result {
+                Ok(_) => {
+                    s.transactions += 1;
+                    s.bytes += len as u64;
+                    s.latency_cycles.record(total_cycles as f64);
+                    s.wait_cycles.record(wait_cycles);
+                    s.busy += end.since(granted_at);
+                    let m = s.per_master.entry(master.0).or_default();
+                    m.transactions += 1;
+                    m.bytes += len as u64;
+                    m.wait_cycles.record(wait_cycles as f64);
+                }
+                Err(_) => s.errors += 1,
+            }
+        }
+        result.map(|mut resp| {
+            resp.timing = TxTiming {
+                start: t_req,
+                end,
+                total_cycles,
+                wait_cycles,
+            };
+            resp
+        })
+    }
+
+    fn target_name(&self) -> String {
+        self.cfg.name.clone()
+    }
+}
+
+impl fmt::Debug for Crossbar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Crossbar")
+            .field("name", &self.cfg.name)
+            .field("outputs", &self.outputs.len())
+            .finish()
+    }
+}

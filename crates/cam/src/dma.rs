@@ -1,0 +1,286 @@
+//! A descriptor-driven DMA engine: the classic CoreConnect-ecosystem bus
+//! master used to offload bulk copies from the CPU.
+//!
+//! The engine is a bus **slave** for its register file (descriptor + control
+//! + status) and a bus **master** for the data movement itself. A completion
+//! sideband can be wired to a CPU interrupt line, mirroring the mailbox
+//! adapter's HW/SW signalling.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use shiptlm_kernel::event::Event;
+use shiptlm_kernel::process::ThreadCtx;
+use shiptlm_kernel::signal::Signal;
+use shiptlm_kernel::sim::SimHandle;
+use shiptlm_ocp::error::OcpError;
+use shiptlm_ocp::payload::{OcpCommand, OcpRequest, OcpResponse, TxTiming};
+use shiptlm_ocp::tl::{MasterId, OcpMasterPort, OcpTarget};
+
+/// Register offsets of the DMA engine's slave window.
+pub mod dma_regs {
+    /// Source byte address (RW, 8 bytes).
+    pub const SRC: u64 = 0x00;
+    /// Destination byte address (RW, 8 bytes).
+    pub const DST: u64 = 0x08;
+    /// Transfer length in bytes (RW, 4 bytes).
+    pub const LEN: u64 = 0x10;
+    /// Control (WO, 4 bytes): 1 = start, 2 = clear done.
+    pub const CTRL: u64 = 0x18;
+    /// Status (RO, 4 bytes): bit 0 = busy, bit 1 = done, bit 2 = error.
+    pub const STATUS: u64 = 0x20;
+}
+
+/// CTRL value starting a transfer.
+pub const DMA_CTRL_START: u32 = 1;
+/// CTRL value clearing the done/error flags.
+pub const DMA_CTRL_CLEAR: u32 = 2;
+/// STATUS bit: a transfer is in flight.
+pub const DMA_STATUS_BUSY: u32 = 1 << 0;
+/// STATUS bit: the last transfer completed.
+pub const DMA_STATUS_DONE: u32 = 1 << 1;
+/// STATUS bit: the last transfer faulted (bus error).
+pub const DMA_STATUS_ERROR: u32 = 1 << 2;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Descriptor {
+    src: u64,
+    dst: u64,
+    len: u32,
+}
+
+#[derive(Debug)]
+struct DmaState {
+    desc: Descriptor,
+    busy: bool,
+    done: bool,
+    error: bool,
+    /// Bytes moved over the engine's lifetime.
+    total_bytes: u64,
+    /// Completed transfers.
+    transfers: u64,
+}
+
+/// The DMA engine. Map it as a bus slave and kick transfers through its
+/// registers; data moves through the engine's own master port in bursts.
+pub struct DmaEngine {
+    name: String,
+    state: Mutex<DmaState>,
+    start: Event,
+    done_ev: Event,
+    sideband: Mutex<Option<Signal<bool>>>,
+    burst_bytes: usize,
+}
+
+impl DmaEngine {
+    /// Creates the engine and spawns its copy process. `port` is the bus
+    /// master interface the engine moves data through; `burst_bytes` bounds
+    /// each bus transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_bytes` is zero.
+    pub fn new(sim: &SimHandle, name: &str, port: OcpMasterPort, burst_bytes: usize) -> Arc<Self> {
+        assert!(burst_bytes > 0, "dma burst size must be non-zero");
+        let engine = Arc::new(DmaEngine {
+            name: name.to_string(),
+            state: Mutex::new(DmaState {
+                desc: Descriptor::default(),
+                busy: false,
+                done: false,
+                error: false,
+                total_bytes: 0,
+                transfers: 0,
+            }),
+            start: sim.event(&format!("{name}.start")),
+            done_ev: sim.event(&format!("{name}.done")),
+            sideband: Mutex::new(None),
+            burst_bytes,
+        });
+        let me = Arc::clone(&engine);
+        sim.spawn_thread(&format!("{name}.engine"), move |ctx| me.run(ctx, port));
+        engine
+    }
+
+    /// Wires a completion sideband (high while `done` or `error` is set).
+    pub fn attach_sideband(&self, irq: Signal<bool>) {
+        *self.sideband.lock().unwrap_or_else(|e| e.into_inner()) = Some(irq);
+    }
+
+    /// Event fired on every completed (or faulted) transfer.
+    pub fn done_event(&self) -> &Event {
+        &self.done_ev
+    }
+
+    /// Total bytes moved so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.lock().total_bytes
+    }
+
+    /// Completed transfer count.
+    pub fn transfers(&self) -> u64 {
+        self.lock().transfers
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, DmaState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn update_sideband(&self) {
+        let level = {
+            let g = self.lock();
+            g.done || g.error
+        };
+        if let Some(sig) = self
+            .sideband
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+        {
+            sig.write(level);
+        }
+    }
+
+    /// The engine's copy loop.
+    fn run(&self, ctx: &mut ThreadCtx, port: OcpMasterPort) {
+        loop {
+            // Wait for a start doorbell.
+            let desc = loop {
+                {
+                    let mut g = self.lock();
+                    if g.busy {
+                        break g.desc;
+                    }
+                }
+                ctx.wait(&self.start);
+            };
+
+            // Move the data in bursts: read from src, write to dst.
+            let mut moved = 0u64;
+            let mut failed = false;
+            while moved < u64::from(desc.len) {
+                let n = ((u64::from(desc.len) - moved) as usize).min(self.burst_bytes);
+                let chunk = match port.read(ctx, desc.src + moved, n) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                };
+                if port.write(ctx, desc.dst + moved, chunk).is_err() {
+                    failed = true;
+                    break;
+                }
+                moved += n as u64;
+            }
+
+            {
+                let mut g = self.lock();
+                g.busy = false;
+                g.done = !failed;
+                g.error = failed;
+                if !failed {
+                    g.total_bytes += moved;
+                    g.transfers += 1;
+                }
+            }
+            self.done_ev.notify_delta();
+            self.update_sideband();
+        }
+    }
+}
+
+impl OcpTarget for DmaEngine {
+    fn transact(
+        &self,
+        ctx: &mut ThreadCtx,
+        _master: MasterId,
+        req: OcpRequest,
+    ) -> Result<OcpResponse, OcpError> {
+        let timing = TxTiming {
+            start: ctx.now(),
+            end: ctx.now(),
+            total_cycles: 0,
+            wait_cycles: 0,
+        };
+        match req.cmd {
+            OcpCommand::Read { bytes } => {
+                let g = self.lock();
+                let value: u64 = match req.addr {
+                    dma_regs::SRC => g.desc.src,
+                    dma_regs::DST => g.desc.dst,
+                    dma_regs::LEN => u64::from(g.desc.len),
+                    dma_regs::STATUS => {
+                        let mut s = 0u32;
+                        if g.busy {
+                            s |= DMA_STATUS_BUSY;
+                        }
+                        if g.done {
+                            s |= DMA_STATUS_DONE;
+                        }
+                        if g.error {
+                            s |= DMA_STATUS_ERROR;
+                        }
+                        u64::from(s)
+                    }
+                    _ => return Ok(OcpResponse::error(timing)),
+                };
+                let mut data = value.to_le_bytes().to_vec();
+                data.truncate(bytes.min(8).max(1));
+                data.resize(bytes, 0);
+                Ok(OcpResponse::read_ok(data, timing))
+            }
+            OcpCommand::Write { data } => {
+                let le_u64 = |d: &[u8]| {
+                    let mut b = [0u8; 8];
+                    let n = d.len().min(8);
+                    b[..n].copy_from_slice(&d[..n]);
+                    u64::from_le_bytes(b)
+                };
+                let mut g = self.lock();
+                match req.addr {
+                    dma_regs::SRC => g.desc.src = le_u64(&data),
+                    dma_regs::DST => g.desc.dst = le_u64(&data),
+                    dma_regs::LEN => g.desc.len = le_u64(&data) as u32,
+                    dma_regs::CTRL => match le_u64(&data) as u32 {
+                        DMA_CTRL_START => {
+                            if g.busy {
+                                return Ok(OcpResponse::error(timing));
+                            }
+                            g.busy = true;
+                            g.done = false;
+                            g.error = false;
+                            drop(g);
+                            self.start.notify_delta();
+                            self.update_sideband();
+                        }
+                        DMA_CTRL_CLEAR => {
+                            g.done = false;
+                            g.error = false;
+                            drop(g);
+                            self.update_sideband();
+                        }
+                        _ => return Ok(OcpResponse::error(timing)),
+                    },
+                    _ => return Ok(OcpResponse::error(timing)),
+                }
+                Ok(OcpResponse::write_ok(timing))
+            }
+        }
+    }
+
+    fn target_name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+impl fmt::Debug for DmaEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = self.lock();
+        f.debug_struct("DmaEngine")
+            .field("name", &self.name)
+            .field("busy", &g.busy)
+            .field("transfers", &g.transfers)
+            .finish()
+    }
+}

@@ -1,0 +1,66 @@
+//! # shiptlm-cam
+//!
+//! Communication architecture models (CAMs) for the `shiptlm` design flow
+//! (Klingauf, DATE 2005, §3): CCATB bus models, a crossbar, a bus bridge,
+//! arbitration policies, SHIP↔OCP wrappers and pin-level accessors.
+//!
+//! * [`bus::CcatbBus`] — a shared bus with cycle-count-accurate boundary
+//!   timing; [`bus::BusConfig::plb`] and [`bus::BusConfig::opb`] provide
+//!   CoreConnect-style presets.
+//! * [`crossbar::Crossbar`] — parallel transfers, per-output arbitration.
+//! * [`bridge::Bridge`] — PLB↔OPB-style bus coupling.
+//! * [`arb::ArbPolicy`] — fixed priority, round-robin, TDMA.
+//! * [`wrapper`] — maps a SHIP channel onto a bus without touching PE code.
+//! * [`accessor::Accessor`] — pin-level attachment for prototype generation.
+//!
+//! ## Example: two masters contending on a PLB
+//!
+//! ```
+//! use std::sync::Arc;
+//! use shiptlm_kernel::prelude::*;
+//! use shiptlm_ocp::prelude::*;
+//! use shiptlm_cam::bus::{BusConfig, CcatbBus};
+//!
+//! let sim = Simulation::new();
+//! let mut bus = CcatbBus::new(&sim.handle(), BusConfig::plb("plb"));
+//! bus.map_slave(0..0x1000, Arc::new(Memory::new("ram", 0x1000)), true);
+//! let bus = Arc::new(bus);
+//! for m in 0..2 {
+//!     let port = bus.master_port(MasterId(m));
+//!     sim.spawn_thread(&format!("m{m}"), move |ctx| {
+//!         for i in 0..16u64 {
+//!             port.write(ctx, i * 64, vec![m as u8; 64]).unwrap();
+//!         }
+//!     });
+//! }
+//! sim.run();
+//! assert_eq!(bus.stats().transactions, 32);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accessor;
+pub mod arb;
+pub mod bridge;
+pub mod bus;
+pub mod dma;
+pub mod crossbar;
+pub mod wrapper;
+
+/// Commonly used CAM items.
+pub mod prelude {
+    pub use crate::accessor::Accessor;
+    pub use crate::arb::{ArbPolicy, Ticket};
+    pub use crate::bridge::Bridge;
+    pub use crate::bus::{BusConfig, BusStats, CcatbBus, MasterStats};
+    pub use crate::crossbar::{Crossbar, CrossbarConfig};
+    pub use crate::dma::{
+        dma_regs, DmaEngine, DMA_CTRL_CLEAR, DMA_CTRL_START, DMA_STATUS_BUSY, DMA_STATUS_DONE,
+        DMA_STATUS_ERROR,
+    };
+    pub use crate::wrapper::{
+        map_channel, MappedChannel, PendingMapping, ShipBusMasterEndpoint, ShipSlaveAdapter,
+        WrapperConfig, ADAPTER_SIZE,
+    };
+}

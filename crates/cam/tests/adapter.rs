@@ -1,0 +1,178 @@
+//! Register-level behaviour of the mailbox adapter (the HW half of the
+//! paper's HW/SW interface): status bits, doorbells, windows, and the error
+//! responses a buggy driver would see.
+
+use std::sync::{Arc, Mutex};
+
+use shiptlm_cam::wrapper::{
+    regs, ShipSlaveAdapter, WrapperConfig, DOORBELL_DATA, DOORBELL_REPLY_ACK, DOORBELL_REPLY_SET,
+    DOORBELL_REQUEST, DOORBELL_RX_ACK, STATUS_REPLY_READY, STATUS_RX_PENDING, STATUS_RX_SPACE,
+};
+use shiptlm_kernel::prelude::*;
+use shiptlm_ocp::prelude::*;
+
+fn with_adapter<F>(f: F) -> Simulation
+where
+    F: FnOnce(&mut ThreadCtx, OcpMasterPort) + Send + 'static,
+{
+    let sim = Simulation::new();
+    let adapter = ShipSlaveAdapter::new(&sim.handle(), "adp", &WrapperConfig::default());
+    let port = OcpMasterPort::bind(MasterId(0), adapter);
+    sim.spawn_thread("driver", move |ctx| f(ctx, port));
+    sim
+}
+
+#[test]
+fn status_starts_with_rx_space_only() {
+    let sim = with_adapter(|ctx, port| {
+        let s = port.read_u32(ctx, regs::STATUS).unwrap();
+        assert_eq!(s & STATUS_RX_SPACE, STATUS_RX_SPACE);
+        assert_eq!(s & STATUS_REPLY_READY, 0);
+        assert_eq!(s & STATUS_RX_PENDING, 0);
+    });
+    sim.run();
+}
+
+#[test]
+fn message_roundtrip_via_registers_only() {
+    // Push a message through TX and drain it through the RX window — the
+    // exact MMIO sequence the SW driver performs, hand-rolled.
+    let sim = with_adapter(|ctx, port| {
+        let msg = b"hello adapter".to_vec();
+        port.write_u32(ctx, regs::TX_LEN, msg.len() as u32).unwrap();
+        port.write(ctx, regs::TX_WIN, msg.clone()).unwrap();
+        port.write_u32(ctx, regs::DOORBELL, DOORBELL_DATA).unwrap();
+
+        let s = port.read_u32(ctx, regs::STATUS).unwrap();
+        assert_ne!(s & STATUS_RX_PENDING, 0);
+        assert_eq!(port.read_u32(ctx, regs::RX_LEN).unwrap(), msg.len() as u32);
+        assert_eq!(port.read_u32(ctx, regs::RX_KIND).unwrap(), 1); // data
+        let got = port.read(ctx, regs::RX_WIN, msg.len()).unwrap();
+        assert_eq!(got, msg);
+        port.write_u32(ctx, regs::DOORBELL, DOORBELL_RX_ACK).unwrap();
+        let s = port.read_u32(ctx, regs::STATUS).unwrap();
+        assert_eq!(s & STATUS_RX_PENDING, 0);
+    });
+    sim.run();
+}
+
+#[test]
+fn request_reply_via_registers() {
+    let sim = with_adapter(|ctx, port| {
+        // Request in.
+        port.write_u32(ctx, regs::TX_LEN, 4).unwrap();
+        port.write(ctx, regs::TX_WIN, vec![1, 2, 3, 4]).unwrap();
+        port.write_u32(ctx, regs::DOORBELL, DOORBELL_REQUEST).unwrap();
+        assert_eq!(port.read_u32(ctx, regs::RX_KIND).unwrap(), 2); // request
+        // Pop it (this is what makes a reply owed).
+        port.write_u32(ctx, regs::DOORBELL, DOORBELL_RX_ACK).unwrap();
+        // Stage and publish the reply.
+        port.write_u32(ctx, regs::SET_REPLY_LEN, 2).unwrap();
+        port.write(ctx, regs::REPLY_WIN, vec![9, 8]).unwrap();
+        port.write_u32(ctx, regs::DOORBELL, DOORBELL_REPLY_SET).unwrap();
+        // Read it back as the master would.
+        let s = port.read_u32(ctx, regs::STATUS).unwrap();
+        assert_ne!(s & STATUS_REPLY_READY, 0);
+        assert_eq!(port.read_u32(ctx, regs::REPLY_LEN).unwrap(), 2);
+        assert_eq!(port.read(ctx, regs::REPLY_WIN, 2).unwrap(), vec![9, 8]);
+        port.write_u32(ctx, regs::DOORBELL, DOORBELL_REPLY_ACK).unwrap();
+        let s = port.read_u32(ctx, regs::STATUS).unwrap();
+        assert_eq!(s & STATUS_REPLY_READY, 0);
+    });
+    sim.run();
+}
+
+fn expect_err(result: Result<(), OcpError>) {
+    assert!(
+        matches!(result, Err(OcpError::SlaveError { .. })),
+        "expected ERR response, got {result:?}"
+    );
+}
+
+#[test]
+fn error_responses_for_driver_bugs() {
+    let sim = with_adapter(|ctx, port| {
+        // Oversized TX_LEN.
+        expect_err(port.write_u32(ctx, regs::TX_LEN, 0x4000_0000));
+        // Unknown doorbell value.
+        expect_err(port.write_u32(ctx, regs::DOORBELL, 99));
+        // TX window write beyond the staged length.
+        port.write_u32(ctx, regs::TX_LEN, 4).unwrap();
+        expect_err(port.write(ctx, regs::TX_WIN, vec![0; 8]));
+        // RX pop with an empty mailbox.
+        expect_err(port.write_u32(ctx, regs::DOORBELL, DOORBELL_RX_ACK));
+        // Reply publish without an owed request.
+        port.write_u32(ctx, regs::SET_REPLY_LEN, 1).unwrap();
+        port.write(ctx, regs::REPLY_WIN, vec![1]).unwrap();
+        expect_err(port.write_u32(ctx, regs::DOORBELL, DOORBELL_REPLY_SET));
+        // Read of an unmapped register.
+        assert!(port.read(ctx, 0x7777, 4).is_err());
+        // RX window read with nothing pending.
+        assert!(port.read(ctx, regs::RX_WIN, 4).is_err());
+    });
+    sim.run();
+}
+
+#[test]
+fn mailbox_backpressure_clears_rx_space() {
+    let cfg = WrapperConfig {
+        rx_capacity: 2,
+        ..WrapperConfig::default()
+    };
+    let sim = Simulation::new();
+    let adapter = ShipSlaveAdapter::new(&sim.handle(), "adp", &cfg);
+    let port = OcpMasterPort::bind(MasterId(0), adapter);
+    sim.spawn_thread("driver", move |ctx| {
+        for _ in 0..2 {
+            port.write_u32(ctx, regs::TX_LEN, 1).unwrap();
+            port.write(ctx, regs::TX_WIN, vec![7]).unwrap();
+            port.write_u32(ctx, regs::DOORBELL, DOORBELL_DATA).unwrap();
+        }
+        let s = port.read_u32(ctx, regs::STATUS).unwrap();
+        assert_eq!(s & STATUS_RX_SPACE, 0, "mailbox full: no RX space bit");
+        // A third doorbell must be refused.
+        port.write_u32(ctx, regs::TX_LEN, 1).unwrap();
+        port.write(ctx, regs::TX_WIN, vec![8]).unwrap();
+        expect_err(port.write_u32(ctx, regs::DOORBELL, DOORBELL_DATA));
+        // Draining one restores space.
+        port.write_u32(ctx, regs::DOORBELL, DOORBELL_RX_ACK).unwrap();
+        let s = port.read_u32(ctx, regs::STATUS).unwrap();
+        assert_ne!(s & STATUS_RX_SPACE, 0);
+    });
+    sim.run();
+}
+
+#[test]
+fn sideband_tracks_pending_state() {
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let adapter = ShipSlaveAdapter::new(&h, "adp", &WrapperConfig::default());
+    let irq = sim.signal("irq", false);
+    adapter.attach_sideband(irq.clone());
+    let port = OcpMasterPort::bind(MasterId(0), adapter);
+    let observed = Arc::new(Mutex::new(Vec::new()));
+    {
+        let observed = Arc::clone(&observed);
+        let irq_r = irq.clone();
+        sim.spawn_thread("mon", move |ctx| {
+            let ev = irq_r.changed_event();
+            for _ in 0..2 {
+                ctx.wait(&ev);
+                observed.lock().unwrap().push((ctx.now().as_ps(), irq_r.read()));
+            }
+        });
+    }
+    sim.spawn_thread("driver", move |ctx| {
+        ctx.wait_for(SimDur::ns(10));
+        port.write_u32(ctx, regs::TX_LEN, 1).unwrap();
+        port.write(ctx, regs::TX_WIN, vec![1]).unwrap();
+        port.write_u32(ctx, regs::DOORBELL, DOORBELL_DATA).unwrap(); // irq rises
+        ctx.wait_for(SimDur::ns(10));
+        port.write_u32(ctx, regs::DOORBELL, DOORBELL_RX_ACK).unwrap(); // irq falls
+    });
+    sim.run();
+    let obs = observed.lock().unwrap();
+    assert_eq!(obs.len(), 2);
+    assert!(obs[0].1, "first transition must be a rise");
+    assert!(!obs[1].1, "second transition must be a fall");
+}

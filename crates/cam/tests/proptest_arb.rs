@@ -1,0 +1,118 @@
+//! Property-based tests of the arbitration policies: every grant goes to a
+//! pending requester, priorities are respected, round-robin is fair over a
+//! full rotation, and TDMA never grants outside the owner's slot.
+
+use proptest::prelude::*;
+use shiptlm_cam::arb::{ArbPolicy, Ticket};
+use shiptlm_kernel::time::{SimDur, SimTime};
+use shiptlm_ocp::tl::MasterId;
+
+fn tickets(masters: &[usize]) -> Vec<Ticket> {
+    masters
+        .iter()
+        .enumerate()
+        .map(|(seq, m)| Ticket {
+            master: MasterId(*m),
+            seq: seq as u64,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The winner, when any, is always one of the pending tickets.
+    #[test]
+    fn winner_is_pending(
+        masters in proptest::collection::vec(0usize..8, 0..10),
+        last in proptest::option::of(0usize..8),
+        now_ns in 0u64..100_000,
+    ) {
+        let pending = tickets(&masters);
+        let now = SimTime::from_ps(now_ns * 1_000);
+        for policy in [
+            ArbPolicy::FixedPriority,
+            ArbPolicy::RoundRobin,
+            ArbPolicy::Tdma { slot: SimDur::ns(100), slots: 4 },
+        ] {
+            let w = policy.pick(&pending, last.map(MasterId), now);
+            if let Some(w) = w {
+                prop_assert!(pending.contains(&w));
+            }
+            if pending.is_empty() {
+                prop_assert!(w.is_none());
+            }
+        }
+    }
+
+    /// Fixed priority always grants the smallest pending master id.
+    #[test]
+    fn priority_grants_minimum(masters in proptest::collection::vec(0usize..16, 1..10)) {
+        let pending = tickets(&masters);
+        let w = ArbPolicy::FixedPriority
+            .pick(&pending, None, SimTime::ZERO)
+            .unwrap();
+        prop_assert_eq!(w.master.0, *masters.iter().min().unwrap());
+    }
+
+    /// Fixed priority with unique masters is insensitive to arrival order.
+    #[test]
+    fn priority_ignores_arrival_order(mut masters in proptest::collection::vec(0usize..32, 1..8)) {
+        masters.sort_unstable();
+        masters.dedup();
+        let forward = tickets(&masters);
+        let reversed: Vec<usize> = masters.iter().rev().copied().collect();
+        let backward = tickets(&reversed);
+        let a = ArbPolicy::FixedPriority.pick(&forward, None, SimTime::ZERO).unwrap();
+        let b = ArbPolicy::FixedPriority.pick(&backward, None, SimTime::ZERO).unwrap();
+        prop_assert_eq!(a.master, b.master);
+    }
+
+    /// Round-robin serves every distinct pending master exactly once per
+    /// rotation when the pending set is stable.
+    #[test]
+    fn round_robin_is_fair_over_a_rotation(mut masters in proptest::collection::vec(0usize..8, 1..8)) {
+        masters.sort_unstable();
+        masters.dedup();
+        let pending = tickets(&masters);
+        let mut last: Option<MasterId> = None;
+        let mut served = Vec::new();
+        for _ in 0..masters.len() {
+            let w = ArbPolicy::RoundRobin.pick(&pending, last, SimTime::ZERO).unwrap();
+            served.push(w.master.0);
+            last = Some(w.master);
+        }
+        served.sort_unstable();
+        prop_assert_eq!(served, masters);
+    }
+
+    /// TDMA only ever grants the master owning the current slot.
+    #[test]
+    fn tdma_grants_only_in_slot(
+        masters in proptest::collection::vec(0usize..8, 1..10),
+        now_ns in 0u64..1_000_000,
+        slots in 1usize..8,
+    ) {
+        let slot = SimDur::ns(250);
+        let now = SimTime::from_ps(now_ns * 1_000);
+        let policy = ArbPolicy::Tdma { slot, slots };
+        let owner = ((now_ns * 1_000) / slot.as_ps()) as usize % slots;
+        let pending = tickets(&masters);
+        match policy.pick(&pending, None, now) {
+            Some(w) => prop_assert_eq!(w.master.0 % slots, owner),
+            None => prop_assert!(masters.iter().all(|m| m % slots != owner)),
+        }
+    }
+
+    /// TDMA's recheck delay lands exactly on the next slot boundary.
+    #[test]
+    fn tdma_recheck_hits_boundary(now_ps in 0u64..10_000_000, slot_ns in 1u64..1_000) {
+        let slot = SimDur::ns(slot_ns);
+        let policy = ArbPolicy::Tdma { slot, slots: 4 };
+        let now = SimTime::from_ps(now_ps);
+        let d = policy.recheck_delay(now).unwrap();
+        prop_assert!(d.as_ps() > 0);
+        prop_assert!(d <= slot);
+        prop_assert_eq!((now_ps + d.as_ps()) % slot.as_ps(), 0);
+    }
+}

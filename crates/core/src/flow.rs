@@ -1,0 +1,210 @@
+//! The systematic design flow of the paper's Figure 1.
+//!
+//! One application specification is refined through three models, each bound
+//! to its predetermined communication protocol:
+//!
+//! 1. **Component-assembly model** — abstract SHIP channels, untimed;
+//!    master/slave roles are detected here.
+//! 2. **CCATB model** — channels mapped onto a communication architecture
+//!    model (CAM) via SHIP↔OCP wrappers; cycle-count-accurate boundary
+//!    timing.
+//! 3. **Pin-accurate model** — master PEs attach through pin-level OCP
+//!    accessors; every transaction crosses real signal pins.
+//!
+//! PE source code is reused verbatim at every level, and transaction logs
+//! are checked for content equivalence across levels.
+
+use std::error::Error;
+use std::fmt;
+
+use shiptlm_explore::app::AppSpec;
+use shiptlm_explore::arch::ArchSpec;
+use shiptlm_explore::mapper::{
+    run_component_assembly, run_mapped, run_pin_accurate, CaRun, MapError, MappedRun,
+};
+use shiptlm_explore::metrics::{Report, RunMetrics};
+use shiptlm_ship::record::EquivalenceError;
+
+/// The three abstraction levels of the flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// Untimed SHIP channels.
+    ComponentAssembly,
+    /// Wrappers + CAM, cycle-count accurate at transaction boundaries.
+    Ccatb,
+    /// Pin-level OCP accessors in front of the CAM.
+    PinAccurate,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::ComponentAssembly => "component-assembly",
+            Level::Ccatb => "ccatb",
+            Level::PinAccurate => "pin-accurate",
+        })
+    }
+}
+
+/// Failure of a flow run.
+#[derive(Debug)]
+pub enum FlowError {
+    /// Role detection / mapping failed.
+    Map(MapError),
+    /// A refined level diverged from the component-assembly reference.
+    Equivalence {
+        /// The diverging level.
+        level: Level,
+        /// The divergence details.
+        source: EquivalenceError,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Map(e) => write!(f, "mapping failed: {e}"),
+            FlowError::Equivalence { level, source } => {
+                write!(f, "{level} model diverged from the reference: {source}")
+            }
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Map(e) => Some(e),
+            FlowError::Equivalence { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<MapError> for FlowError {
+    fn from(e: MapError) -> Self {
+        FlowError::Map(e)
+    }
+}
+
+/// Results of running the full flow.
+#[derive(Debug)]
+pub struct FlowRun {
+    /// The component-assembly run (reference) with detected roles.
+    pub component_assembly: CaRun,
+    /// The CCATB run.
+    pub ccatb: MappedRun,
+    /// The pin-accurate run, when requested.
+    pub pin_accurate: Option<MappedRun>,
+}
+
+impl FlowRun {
+    /// Per-level metrics as a comparison table.
+    pub fn report(&self) -> Report {
+        let mut report = Report::new();
+        let ca = &self.component_assembly.output;
+        report.push(RunMetrics::from_log(
+            "component-assembly",
+            &ca.log,
+            ca.sim_time,
+            None,
+            ca.delta_cycles,
+            ca.wall_seconds,
+        ));
+        report.push(RunMetrics::from_log(
+            "ccatb",
+            &self.ccatb.output.log,
+            self.ccatb.output.sim_time,
+            Some(self.ccatb.bus.clone()),
+            self.ccatb.output.delta_cycles,
+            self.ccatb.output.wall_seconds,
+        ));
+        if let Some(pin) = &self.pin_accurate {
+            report.push(RunMetrics::from_log(
+                "pin-accurate",
+                &pin.output.log,
+                pin.output.sim_time,
+                Some(pin.bus.clone()),
+                pin.output.delta_cycles,
+                pin.output.wall_seconds,
+            ));
+        }
+        report
+    }
+}
+
+/// Drives one application through the whole design flow.
+///
+/// ```
+/// use shiptlm::flow::DesignFlow;
+/// use shiptlm_explore::arch::ArchSpec;
+/// use shiptlm_explore::workload;
+/// use shiptlm_kernel::time::SimDur;
+///
+/// # fn main() -> Result<(), shiptlm::flow::FlowError> {
+/// let app = workload::pipeline(3, 4, 64, SimDur::ZERO);
+/// let run = DesignFlow::new(app, ArchSpec::plb()).run()?;
+/// assert!(run.ccatb.bus.transactions > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DesignFlow {
+    app: AppSpec,
+    arch: ArchSpec,
+    with_pin_level: bool,
+}
+
+impl DesignFlow {
+    /// Creates a flow for `app` targeting `arch`.
+    pub fn new(app: AppSpec, arch: ArchSpec) -> Self {
+        DesignFlow {
+            app,
+            arch,
+            with_pin_level: false,
+        }
+    }
+
+    /// Also elaborates and verifies the pin-accurate prototype level
+    /// (slower to simulate).
+    pub fn with_pin_level(mut self) -> Self {
+        self.with_pin_level = true;
+        self
+    }
+
+    /// Runs every level and checks cross-level content equivalence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Map`] when role detection fails and
+    /// [`FlowError::Equivalence`] when a refined level's transaction log
+    /// diverges from the component-assembly reference.
+    pub fn run(&self) -> Result<FlowRun, FlowError> {
+        let ca = run_component_assembly(&self.app)?;
+        let ccatb = run_mapped(&self.app, &ca.roles, &self.arch);
+        ca.output
+            .log
+            .content_equivalent(&ccatb.output.log)
+            .map_err(|source| FlowError::Equivalence {
+                level: Level::Ccatb,
+                source,
+            })?;
+        let pin_accurate = if self.with_pin_level {
+            let pin = run_pin_accurate(&self.app, &ca.roles, &self.arch);
+            ca.output
+                .log
+                .content_equivalent(&pin.output.log)
+                .map_err(|source| FlowError::Equivalence {
+                    level: Level::PinAccurate,
+                    source,
+                })?;
+            Some(pin)
+        } else {
+            None
+        };
+        Ok(FlowRun {
+            component_assembly: ca,
+            ccatb,
+            pin_accurate,
+        })
+    }
+}

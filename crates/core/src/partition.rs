@@ -1,0 +1,247 @@
+//! HW/SW partitioning and automatic eSW generation (paper §4).
+//!
+//! "The ultimate goal of the proposed design methodology is to use SystemC
+//! as a unifying system specification language and, after HW/SW
+//! partitioning, to generate eSW automatically from the SystemC code.
+//! Moreover, HW/SW communication should be established without requiring any
+//! changes to the source code."
+//!
+//! [`run_partitioned`] re-elaborates an application with a subset of PEs
+//! moved into software: those PEs run as RTOS tasks on a simulated CPU, and
+//! their SHIP ports are backed by the device driver + communication library
+//! (the SW adapter), while the mailbox adapters on the bus form the HW
+//! adapter. PE behaviour source is reused verbatim — the two constraints of
+//! §4 are checked instead:
+//!
+//! 1. partitioning happens on the component-assembly model (roles come from
+//!    [`run_component_assembly`](shiptlm_explore::mapper::run_component_assembly));
+//! 2. eSW PEs communicate exclusively through SHIP channels (true by
+//!    construction of [`AppSpec`]).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use shiptlm_cam::wrapper::{map_channel, WrapperConfig, ADAPTER_SIZE};
+use shiptlm_explore::app::AppSpec;
+use shiptlm_explore::arch::{build_interconnect, ArchSpec};
+use shiptlm_explore::mapper::{MappedRun, RoleMap, RunOutput, MAP_BASE};
+use shiptlm_hwsw::cpu::{Cpu, SwChannelBinding};
+use shiptlm_hwsw::rtos::RtosStats;
+use shiptlm_kernel::sim::Simulation;
+use shiptlm_kernel::time::SimDur;
+use shiptlm_ocp::tl::MasterId;
+use shiptlm_ship::channel::ShipPort;
+use shiptlm_ship::record::TransactionLog;
+
+/// Which PEs become embedded software.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Partition {
+    /// Names of PEs implemented as eSW tasks on the CPU.
+    pub sw: BTreeSet<String>,
+    /// Status polling interval of the SW drivers.
+    pub poll_interval: SimDur,
+    /// Priority assigned to the first SW task; later ones get lower values.
+    pub base_priority: u8,
+}
+
+impl Partition {
+    /// Moves the named PEs to software with a 1 µs polling driver.
+    pub fn software<I, S>(pes: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Partition {
+            sw: pes.into_iter().map(Into::into).collect(),
+            poll_interval: SimDur::us(1),
+            base_priority: 32,
+        }
+    }
+
+    /// Overrides the driver polling interval.
+    pub fn with_poll_interval(mut self, d: SimDur) -> Self {
+        self.poll_interval = d;
+        self
+    }
+}
+
+/// Partitioning validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A PE named in the partition does not exist in the app.
+    UnknownPe(String),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::UnknownPe(p) => write!(f, "partition names unknown PE '{p}'"),
+        }
+    }
+}
+
+impl Error for PartitionError {}
+
+/// Result of a partitioned run: the mapped-run artifacts plus RTOS counters.
+#[derive(Debug)]
+pub struct PartitionedRun {
+    /// Log, timing and interconnect statistics.
+    pub mapped: MappedRun,
+    /// CPU scheduler counters.
+    pub rtos: RtosStats,
+}
+
+/// Re-elaborates `app` with `partition.sw` PEs generated as eSW tasks, the
+/// rest staying hardware; channels are mapped onto `arch` as usual.
+///
+/// # Errors
+///
+/// Returns a [`PartitionError`] when the partition names an unknown PE.
+///
+/// # Panics
+///
+/// Panics if `roles` does not cover every channel of `app`.
+pub fn run_partitioned(
+    app: &AppSpec,
+    roles: &RoleMap,
+    arch: &ArchSpec,
+    partition: &Partition,
+) -> Result<PartitionedRun, PartitionError> {
+    for pe in &partition.sw {
+        if app.pe(pe).is_none() {
+            return Err(PartitionError::UnknownPe(pe.clone()));
+        }
+    }
+    let started = Instant::now();
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let log = TransactionLog::new();
+
+    let wrapper_cfg = WrapperConfig {
+        burst_bytes: arch.burst_bytes,
+        poll_interval: arch.poll_interval,
+        rx_capacity: arch.rx_capacity,
+    };
+
+    // Mailbox adapter per channel (HW adapters; also the HW half of every
+    // HW/SW interface).
+    let mut pendings = Vec::new();
+    let mut bases = Vec::new();
+    let mut slaves: Vec<(std::ops::Range<u64>, Arc<dyn shiptlm_ocp::tl::OcpTarget>)> = Vec::new();
+    for (k, c) in app.channels().iter().enumerate() {
+        let base = MAP_BASE + k as u64 * ADAPTER_SIZE;
+        let master_pe = roles
+            .master_of
+            .get(&c.name)
+            .unwrap_or_else(|| panic!("role map misses channel '{}'", c.name));
+        let (ml, sl) = if master_pe == &c.a {
+            (c.a.as_str(), c.b.as_str())
+        } else {
+            (c.b.as_str(), c.a.as_str())
+        };
+        let pending = map_channel(&h, &c.name, base, wrapper_cfg.clone(), (ml, sl));
+        slaves.push((base..base + ADAPTER_SIZE, pending.adapter.clone() as _));
+        pendings.push(pending);
+        bases.push(base);
+    }
+    let interconnect = build_interconnect(&h, arch, slaves);
+
+    // The CPU is one more bus master, after all HW PEs.
+    let cpu = Cpu::new(
+        &h,
+        "cpu0",
+        interconnect.master_port(MasterId(app.pes().len())),
+    );
+
+    let master_id_of: BTreeMap<&str, MasterId> = app
+        .pes()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.name.as_str(), MasterId(i)))
+        .collect();
+
+    // HW PEs get wrapper/adapter ports; SW PEs get driver bindings.
+    let mut hw_ports: BTreeMap<String, Vec<ShipPort>> = BTreeMap::new();
+    let mut sw_bindings: BTreeMap<String, Vec<SwChannelBinding>> = BTreeMap::new();
+    for ((pending, c), base) in pendings.iter().zip(app.channels()).zip(&bases) {
+        let master_pe = roles.master_of[&c.name].clone();
+        let slave_pe = if master_pe == c.a {
+            c.b.clone()
+        } else {
+            c.a.clone()
+        };
+        // Master end.
+        if partition.sw.contains(&master_pe) {
+            sw_bindings.entry(master_pe.clone()).or_default().push(
+                SwChannelBinding::master_polling(
+                    &c.name,
+                    &master_pe,
+                    *base,
+                    partition.poll_interval,
+                )
+                .with_burst(arch.burst_bytes),
+            );
+        } else {
+            let bus_port = interconnect.master_port(master_id_of[master_pe.as_str()]);
+            let mport = pending.bind(&bus_port);
+            mport.attach_recorder(log.clone());
+            hw_ports.entry(master_pe.clone()).or_default().push(mport);
+        }
+        // Slave end.
+        if partition.sw.contains(&slave_pe) {
+            sw_bindings.entry(slave_pe.clone()).or_default().push(
+                SwChannelBinding::slave_polling(
+                    &c.name,
+                    &slave_pe,
+                    *base,
+                    partition.poll_interval,
+                )
+                .with_burst(arch.burst_bytes),
+            );
+        } else {
+            let sport = pending.slave_port.clone();
+            sport.attach_recorder(log.clone());
+            hw_ports.entry(slave_pe.clone()).or_default().push(sport);
+        }
+    }
+
+    // Spawn HW PEs as kernel processes, SW PEs as RTOS tasks.
+    let mut sw_index = 0u8;
+    for pe in app.pes() {
+        let behavior = app.behavior(&pe.name);
+        if partition.sw.contains(&pe.name) {
+            let bindings = sw_bindings.remove(&pe.name).unwrap_or_default();
+            let prio = partition.base_priority.saturating_sub(sw_index);
+            sw_index += 1;
+            let log = log.clone();
+            cpu.spawn_sw_pe(&pe.name, prio, bindings, move |ctx, ports| {
+                for p in &ports {
+                    p.attach_recorder(log.clone());
+                }
+                behavior(ctx, ports);
+            });
+        } else {
+            let ports = hw_ports.remove(&pe.name).unwrap_or_default();
+            sim.spawn_thread(&pe.name, move |ctx| behavior(ctx, ports));
+        }
+    }
+    let result = sim.run();
+
+    Ok(PartitionedRun {
+        mapped: MappedRun {
+            output: RunOutput {
+                log,
+                sim_time: result
+                    .time
+                    .saturating_since(shiptlm_kernel::time::SimTime::ZERO),
+                delta_cycles: sim.delta_count(),
+                wall_seconds: started.elapsed().as_secs_f64(),
+            },
+            bus: interconnect.stats(),
+        },
+        rtos: cpu.rtos.stats(),
+    })
+}

@@ -1,0 +1,165 @@
+//! Application netlists: processing elements connected by SHIP channels.
+//!
+//! An [`AppSpec`] is the *component-assembly model* of the paper's Figure 1:
+//! PEs plus directed point-to-point SHIP channels, with no notion of the
+//! target architecture. The same spec elaborates to every abstraction level.
+
+use std::fmt;
+use std::sync::Arc;
+
+use shiptlm_kernel::process::ThreadCtx;
+use shiptlm_ship::channel::ShipPort;
+
+/// A PE behaviour: runs once, communicating through its ports.
+///
+/// Ports arrive in the order the PE's channels were added to the
+/// [`AppSpec`]. The same behaviour object is used at every abstraction
+/// level — only the port backing changes (paper §4's "no source change").
+pub type PeBehavior = Box<dyn FnOnce(&mut ThreadCtx, Vec<ShipPort>) + Send>;
+
+/// Factory producing a fresh behaviour per elaboration.
+pub type PeFactory = Arc<dyn Fn() -> PeBehavior + Send + Sync>;
+
+/// One processing element.
+#[derive(Clone)]
+pub struct PeSpec {
+    /// PE name (unique within the app).
+    pub name: String,
+    pub(crate) factory: PeFactory,
+}
+
+impl fmt::Debug for PeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PeSpec").field("name", &self.name).finish()
+    }
+}
+
+/// One directed point-to-point channel between two PEs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelSpec {
+    /// Channel name (unique within the app).
+    pub name: String,
+    /// PE at end A.
+    pub a: String,
+    /// PE at end B.
+    pub b: String,
+}
+
+/// A platform-independent application: the component-assembly netlist.
+///
+/// ```
+/// use shiptlm_explore::app::AppSpec;
+///
+/// let mut app = AppSpec::new("demo");
+/// app.add_pe("producer", || Box::new(|ctx, ports| {
+///     ports[0].send(ctx, &42u32).unwrap();
+/// }));
+/// app.add_pe("consumer", || Box::new(|ctx, ports| {
+///     let _: u32 = ports[0].recv(ctx).unwrap();
+/// }));
+/// app.connect("link", "producer", "consumer");
+/// assert_eq!(app.channels().len(), 1);
+/// ```
+#[derive(Clone)]
+pub struct AppSpec {
+    name: String,
+    pes: Vec<PeSpec>,
+    channels: Vec<ChannelSpec>,
+}
+
+impl AppSpec {
+    /// Creates an empty application.
+    pub fn new(name: &str) -> Self {
+        AppSpec {
+            name: name.to_string(),
+            pes: Vec::new(),
+            channels: Vec::new(),
+        }
+    }
+
+    /// The application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a PE with a behaviour factory (a fresh behaviour is created per
+    /// elaboration).
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate PE names.
+    pub fn add_pe<F>(&mut self, name: &str, factory: F)
+    where
+        F: Fn() -> PeBehavior + Send + Sync + 'static,
+    {
+        assert!(
+            self.pes.iter().all(|p| p.name != name),
+            "duplicate PE name '{name}'"
+        );
+        self.pes.push(PeSpec {
+            name: name.to_string(),
+            factory: Arc::new(factory),
+        });
+    }
+
+    /// Connects two PEs with a named channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either PE is unknown or the channel name repeats.
+    pub fn connect(&mut self, channel: &str, a: &str, b: &str) {
+        assert!(self.pe(a).is_some(), "unknown PE '{a}'");
+        assert!(self.pe(b).is_some(), "unknown PE '{b}'");
+        assert!(
+            self.channels.iter().all(|c| c.name != channel),
+            "duplicate channel name '{channel}'"
+        );
+        self.channels.push(ChannelSpec {
+            name: channel.to_string(),
+            a: a.to_string(),
+            b: b.to_string(),
+        });
+    }
+
+    /// The PEs in declaration order.
+    pub fn pes(&self) -> &[PeSpec] {
+        &self.pes
+    }
+
+    /// The channels in declaration order.
+    pub fn channels(&self) -> &[ChannelSpec] {
+        &self.channels
+    }
+
+    /// Finds a PE by name.
+    pub fn pe(&self, name: &str) -> Option<&PeSpec> {
+        self.pes.iter().find(|p| p.name == name)
+    }
+
+    /// The channels a PE is attached to, in port order.
+    pub fn channels_of(&self, pe: &str) -> Vec<&ChannelSpec> {
+        self.channels
+            .iter()
+            .filter(|c| c.a == pe || c.b == pe)
+            .collect()
+    }
+
+    /// Instantiates a fresh behaviour for `pe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the PE is unknown.
+    pub fn behavior(&self, pe: &str) -> PeBehavior {
+        (self.pe(pe).expect("unknown PE").factory)()
+    }
+}
+
+impl fmt::Debug for AppSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AppSpec")
+            .field("name", &self.name)
+            .field("pes", &self.pes.len())
+            .field("channels", &self.channels.len())
+            .finish()
+    }
+}

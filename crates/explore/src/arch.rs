@@ -1,0 +1,191 @@
+//! Target communication-architecture specifications.
+
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+use shiptlm_cam::arb::ArbPolicy;
+use shiptlm_cam::bus::{BusConfig, BusStats, CcatbBus};
+use shiptlm_cam::crossbar::{Crossbar, CrossbarConfig};
+use shiptlm_kernel::sim::SimHandle;
+use shiptlm_kernel::time::SimDur;
+use shiptlm_ocp::tl::{MasterId, OcpMasterPort, OcpTarget};
+
+/// Which interconnect topology to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BusKind {
+    /// CoreConnect PLB-like shared bus.
+    Plb,
+    /// CoreConnect OPB-like peripheral bus.
+    Opb,
+    /// Full crossbar.
+    Crossbar,
+}
+
+impl fmt::Display for BusKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BusKind::Plb => "plb",
+            BusKind::Opb => "opb",
+            BusKind::Crossbar => "xbar",
+        })
+    }
+}
+
+/// One candidate architecture configuration for exploration.
+#[derive(Debug, Clone)]
+pub struct ArchSpec {
+    /// Topology.
+    pub bus: BusKind,
+    /// Arbitration policy (per output for the crossbar).
+    pub arb: ArbPolicy,
+    /// Interconnect clock period; `None` keeps the preset.
+    pub clock: Option<SimDur>,
+    /// Wrapper burst size in bytes.
+    pub burst_bytes: usize,
+    /// Mailbox depth per channel adapter.
+    pub rx_capacity: usize,
+    /// Master-side status polling interval.
+    pub poll_interval: SimDur,
+}
+
+impl ArchSpec {
+    /// A PLB architecture with default wrapper settings.
+    pub fn plb() -> Self {
+        ArchSpec {
+            bus: BusKind::Plb,
+            arb: ArbPolicy::FixedPriority,
+            clock: None,
+            burst_bytes: 64,
+            rx_capacity: 4,
+            poll_interval: SimDur::ns(100),
+        }
+    }
+
+    /// An OPB architecture with default wrapper settings.
+    pub fn opb() -> Self {
+        ArchSpec {
+            bus: BusKind::Opb,
+            ..ArchSpec::plb()
+        }
+    }
+
+    /// A crossbar architecture with default wrapper settings.
+    pub fn crossbar() -> Self {
+        ArchSpec {
+            bus: BusKind::Crossbar,
+            arb: ArbPolicy::RoundRobin,
+            ..ArchSpec::plb()
+        }
+    }
+
+    /// Replaces the arbitration policy.
+    pub fn with_arb(mut self, arb: ArbPolicy) -> Self {
+        self.arb = arb;
+        self
+    }
+
+    /// Replaces the wrapper burst size.
+    pub fn with_burst(mut self, burst_bytes: usize) -> Self {
+        self.burst_bytes = burst_bytes;
+        self
+    }
+
+    /// A short label for report rows, e.g. `plb/priority/b64`.
+    pub fn label(&self) -> String {
+        format!("{}/{}/b{}", self.bus, self.arb.label(), self.burst_bytes)
+    }
+}
+
+/// A built interconnect, uniform over topology.
+#[derive(Clone)]
+pub enum Interconnect {
+    /// A shared CCATB bus.
+    Bus(Arc<CcatbBus>),
+    /// A crossbar switch.
+    Crossbar(Arc<Crossbar>),
+}
+
+impl Interconnect {
+    /// A bus-master port for `id`.
+    pub fn master_port(&self, id: MasterId) -> OcpMasterPort {
+        match self {
+            Interconnect::Bus(b) => b.master_port(id),
+            Interconnect::Crossbar(x) => x.master_port(id),
+        }
+    }
+
+    /// Accumulated interconnect statistics.
+    pub fn stats(&self) -> BusStats {
+        match self {
+            Interconnect::Bus(b) => b.stats(),
+            Interconnect::Crossbar(x) => x.stats(),
+        }
+    }
+
+    /// The interconnect as a transaction target (for accessors/bridges).
+    pub fn as_target(&self) -> Arc<dyn OcpTarget> {
+        match self {
+            Interconnect::Bus(b) => Arc::clone(b) as Arc<dyn OcpTarget>,
+            Interconnect::Crossbar(x) => Arc::clone(x) as Arc<dyn OcpTarget>,
+        }
+    }
+
+    /// The interconnect clock period (for pin-level accessors).
+    pub fn clock_period(&self) -> SimDur {
+        match self {
+            Interconnect::Bus(b) => b.config().clock,
+            Interconnect::Crossbar(x) => x.config().clock,
+        }
+    }
+}
+
+impl fmt::Debug for Interconnect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Interconnect::Bus(b) => write!(f, "Interconnect::Bus({})", b.config().name),
+            Interconnect::Crossbar(x) => {
+                write!(f, "Interconnect::Crossbar({})", x.config().name)
+            }
+        }
+    }
+}
+
+/// Builds the interconnect of `spec`, mapping each `(range, target)` pair as
+/// a slave.
+pub fn build_interconnect(
+    sim: &SimHandle,
+    spec: &ArchSpec,
+    slaves: Vec<(Range<u64>, Arc<dyn OcpTarget>)>,
+) -> Interconnect {
+    match spec.bus {
+        BusKind::Plb | BusKind::Opb => {
+            let mut cfg = match spec.bus {
+                BusKind::Plb => BusConfig::plb("plb"),
+                BusKind::Opb => BusConfig::opb("opb"),
+                BusKind::Crossbar => unreachable!(),
+            };
+            cfg = cfg.with_arb(spec.arb.clone());
+            if let Some(c) = spec.clock {
+                cfg = cfg.with_clock(c);
+            }
+            let mut bus = CcatbBus::new(sim, cfg);
+            for (range, target) in slaves {
+                bus.map_slave(range, target, true);
+            }
+            Interconnect::Bus(Arc::new(bus))
+        }
+        BusKind::Crossbar => {
+            let mut cfg = CrossbarConfig::default_64bit("xbar");
+            cfg.arb = spec.arb.clone();
+            if let Some(c) = spec.clock {
+                cfg.clock = c;
+            }
+            let mut xbar = Crossbar::new(sim, cfg);
+            for (range, target) in slaves {
+                xbar.map_slave(range, target, true);
+            }
+            Interconnect::Crossbar(Arc::new(xbar))
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # shiptlm-explore
+//!
+//! Communication architecture exploration for the `shiptlm` design flow
+//! (Klingauf, DATE 2005, §3): given an application as a netlist of PEs and
+//! SHIP channels, automatically detect channel roles, map the communication
+//! onto candidate architectures (PLB/OPB/crossbar × arbitration × burst
+//! size), simulate, and compare.
+//!
+//! * [`app::AppSpec`] — the platform-independent application netlist;
+//! * [`mapper`] — role detection + automatic channel-to-bus mapping;
+//! * [`arch::ArchSpec`] — candidate architecture configurations;
+//! * [`workload`] — deterministic synthetic applications;
+//! * [`sweep::Sweep`] — one-call exploration producing a [`metrics::Report`].
+//!
+//! ## Example
+//!
+//! ```
+//! use shiptlm_explore::prelude::*;
+//! use shiptlm_kernel::time::SimDur;
+//!
+//! let app = workload::pipeline(3, 16, 256, SimDur::ZERO);
+//! let report = Sweep::new(app)
+//!     .arch(ArchSpec::plb())
+//!     .arch(ArchSpec::crossbar())
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.rows().len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod app;
+pub mod arch;
+pub mod mapper;
+pub mod metrics;
+pub mod pareto;
+pub mod sweep;
+pub mod workload;
+
+/// Commonly used exploration items.
+pub mod prelude {
+    pub use crate::app::{AppSpec, ChannelSpec, PeBehavior, PeSpec};
+    pub use crate::arch::{build_interconnect, ArchSpec, BusKind, Interconnect};
+    pub use crate::mapper::{
+        explore_one, run_component_assembly, run_mapped, run_pin_accurate, CaRun, MapError, MappedRun, RoleMap,
+        RunOutput, MAP_BASE,
+    };
+    pub use crate::metrics::{Report, RunMetrics};
+    pub use crate::pareto::{dominates, pareto_front, report_front};
+    pub use crate::sweep::{verify_equivalence, Sweep};
+    pub use crate::workload;
+}

@@ -1,0 +1,370 @@
+//! Automatic mapping of the communication part of a system onto a target
+//! architecture (paper §1: "a methodology for automatic mapping of the
+//! communication part of a system to a given architecture").
+//!
+//! The flow is two-phase, mirroring Figure 1:
+//!
+//! 1. [`run_component_assembly`] elaborates the app with abstract SHIP
+//!    channels, runs it, and **detects master/slave roles** from observed
+//!    call usage (paper §2).
+//! 2. [`run_mapped`] re-elaborates the same app (same PE source) with every
+//!    channel replaced by a mailbox adapter on the chosen interconnect plus
+//!    SHIP↔OCP wrappers, oriented by the detected roles.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use shiptlm_cam::wrapper::{map_channel, WrapperConfig, ADAPTER_SIZE};
+use shiptlm_kernel::sim::Simulation;
+use shiptlm_kernel::time::SimDur;
+use shiptlm_ocp::tl::MasterId;
+use shiptlm_ship::channel::{ShipChannel, ShipConfig, ShipPort};
+use shiptlm_ship::record::TransactionLog;
+use shiptlm_ship::role::RoleObservation;
+
+use crate::app::AppSpec;
+use crate::arch::{build_interconnect, ArchSpec};
+
+/// Base bus address of the first channel adapter.
+pub const MAP_BASE: u64 = 0x1000_0000;
+
+/// Which end of each channel initiates, as detected from usage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoleMap {
+    /// channel name → master PE name.
+    pub master_of: BTreeMap<String, String>,
+}
+
+/// Failure to derive a consistent mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// An endpoint used both master and slave calls.
+    Inconsistent {
+        /// Channel in question.
+        channel: String,
+        /// Observations at (end A, end B).
+        observed: (RoleObservation, RoleObservation),
+    },
+    /// A channel carried no traffic, so no roles could be derived.
+    Unused {
+        /// Channel in question.
+        channel: String,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Inconsistent { channel, observed } => write!(
+                f,
+                "channel '{channel}' has no unique master/slave split (observed {} / {})",
+                observed.0, observed.1
+            ),
+            MapError::Unused { channel } => {
+                write!(f, "channel '{channel}' was never used; cannot derive roles")
+            }
+        }
+    }
+}
+
+impl Error for MapError {}
+
+/// Result of one elaboration + run.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// Transaction log over all ports.
+    pub log: TransactionLog,
+    /// Total simulated time.
+    pub sim_time: SimDur,
+    /// Kernel delta cycles executed (simulation effort proxy).
+    pub delta_cycles: u64,
+    /// Host wall-clock seconds spent simulating.
+    pub wall_seconds: f64,
+}
+
+/// Output of the component-assembly run: functional results plus detected
+/// roles.
+#[derive(Debug)]
+pub struct CaRun {
+    /// The run output.
+    pub output: RunOutput,
+    /// Detected master end per channel.
+    pub roles: RoleMap,
+}
+
+/// Runs the untimed component-assembly model and detects roles.
+///
+/// # Errors
+///
+/// Returns a [`MapError`] when any channel's usage does not yield a unique
+/// master/slave split.
+pub fn run_component_assembly(app: &AppSpec) -> Result<CaRun, MapError> {
+    let started = Instant::now();
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let log = TransactionLog::new();
+
+    // Build all channels and distribute port ends per PE.
+    let mut channels = Vec::new();
+    let mut pe_ports: BTreeMap<String, Vec<ShipPort>> = BTreeMap::new();
+    for c in app.channels() {
+        let ch = ShipChannel::new(&h, &c.name, ShipConfig::default());
+        let (pa, pb) = ch.ports(&c.a, &c.b);
+        pa.attach_recorder(log.clone());
+        pb.attach_recorder(log.clone());
+        pe_ports.entry(c.a.clone()).or_default().push(pa);
+        pe_ports.entry(c.b.clone()).or_default().push(pb);
+        channels.push(ch);
+    }
+    for pe in app.pes() {
+        let ports = pe_ports.remove(&pe.name).unwrap_or_default();
+        let behavior = app.behavior(&pe.name);
+        sim.spawn_thread(&pe.name, move |ctx| behavior(ctx, ports));
+    }
+    let result = sim.run();
+
+    let mut roles = RoleMap::default();
+    for (ch, spec) in channels.iter().zip(app.channels()) {
+        let observed = ch.observed_roles();
+        match observed {
+            (RoleObservation::Master, RoleObservation::Slave) => {
+                roles.master_of.insert(spec.name.clone(), spec.a.clone());
+            }
+            (RoleObservation::Slave, RoleObservation::Master) => {
+                roles.master_of.insert(spec.name.clone(), spec.b.clone());
+            }
+            (RoleObservation::Unused, RoleObservation::Unused) => {
+                return Err(MapError::Unused {
+                    channel: spec.name.clone(),
+                })
+            }
+            _ => {
+                return Err(MapError::Inconsistent {
+                    channel: spec.name.clone(),
+                    observed,
+                })
+            }
+        }
+    }
+
+    Ok(CaRun {
+        output: RunOutput {
+            log,
+            sim_time: result.time.saturating_since(shiptlm_kernel::time::SimTime::ZERO),
+            delta_cycles: sim.delta_count(),
+            wall_seconds: started.elapsed().as_secs_f64(),
+        },
+        roles,
+    })
+}
+
+/// Output of a mapped (CCATB) run.
+#[derive(Debug)]
+pub struct MappedRun {
+    /// The run output.
+    pub output: RunOutput,
+    /// Interconnect statistics.
+    pub bus: shiptlm_cam::bus::BusStats,
+}
+
+/// Re-elaborates `app` with channels mapped onto `arch` per `roles`, runs
+/// it, and returns log + interconnect statistics.
+///
+/// PE source is reused verbatim; each master PE gets one bus-master identity
+/// (its index in declaration order), so fixed-priority arbitration follows
+/// PE declaration order.
+///
+/// # Panics
+///
+/// Panics if `roles` does not cover every channel of `app`.
+pub fn run_mapped(app: &AppSpec, roles: &RoleMap, arch: &ArchSpec) -> MappedRun {
+    let started = Instant::now();
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let log = TransactionLog::new();
+
+    let wrapper_cfg = WrapperConfig {
+        burst_bytes: arch.burst_bytes,
+        poll_interval: arch.poll_interval,
+        rx_capacity: arch.rx_capacity,
+    };
+
+    // One mailbox adapter per channel, in address order.
+    let mut pendings = Vec::new();
+    let mut slaves: Vec<(std::ops::Range<u64>, Arc<dyn shiptlm_ocp::tl::OcpTarget>)> = Vec::new();
+    for (k, c) in app.channels().iter().enumerate() {
+        let base = MAP_BASE + k as u64 * ADAPTER_SIZE;
+        let master_pe = roles
+            .master_of
+            .get(&c.name)
+            .unwrap_or_else(|| panic!("role map misses channel '{}'", c.name));
+        let (master_label, slave_label) = if master_pe == &c.a {
+            (c.a.as_str(), c.b.as_str())
+        } else {
+            (c.b.as_str(), c.a.as_str())
+        };
+        let pending = map_channel(&h, &c.name, base, wrapper_cfg.clone(), (master_label, slave_label));
+        slaves.push((base..base + ADAPTER_SIZE, pending.adapter.clone() as _));
+        pendings.push(pending);
+    }
+    let interconnect = build_interconnect(&h, arch, slaves);
+
+    // Distribute ports per PE, master ends bound through the PE's bus port.
+    let mut pe_ports: BTreeMap<String, Vec<ShipPort>> = BTreeMap::new();
+    let master_id_of: BTreeMap<&str, MasterId> = app
+        .pes()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.name.as_str(), MasterId(i)))
+        .collect();
+    for (pending, c) in pendings.iter().zip(app.channels()) {
+        let master_pe = &roles.master_of[&c.name];
+        let slave_pe = if master_pe == &c.a { &c.b } else { &c.a };
+        let bus_port = interconnect.master_port(master_id_of[master_pe.as_str()]);
+        let mport = pending.bind(&bus_port);
+        mport.attach_recorder(log.clone());
+        let sport = pending.slave_port.clone();
+        sport.attach_recorder(log.clone());
+        // Insert in the PE's channel order.
+        pe_ports.entry(master_pe.clone()).or_default().push(mport);
+        pe_ports.entry(slave_pe.clone()).or_default().push(sport);
+    }
+    // NOTE: ports were pushed channel-by-channel, which matches
+    // `AppSpec::channels_of` order (both iterate the channel list).
+    for pe in app.pes() {
+        let ports = pe_ports.remove(&pe.name).unwrap_or_default();
+        let behavior = app.behavior(&pe.name);
+        sim.spawn_thread(&pe.name, move |ctx| behavior(ctx, ports));
+    }
+    let result = sim.run();
+
+    MappedRun {
+        output: RunOutput {
+            log,
+            sim_time: result
+                .time
+                .saturating_since(shiptlm_kernel::time::SimTime::ZERO),
+            delta_cycles: sim.delta_count(),
+            wall_seconds: started.elapsed().as_secs_f64(),
+        },
+        bus: interconnect.stats(),
+    }
+}
+
+/// Re-elaborates `app` at the **pin-accurate prototype level**: channels are
+/// mapped as in [`run_mapped`], and every master PE additionally reaches the
+/// interconnect through a pin-level OCP [`Accessor`](shiptlm_cam::accessor::Accessor)
+/// — request and response cross real signal pins cycle by cycle (paper §3's
+/// synthesizable prototype path).
+///
+/// # Panics
+///
+/// Panics if `roles` does not cover every channel of `app`.
+pub fn run_pin_accurate(app: &AppSpec, roles: &RoleMap, arch: &ArchSpec) -> MappedRun {
+    let started = Instant::now();
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let log = TransactionLog::new();
+
+    let wrapper_cfg = WrapperConfig {
+        burst_bytes: arch.burst_bytes,
+        poll_interval: arch.poll_interval,
+        rx_capacity: arch.rx_capacity,
+    };
+
+    let mut pendings = Vec::new();
+    let mut slaves: Vec<(std::ops::Range<u64>, Arc<dyn shiptlm_ocp::tl::OcpTarget>)> = Vec::new();
+    for (k, c) in app.channels().iter().enumerate() {
+        let base = MAP_BASE + k as u64 * ADAPTER_SIZE;
+        let master_pe = roles
+            .master_of
+            .get(&c.name)
+            .unwrap_or_else(|| panic!("role map misses channel '{}'", c.name));
+        let (ml, sl) = if master_pe == &c.a {
+            (c.a.as_str(), c.b.as_str())
+        } else {
+            (c.b.as_str(), c.a.as_str())
+        };
+        let pending = map_channel(&h, &c.name, base, wrapper_cfg.clone(), (ml, sl));
+        slaves.push((base..base + ADAPTER_SIZE, pending.adapter.clone() as _));
+        pendings.push(pending);
+    }
+    let interconnect = build_interconnect(&h, arch, slaves);
+    let clk = sim.clock("clk", interconnect.clock_period());
+
+    // One pin-level accessor per master PE.
+    let master_id_of: BTreeMap<&str, MasterId> = app
+        .pes()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.name.as_str(), MasterId(i)))
+        .collect();
+    let mut accessor_port_of: BTreeMap<String, shiptlm_ocp::tl::OcpMasterPort> = BTreeMap::new();
+    for c in app.channels() {
+        let master_pe = roles.master_of[&c.name].clone();
+        accessor_port_of.entry(master_pe.clone()).or_insert_with(|| {
+            let acc = shiptlm_cam::accessor::Accessor::attach(
+                &h,
+                &format!("{master_pe}.acc"),
+                &clk,
+                interconnect.as_target(),
+                master_id_of[master_pe.as_str()],
+                false,
+            );
+            acc.port().clone()
+        });
+    }
+
+    let mut pe_ports: BTreeMap<String, Vec<ShipPort>> = BTreeMap::new();
+    for (pending, c) in pendings.iter().zip(app.channels()) {
+        let master_pe = &roles.master_of[&c.name];
+        let slave_pe = if master_pe == &c.a { &c.b } else { &c.a };
+        let mport = pending.bind(&accessor_port_of[master_pe]);
+        mport.attach_recorder(log.clone());
+        let sport = pending.slave_port.clone();
+        sport.attach_recorder(log.clone());
+        pe_ports.entry(master_pe.clone()).or_default().push(mport);
+        pe_ports.entry(slave_pe.clone()).or_default().push(sport);
+    }
+    // The free-running clock would keep the simulation alive forever, so
+    // stop exactly when the last PE behaviour returns (all transactions are
+    // blocking, hence complete by then).
+    let remaining = Arc::new(std::sync::atomic::AtomicUsize::new(app.pes().len()));
+    for pe in app.pes() {
+        let ports = pe_ports.remove(&pe.name).unwrap_or_default();
+        let behavior = app.behavior(&pe.name);
+        let remaining = Arc::clone(&remaining);
+        sim.spawn_thread(&pe.name, move |ctx| {
+            behavior(ctx, ports);
+            if remaining.fetch_sub(1, std::sync::atomic::Ordering::SeqCst) == 1 {
+                ctx.stop();
+            }
+        });
+    }
+    sim.run();
+    let result_time = sim.now();
+
+    MappedRun {
+        output: RunOutput {
+            log,
+            sim_time: result_time.saturating_since(shiptlm_kernel::time::SimTime::ZERO),
+            delta_cycles: sim.delta_count(),
+            wall_seconds: started.elapsed().as_secs_f64(),
+        },
+        bus: interconnect.stats(),
+    }
+}
+
+/// Convenience: detect roles then map in one call.
+///
+/// # Errors
+///
+/// Returns a [`MapError`] from the role-detection phase.
+pub fn explore_one(app: &AppSpec, arch: &ArchSpec) -> Result<(CaRun, MappedRun), MapError> {
+    let ca = run_component_assembly(app)?;
+    let mapped = run_mapped(app, &ca.roles, arch);
+    Ok((ca, mapped))
+}

@@ -1,0 +1,196 @@
+//! Run metrics derived from transaction logs and interconnect statistics.
+
+use std::fmt;
+
+use shiptlm_cam::bus::BusStats;
+use shiptlm_kernel::stats::RunningStats;
+use shiptlm_kernel::time::SimDur;
+use shiptlm_ship::record::{ShipOp, TransactionLog};
+
+/// Summary of one exploration run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Configuration label (from [`ArchSpec::label`](crate::arch::ArchSpec::label)).
+    pub label: String,
+    /// Total simulated time.
+    pub sim_time: SimDur,
+    /// Messages delivered (completed `recv` operations).
+    pub messages: u64,
+    /// Payload bytes delivered.
+    pub bytes: u64,
+    /// RPC round-trip latency observed at masters (from `request` records).
+    pub rpc_latency: RunningStats,
+    /// Blocking time of `send` calls at masters.
+    pub send_blocking: RunningStats,
+    /// Interconnect statistics (absent for untimed runs).
+    pub bus: Option<BusStats>,
+    /// Kernel delta cycles (simulation effort proxy).
+    pub delta_cycles: u64,
+    /// Host wall-clock seconds.
+    pub wall_seconds: f64,
+}
+
+impl RunMetrics {
+    /// Builds metrics from a run's artifacts.
+    pub fn from_log(
+        label: &str,
+        log: &TransactionLog,
+        sim_time: SimDur,
+        bus: Option<BusStats>,
+        delta_cycles: u64,
+        wall_seconds: f64,
+    ) -> Self {
+        let mut messages = 0;
+        let mut bytes = 0;
+        let mut rpc_latency = RunningStats::new();
+        let mut send_blocking = RunningStats::new();
+        for r in log.to_vec() {
+            match r.op {
+                ShipOp::Recv => {
+                    messages += 1;
+                    bytes += r.len as u64;
+                }
+                ShipOp::Request => {
+                    rpc_latency.record(r.end.saturating_since(r.start).as_ps() as f64 / 1_000.0);
+                }
+                ShipOp::Send => {
+                    send_blocking
+                        .record(r.end.saturating_since(r.start).as_ps() as f64 / 1_000.0);
+                }
+                ShipOp::Reply => {}
+            }
+        }
+        RunMetrics {
+            label: label.to_string(),
+            sim_time,
+            messages,
+            bytes,
+            rpc_latency,
+            send_blocking,
+            bus,
+            delta_cycles,
+            wall_seconds,
+        }
+    }
+
+    /// Delivered payload throughput in MB per simulated second.
+    pub fn throughput_mbps(&self) -> f64 {
+        if self.sim_time.is_zero() {
+            return 0.0;
+        }
+        (self.bytes as f64 / 1e6) / (self.sim_time.as_ps() as f64 * 1e-12)
+    }
+
+    /// Interconnect utilization over the run, when available.
+    pub fn utilization(&self) -> Option<f64> {
+        self.bus.as_ref().map(|b| b.utilization(self.sim_time))
+    }
+
+    /// Simulated transactions per host second (simulation speed).
+    pub fn sim_speed_msgs_per_sec(&self) -> f64 {
+        if self.wall_seconds == 0.0 {
+            0.0
+        } else {
+            self.messages as f64 / self.wall_seconds
+        }
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} msgs, {} B, sim {}, {:.1} MB/s, util {}",
+            self.label,
+            self.messages,
+            self.bytes,
+            self.sim_time,
+            self.throughput_mbps(),
+            self.utilization()
+                .map(|u| format!("{:.1}%", u * 100.0))
+                .unwrap_or_else(|| "-".into()),
+        )
+    }
+}
+
+/// A formatted comparison table over several runs.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    rows: Vec<RunMetrics>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends a run.
+    pub fn push(&mut self, m: RunMetrics) {
+        self.rows.push(m);
+    }
+
+    /// The collected rows.
+    pub fn rows(&self) -> &[RunMetrics] {
+        &self.rows
+    }
+
+    /// Renders a CSV representation.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "config,sim_time_ns,messages,bytes,throughput_mbps,utilization,mean_rpc_ns,mean_wait_cycles,delta_cycles,wall_s\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{:.3},{},{:.1},{},{},{:.4}\n",
+                r.label,
+                r.sim_time.as_ns(),
+                r.messages,
+                r.bytes,
+                r.throughput_mbps(),
+                r.utilization()
+                    .map(|u| format!("{:.4}", u))
+                    .unwrap_or_default(),
+                r.rpc_latency.mean(),
+                r.bus
+                    .as_ref()
+                    .map(|b| format!("{:.2}", b.wait_cycles.mean()))
+                    .unwrap_or_default(),
+                r.delta_cycles,
+                r.wall_seconds,
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<24} {:>12} {:>8} {:>10} {:>10} {:>7} {:>12} {:>10}",
+            "config", "sim time", "msgs", "bytes", "MB/s", "util", "rpc ns", "wait cyc"
+        )?;
+        writeln!(f, "{}", "-".repeat(100))?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<24} {:>12} {:>8} {:>10} {:>10.1} {:>7} {:>12.0} {:>10}",
+                r.label,
+                r.sim_time.to_string(),
+                r.messages,
+                r.bytes,
+                r.throughput_mbps(),
+                r.utilization()
+                    .map(|u| format!("{:.0}%", u * 100.0))
+                    .unwrap_or_else(|| "-".into()),
+                r.rpc_latency.mean(),
+                r.bus
+                    .as_ref()
+                    .map(|b| format!("{:.1}", b.wait_cycles.mean()))
+                    .unwrap_or_else(|| "-".into()),
+            )?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,101 @@
+//! Pareto-front selection over exploration results.
+//!
+//! Architecture exploration rarely has a single winner: a crossbar may be
+//! fastest but cost the most wires; TDMA bounds worst-case latency but
+//! wastes bandwidth. [`pareto_front`] extracts the non-dominated subset of a
+//! [`Report`](crate::metrics::Report) under caller-chosen objectives.
+
+use crate::metrics::{Report, RunMetrics};
+
+/// A cost vector: every component is minimized.
+pub type Costs = Vec<f64>;
+
+/// `true` when `a` dominates `b`: no worse in every objective and strictly
+/// better in at least one.
+pub fn dominates(a: &Costs, b: &Costs) -> bool {
+    assert_eq!(a.len(), b.len(), "cost vectors must have equal arity");
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Returns the indices of the non-dominated rows under `objectives`
+/// (each objective value is minimized). Indices preserve input order.
+pub fn pareto_front<T, F>(rows: &[T], mut objectives: F) -> Vec<usize>
+where
+    F: FnMut(&T) -> Costs,
+{
+    let costs: Vec<Costs> = rows.iter().map(&mut objectives).collect();
+    (0..rows.len())
+        .filter(|&i| !costs.iter().enumerate().any(|(j, c)| j != i && dominates(c, &costs[i])))
+        .collect()
+}
+
+/// Convenience: the Pareto front of an exploration report under
+/// (total simulated time, mean arbitration wait), the two costs a
+/// communication architect usually trades. Rows without bus statistics
+/// (untimed baselines) are excluded.
+pub fn report_front(report: &Report) -> Vec<&RunMetrics> {
+    let timed: Vec<&RunMetrics> = report.rows().iter().filter(|r| r.bus.is_some()).collect();
+    let idx = pareto_front(&timed, |r| {
+        vec![
+            r.sim_time.as_ps() as f64,
+            r.bus.as_ref().map(|b| b.wait_cycles.mean()).unwrap_or(0.0),
+        ]
+    });
+    idx.into_iter().map(|i| timed[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominates_is_strict() {
+        assert!(dominates(&vec![1.0, 1.0], &vec![2.0, 1.0]));
+        assert!(dominates(&vec![1.0, 0.5], &vec![2.0, 1.0]));
+        assert!(!dominates(&vec![1.0, 1.0], &vec![1.0, 1.0])); // equal: no
+        assert!(!dominates(&vec![1.0, 2.0], &vec![2.0, 1.0])); // trade-off
+    }
+
+    #[test]
+    #[should_panic(expected = "equal arity")]
+    fn mismatched_arity_panics() {
+        let _ = dominates(&vec![1.0], &vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn front_of_tradeoff_keeps_both() {
+        let rows = [(1.0, 9.0), (9.0, 1.0), (5.0, 5.0), (9.0, 9.0)];
+        let front = pareto_front(&rows, |&(a, b)| vec![a, b]);
+        assert_eq!(front, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn front_of_dominated_chain_is_singleton() {
+        let rows = [(3.0, 3.0), (2.0, 2.0), (1.0, 1.0)];
+        let front = pareto_front(&rows, |&(a, b)| vec![a, b]);
+        assert_eq!(front, vec![2]);
+    }
+
+    #[test]
+    fn duplicates_all_survive() {
+        // Equal points do not dominate each other; both stay.
+        let rows = [(1.0, 1.0), (1.0, 1.0)];
+        let front = pareto_front(&rows, |&(a, b)| vec![a, b]);
+        assert_eq!(front, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_input_is_empty_front() {
+        let rows: [(f64, f64); 0] = [];
+        assert!(pareto_front(&rows, |&(a, b)| vec![a, b]).is_empty());
+    }
+}

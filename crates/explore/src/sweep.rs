@@ -1,0 +1,110 @@
+//! Parameter sweeps over candidate architectures — the paper's "fast
+//! communication architecture exploration".
+
+use std::fmt;
+
+use crate::app::AppSpec;
+use crate::arch::ArchSpec;
+use crate::mapper::{explore_one, run_component_assembly, MapError};
+use crate::metrics::{Report, RunMetrics};
+
+/// Runs one application across many candidate architectures.
+#[derive(Debug)]
+pub struct Sweep {
+    app: AppSpec,
+    archs: Vec<ArchSpec>,
+    include_untimed: bool,
+}
+
+impl Sweep {
+    /// Creates a sweep over `app`.
+    pub fn new(app: AppSpec) -> Self {
+        Sweep {
+            app,
+            archs: Vec::new(),
+            include_untimed: false,
+        }
+    }
+
+    /// Adds one candidate architecture.
+    pub fn arch(mut self, a: ArchSpec) -> Self {
+        self.archs.push(a);
+        self
+    }
+
+    /// Adds many candidate architectures.
+    pub fn archs<I: IntoIterator<Item = ArchSpec>>(mut self, it: I) -> Self {
+        self.archs.extend(it);
+        self
+    }
+
+    /// Also reports the untimed component-assembly run as a baseline row.
+    pub fn with_untimed_baseline(mut self) -> Self {
+        self.include_untimed = true;
+        self
+    }
+
+    /// Executes the sweep.
+    ///
+    /// Role detection runs once (on the untimed model); every candidate is
+    /// then mapped and simulated with identical PE source.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MapError`] when role detection fails.
+    pub fn run(self) -> Result<Report, MapError> {
+        let ca = run_component_assembly(&self.app)?;
+        let mut report = Report::new();
+        if self.include_untimed {
+            report.push(RunMetrics::from_log(
+                "untimed",
+                &ca.output.log,
+                ca.output.sim_time,
+                None,
+                ca.output.delta_cycles,
+                ca.output.wall_seconds,
+            ));
+        }
+        for arch in &self.archs {
+            let mapped = crate::mapper::run_mapped(&self.app, &ca.roles, arch);
+            report.push(RunMetrics::from_log(
+                &arch.label(),
+                &mapped.output.log,
+                mapped.output.sim_time,
+                Some(mapped.bus.clone()),
+                mapped.output.delta_cycles,
+                mapped.output.wall_seconds,
+            ));
+        }
+        Ok(report)
+    }
+}
+
+/// Verifies that every mapped run of a sweep stays content-equivalent to the
+/// untimed reference — the refinement-correctness check of the design flow.
+///
+/// # Errors
+///
+/// Returns a string describing the first divergence or mapping failure.
+pub fn verify_equivalence(app: &AppSpec, archs: &[ArchSpec]) -> Result<(), String> {
+    let ca = run_component_assembly(app).map_err(|e| e.to_string())?;
+    for arch in archs {
+        let (_, mapped) = explore_one(app, arch).map_err(|e| e.to_string())?;
+        ca.output
+            .log
+            .content_equivalent(&mapped.output.log)
+            .map_err(|e| format!("{}: {e}", arch.label()))?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Sweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sweep of '{}' over {} architectures",
+            self.app.name(),
+            self.archs.len()
+        )
+    }
+}

@@ -1,0 +1,170 @@
+//! Synthetic workload generators producing [`AppSpec`]s.
+//!
+//! These stand in for the embedded applications the paper's flow targets
+//! (multimedia pipelines, control + accelerator splits); each generator is
+//! deterministic given its seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use shiptlm_kernel::time::SimDur;
+
+use crate::app::AppSpec;
+
+/// Deterministic pseudo-random block of `len` bytes.
+pub fn block(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen()).collect()
+}
+
+/// A linear processing pipeline: `source → stage1 → … → sink`.
+///
+/// The source emits `blocks` blocks of `block_bytes`; every middle stage
+/// transforms (adds 1 to each byte) after `compute` of processing time; the
+/// sink checks the expected content. Middle stages are slaves on their input
+/// channel and masters on their output channel.
+pub fn pipeline(stages: usize, blocks: u32, block_bytes: usize, compute: SimDur) -> AppSpec {
+    assert!(stages >= 2, "a pipeline needs at least source and sink");
+    let mut app = AppSpec::new("pipeline");
+    let middle = stages - 2;
+
+    app.add_pe("source", move || {
+        Box::new(move |ctx, ports| {
+            for i in 0..blocks {
+                let data = block(i as u64, block_bytes);
+                ports[0].send(ctx, &data).unwrap();
+            }
+        })
+    });
+    for s in 0..middle {
+        let name = format!("stage{s}");
+        app.add_pe(&name, move || {
+            Box::new(move |ctx, ports| {
+                // Port order = channel declaration order: input first.
+                for _ in 0..blocks {
+                    let data: Vec<u8> = ports[0].recv(ctx).unwrap();
+                    if !compute.is_zero() {
+                        ctx.wait_for(compute);
+                    }
+                    let out: Vec<u8> = data.iter().map(|b| b.wrapping_add(1)).collect();
+                    ports[1].send(ctx, &out).unwrap();
+                }
+            })
+        });
+    }
+    let hops = middle as u8;
+    app.add_pe("sink", move || {
+        Box::new(move |ctx, ports| {
+            for i in 0..blocks {
+                let data: Vec<u8> = ports[0].recv(ctx).unwrap();
+                let expected: Vec<u8> = block(i as u64, block_bytes)
+                    .iter()
+                    .map(|b| b.wrapping_add(hops))
+                    .collect();
+                assert_eq!(data, expected, "pipeline corrupted block {i}");
+            }
+        })
+    });
+
+    // Wire them: source → stage0 → … → sink.
+    let mut names = vec!["source".to_string()];
+    names.extend((0..middle).map(|s| format!("stage{s}")));
+    names.push("sink".to_string());
+    for w in 0..names.len() - 1 {
+        app.connect(&format!("ch{w}"), &names[w], &names[w + 1]);
+    }
+    app
+}
+
+/// `pairs` independent producer→consumer streams (bus-level contention with
+/// no application-level coupling).
+pub fn parallel_streams(pairs: usize, blocks: u32, block_bytes: usize) -> AppSpec {
+    let mut app = AppSpec::new("parallel_streams");
+    for p in 0..pairs {
+        let prod = format!("prod{p}");
+        let cons = format!("cons{p}");
+        app.add_pe(&prod, move || {
+            Box::new(move |ctx, ports| {
+                for i in 0..blocks {
+                    let data = block((p as u64) << 32 | i as u64, block_bytes);
+                    ports[0].send(ctx, &data).unwrap();
+                }
+            })
+        });
+        app.add_pe(&cons, move || {
+            Box::new(move |ctx, ports| {
+                for i in 0..blocks {
+                    let data: Vec<u8> = ports[0].recv(ctx).unwrap();
+                    let expected = block((p as u64) << 32 | i as u64, block_bytes);
+                    assert_eq!(data, expected, "stream {p} corrupted block {i}");
+                }
+            })
+        });
+        app.connect(&format!("s{p}"), &prod, &cons);
+    }
+    app
+}
+
+/// `clients` request/reply clients, each with its own compute server
+/// (crypto-offload style): client sends a block, the server transforms it
+/// after `server_compute`, the client checks the reply.
+pub fn rpc(clients: usize, requests: u32, req_bytes: usize, server_compute: SimDur) -> AppSpec {
+    let mut app = AppSpec::new("rpc");
+    for c in 0..clients {
+        let client = format!("client{c}");
+        let server = format!("server{c}");
+        app.add_pe(&client, move || {
+            Box::new(move |ctx, ports| {
+                for i in 0..requests {
+                    let data = block((c as u64) << 32 | i as u64, req_bytes);
+                    let expected: Vec<u8> = data.iter().map(|b| b ^ 0x5A).collect();
+                    let reply: Vec<u8> = ports[0].request(ctx, &data).unwrap();
+                    assert_eq!(reply, expected, "client {c} got a bad reply for {i}");
+                }
+            })
+        });
+        app.add_pe(&server, move || {
+            Box::new(move |ctx, ports| {
+                for _ in 0..requests {
+                    let data: Vec<u8> = ports[0].recv(ctx).unwrap();
+                    if !server_compute.is_zero() {
+                        ctx.wait_for(server_compute);
+                    }
+                    let out: Vec<u8> = data.iter().map(|b| b ^ 0x5A).collect();
+                    ports[0].reply(ctx, &out).unwrap();
+                }
+            })
+        });
+        app.connect(&format!("rpc{c}"), &client, &server);
+    }
+    app
+}
+
+/// An asymmetric hotspot: producers of different intensities all feed
+/// separate sinks; producer `i` sends `blocks * (i + 1)` blocks, exposing
+/// arbitration fairness effects.
+pub fn hotspot(producers: usize, blocks: u32, block_bytes: usize) -> AppSpec {
+    let mut app = AppSpec::new("hotspot");
+    for p in 0..producers {
+        let prod = format!("prod{p}");
+        let sink = format!("sink{p}");
+        let n = blocks * (p as u32 + 1);
+        app.add_pe(&prod, move || {
+            Box::new(move |ctx, ports| {
+                for i in 0..n {
+                    let data = block(i as u64, block_bytes);
+                    ports[0].send(ctx, &data).unwrap();
+                }
+            })
+        });
+        app.add_pe(&sink, move || {
+            Box::new(move |ctx, ports| {
+                for _ in 0..n {
+                    let _: Vec<u8> = ports[0].recv(ctx).unwrap();
+                }
+            })
+        });
+        app.connect(&format!("h{p}"), &prod, &sink);
+    }
+    app
+}

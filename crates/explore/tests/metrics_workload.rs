@@ -1,0 +1,155 @@
+//! Workload-generator determinism and metrics/report edge cases.
+
+use shiptlm_explore::prelude::*;
+use shiptlm_kernel::stats::RunningStats;
+use shiptlm_kernel::time::SimDur;
+use shiptlm_ship::record::{fnv1a, ShipOp, TransactionLog, TxRecord};
+
+#[test]
+fn workload_blocks_are_deterministic() {
+    assert_eq!(workload::block(42, 128), workload::block(42, 128));
+    assert_ne!(workload::block(42, 128), workload::block(43, 128));
+    assert_eq!(workload::block(7, 0).len(), 0);
+}
+
+#[test]
+fn identical_workloads_yield_identical_logs() {
+    let run = || {
+        let ca = run_component_assembly(&workload::pipeline(4, 8, 64, SimDur::ZERO)).unwrap();
+        ca.output.log.to_vec()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn pipeline_minimum_size_is_two() {
+    let app = workload::pipeline(2, 4, 16, SimDur::ZERO);
+    assert_eq!(app.pes().len(), 2);
+    assert_eq!(app.channels().len(), 1);
+    assert!(run_component_assembly(&app).is_ok());
+}
+
+#[test]
+#[should_panic(expected = "at least source and sink")]
+fn pipeline_of_one_panics() {
+    let _ = workload::pipeline(1, 1, 1, SimDur::ZERO);
+}
+
+#[test]
+fn hotspot_producers_have_asymmetric_volume() {
+    let app = workload::hotspot(3, 4, 32);
+    let ca = run_component_assembly(&app).unwrap();
+    let recs = ca.output.log.to_vec();
+    // Producer i sends 4*(i+1) blocks; total recv = 4+8+12 = 24.
+    let recvs = recs.iter().filter(|r| r.op == ShipOp::Recv).count();
+    assert_eq!(recvs, 24);
+}
+
+fn rec(op: ShipOp, len: usize, start_ps: u64, end_ps: u64) -> TxRecord {
+    use shiptlm_kernel::time::SimTime;
+    TxRecord {
+        channel: "c".into(),
+        port: "p".into(),
+        op,
+        len,
+        digest: fnv1a(&vec![0; len]),
+        start: SimTime::from_ps(start_ps),
+        end: SimTime::from_ps(end_ps),
+    }
+}
+
+#[test]
+fn run_metrics_aggregates_by_op_kind() {
+    let log = TransactionLog::new();
+    log.push(rec(ShipOp::Recv, 100, 0, 10_000));
+    log.push(rec(ShipOp::Recv, 50, 0, 20_000));
+    log.push(rec(ShipOp::Request, 0, 0, 30_000)); // 30 ns rpc
+    log.push(rec(ShipOp::Send, 10, 0, 4_000));
+    log.push(rec(ShipOp::Reply, 10, 0, 1_000));
+    let m = RunMetrics::from_log("t", &log, SimDur::us(1), None, 99, 0.5);
+    assert_eq!(m.messages, 2);
+    assert_eq!(m.bytes, 150);
+    assert_eq!(m.rpc_latency.count(), 1);
+    assert!((m.rpc_latency.mean() - 30.0).abs() < 1e-9);
+    assert_eq!(m.send_blocking.count(), 1);
+    // 150 bytes over 1 us = 150 MB/s.
+    assert!((m.throughput_mbps() - 150.0).abs() < 1e-9);
+    assert_eq!(m.utilization(), None);
+    assert_eq!(m.sim_speed_msgs_per_sec(), 4.0);
+}
+
+#[test]
+fn run_metrics_zero_time_is_benign() {
+    let log = TransactionLog::new();
+    let m = RunMetrics::from_log("z", &log, SimDur::ZERO, None, 0, 0.0);
+    assert_eq!(m.throughput_mbps(), 0.0);
+    assert_eq!(m.sim_speed_msgs_per_sec(), 0.0);
+}
+
+#[test]
+fn report_csv_escaping_and_columns() {
+    let log = TransactionLog::new();
+    log.push(rec(ShipOp::Recv, 8, 0, 100));
+    let mut report = Report::new();
+    report.push(RunMetrics::from_log("cfg-a", &log, SimDur::ns(1), None, 1, 0.1));
+    let csv = report.to_csv();
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap();
+    let row = lines.next().unwrap();
+    assert_eq!(header.split(',').count(), row.split(',').count());
+    assert!(row.starts_with("cfg-a,"));
+}
+
+#[test]
+fn arch_labels_are_distinct_per_config() {
+    let labels: Vec<String> = [
+        ArchSpec::plb(),
+        ArchSpec::opb(),
+        ArchSpec::crossbar(),
+        ArchSpec::plb().with_burst(16),
+        ArchSpec::plb().with_arb(shiptlm_cam::arb::ArbPolicy::RoundRobin),
+    ]
+    .iter()
+    .map(|a| a.label())
+    .collect();
+    let unique: std::collections::BTreeSet<_> = labels.iter().collect();
+    assert_eq!(unique.len(), labels.len(), "labels collide: {labels:?}");
+}
+
+#[test]
+fn running_stats_used_in_reports_behave() {
+    let mut s = RunningStats::new();
+    s.record(1.0);
+    s.record(3.0);
+    assert_eq!(s.mean(), 2.0);
+}
+
+#[test]
+fn rpc_workload_round_trips_content() {
+    let app = workload::rpc(2, 3, 40, SimDur::ns(100));
+    let ca = run_component_assembly(&app).unwrap();
+    // 2 clients x 3 requests: each request = 1 Request + 1 Recv + 1 Reply.
+    let recs = ca.output.log.to_vec();
+    assert_eq!(recs.iter().filter(|r| r.op == ShipOp::Request).count(), 6);
+    assert_eq!(recs.iter().filter(|r| r.op == ShipOp::Reply).count(), 6);
+}
+
+#[test]
+fn pareto_front_of_a_real_sweep() {
+    use shiptlm_explore::pareto::report_front;
+    let app = workload::hotspot(3, 6, 128);
+    let report = Sweep::new(app)
+        .with_untimed_baseline()
+        .arch(ArchSpec::plb())
+        .arch(ArchSpec::opb())
+        .arch(ArchSpec::crossbar())
+        .run()
+        .unwrap();
+    let front = report_front(&report);
+    // The untimed baseline (no bus stats) never appears on the front.
+    assert!(front.iter().all(|r| r.bus.is_some()));
+    assert!(!front.is_empty());
+    // OPB is dominated: slower AND (at least as much) waiting than PLB.
+    let opb_on_front = front.iter().any(|r| r.label.starts_with("opb"));
+    assert!(!opb_on_front, "opb should be dominated: {front:?}");
+}

@@ -1,0 +1,321 @@
+//! The SW adapter: device driver + SHIP communication library (paper §4).
+//!
+//! "The SW part of the HW/SW interface consists of a device driver and a
+//! small communication library. While handshaking and memory-mapping is
+//! accomplished by the device driver, the communication library implements
+//! the SHIP channel interface method calls."
+//!
+//! Both endpoints here implement [`ShipEndpoint`], so embedded-software PEs
+//! use the exact same [`ShipPort`](shiptlm_ship::channel::ShipPort) calls as
+//! their hardware incarnations — the "without requiring any changes to the
+//! source code" constraint.
+
+use std::fmt;
+use std::sync::Arc;
+
+use shiptlm_cam::wrapper::{
+    regs, DOORBELL_DATA, DOORBELL_REPLY_ACK, DOORBELL_REPLY_SET, DOORBELL_REQUEST,
+    DOORBELL_RX_ACK, STATUS_REPLY_READY, STATUS_RX_PENDING, STATUS_RX_SPACE,
+};
+use shiptlm_kernel::process::ThreadCtx;
+use shiptlm_kernel::time::SimDur;
+use shiptlm_ocp::error::OcpError;
+use shiptlm_ocp::tl::OcpMasterPort;
+use shiptlm_ship::channel::ShipEndpoint;
+use shiptlm_ship::error::ShipError;
+
+use crate::rtos::{Rtos, RtosSemaphore, TaskId};
+
+/// How the driver learns about device state changes.
+#[derive(Debug, Clone)]
+pub enum NotifyMode {
+    /// Poll the STATUS register, sleeping between polls (CPU released).
+    Polling {
+        /// Sleep between status reads.
+        interval: SimDur,
+    },
+    /// Block on a semaphore given by the ISR wired to the adapter sideband.
+    Irq {
+        /// Semaphore the ISR gives.
+        sem: RtosSemaphore,
+    },
+}
+
+/// Driver tuning parameters.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Bytes per bus burst when moving message payloads.
+    pub burst_bytes: usize,
+    /// CPU time charged per driver entry (call overhead).
+    pub call_overhead: SimDur,
+    /// CPU time charged per chunk loop iteration (copy loop overhead).
+    pub per_chunk_overhead: SimDur,
+    /// Wakeup mechanism.
+    pub notify: NotifyMode,
+}
+
+impl DriverConfig {
+    /// A polling driver with typical overheads.
+    pub fn polling(interval: SimDur) -> Self {
+        DriverConfig {
+            burst_bytes: 64,
+            call_overhead: SimDur::ns(200),
+            per_chunk_overhead: SimDur::ns(20),
+            notify: NotifyMode::Polling { interval },
+        }
+    }
+
+    /// An interrupt-driven driver with typical overheads.
+    pub fn irq(sem: RtosSemaphore) -> Self {
+        DriverConfig {
+            burst_bytes: 64,
+            call_overhead: SimDur::ns(300),
+            per_chunk_overhead: SimDur::ns(20),
+            notify: NotifyMode::Irq { sem },
+        }
+    }
+}
+
+/// Fallback re-check period for interrupt-driven waits.
+const IRQ_GUARD: SimDur = SimDur::us(10);
+
+fn bus_err(e: OcpError) -> ShipError {
+    ShipError::Protocol(format!("driver bus access failed: {e}"))
+}
+
+/// Common driver plumbing: MMIO helpers, status waits, CPU accounting.
+struct DriverCore {
+    rtos: Rtos,
+    task: TaskId,
+    bus: OcpMasterPort,
+    base: u64,
+    cfg: DriverConfig,
+}
+
+impl DriverCore {
+    fn charge(&self, ctx: &mut ThreadCtx, d: SimDur) {
+        self.rtos.execute(ctx, self.task, d);
+    }
+
+    fn read_u32(&self, ctx: &mut ThreadCtx, off: u64) -> Result<u32, ShipError> {
+        self.bus.read_u32(ctx, self.base + off).map_err(bus_err)
+    }
+
+    fn write_u32(&self, ctx: &mut ThreadCtx, off: u64, v: u32) -> Result<(), ShipError> {
+        self.bus.write_u32(ctx, self.base + off, v).map_err(bus_err)
+    }
+
+    /// Waits until STATUS has any bit of `mask` set.
+    fn wait_status(&self, ctx: &mut ThreadCtx, mask: u32) -> Result<(), ShipError> {
+        loop {
+            let status = self.read_u32(ctx, regs::STATUS)?;
+            if status & mask != 0 {
+                return Ok(());
+            }
+            match &self.cfg.notify {
+                NotifyMode::Polling { interval } => {
+                    self.rtos.sleep(ctx, self.task, *interval);
+                }
+                NotifyMode::Irq { sem } => {
+                    // IRQ-miss guard: the shared level-sensitive sideband may
+                    // not re-edge for our condition; fall back to a re-check.
+                    let _ = sem.take_raw_timeout(ctx, self.task, IRQ_GUARD);
+                }
+            }
+        }
+    }
+
+    fn write_window(
+        &self,
+        ctx: &mut ThreadCtx,
+        win: u64,
+        bytes: &[u8],
+    ) -> Result<(), ShipError> {
+        for (i, chunk) in bytes.chunks(self.cfg.burst_bytes).enumerate() {
+            self.charge(ctx, self.cfg.per_chunk_overhead);
+            let addr = self.base + win + (i * self.cfg.burst_bytes) as u64;
+            self.bus
+                .write(ctx, addr, chunk.to_vec())
+                .map_err(bus_err)?;
+        }
+        Ok(())
+    }
+
+    fn read_window(
+        &self,
+        ctx: &mut ThreadCtx,
+        win: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, ShipError> {
+        let mut out = Vec::with_capacity(len);
+        let mut off = 0;
+        while off < len {
+            self.charge(ctx, self.cfg.per_chunk_overhead);
+            let n = (len - off).min(self.cfg.burst_bytes);
+            let chunk = self
+                .bus
+                .read(ctx, self.base + win + off as u64, n)
+                .map_err(bus_err)?;
+            out.extend_from_slice(&chunk);
+            off += n;
+        }
+        Ok(out)
+    }
+}
+
+/// SW **master** endpoint: an eSW task sending/requesting to a HW slave
+/// behind a mailbox adapter at `base`.
+pub struct SwShipMaster {
+    core: DriverCore,
+}
+
+impl SwShipMaster {
+    /// Creates the endpoint for `task` on `rtos`, transacting through `bus`
+    /// against the adapter mapped at `base`.
+    pub fn new(
+        rtos: &Rtos,
+        task: TaskId,
+        bus: OcpMasterPort,
+        base: u64,
+        cfg: DriverConfig,
+    ) -> Arc<Self> {
+        Arc::new(SwShipMaster {
+            core: DriverCore {
+                rtos: rtos.clone(),
+                task,
+                bus,
+                base,
+                cfg,
+            },
+        })
+    }
+
+    fn push(&self, ctx: &mut ThreadCtx, bytes: &[u8], doorbell: u32) -> Result<(), ShipError> {
+        let c = &self.core;
+        c.charge(ctx, c.cfg.call_overhead);
+        c.wait_status(ctx, STATUS_RX_SPACE)?;
+        c.write_u32(ctx, regs::TX_LEN, bytes.len() as u32)?;
+        c.write_window(ctx, regs::TX_WIN, bytes)?;
+        c.write_u32(ctx, regs::DOORBELL, doorbell)?;
+        Ok(())
+    }
+}
+
+impl ShipEndpoint for SwShipMaster {
+    fn send_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<(), ShipError> {
+        self.push(ctx, &bytes, DOORBELL_DATA)
+    }
+
+    fn recv_bytes(&self, _ctx: &mut ThreadCtx) -> Result<Vec<u8>, ShipError> {
+        Err(ShipError::Protocol(
+            "sw master endpoints support send/request only".into(),
+        ))
+    }
+
+    fn request_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<Vec<u8>, ShipError> {
+        self.push(ctx, &bytes, DOORBELL_REQUEST)?;
+        let c = &self.core;
+        c.wait_status(ctx, STATUS_REPLY_READY)?;
+        c.charge(ctx, c.cfg.call_overhead);
+        let len = c.read_u32(ctx, regs::REPLY_LEN)? as usize;
+        let reply = c.read_window(ctx, regs::REPLY_WIN, len)?;
+        c.write_u32(ctx, regs::DOORBELL, DOORBELL_REPLY_ACK)?;
+        Ok(reply)
+    }
+
+    fn reply_bytes(&self, _ctx: &mut ThreadCtx, _bytes: Vec<u8>) -> Result<(), ShipError> {
+        Err(ShipError::Protocol(
+            "sw master endpoints support send/request only".into(),
+        ))
+    }
+}
+
+impl fmt::Debug for SwShipMaster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SwShipMaster")
+            .field("base", &format_args!("{:#x}", self.core.base))
+            .finish()
+    }
+}
+
+/// SW **slave** endpoint: an eSW task receiving/replying behind a mailbox
+/// adapter that a HW master fills over the bus.
+pub struct SwShipSlave {
+    core: DriverCore,
+}
+
+impl SwShipSlave {
+    /// Creates the endpoint for `task` on `rtos`, draining the adapter
+    /// mapped at `base` through `bus`.
+    pub fn new(
+        rtos: &Rtos,
+        task: TaskId,
+        bus: OcpMasterPort,
+        base: u64,
+        cfg: DriverConfig,
+    ) -> Arc<Self> {
+        Arc::new(SwShipSlave {
+            core: DriverCore {
+                rtos: rtos.clone(),
+                task,
+                bus,
+                base,
+                cfg,
+            },
+        })
+    }
+}
+
+impl ShipEndpoint for SwShipSlave {
+    fn send_bytes(&self, _ctx: &mut ThreadCtx, _bytes: Vec<u8>) -> Result<(), ShipError> {
+        Err(ShipError::Protocol(
+            "sw slave endpoints support recv/reply only".into(),
+        ))
+    }
+
+    fn recv_bytes(&self, ctx: &mut ThreadCtx) -> Result<Vec<u8>, ShipError> {
+        let c = &self.core;
+        c.charge(ctx, c.cfg.call_overhead);
+        c.wait_status(ctx, STATUS_RX_PENDING)?;
+        let len = c.read_u32(ctx, regs::RX_LEN)? as usize;
+        let bytes = c.read_window(ctx, regs::RX_WIN, len)?;
+        c.write_u32(ctx, regs::DOORBELL, DOORBELL_RX_ACK)?;
+        Ok(bytes)
+    }
+
+    fn request_bytes(&self, _ctx: &mut ThreadCtx, _bytes: Vec<u8>) -> Result<Vec<u8>, ShipError> {
+        Err(ShipError::Protocol(
+            "sw slave endpoints support recv/reply only".into(),
+        ))
+    }
+
+    fn reply_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<(), ShipError> {
+        let c = &self.core;
+        c.charge(ctx, c.cfg.call_overhead);
+        // Wait for the previous reply (if any) to be consumed.
+        loop {
+            let status = c.read_u32(ctx, regs::STATUS)?;
+            if status & STATUS_REPLY_READY == 0 {
+                break;
+            }
+            match &c.cfg.notify {
+                NotifyMode::Polling { interval } => c.rtos.sleep(ctx, c.task, *interval),
+                NotifyMode::Irq { sem } => {
+                    let _ = sem.take_raw_timeout(ctx, c.task, IRQ_GUARD);
+                }
+            }
+        }
+        c.write_u32(ctx, regs::SET_REPLY_LEN, bytes.len() as u32)?;
+        c.write_window(ctx, regs::REPLY_WIN, &bytes)?;
+        c.write_u32(ctx, regs::DOORBELL, DOORBELL_REPLY_SET)?;
+        Ok(())
+    }
+}
+
+impl fmt::Debug for SwShipSlave {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SwShipSlave")
+            .field("base", &format_args!("{:#x}", self.core.base))
+            .finish()
+    }
+}

@@ -1,0 +1,367 @@
+//! RTOS scheduler semantics: priorities, preemption, sleeping, semaphores
+//! and mailboxes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use shiptlm_hwsw::prelude::*;
+use shiptlm_kernel::prelude::*;
+
+fn log() -> (Arc<Mutex<Vec<String>>>, impl Fn(&str) + Clone + Send + 'static) {
+    let l = Arc::new(Mutex::new(Vec::new()));
+    let c = Arc::clone(&l);
+    (l, move |s: &str| c.lock().unwrap().push(s.to_string()))
+}
+
+#[test]
+fn one_task_runs_to_completion() {
+    let sim = Simulation::new();
+    let rtos = Rtos::new(&sim.handle(), "os");
+    let done = Arc::new(Mutex::new(None));
+    {
+        let done = Arc::clone(&done);
+        rtos.spawn_task("t", 1, move |t| {
+            t.execute(SimDur::us(7));
+            *done.lock().unwrap() = Some(t.now());
+        });
+    }
+    sim.run();
+    assert_eq!(done.lock().unwrap().unwrap(), SimTime::ZERO + SimDur::us(7));
+}
+
+#[test]
+fn cpu_is_exclusive_tasks_serialize() {
+    // Two equal-priority tasks each needing 10 us of CPU: total 20 us.
+    let sim = Simulation::new();
+    let rtos = Rtos::new(&sim.handle(), "os");
+    for i in 0..2 {
+        rtos.spawn_task(&format!("t{i}"), 1, move |t| {
+            t.execute(SimDur::us(10));
+        });
+    }
+    let r = sim.run();
+    assert_eq!(r.time, SimTime::ZERO + SimDur::us(20));
+}
+
+#[test]
+fn higher_priority_preempts_running_task() {
+    let sim = Simulation::new();
+    let rtos = Rtos::new(&sim.handle(), "os");
+    let (events, push) = log();
+    {
+        let push = push.clone();
+        rtos.spawn_task("low", 1, move |t| {
+            push("low:start");
+            t.execute(SimDur::us(100));
+            push(&format!("low:done@{}", t.now()));
+        });
+    }
+    {
+        let push = push.clone();
+        rtos.spawn_task("high", 5, move |t| {
+            t.sleep(SimDur::us(10)); // let low start
+            push(&format!("high:woke@{}", t.now()));
+            t.execute(SimDur::us(20));
+            push(&format!("high:done@{}", t.now()));
+        });
+    }
+    sim.run();
+    let ev = events.lock().unwrap();
+    // low starts ... wait, 'high' has higher priority so it runs first, but
+    // it immediately sleeps, handing the CPU to low. At 10us high preempts.
+    assert_eq!(
+        *ev,
+        vec![
+            "low:start",
+            "high:woke@10 us",
+            "high:done@30 us",
+            "low:done@120 us" // 100us of work + 20us stolen
+        ]
+    );
+    assert!(rtos.stats().preemptions >= 1);
+}
+
+#[test]
+fn equal_priority_does_not_preempt() {
+    let sim = Simulation::new();
+    let rtos = Rtos::new(&sim.handle(), "os");
+    let (events, push) = log();
+    {
+        let push = push.clone();
+        rtos.spawn_task("a", 1, move |t| {
+            t.execute(SimDur::us(50));
+            push(&format!("a:done@{}", t.now()));
+        });
+    }
+    {
+        let push = push.clone();
+        rtos.spawn_task("b", 1, move |t| {
+            t.execute(SimDur::us(10));
+            push(&format!("b:done@{}", t.now()));
+        });
+    }
+    sim.run();
+    // a spawns first, runs its 50us uninterrupted, then b.
+    assert_eq!(
+        *events.lock().unwrap(),
+        vec!["a:done@50 us", "b:done@60 us"]
+    );
+}
+
+#[test]
+fn sleep_releases_cpu_to_others() {
+    let sim = Simulation::new();
+    let rtos = Rtos::new(&sim.handle(), "os");
+    let (events, push) = log();
+    {
+        let push = push.clone();
+        rtos.spawn_task("sleeper", 5, move |t| {
+            t.sleep(SimDur::us(30));
+            push(&format!("sleeper:woke@{}", t.now()));
+        });
+    }
+    {
+        let push = push.clone();
+        rtos.spawn_task("worker", 1, move |t| {
+            t.execute(SimDur::us(10));
+            push(&format!("worker:done@{}", t.now()));
+        });
+    }
+    sim.run();
+    // Worker completes during the sleeper's nap.
+    assert_eq!(
+        *events.lock().unwrap(),
+        vec!["worker:done@10 us", "sleeper:woke@30 us"]
+    );
+}
+
+#[test]
+fn semaphore_blocks_and_wakes_with_cpu_release() {
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let rtos = Rtos::new(&h, "os");
+    let sem = RtosSemaphore::new(&h, &rtos, "sem", 0);
+    let (events, push) = log();
+    {
+        let (sem, push) = (sem.clone(), push.clone());
+        rtos.spawn_task("waiter", 5, move |t| {
+            push("waiter:taking");
+            sem.take(t);
+            push(&format!("waiter:got@{}", t.now()));
+        });
+    }
+    {
+        let push = push.clone();
+        rtos.spawn_task("giver", 1, move |t| {
+            t.execute(SimDur::us(25));
+            push("giver:giving");
+            sem.give();
+            t.execute(SimDur::us(5));
+        });
+    }
+    sim.run();
+    let ev = events.lock().unwrap();
+    assert_eq!(ev[0], "waiter:taking");
+    assert_eq!(ev[1], "giver:giving");
+    // The high-priority waiter wakes immediately at 25us (preempting giver).
+    assert_eq!(ev[2], "waiter:got@25 us");
+}
+
+#[test]
+fn mailbox_passes_typed_messages() {
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let rtos = Rtos::new(&h, "os");
+    let mbox: RtosMailbox<(u32, String)> = RtosMailbox::new(&h, &rtos, "mb");
+    let got = Arc::new(Mutex::new(Vec::new()));
+    {
+        let (mbox, got) = (mbox.clone(), Arc::clone(&got));
+        rtos.spawn_task("rx", 5, move |t| {
+            for _ in 0..3 {
+                let m = mbox.pend(t);
+                got.lock().unwrap().push(m);
+            }
+        });
+    }
+    rtos.spawn_task("tx", 1, move |t| {
+        for i in 0..3u32 {
+            t.execute(SimDur::us(5));
+            mbox.post((i, format!("m{i}")));
+        }
+    });
+    sim.run();
+    let got = got.lock().unwrap();
+    assert_eq!(got.len(), 3);
+    assert_eq!(got[0], (0, "m0".into()));
+    assert_eq!(got[2], (2, "m2".into()));
+}
+
+#[test]
+fn preempted_work_conserves_total_cpu_time() {
+    // Low needs exactly 40us CPU; high steals 3 x 10us. Low must end at
+    // 40 + 30 = 70us.
+    let sim = Simulation::new();
+    let rtos = Rtos::new(&sim.handle(), "os");
+    let low_done = Arc::new(Mutex::new(SimTime::ZERO));
+    {
+        let low_done = Arc::clone(&low_done);
+        rtos.spawn_task("low", 1, move |t| {
+            t.execute(SimDur::us(40));
+            *low_done.lock().unwrap() = t.now();
+        });
+    }
+    rtos.spawn_task("high", 9, move |t| {
+        for _ in 0..3 {
+            t.sleep(SimDur::us(5));
+            t.execute(SimDur::us(10));
+        }
+    });
+    sim.run();
+    assert_eq!(*low_done.lock().unwrap(), SimTime::ZERO + SimDur::us(70));
+}
+
+#[test]
+fn yield_now_rotates_equal_priority() {
+    let sim = Simulation::new();
+    let rtos = Rtos::new(&sim.handle(), "os");
+    let (events, push) = log();
+    for name in ["a", "b"] {
+        let push = push.clone();
+        rtos.spawn_task(name, 1, move |t| {
+            for i in 0..3 {
+                push(&format!("{name}{i}"));
+                t.yield_now();
+            }
+        });
+    }
+    sim.run();
+    let ev = events.lock().unwrap();
+    assert_eq!(*ev, vec!["a0", "b0", "a1", "b1", "a2", "b2"]);
+}
+
+#[test]
+fn stats_count_switches() {
+    let sim = Simulation::new();
+    let rtos = Rtos::new(&sim.handle(), "os");
+    for i in 0..3 {
+        rtos.spawn_task(&format!("t{i}"), 1, move |t| {
+            t.execute(SimDur::us(1));
+        });
+    }
+    sim.run();
+    assert!(rtos.stats().ctx_switches >= 3);
+}
+
+#[test]
+fn mutex_priority_inheritance_bounds_inversion() {
+    // Classic scenario: low takes the lock; high blocks on it; medium wants
+    // pure CPU. With inheritance, low runs at high's priority and finishes
+    // its critical section before medium gets any CPU.
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let rtos = Rtos::new(&h, "os");
+    let m = RtosMutex::new(&h, &rtos, "m");
+    let (events, push) = log();
+    {
+        let (m, push) = (m.clone(), push.clone());
+        rtos.spawn_task("low", 1, move |t| {
+            m.lock(t);
+            push("low:locked");
+            t.execute(SimDur::us(40)); // critical section
+            push(&format!("low:unlock@{}", t.now()));
+            m.unlock(t);
+        });
+    }
+    {
+        let push = push.clone();
+        rtos.spawn_task("medium", 5, move |t| {
+            t.sleep(SimDur::us(5)); // let low take the lock
+            t.execute(SimDur::us(30));
+            push(&format!("medium:done@{}", t.now()));
+        });
+    }
+    {
+        let (m, push) = (m.clone(), push.clone());
+        rtos.spawn_task("high", 9, move |t| {
+            t.sleep(SimDur::us(2)); // let low take the lock first
+            push("high:wants-lock");
+            m.lock(t);
+            push(&format!("high:locked@{}", t.now()));
+            m.unlock(t);
+        });
+    }
+    sim.run();
+    let ev = events.lock().unwrap();
+    let pos = |s: &str| ev.iter().position(|e| e.starts_with(s)).unwrap();
+    // High gets the lock before medium finishes its compute: inversion bounded.
+    assert!(
+        pos("high:locked") < pos("medium:done"),
+        "priority inversion not bounded: {ev:?}"
+    );
+}
+
+#[test]
+fn mutex_without_contention_is_transparent() {
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let rtos = Rtos::new(&h, "os");
+    let m = RtosMutex::new(&h, &rtos, "m");
+    let done = Arc::new(AtomicU64::new(0));
+    {
+        let (m, done) = (m.clone(), Arc::clone(&done));
+        rtos.spawn_task("t", 1, move |t| {
+            for _ in 0..5 {
+                m.lock(t);
+                t.execute(SimDur::us(1));
+                m.unlock(t);
+            }
+            done.store(t.now().as_ps(), Ordering::SeqCst);
+        });
+    }
+    sim.run();
+    assert_eq!(done.load(Ordering::SeqCst), 5_000_000); // 5 us total
+    assert_eq!(m.owner(), None);
+}
+
+#[test]
+#[should_panic(expected = "process 't' panicked")]
+fn mutex_unlock_by_non_owner_panics() {
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let rtos = Rtos::new(&h, "os");
+    let m = RtosMutex::new(&h, &rtos, "m");
+    rtos.spawn_task("t", 1, move |t| {
+        m.unlock(t);
+    });
+    sim.run();
+}
+
+#[test]
+fn set_priority_reorders_ready_queue() {
+    let sim = Simulation::new();
+    let rtos = Rtos::new(&sim.handle(), "os");
+    let (events, push) = log();
+    let rtos2 = rtos.clone();
+    {
+        let push = push.clone();
+        rtos.spawn_task("a", 5, move |t| {
+            // Demote ourselves mid-run; b should finish first afterwards.
+            t.execute(SimDur::us(5));
+            let me = t.id();
+            t.rtos().set_priority(me, 1);
+            t.yield_now();
+            t.execute(SimDur::us(5));
+            push(&format!("a:done@{}", t.now()));
+        });
+    }
+    {
+        let push = push.clone();
+        rtos2.spawn_task("b", 3, move |t| {
+            t.execute(SimDur::us(5));
+            push(&format!("b:done@{}", t.now()));
+        });
+    }
+    sim.run();
+    let ev = events.lock().unwrap();
+    assert_eq!(*ev, vec!["b:done@10 us", "a:done@15 us"]);
+}

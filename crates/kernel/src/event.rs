@@ -1,0 +1,91 @@
+//! User-facing event handles.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::kernel::{EventId, KernelShared};
+use crate::time::SimDur;
+
+/// A kernel event, analogous to SystemC's `sc_event`.
+///
+/// Events are cheap handles (`Clone` shares the same underlying event) and
+/// can be notified immediately, in the next delta cycle, or after a delay.
+///
+/// ```
+/// use shiptlm_kernel::prelude::*;
+///
+/// let sim = Simulation::new();
+/// let ev = sim.event("ping");
+/// let ev2 = ev.clone();
+/// sim.spawn_thread("waiter", move |ctx| {
+///     ctx.wait(&ev2);
+///     assert_eq!(ctx.now(), SimTime::from_ps(5_000));
+/// });
+/// ev.notify_after(SimDur::ns(5));
+/// sim.run();
+/// ```
+#[derive(Clone)]
+pub struct Event {
+    pub(crate) id: EventId,
+    pub(crate) kernel: Arc<KernelShared>,
+}
+
+impl Event {
+    pub(crate) fn new(kernel: Arc<KernelShared>, name: &str) -> Self {
+        let id = kernel.new_event(name);
+        Event { id, kernel }
+    }
+
+    pub(crate) fn from_id(kernel: Arc<KernelShared>, id: EventId) -> Self {
+        Event { id, kernel }
+    }
+
+    /// The kernel-unique id of this event.
+    pub fn id(&self) -> EventId {
+        self.id
+    }
+
+    /// The name given at creation.
+    pub fn name(&self) -> String {
+        self.kernel.event_name(self.id)
+    }
+
+    /// Immediate notification: processes waiting on this event become
+    /// runnable within the current evaluate phase.
+    pub fn notify(&self) {
+        self.kernel.notify_now(self.id);
+    }
+
+    /// Delta notification: waiters wake in the next delta cycle.
+    pub fn notify_delta(&self) {
+        self.kernel.notify_delta(self.id);
+    }
+
+    /// Timed notification after `d`. A zero delay degrades to a delta
+    /// notification. An earlier pending notification takes precedence.
+    pub fn notify_after(&self, d: SimDur) {
+        self.kernel.notify_after(self.id, d);
+    }
+
+    /// Cancels any pending delta or timed notification.
+    pub fn cancel(&self) {
+        self.kernel.cancel(self.id);
+    }
+}
+
+impl fmt::Debug for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Event")
+            .field("id", &self.id.0)
+            .field("name", &self.name())
+            .finish()
+    }
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && Arc::ptr_eq(&self.kernel, &other.kernel)
+    }
+}
+
+impl Eq for Event {}

@@ -1,0 +1,635 @@
+//! Kernel internals: event arena, process table and the scheduler loop.
+//!
+//! The scheduler follows SystemC semantics:
+//!
+//! 1. **Evaluate** — run every runnable process until the runnable set drains
+//!    (immediate notifications extend the current evaluate phase).
+//! 2. **Update** — apply channel update requests ([`Signal`](crate::signal::Signal)
+//!    writes become visible here).
+//! 3. **Delta notify** — promote delta notifications; if any process woke,
+//!    start the next delta cycle at the same simulated time.
+//! 4. **Time advance** — otherwise pop the earliest timed notifications and
+//!    advance [`SimTime`].
+//!
+//! Thread processes are real OS threads, but exactly one process runs at any
+//! instant: the kernel resumes a process and blocks until it yields, so the
+//! simulation is fully deterministic.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::time::{SimDur, SimTime};
+use crate::trace::VcdTracer;
+
+/// Identifies an event inside the kernel arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub(crate) usize);
+
+/// Identifies a process (thread or method) inside the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(pub(crate) usize);
+
+/// Why [`Simulation::run`](crate::sim::Simulation::run) returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No future activity exists: every process is blocked and the timed
+    /// queue is empty.
+    Starved,
+    /// `stop()` was called from a process or handle.
+    Stopped,
+    /// The requested time limit was reached.
+    TimeLimit,
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StopReason::Starved => "event starvation",
+            StopReason::Stopped => "explicit stop",
+            StopReason::TimeLimit => "time limit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Outcome of a scheduler run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Simulated time when the run ended.
+    pub time: SimTime,
+    /// Why the run ended.
+    pub reason: StopReason,
+}
+
+pub(crate) enum Resume {
+    Go(Option<EventId>),
+    Kill,
+}
+
+pub(crate) enum YieldMsg {
+    Yielded,
+    Terminated,
+    Panicked(String),
+}
+
+/// Marker panic payload used to unwind a process thread when the simulation
+/// is dropped. Caught by the process wrapper, never observed by user code.
+pub(crate) struct KillToken;
+
+struct EventRec {
+    name: String,
+    /// Threads dynamically waiting on this event.
+    waiters: Vec<ProcessId>,
+    /// Methods statically sensitive to this event.
+    static_sensitive: Vec<ProcessId>,
+    /// Pending delta notification?
+    delta_pending: bool,
+    /// Earliest pending timed notification, if any.
+    timed_at: Option<SimTime>,
+}
+
+enum ProcKind {
+    Thread(ThreadLink),
+    Method(Option<MethodFn>),
+}
+
+pub(crate) type MethodFn = Box<dyn FnMut(&mut MethodApi) + Send>;
+
+struct ThreadLink {
+    resume_tx: SyncSender<Resume>,
+    /// Wrapped in its own mutex so the kernel can block on a yield without
+    /// holding the main kernel lock.
+    yield_rx: Arc<Mutex<Receiver<YieldMsg>>>,
+    join: Option<JoinHandle<()>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PState {
+    Ready,
+    Waiting,
+    Terminated,
+}
+
+struct ProcRec {
+    name: String,
+    kind: ProcKind,
+    state: PState,
+    /// Events this process is dynamically registered on (for `wait_any`).
+    waiting_on: Vec<EventId>,
+    wake_cause: Option<EventId>,
+    /// Private timer event backing `wait_for` / `wait_delta`.
+    timer: EventId,
+}
+
+pub(crate) struct Inner {
+    now: SimTime,
+    delta_count: u64,
+    started: bool,
+    stop_requested: bool,
+    events: Vec<EventRec>,
+    processes: Vec<ProcRec>,
+    runnable: VecDeque<ProcessId>,
+    /// Events with a pending delta notification (promoted in phase 3).
+    delta_queue: Vec<EventId>,
+    /// Timed notifications: (time, seq, event). `seq` keeps FIFO order among
+    /// identical timestamps.
+    timed: BinaryHeap<Reverse<(SimTime, u64, EventId)>>,
+    timed_seq: u64,
+    update_requests: Vec<Box<dyn FnOnce(&KernelShared) + Send>>,
+}
+
+/// Kernel state shared between the scheduler, process contexts and channels.
+pub(crate) struct KernelShared {
+    pub(crate) inner: Mutex<Inner>,
+    pub(crate) tracer: Mutex<Option<VcdTracer>>,
+}
+
+impl KernelShared {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(KernelShared {
+            inner: Mutex::new(Inner {
+                now: SimTime::ZERO,
+                delta_count: 0,
+                started: false,
+                stop_requested: false,
+                events: Vec::new(),
+                processes: Vec::new(),
+                runnable: VecDeque::new(),
+                delta_queue: Vec::new(),
+                timed: BinaryHeap::new(),
+                timed_seq: 0,
+                update_requests: Vec::new(),
+            }),
+            tracer: Mutex::new(None),
+        })
+    }
+
+    pub(crate) fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn now(&self) -> SimTime {
+        self.lock().now
+    }
+
+    pub(crate) fn delta_count(&self) -> u64 {
+        self.lock().delta_count
+    }
+
+    pub(crate) fn request_stop(&self) {
+        self.lock().stop_requested = true;
+    }
+
+    pub(crate) fn new_event(&self, name: &str) -> EventId {
+        let mut g = self.lock();
+        let id = EventId(g.events.len());
+        g.events.push(EventRec {
+            name: name.to_string(),
+            waiters: Vec::new(),
+            static_sensitive: Vec::new(),
+            delta_pending: false,
+            timed_at: None,
+        });
+        id
+    }
+
+    pub(crate) fn event_name(&self, id: EventId) -> String {
+        self.lock().events[id.0].name.clone()
+    }
+
+    /// Immediate notification: wakes waiters into the *current* evaluate
+    /// phase. Outside a run this degrades to a delta notification.
+    pub(crate) fn notify_now(&self, id: EventId) {
+        let mut g = self.lock();
+        if !g.started {
+            Self::mark_delta(&mut g, id);
+            return;
+        }
+        Self::fire(&mut g, id);
+    }
+
+    pub(crate) fn notify_delta(&self, id: EventId) {
+        let mut g = self.lock();
+        Self::mark_delta(&mut g, id);
+    }
+
+    pub(crate) fn notify_after(&self, id: EventId, d: SimDur) {
+        if d.is_zero() {
+            self.notify_delta(id);
+            return;
+        }
+        let mut g = self.lock();
+        let at = g
+            .now
+            .checked_add(d)
+            .expect("timed notification overflows SimTime");
+        // SystemC keeps a single pending notification per event; an earlier
+        // one overrides a later one.
+        match g.events[id.0].timed_at {
+            Some(t) if t <= at => return,
+            _ => g.events[id.0].timed_at = Some(at),
+        }
+        let seq = g.timed_seq;
+        g.timed_seq += 1;
+        g.timed.push(Reverse((at, seq, id)));
+    }
+
+    /// Cancels any pending (delta or timed) notification.
+    pub(crate) fn cancel(&self, id: EventId) {
+        let mut g = self.lock();
+        g.events[id.0].delta_pending = false;
+        g.events[id.0].timed_at = None;
+        // Stale heap entries are skipped during time advance.
+        g.delta_queue.retain(|e| *e != id);
+    }
+
+    fn mark_delta(g: &mut Inner, id: EventId) {
+        if !g.events[id.0].delta_pending {
+            g.events[id.0].delta_pending = true;
+            g.delta_queue.push(id);
+        }
+    }
+
+    /// Fires `id`: wakes dynamic waiters and triggers static-sensitive
+    /// methods, moving them into the runnable set.
+    fn fire(g: &mut Inner, id: EventId) {
+        let waiters = std::mem::take(&mut g.events[id.0].waiters);
+        for pid in waiters {
+            Self::wake(g, pid, Some(id));
+        }
+        let methods = g.events[id.0].static_sensitive.clone();
+        for pid in methods {
+            Self::wake(g, pid, Some(id));
+        }
+    }
+
+    fn wake(g: &mut Inner, pid: ProcessId, cause: Option<EventId>) {
+        let p = &mut g.processes[pid.0];
+        if p.state != PState::Waiting {
+            return;
+        }
+        p.state = PState::Ready;
+        p.wake_cause = cause;
+        let waiting = std::mem::take(&mut p.waiting_on);
+        // Deregister from every other event of a `wait_any` group.
+        for eid in waiting {
+            g.events[eid.0].waiters.retain(|w| *w != pid);
+        }
+        g.runnable.push_back(pid);
+    }
+
+    /// Registers a dynamic wait of `pid` on each event in `ids`.
+    pub(crate) fn register_wait(&self, pid: ProcessId, ids: &[EventId]) {
+        let mut g = self.lock();
+        g.processes[pid.0].state = PState::Waiting;
+        g.processes[pid.0].wake_cause = None;
+        for id in ids {
+            g.processes[pid.0].waiting_on.push(*id);
+            g.events[id.0].waiters.push(pid);
+        }
+    }
+
+    pub(crate) fn request_update(&self, f: Box<dyn FnOnce(&KernelShared) + Send>) {
+        self.lock().update_requests.push(f);
+    }
+
+    pub(crate) fn spawn_thread(
+        self: &Arc<Self>,
+        name: &str,
+        body: Box<dyn FnOnce(&mut crate::process::ThreadCtx) + Send>,
+    ) -> ProcessId {
+        let (resume_tx, resume_rx) = sync_channel::<Resume>(1);
+        let (yield_tx, yield_rx) = sync_channel::<YieldMsg>(1);
+        let timer = self.new_event(&format!("{name}.timer"));
+        let pid = {
+            let mut g = self.lock();
+            let pid = ProcessId(g.processes.len());
+            g.processes.push(ProcRec {
+                name: name.to_string(),
+                kind: ProcKind::Thread(ThreadLink {
+                    resume_tx,
+                    yield_rx: Arc::new(Mutex::new(yield_rx)),
+                    join: None,
+                }),
+                // Newly spawned processes start runnable (SystemC default
+                // initialization); during a run they join the current
+                // evaluate phase.
+                state: PState::Ready,
+                waiting_on: Vec::new(),
+                wake_cause: None,
+                timer,
+            });
+            g.runnable.push_back(pid);
+            pid
+        };
+        let kernel = Arc::clone(self);
+        let join = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                // Wait for the first resume before running the body.
+                match resume_rx.recv() {
+                    Ok(Resume::Go(_)) => {}
+                    Ok(Resume::Kill) | Err(_) => return,
+                }
+                let mut ctx =
+                    crate::process::ThreadCtx::new(kernel, pid, resume_rx, yield_tx.clone());
+                let result = panic::catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
+                match result {
+                    Ok(()) => {
+                        let _ = yield_tx.send(YieldMsg::Terminated);
+                    }
+                    Err(payload) => {
+                        if payload.downcast_ref::<KillToken>().is_none() {
+                            let msg = panic_message(&payload);
+                            let _ = yield_tx.send(YieldMsg::Panicked(msg));
+                        }
+                        // On KillToken the simulation is tearing down and
+                        // nobody is listening: exit quietly.
+                    }
+                }
+            })
+            .expect("failed to spawn process thread");
+        if let ProcKind::Thread(link) = &mut self.lock().processes[pid.0].kind {
+            link.join = Some(join);
+        }
+        pid
+    }
+
+    pub(crate) fn spawn_method(
+        self: &Arc<Self>,
+        name: &str,
+        sensitivity: &[EventId],
+        initialize: bool,
+        f: MethodFn,
+    ) -> ProcessId {
+        let timer = self.new_event(&format!("{name}.timer"));
+        let mut g = self.lock();
+        let pid = ProcessId(g.processes.len());
+        g.processes.push(ProcRec {
+            name: name.to_string(),
+            kind: ProcKind::Method(Some(f)),
+            state: if initialize {
+                PState::Ready
+            } else {
+                PState::Waiting
+            },
+            waiting_on: Vec::new(),
+            wake_cause: None,
+            timer,
+        });
+        for eid in sensitivity {
+            g.events[eid.0].static_sensitive.push(pid);
+        }
+        if initialize {
+            g.runnable.push_back(pid);
+        }
+        pid
+    }
+
+    pub(crate) fn process_timer(&self, pid: ProcessId) -> EventId {
+        self.lock().processes[pid.0].timer
+    }
+
+    pub(crate) fn process_name(&self, pid: ProcessId) -> String {
+        self.lock().processes[pid.0].name.clone()
+    }
+
+    /// Runs the scheduler until `limit`, stop or starvation.
+    pub(crate) fn run(self: &Arc<Self>, limit: Option<SimTime>) -> RunResult {
+        {
+            let mut g = self.lock();
+            g.started = true;
+            g.stop_requested = false;
+        }
+        loop {
+            // --- Phase 1: evaluate ----------------------------------------
+            loop {
+                let next = {
+                    let mut g = self.lock();
+                    g.runnable.pop_front()
+                };
+                let Some(pid) = next else { break };
+                self.dispatch(pid);
+            }
+
+            // --- Phase 2: update ------------------------------------------
+            let updates = {
+                let mut g = self.lock();
+                std::mem::take(&mut g.update_requests)
+            };
+            for u in updates {
+                u(self);
+            }
+
+            // --- Phase 3: delta notification ------------------------------
+            let woke = {
+                let mut g = self.lock();
+                let pending = std::mem::take(&mut g.delta_queue);
+                for id in pending {
+                    if g.events[id.0].delta_pending {
+                        g.events[id.0].delta_pending = false;
+                        Self::fire(&mut g, id);
+                    }
+                }
+                if g.runnable.is_empty() {
+                    false
+                } else {
+                    g.delta_count += 1;
+                    true
+                }
+            };
+            if woke {
+                continue;
+            }
+
+            if self.lock().stop_requested {
+                return RunResult {
+                    time: self.now(),
+                    reason: StopReason::Stopped,
+                };
+            }
+
+            // --- Phase 4: time advance ------------------------------------
+            let mut g = self.lock();
+            let target = loop {
+                match g.timed.peek() {
+                    None => {
+                        return RunResult {
+                            time: g.now,
+                            reason: StopReason::Starved,
+                        }
+                    }
+                    Some(Reverse((t, _, id))) => {
+                        // Skip entries whose notification was cancelled or
+                        // overridden by an earlier one.
+                        if g.events[id.0].timed_at == Some(*t) {
+                            break *t;
+                        }
+                        let _ = g.timed.pop();
+                    }
+                }
+            };
+            if let Some(lim) = limit {
+                if target > lim {
+                    g.now = lim;
+                    return RunResult {
+                        time: lim,
+                        reason: StopReason::TimeLimit,
+                    };
+                }
+            }
+            g.now = target;
+            g.delta_count += 1;
+            while let Some(Reverse((t, _, id))) = g.timed.peek().copied() {
+                if t > target {
+                    break;
+                }
+                let _ = g.timed.pop();
+                if g.events[id.0].timed_at == Some(t) {
+                    g.events[id.0].timed_at = None;
+                    Self::fire(&mut g, id);
+                }
+            }
+            drop(g);
+        }
+    }
+
+    fn dispatch(self: &Arc<Self>, pid: ProcessId) {
+        enum Action {
+            Thread {
+                cause: Option<EventId>,
+                resume_tx: SyncSender<Resume>,
+                yield_rx: Arc<Mutex<Receiver<YieldMsg>>>,
+            },
+            Method {
+                f: MethodFn,
+                cause: Option<EventId>,
+            },
+            Skip,
+        }
+        let action = {
+            let mut g = self.lock();
+            let p = &mut g.processes[pid.0];
+            if p.state == PState::Terminated {
+                Action::Skip
+            } else {
+                let cause = p.wake_cause.take();
+                // The process is "waiting" unless it re-registers; a thread
+                // always registers a new wait before yielding.
+                p.state = PState::Waiting;
+                match &mut p.kind {
+                    ProcKind::Thread(link) => Action::Thread {
+                        cause,
+                        resume_tx: link.resume_tx.clone(),
+                        yield_rx: Arc::clone(&link.yield_rx),
+                    },
+                    ProcKind::Method(slot) => match slot.take() {
+                        Some(f) => Action::Method { f, cause },
+                        None => Action::Skip,
+                    },
+                }
+            }
+        };
+        match action {
+            Action::Skip => {}
+            Action::Thread {
+                cause,
+                resume_tx,
+                yield_rx,
+            } => {
+                resume_tx
+                    .send(Resume::Go(cause))
+                    .expect("process thread vanished");
+                let msg = {
+                    let rx = yield_rx.lock().unwrap_or_else(|e| e.into_inner());
+                    rx.recv()
+                        .expect("process thread disconnected without yielding")
+                };
+                match msg {
+                    YieldMsg::Yielded => {}
+                    YieldMsg::Terminated => {
+                        self.lock().processes[pid.0].state = PState::Terminated;
+                    }
+                    YieldMsg::Panicked(m) => {
+                        let name = self.process_name(pid);
+                        panic!("process '{name}' panicked: {m}");
+                    }
+                }
+            }
+            Action::Method { mut f, cause } => {
+                let mut api = MethodApi {
+                    kernel: Arc::clone(self),
+                    cause,
+                };
+                f(&mut api);
+                let mut g = self.lock();
+                if let ProcKind::Method(slot) = &mut g.processes[pid.0].kind {
+                    *slot = Some(f);
+                }
+            }
+        }
+    }
+
+    /// Kills and joins every live process thread. Called on simulation drop.
+    pub(crate) fn teardown(&self) {
+        let links: Vec<(SyncSender<Resume>, Option<JoinHandle<()>>)> = {
+            let mut g = self.lock();
+            g.processes
+                .iter_mut()
+                .filter_map(|p| match &mut p.kind {
+                    ProcKind::Thread(link) => Some((link.resume_tx.clone(), link.join.take())),
+                    ProcKind::Method(_) => None,
+                })
+                .collect()
+        };
+        for (tx, join) in links {
+            let _ = tx.send(Resume::Kill);
+            if let Some(j) = join {
+                let _ = j.join();
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// API handed to method-process callbacks.
+pub struct MethodApi {
+    kernel: Arc<KernelShared>,
+    cause: Option<EventId>,
+}
+
+impl MethodApi {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    /// The event that triggered this activation, if any (none on the
+    /// initialization call).
+    pub fn cause(&self) -> Option<EventId> {
+        self.cause
+    }
+}
+
+impl fmt::Debug for MethodApi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MethodApi")
+            .field("now", &self.now())
+            .field("cause", &self.cause)
+            .finish()
+    }
+}

@@ -1,0 +1,173 @@
+//! Thread-process context: the handle through which a simulated process
+//! waits, observes time and interacts with the kernel.
+
+use std::fmt;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+
+use crate::event::Event;
+use crate::kernel::{EventId, KernelShared, KillToken, ProcessId, Resume, YieldMsg};
+use crate::time::{SimDur, SimTime};
+
+/// Execution context of a thread process.
+///
+/// A `ThreadCtx` is handed to the process body and is the only way for the
+/// process to block: [`wait`](ThreadCtx::wait), [`wait_for`](ThreadCtx::wait_for),
+/// [`wait_any`](ThreadCtx::wait_any) and [`wait_delta`](ThreadCtx::wait_delta)
+/// suspend the process and hand control back to the scheduler. Channel
+/// blocking operations (FIFO reads, SHIP calls, bus transactions) all take
+/// `&mut ThreadCtx` for the same reason.
+pub struct ThreadCtx {
+    kernel: Arc<KernelShared>,
+    pid: ProcessId,
+    resume_rx: Receiver<Resume>,
+    yield_tx: SyncSender<YieldMsg>,
+}
+
+impl ThreadCtx {
+    pub(crate) fn new(
+        kernel: Arc<KernelShared>,
+        pid: ProcessId,
+        resume_rx: Receiver<Resume>,
+        yield_tx: SyncSender<YieldMsg>,
+    ) -> Self {
+        ThreadCtx {
+            kernel,
+            pid,
+            resume_rx,
+            yield_tx,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    /// The id of this process.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// The name this process was spawned with.
+    pub fn name(&self) -> String {
+        self.kernel.process_name(self.pid)
+    }
+
+    /// A handle for creating events / spawning processes from inside a
+    /// running process.
+    pub fn sim(&self) -> crate::sim::SimHandle {
+        crate::sim::SimHandle::new(Arc::clone(&self.kernel))
+    }
+
+    /// Requests the simulation to stop at the end of the current delta.
+    pub fn stop(&self) {
+        self.kernel.request_stop();
+    }
+
+    /// Suspends until `event` is notified.
+    pub fn wait(&mut self, event: &Event) {
+        self.kernel.register_wait(self.pid, &[event.id]);
+        let _ = self.yield_now();
+    }
+
+    /// Suspends until any of `events` fires; returns the index of the one
+    /// that woke this process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is empty (the process could never wake).
+    pub fn wait_any(&mut self, events: &[&Event]) -> usize {
+        assert!(!events.is_empty(), "wait_any on an empty event set");
+        let ids: Vec<EventId> = events.iter().map(|e| e.id).collect();
+        self.kernel.register_wait(self.pid, &ids);
+        let cause = self.yield_now();
+        match cause {
+            Some(c) => ids
+                .iter()
+                .position(|i| *i == c)
+                .expect("woken by unregistered event"),
+            None => panic!("wait_any woke without a cause"),
+        }
+    }
+
+    /// Suspends until any of `events` fires or `timeout` elapses.
+    ///
+    /// Returns `Some(index)` of the waking event, or `None` on timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is empty or `timeout` is zero.
+    pub fn wait_any_for(&mut self, events: &[&Event], timeout: SimDur) -> Option<usize> {
+        assert!(!events.is_empty(), "wait_any_for on an empty event set");
+        assert!(!timeout.is_zero(), "wait_any_for with a zero timeout");
+        let timer = self.kernel.process_timer(self.pid);
+        self.kernel.notify_after(timer, timeout);
+        let mut ids: Vec<EventId> = events.iter().map(|e| e.id).collect();
+        ids.push(timer);
+        self.kernel.register_wait(self.pid, &ids);
+        let cause = self.yield_now();
+        match cause {
+            Some(c) if c == timer => None,
+            Some(c) => {
+                // Cancel the pending timeout so it cannot spuriously wake a
+                // later wait on the same private timer.
+                self.kernel.cancel(timer);
+                Some(
+                    ids.iter()
+                        .position(|i| *i == c)
+                        .expect("woken by unregistered event"),
+                )
+            }
+            None => panic!("wait_any_for woke without a cause"),
+        }
+    }
+
+    /// Suspends for duration `d` of simulated time.
+    pub fn wait_for(&mut self, d: SimDur) {
+        if d.is_zero() {
+            self.wait_delta();
+            return;
+        }
+        let timer = self.kernel.process_timer(self.pid);
+        self.kernel.notify_after(timer, d);
+        self.kernel.register_wait(self.pid, &[timer]);
+        let _ = self.yield_now();
+    }
+
+    /// Suspends for one delta cycle.
+    pub fn wait_delta(&mut self) {
+        let timer = self.kernel.process_timer(self.pid);
+        self.kernel.notify_delta(timer);
+        self.kernel.register_wait(self.pid, &[timer]);
+        let _ = self.yield_now();
+    }
+
+    /// Hands control to the scheduler and blocks until resumed.
+    ///
+    /// The caller must have registered a wait beforehand, otherwise the
+    /// process never wakes.
+    fn yield_now(&mut self) -> Option<EventId> {
+        self.yield_tx
+            .send(YieldMsg::Yielded)
+            .expect("kernel disappeared while yielding");
+        match self.resume_rx.recv() {
+            Ok(Resume::Go(cause)) => cause,
+            Ok(Resume::Kill) | Err(_) => {
+                // Unwind through the process body; caught by the wrapper.
+                // `resume_unwind` skips the panic hook, so teardown is quiet.
+                std::panic::resume_unwind(Box::new(KillToken));
+            }
+        }
+    }
+}
+
+impl fmt::Debug for ThreadCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadCtx")
+            .field("pid", &self.pid.0)
+            .field("name", &self.name())
+            .field("now", &self.now())
+            .finish()
+    }
+}

@@ -1,0 +1,260 @@
+//! The public simulation facade: elaboration and run control.
+
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::clock::Clock;
+use crate::event::Event;
+use crate::fifo::Fifo;
+use crate::kernel::{KernelShared, MethodApi, ProcessId, RunResult};
+use crate::process::ThreadCtx;
+use crate::signal::{Signal, SignalValue};
+use crate::time::{SimDur, SimTime};
+use crate::trace::{TraceError, VcdTracer};
+
+/// A discrete-event simulation: owns the kernel, elaborates processes and
+/// channels, and drives the scheduler.
+///
+/// ```
+/// use shiptlm_kernel::prelude::*;
+///
+/// let sim = Simulation::new();
+/// let fifo = sim.fifo::<u32>("pipe", 4);
+/// let (tx, rx) = (fifo.clone(), fifo);
+/// sim.spawn_thread("producer", move |ctx| {
+///     for i in 0..10 {
+///         tx.write(ctx, i);
+///         ctx.wait_for(SimDur::ns(10));
+///     }
+/// });
+/// sim.spawn_thread("consumer", move |ctx| {
+///     for i in 0..10 {
+///         assert_eq!(rx.read(ctx), i);
+///     }
+/// });
+/// let result = sim.run();
+/// assert_eq!(result.reason, StopReason::Starved);
+/// ```
+pub struct Simulation {
+    kernel: Arc<KernelShared>,
+}
+
+impl Simulation {
+    /// Creates an empty simulation at time zero.
+    pub fn new() -> Self {
+        Simulation {
+            kernel: KernelShared::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    /// Total number of delta cycles executed so far. A useful proxy for
+    /// scheduler effort when comparing abstraction levels.
+    pub fn delta_count(&self) -> u64 {
+        self.kernel.delta_count()
+    }
+
+    /// Creates a named event.
+    pub fn event(&self, name: &str) -> Event {
+        Event::new(Arc::clone(&self.kernel), name)
+    }
+
+    /// Creates a signal with request/update semantics (writes become visible
+    /// in the next delta cycle).
+    pub fn signal<T: SignalValue>(&self, name: &str, init: T) -> Signal<T> {
+        Signal::new(Arc::clone(&self.kernel), name, init)
+    }
+
+    /// Creates a bounded blocking FIFO channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn fifo<T: Send + 'static>(&self, name: &str, capacity: usize) -> Fifo<T> {
+        Fifo::new(Arc::clone(&self.kernel), name, capacity)
+    }
+
+    /// Creates a free-running clock with the given period (50% duty cycle).
+    pub fn clock(&self, name: &str, period: SimDur) -> Clock {
+        Clock::new(Arc::clone(&self.kernel), name, period)
+    }
+
+    /// Spawns a thread process. The body runs when the simulation starts and
+    /// may block via the [`ThreadCtx`] it receives.
+    pub fn spawn_thread<F>(&self, name: &str, body: F) -> ProcessId
+    where
+        F: FnOnce(&mut ThreadCtx) + Send + 'static,
+    {
+        self.kernel.spawn_thread(name, Box::new(body))
+    }
+
+    /// Spawns a method process triggered whenever any event in `sensitivity`
+    /// fires. The callback is also invoked once at initialization.
+    pub fn spawn_method<F>(&self, name: &str, sensitivity: &[&Event], cb: F) -> ProcessId
+    where
+        F: FnMut(&mut MethodApi) + Send + 'static,
+    {
+        let ids: Vec<_> = sensitivity.iter().map(|e| e.id).collect();
+        self.kernel.spawn_method(name, &ids, true, Box::new(cb))
+    }
+
+    /// Like [`spawn_method`](Self::spawn_method) but without the
+    /// initialization call (SystemC `dont_initialize`).
+    pub fn spawn_method_no_init<F>(&self, name: &str, sensitivity: &[&Event], cb: F) -> ProcessId
+    where
+        F: FnMut(&mut MethodApi) + Send + 'static,
+    {
+        let ids: Vec<_> = sensitivity.iter().map(|e| e.id).collect();
+        self.kernel.spawn_method(name, &ids, false, Box::new(cb))
+    }
+
+    /// A cloneable handle usable from process bodies or helper structs.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle::new(Arc::clone(&self.kernel))
+    }
+
+    /// Enables VCD tracing; signals registered with
+    /// [`Signal::trace`] afterwards are recorded to `path` when the
+    /// simulation ends (or [`flush_trace`](Self::flush_trace) is called).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be created.
+    pub fn trace_vcd<P: AsRef<Path>>(&self, path: P) -> Result<(), TraceError> {
+        let tracer = VcdTracer::create(path.as_ref())?;
+        *self.kernel.tracer.lock().unwrap_or_else(|e| e.into_inner()) = Some(tracer);
+        Ok(())
+    }
+
+    /// Writes out buffered VCD data.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if writing the file fails.
+    pub fn flush_trace(&self) -> Result<(), TraceError> {
+        let mut g = self.kernel.tracer.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(t) = g.as_mut() {
+            t.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Runs until event starvation or an explicit stop.
+    pub fn run(&self) -> RunResult {
+        self.kernel.run(None)
+    }
+
+    /// Runs until the given absolute time (inclusive of events at it).
+    pub fn run_until(&self, t: SimTime) -> RunResult {
+        self.kernel.run(Some(t))
+    }
+
+    /// Runs for `d` more simulated time.
+    pub fn run_for(&self, d: SimDur) -> RunResult {
+        let limit = self
+            .now()
+            .checked_add(d)
+            .expect("run_for limit overflows SimTime");
+        self.kernel.run(Some(limit))
+    }
+
+    /// Requests a stop; takes effect at the end of the current delta cycle.
+    pub fn stop(&self) {
+        self.kernel.request_stop();
+    }
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        self.kernel.teardown();
+        let mut g = self.kernel.tracer.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(t) = g.as_mut() {
+            let _ = t.flush();
+        }
+    }
+}
+
+impl fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now())
+            .field("delta_count", &self.delta_count())
+            .finish()
+    }
+}
+
+/// Cloneable, `Send` handle onto a running simulation.
+///
+/// Obtained from [`Simulation::handle`] or [`ThreadCtx::sim`]; allows
+/// creating events/channels and spawning processes dynamically (e.g. an RTOS
+/// task creating another task at runtime).
+#[derive(Clone)]
+pub struct SimHandle {
+    kernel: Arc<KernelShared>,
+}
+
+impl SimHandle {
+    pub(crate) fn new(kernel: Arc<KernelShared>) -> Self {
+        SimHandle { kernel }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    /// Creates a named event.
+    pub fn event(&self, name: &str) -> Event {
+        Event::new(Arc::clone(&self.kernel), name)
+    }
+
+    /// Creates a signal.
+    pub fn signal<T: SignalValue>(&self, name: &str, init: T) -> Signal<T> {
+        Signal::new(Arc::clone(&self.kernel), name, init)
+    }
+
+    /// Creates a bounded FIFO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn fifo<T: Send + 'static>(&self, name: &str, capacity: usize) -> Fifo<T> {
+        Fifo::new(Arc::clone(&self.kernel), name, capacity)
+    }
+
+    /// Creates a free-running clock with the given period (50% duty cycle).
+    pub fn clock(&self, name: &str, period: SimDur) -> Clock {
+        Clock::new(Arc::clone(&self.kernel), name, period)
+    }
+
+    /// Spawns a thread process; during a run it joins the current evaluate
+    /// phase.
+    pub fn spawn_thread<F>(&self, name: &str, body: F) -> ProcessId
+    where
+        F: FnOnce(&mut ThreadCtx) + Send + 'static,
+    {
+        self.kernel.spawn_thread(name, Box::new(body))
+    }
+
+    /// Requests the simulation to stop.
+    pub fn stop(&self) {
+        self.kernel.request_stop();
+    }
+}
+
+impl fmt::Debug for SimHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimHandle").field("now", &self.now()).finish()
+    }
+}

@@ -1,0 +1,318 @@
+//! Simulation time types.
+//!
+//! The kernel counts time in integer **picoseconds**. Two newtypes keep
+//! absolute points and durations apart ([`SimTime`] vs [`SimDur`]), so a bus
+//! model cannot accidentally add two absolute timestamps.
+//!
+//! ```
+//! use shiptlm_kernel::time::{SimDur, SimTime};
+//!
+//! let t = SimTime::ZERO + SimDur::ns(10);
+//! assert_eq!(t + SimDur::ns(5), SimTime::from_ps(15_000));
+//! assert_eq!(SimDur::us(1) / SimDur::ns(10), 100);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// An absolute point in simulated time, in picoseconds since elaboration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDur(u64);
+
+impl SimTime {
+    /// The start of simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Raw picosecond count since time zero.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Time elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn since(self, earlier: SimTime) -> SimDur {
+        assert!(
+            earlier.0 <= self.0,
+            "SimTime::since: earlier ({earlier}) is after self ({self})"
+        );
+        SimDur(self.0 - earlier.0)
+    }
+
+    /// Saturating difference; zero when `earlier` is after `self`.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDur {
+        SimDur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration; `None` on overflow.
+    pub fn checked_add(self, d: SimDur) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDur {
+    /// The empty duration.
+    pub const ZERO: SimDur = SimDur(0);
+
+    /// Creates a duration from picoseconds.
+    pub const fn ps(ps: u64) -> Self {
+        SimDur(ps)
+    }
+
+    /// Creates a duration from nanoseconds.
+    pub const fn ns(ns: u64) -> Self {
+        SimDur(ns * 1_000)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn us(us: u64) -> Self {
+        SimDur(us * 1_000_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn ms(ms: u64) -> Self {
+        SimDur(ms * 1_000_000_000)
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn s(s: u64) -> Self {
+        SimDur(s * 1_000_000_000_000)
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in (truncated) nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// `true` when this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The period of a clock running at `hz` hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero or above 1 THz (the picosecond resolution).
+    pub fn from_freq_hz(hz: u64) -> Self {
+        assert!(hz > 0, "clock frequency must be non-zero");
+        assert!(hz <= 1_000_000_000_000, "frequency above 1 THz resolution");
+        SimDur(1_000_000_000_000 / hz)
+    }
+
+    /// Saturating multiplication by a scalar.
+    pub fn saturating_mul(self, k: u64) -> SimDur {
+        SimDur(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<SimDur> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDur) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDur> for SimTime {
+    fn add_assign(&mut self, rhs: SimDur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDur> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDur) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDur {
+    type Output = SimDur;
+    fn add(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDur {
+    fn add_assign(&mut self, rhs: SimDur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDur {
+    type Output = SimDur;
+    fn sub(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDur {
+    fn sub_assign(&mut self, rhs: SimDur) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDur {
+    type Output = SimDur;
+    fn mul(self, rhs: u64) -> SimDur {
+        SimDur(self.0 * rhs)
+    }
+}
+
+impl Mul<SimDur> for u64 {
+    type Output = SimDur;
+    fn mul(self, rhs: SimDur) -> SimDur {
+        SimDur(self * rhs.0)
+    }
+}
+
+/// Number of whole `rhs` periods in `self`.
+impl Div<SimDur> for SimDur {
+    type Output = u64;
+    fn div(self, rhs: SimDur) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Div<u64> for SimDur {
+    type Output = SimDur;
+    fn div(self, rhs: u64) -> SimDur {
+        SimDur(self.0 / rhs)
+    }
+}
+
+impl Rem<SimDur> for SimDur {
+    type Output = SimDur;
+    fn rem(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0 % rhs.0)
+    }
+}
+
+impl Sum for SimDur {
+    fn sum<I: Iterator<Item = SimDur>>(iter: I) -> SimDur {
+        iter.fold(SimDur::ZERO, Add::add)
+    }
+}
+
+fn fmt_ps(ps: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    const UNITS: [(u64, &str); 4] = [
+        (1_000_000_000_000, "s"),
+        (1_000_000_000, "ms"),
+        (1_000_000, "us"),
+        (1_000, "ns"),
+    ];
+    for (scale, unit) in UNITS {
+        if ps >= scale && ps % scale == 0 {
+            return write!(f, "{} {unit}", ps / scale);
+        }
+    }
+    write!(f, "{ps} ps")
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ps(self.0, f)
+    }
+}
+
+impl fmt::Display for SimDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ps(self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(SimDur::ns(1).as_ps(), 1_000);
+        assert_eq!(SimDur::us(1).as_ps(), 1_000_000);
+        assert_eq!(SimDur::ms(1).as_ps(), 1_000_000_000);
+        assert_eq!(SimDur::s(1).as_ps(), 1_000_000_000_000);
+    }
+
+    #[test]
+    fn time_plus_duration() {
+        let t = SimTime::ZERO + SimDur::ns(3) + SimDur::ps(500);
+        assert_eq!(t.as_ps(), 3_500);
+        assert_eq!(t.since(SimTime::from_ps(500)), SimDur::ns(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "is after self")]
+    fn since_panics_when_reversed() {
+        let _ = SimTime::from_ps(1).since(SimTime::from_ps(2));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        assert_eq!(
+            SimTime::from_ps(1).saturating_since(SimTime::from_ps(5)),
+            SimDur::ZERO
+        );
+    }
+
+    #[test]
+    fn duration_division_counts_periods() {
+        assert_eq!(SimDur::ns(25) / SimDur::ns(10), 2);
+        assert_eq!(SimDur::ns(25) % SimDur::ns(10), SimDur::ns(5));
+    }
+
+    #[test]
+    fn frequency_to_period() {
+        assert_eq!(SimDur::from_freq_hz(100_000_000), SimDur::ns(10));
+        assert_eq!(SimDur::from_freq_hz(1_000_000_000), SimDur::ns(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-zero")]
+    fn zero_frequency_panics() {
+        let _ = SimDur::from_freq_hz(0);
+    }
+
+    #[test]
+    fn display_picks_largest_exact_unit() {
+        assert_eq!(SimDur::ns(10).to_string(), "10 ns");
+        assert_eq!(SimDur::ps(1_500).to_string(), "1500 ps");
+        assert_eq!(SimTime::from_ps(2_000_000).to_string(), "2 us");
+        assert_eq!(SimDur::ZERO.to_string(), "0 ps");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDur = [SimDur::ns(1), SimDur::ns(2), SimDur::ns(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, SimDur::ns(6));
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert_eq!(SimTime::MAX.checked_add(SimDur::ps(1)), None);
+        assert_eq!(
+            SimTime::ZERO.checked_add(SimDur::ps(7)),
+            Some(SimTime::from_ps(7))
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Minimal VCD (value change dump) writer for waveform inspection.
+//!
+//! Signals opt in via [`Signal::trace`](crate::signal::Signal::trace) after
+//! [`Simulation::trace_vcd`](crate::sim::Simulation::trace_vcd) has been
+//! called; the file is written when the simulation flushes (explicitly or on
+//! drop).
+
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Identifies a traced variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(usize);
+
+/// Values that can be dumped into a VCD trace.
+pub trait TraceValue {
+    /// Bit width of the dumped vector.
+    const WIDTH: u32;
+    /// The value as raw bits (LSB-aligned).
+    fn to_bits(&self) -> u64;
+}
+
+impl TraceValue for bool {
+    const WIDTH: u32 = 1;
+    fn to_bits(&self) -> u64 {
+        u64::from(*self)
+    }
+}
+
+macro_rules! impl_trace_uint {
+    ($($t:ty => $w:expr),*) => {$(
+        impl TraceValue for $t {
+            const WIDTH: u32 = $w;
+            fn to_bits(&self) -> u64 {
+                *self as u64
+            }
+        }
+    )*};
+}
+
+impl_trace_uint!(u8 => 8, u16 => 16, u32 => 32, u64 => 64);
+
+/// Failure while creating or writing a VCD file.
+#[derive(Debug)]
+pub struct TraceError {
+    path: PathBuf,
+    source: io::Error,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vcd trace error on {}: {}", self.path.display(), self.source)
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+struct VarDef {
+    name: String,
+    width: u32,
+    init: u64,
+}
+
+pub(crate) struct VcdTracer {
+    path: PathBuf,
+    vars: Vec<VarDef>,
+    /// (time_ps, var index, bits), recorded in chronological order.
+    changes: Vec<(u64, usize, u64)>,
+    flushed: bool,
+}
+
+impl VcdTracer {
+    pub(crate) fn create(path: &Path) -> Result<Self, TraceError> {
+        // Fail early if the location is not writable.
+        File::create(path).map_err(|source| TraceError {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        Ok(VcdTracer {
+            path: path.to_path_buf(),
+            vars: Vec::new(),
+            changes: Vec::new(),
+            flushed: false,
+        })
+    }
+
+    pub(crate) fn register(&mut self, name: &str, width: u32, init: u64) -> TraceId {
+        let id = TraceId(self.vars.len());
+        self.vars.push(VarDef {
+            name: name.to_string(),
+            width,
+            init,
+        });
+        id
+    }
+
+    pub(crate) fn change(&mut self, time_ps: u64, id: TraceId, bits: u64) {
+        self.changes.push((time_ps, id.0, bits));
+    }
+
+    fn code(index: usize) -> String {
+        // Printable id codes, base 94 over '!'..='~'.
+        let mut n = index;
+        let mut s = String::new();
+        loop {
+            s.push((33 + (n % 94)) as u8 as char);
+            n /= 94;
+            if n == 0 {
+                break;
+            }
+        }
+        s
+    }
+
+    fn write_value(out: &mut impl Write, width: u32, bits: u64, code: &str) -> io::Result<()> {
+        if width == 1 {
+            writeln!(out, "{}{}", bits & 1, code)
+        } else {
+            write!(out, "b")?;
+            for i in (0..width).rev() {
+                write!(out, "{}", (bits >> i) & 1)?;
+            }
+            writeln!(out, " {code}")
+        }
+    }
+
+    pub(crate) fn flush(&mut self) -> Result<(), TraceError> {
+        if self.flushed {
+            return Ok(());
+        }
+        let run = || -> io::Result<()> {
+            let mut out = BufWriter::new(File::create(&self.path)?);
+            writeln!(out, "$timescale 1ps $end")?;
+            writeln!(out, "$scope module top $end")?;
+            for (i, v) in self.vars.iter().enumerate() {
+                writeln!(
+                    out,
+                    "$var wire {} {} {} $end",
+                    v.width,
+                    Self::code(i),
+                    v.name.replace(' ', "_")
+                )?;
+            }
+            writeln!(out, "$upscope $end")?;
+            writeln!(out, "$enddefinitions $end")?;
+            writeln!(out, "$dumpvars")?;
+            for (i, v) in self.vars.iter().enumerate() {
+                Self::write_value(&mut out, v.width, v.init, &Self::code(i))?;
+            }
+            writeln!(out, "$end")?;
+            let mut last_time = None;
+            for &(t, var, bits) in &self.changes {
+                if last_time != Some(t) {
+                    writeln!(out, "#{t}")?;
+                    last_time = Some(t);
+                }
+                Self::write_value(&mut out, self.vars[var].width, bits, &Self::code(var))?;
+            }
+            out.flush()
+        };
+        run().map_err(|source| TraceError {
+            path: self.path.clone(),
+            source,
+        })?;
+        self.flushed = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            let c = VcdTracer::code(i);
+            assert!(c.chars().all(|ch| ('!'..='~').contains(&ch)));
+            assert!(seen.insert(c));
+        }
+    }
+
+    #[test]
+    fn trace_value_widths() {
+        assert_eq!(bool::WIDTH, 1);
+        assert_eq!(u8::WIDTH, 8);
+        assert_eq!(u64::WIDTH, 64);
+        assert_eq!(true.to_bits(), 1);
+        assert_eq!(0xAAu8.to_bits(), 0xAA);
+    }
+
+    #[test]
+    fn vcd_file_contains_header_and_changes() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("shiptlm_trace_test.vcd");
+        let mut t = VcdTracer::create(&path).unwrap();
+        let a = t.register("clk", 1, 0);
+        let b = t.register("data", 8, 0x55);
+        t.change(1000, a, 1);
+        t.change(2000, a, 0);
+        t.change(2000, b, 0xFF);
+        t.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("$timescale 1ps $end"));
+        assert!(text.contains("$var wire 1 ! clk $end"));
+        assert!(text.contains("#1000"));
+        assert!(text.contains("b11111111"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests of scheduler invariants: timed events always fire
+//! in timestamp order, FIFOs never reorder or drop, signals obey
+//! last-write-wins, and simulated time never runs backwards.
+
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use shiptlm_kernel::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever order timed notifications are scheduled in, waiters observe
+    /// them in non-decreasing timestamp order.
+    #[test]
+    fn timed_events_fire_in_time_order(delays in proptest::collection::vec(1u64..10_000, 1..20)) {
+        let sim = Simulation::new();
+        let fired = Arc::new(Mutex::new(Vec::new()));
+        for (i, d) in delays.iter().enumerate() {
+            let ev = sim.event(&format!("e{i}"));
+            let fired = Arc::clone(&fired);
+            let ev2 = ev.clone();
+            sim.spawn_thread(&format!("w{i}"), move |ctx| {
+                ctx.wait(&ev2);
+                fired.lock().unwrap().push(ctx.now().as_ps());
+            });
+            ev.notify_after(SimDur::ns(*d));
+        }
+        sim.run();
+        let fired = fired.lock().unwrap();
+        prop_assert_eq!(fired.len(), delays.len());
+        prop_assert!(fired.windows(2).all(|w| w[0] <= w[1]));
+        let mut expected: Vec<u64> = delays.iter().map(|d| d * 1_000).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(&*fired, &expected);
+    }
+
+    /// A FIFO delivers every item exactly once, in order, regardless of
+    /// capacity and producer/consumer pacing.
+    #[test]
+    fn fifo_preserves_order_and_content(
+        cap in 1usize..8,
+        items in proptest::collection::vec(any::<u32>(), 1..50),
+        prod_gap in 0u64..50,
+        cons_gap in 0u64..50,
+    ) {
+        let sim = Simulation::new();
+        let f = sim.fifo::<u32>("f", cap);
+        let (tx, rx) = (f.clone(), f);
+        let received = Arc::new(Mutex::new(Vec::new()));
+        let sent = items.clone();
+        sim.spawn_thread("p", move |ctx| {
+            for v in sent {
+                tx.write(ctx, v);
+                if prod_gap > 0 {
+                    ctx.wait_for(SimDur::ps(prod_gap));
+                }
+            }
+        });
+        {
+            let received = Arc::clone(&received);
+            let n = items.len();
+            sim.spawn_thread("c", move |ctx| {
+                for _ in 0..n {
+                    if cons_gap > 0 {
+                        ctx.wait_for(SimDur::ps(cons_gap));
+                    }
+                    received.lock().unwrap().push(rx.read(ctx));
+                }
+            });
+        }
+        let r = sim.run();
+        prop_assert_eq!(r.reason, StopReason::Starved);
+        prop_assert_eq!(&*received.lock().unwrap(), &items);
+    }
+
+    /// The last write in an evaluate phase wins; intermediate values are
+    /// never observable in later phases.
+    #[test]
+    fn signal_last_write_wins(writes in proptest::collection::vec(any::<u16>(), 1..20)) {
+        let sim = Simulation::new();
+        let sig = sim.signal("s", 0u16);
+        let last = *writes.last().unwrap();
+        let s2 = sig.clone();
+        sim.spawn_thread("w", move |ctx| {
+            for v in &writes {
+                s2.write(*v);
+            }
+            ctx.wait_delta();
+            assert_eq!(s2.read(), last);
+        });
+        sim.run();
+        prop_assert_eq!(sig.read(), last);
+    }
+
+    /// `wait_for` sequences accumulate exactly.
+    #[test]
+    fn wait_for_accumulates(delays in proptest::collection::vec(0u64..1_000, 1..20)) {
+        let sim = Simulation::new();
+        let total: u64 = delays.iter().sum();
+        sim.spawn_thread("p", move |ctx| {
+            for d in &delays {
+                ctx.wait_for(SimDur::ps(*d));
+            }
+        });
+        let r = sim.run();
+        prop_assert_eq!(r.time.as_ps(), total);
+    }
+
+    /// Semaphores never go negative and serve every acquirer under random
+    /// contention.
+    #[test]
+    fn semaphore_conserves_permits(
+        procs in 1usize..6,
+        permits in 1usize..4,
+        hold_ns in 1u64..100,
+    ) {
+        let sim = Simulation::new();
+        let sem = SimSemaphore::new(&sim.handle(), "s", permits);
+        let active = Arc::new(Mutex::new((0usize, 0usize))); // (current, peak)
+        for i in 0..procs {
+            let sem = sem.clone();
+            let active = Arc::clone(&active);
+            sim.spawn_thread(&format!("p{i}"), move |ctx| {
+                sem.acquire(ctx);
+                {
+                    let mut g = active.lock().unwrap();
+                    g.0 += 1;
+                    g.1 = g.1.max(g.0);
+                }
+                ctx.wait_for(SimDur::ns(hold_ns));
+                active.lock().unwrap().0 -= 1;
+                sem.release();
+            });
+        }
+        let r = sim.run();
+        prop_assert_eq!(r.reason, StopReason::Starved);
+        let g = active.lock().unwrap();
+        prop_assert_eq!(g.0, 0);
+        prop_assert!(g.1 <= permits);
+        prop_assert_eq!(sem.available(), permits);
+    }
+}

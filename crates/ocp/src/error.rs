@@ -1,0 +1,41 @@
+//! OCP transport errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::payload::SResp;
+
+/// Failure of an OCP transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OcpError {
+    /// No slave is mapped at the address.
+    AddressDecode {
+        /// The unroutable address.
+        addr: u64,
+    },
+    /// The slave answered with a non-`DVA` response.
+    SlaveError {
+        /// Request address.
+        addr: u64,
+        /// The response code received.
+        resp: SResp,
+    },
+    /// The request is malformed (e.g. zero-length burst where forbidden).
+    BadRequest(String),
+}
+
+impl fmt::Display for OcpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OcpError::AddressDecode { addr } => {
+                write!(f, "no slave mapped at address {addr:#x}")
+            }
+            OcpError::SlaveError { addr, resp } => {
+                write!(f, "slave at {addr:#x} responded {resp}")
+            }
+            OcpError::BadRequest(s) => write!(f, "bad ocp request: {s}"),
+        }
+    }
+}
+
+impl Error for OcpError {}

@@ -1,0 +1,295 @@
+//! OCP-style transaction payloads.
+//!
+//! Below the CCATB model the design flow speaks the Open Core Protocol
+//! (paper §1: "the widely supported and openly-licensed Open Core Protocol
+//! (OCP) is used"). This module defines an OCP-inspired request/response
+//! payload pair used by both the transaction-level interfaces ([`tl`](crate::tl))
+//! and the pin-level FSMs ([`pin`](crate::pin)).
+
+use std::fmt;
+
+use shiptlm_kernel::time::SimTime;
+
+/// Master command, the OCP `MCmd` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MCmd {
+    /// No operation in flight.
+    Idle,
+    /// Posted write.
+    Write,
+    /// Read.
+    Read,
+}
+
+impl MCmd {
+    /// Pin encoding (matches the width-3 `MCmd` wire group).
+    pub fn encode(self) -> u8 {
+        match self {
+            MCmd::Idle => 0,
+            MCmd::Write => 1,
+            MCmd::Read => 2,
+        }
+    }
+
+    /// Decodes a pin value.
+    pub fn decode(v: u8) -> Option<MCmd> {
+        match v {
+            0 => Some(MCmd::Idle),
+            1 => Some(MCmd::Write),
+            2 => Some(MCmd::Read),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MCmd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MCmd::Idle => "IDLE",
+            MCmd::Write => "WR",
+            MCmd::Read => "RD",
+        })
+    }
+}
+
+/// Slave response, the OCP `SResp` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SResp {
+    /// No response driven.
+    Null,
+    /// Data valid / accept.
+    Dva,
+    /// Request failed (retry-able).
+    Fail,
+    /// Error response.
+    Err,
+}
+
+impl SResp {
+    /// Pin encoding.
+    pub fn encode(self) -> u8 {
+        match self {
+            SResp::Null => 0,
+            SResp::Dva => 1,
+            SResp::Fail => 2,
+            SResp::Err => 3,
+        }
+    }
+
+    /// Decodes a pin value.
+    pub fn decode(v: u8) -> Option<SResp> {
+        match v {
+            0 => Some(SResp::Null),
+            1 => Some(SResp::Dva),
+            2 => Some(SResp::Fail),
+            3 => Some(SResp::Err),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SResp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SResp::Null => "NULL",
+            SResp::Dva => "DVA",
+            SResp::Fail => "FAIL",
+            SResp::Err => "ERR",
+        })
+    }
+}
+
+/// Burst address sequence, a subset of OCP `MBurstSeq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BurstSeq {
+    /// Incrementing addresses (the common case).
+    #[default]
+    Incr,
+    /// Constant address (FIFO-style streaming).
+    Stream,
+}
+
+/// The command half of a request: what to do and with which data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OcpCommand {
+    /// Read `bytes` bytes starting at the request address.
+    Read {
+        /// Number of bytes to read.
+        bytes: usize,
+    },
+    /// Write the given data starting at the request address.
+    Write {
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+}
+
+impl OcpCommand {
+    /// The `MCmd` this command drives on the wires.
+    pub fn mcmd(&self) -> MCmd {
+        match self {
+            OcpCommand::Read { .. } => MCmd::Read,
+            OcpCommand::Write { .. } => MCmd::Write,
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            OcpCommand::Read { bytes } => *bytes,
+            OcpCommand::Write { data } => data.len(),
+        }
+    }
+
+    /// `true` for a zero-length transfer.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A complete OCP transaction request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OcpRequest {
+    /// Start byte address.
+    pub addr: u64,
+    /// Read or write command with payload.
+    pub cmd: OcpCommand,
+    /// Burst address sequence.
+    pub burst: BurstSeq,
+}
+
+impl OcpRequest {
+    /// Convenience constructor for an incrementing-burst read.
+    pub fn read(addr: u64, bytes: usize) -> Self {
+        OcpRequest {
+            addr,
+            cmd: OcpCommand::Read { bytes },
+            burst: BurstSeq::Incr,
+        }
+    }
+
+    /// Convenience constructor for an incrementing-burst write.
+    pub fn write(addr: u64, data: Vec<u8>) -> Self {
+        OcpRequest {
+            addr,
+            cmd: OcpCommand::Write { data },
+            burst: BurstSeq::Incr,
+        }
+    }
+
+    /// Number of data beats at the given word width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_bytes` is zero.
+    pub fn beats(&self, word_bytes: usize) -> u64 {
+        assert!(word_bytes > 0, "word width must be non-zero");
+        (self.cmd.len().div_ceil(word_bytes)).max(1) as u64
+    }
+}
+
+/// Timing annotation attached to completed transactions — the
+/// "cycle count accurate at the boundaries" information of the CCATB model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TxTiming {
+    /// When the master issued the request.
+    pub start: SimTime,
+    /// When the response completed.
+    pub end: SimTime,
+    /// Total bus clock cycles from issue to completion.
+    pub total_cycles: u64,
+    /// Cycles spent waiting for arbitration/grant.
+    pub wait_cycles: u64,
+}
+
+/// A completed OCP transaction response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OcpResponse {
+    /// Slave response code.
+    pub resp: SResp,
+    /// Read data (empty for writes).
+    pub data: Vec<u8>,
+    /// CCATB timing annotation.
+    pub timing: TxTiming,
+}
+
+impl OcpResponse {
+    /// A successful write acknowledgement.
+    pub fn write_ok(timing: TxTiming) -> Self {
+        OcpResponse {
+            resp: SResp::Dva,
+            data: Vec::new(),
+            timing,
+        }
+    }
+
+    /// A successful read completion.
+    pub fn read_ok(data: Vec<u8>, timing: TxTiming) -> Self {
+        OcpResponse {
+            resp: SResp::Dva,
+            data,
+            timing,
+        }
+    }
+
+    /// An error response.
+    pub fn error(timing: TxTiming) -> Self {
+        OcpResponse {
+            resp: SResp::Err,
+            data: Vec::new(),
+            timing,
+        }
+    }
+
+    /// `true` when the slave responded `DVA`.
+    pub fn is_ok(&self) -> bool {
+        self.resp == SResp::Dva
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mcmd_encoding_roundtrips() {
+        for cmd in [MCmd::Idle, MCmd::Write, MCmd::Read] {
+            assert_eq!(MCmd::decode(cmd.encode()), Some(cmd));
+        }
+        assert_eq!(MCmd::decode(7), None);
+    }
+
+    #[test]
+    fn sresp_encoding_roundtrips() {
+        for r in [SResp::Null, SResp::Dva, SResp::Fail, SResp::Err] {
+            assert_eq!(SResp::decode(r.encode()), Some(r));
+        }
+        assert_eq!(SResp::decode(9), None);
+    }
+
+    #[test]
+    fn beat_count_rounds_up() {
+        assert_eq!(OcpRequest::read(0, 1).beats(8), 1);
+        assert_eq!(OcpRequest::read(0, 8).beats(8), 1);
+        assert_eq!(OcpRequest::read(0, 9).beats(8), 2);
+        assert_eq!(OcpRequest::write(0, vec![0; 64]).beats(8), 8);
+        // Zero-length transfers still occupy one beat on the wire.
+        assert_eq!(OcpRequest::read(0, 0).beats(8), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "word width must be non-zero")]
+    fn zero_word_width_panics() {
+        let _ = OcpRequest::read(0, 4).beats(0);
+    }
+
+    #[test]
+    fn command_metadata() {
+        let w = OcpCommand::Write { data: vec![1, 2, 3] };
+        assert_eq!(w.mcmd(), MCmd::Write);
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+        let r = OcpCommand::Read { bytes: 0 };
+        assert!(r.is_empty());
+    }
+}

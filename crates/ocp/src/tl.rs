@@ -1,0 +1,138 @@
+//! Transaction-level OCP interfaces: the blocking transport every CAM, slave
+//! model and wrapper implements.
+
+use std::fmt;
+use std::sync::Arc;
+
+use shiptlm_kernel::process::ThreadCtx;
+
+use crate::error::OcpError;
+use crate::payload::{OcpRequest, OcpResponse};
+
+/// Identifies a master attached to a target (used for arbitration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MasterId(pub usize);
+
+impl fmt::Display for MasterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+/// A blocking OCP transaction target (slave, bus, bridge or router).
+///
+/// The call blocks the initiating process for the full transaction duration;
+/// the returned [`OcpResponse`] carries the CCATB timing annotation.
+pub trait OcpTarget: Send + Sync {
+    /// Executes one transaction on behalf of `master`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OcpError`] when the request cannot be routed or the
+    /// target rejects it outright (distinct from a slave `ERR` response,
+    /// which is a successful transport of a failed operation).
+    fn transact(
+        &self,
+        ctx: &mut ThreadCtx,
+        master: MasterId,
+        req: OcpRequest,
+    ) -> Result<OcpResponse, OcpError>;
+
+    /// Human-readable target name.
+    fn target_name(&self) -> String {
+        "<anonymous>".to_string()
+    }
+}
+
+/// A master-side port bound to a target — the OCP TLM interface a PE or
+/// wrapper initiates through.
+#[derive(Clone)]
+pub struct OcpMasterPort {
+    id: MasterId,
+    target: Arc<dyn OcpTarget>,
+}
+
+impl OcpMasterPort {
+    /// Binds master `id` to `target`.
+    pub fn bind(id: MasterId, target: Arc<dyn OcpTarget>) -> Self {
+        OcpMasterPort { id, target }
+    }
+
+    /// This port's master id.
+    pub fn id(&self) -> MasterId {
+        self.id
+    }
+
+    /// Issues a blocking transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the target's [`OcpError`].
+    pub fn transact(
+        &self,
+        ctx: &mut ThreadCtx,
+        req: OcpRequest,
+    ) -> Result<OcpResponse, OcpError> {
+        self.target.transact(ctx, self.id, req)
+    }
+
+    /// Convenience blocking read.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OcpError`] on routing failure or a non-`DVA` response.
+    pub fn read(&self, ctx: &mut ThreadCtx, addr: u64, bytes: usize) -> Result<Vec<u8>, OcpError> {
+        let resp = self.transact(ctx, OcpRequest::read(addr, bytes))?;
+        if !resp.is_ok() {
+            return Err(OcpError::SlaveError {
+                addr,
+                resp: resp.resp,
+            });
+        }
+        Ok(resp.data)
+    }
+
+    /// Convenience blocking write.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OcpError`] on routing failure or a non-`DVA` response.
+    pub fn write(&self, ctx: &mut ThreadCtx, addr: u64, data: Vec<u8>) -> Result<(), OcpError> {
+        let resp = self.transact(ctx, OcpRequest::write(addr, data))?;
+        if !resp.is_ok() {
+            return Err(OcpError::SlaveError {
+                addr,
+                resp: resp.resp,
+            });
+        }
+        Ok(())
+    }
+
+    /// Blocking 32-bit register read (little-endian).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OcpError`] on routing failure or error response.
+    pub fn read_u32(&self, ctx: &mut ThreadCtx, addr: u64) -> Result<u32, OcpError> {
+        let d = self.read(ctx, addr, 4)?;
+        Ok(u32::from_le_bytes(d[..4].try_into().expect("4-byte read")))
+    }
+
+    /// Blocking 32-bit register write (little-endian).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OcpError`] on routing failure or error response.
+    pub fn write_u32(&self, ctx: &mut ThreadCtx, addr: u64, value: u32) -> Result<(), OcpError> {
+        self.write(ctx, addr, value.to_le_bytes().to_vec())
+    }
+}
+
+impl fmt::Debug for OcpMasterPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OcpMasterPort")
+            .field("id", &self.id)
+            .field("target", &self.target.target_name())
+            .finish()
+    }
+}

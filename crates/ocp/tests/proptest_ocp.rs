@@ -1,0 +1,103 @@
+//! Property-based tests of the OCP layer: memory semantics under random
+//! access sequences, router decode totality, and beat arithmetic.
+
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use shiptlm_kernel::prelude::*;
+use shiptlm_ocp::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The memory model behaves like a byte array under any in-bounds
+    /// write/read sequence issued through the transaction interface.
+    #[test]
+    fn memory_matches_reference_model(
+        ops in proptest::collection::vec(
+            (0u64..240, proptest::collection::vec(any::<u8>(), 1..16), any::<bool>()),
+            1..24,
+        )
+    ) {
+        let sim = Simulation::new();
+        let mem = Arc::new(Memory::new("ram", 256));
+        let port = OcpMasterPort::bind(MasterId(0), mem);
+        let mismatch = Arc::new(Mutex::new(None));
+        {
+            let mismatch = Arc::clone(&mismatch);
+            sim.spawn_thread("m", move |ctx| {
+                let mut model = vec![0u8; 256];
+                for (addr, data, is_write) in &ops {
+                    let len = data.len().min(256 - *addr as usize);
+                    if len == 0 { continue; }
+                    if *is_write {
+                        port.write(ctx, *addr, data[..len].to_vec()).unwrap();
+                        model[*addr as usize..*addr as usize + len]
+                            .copy_from_slice(&data[..len]);
+                    } else {
+                        let got = port.read(ctx, *addr, len).unwrap();
+                        let want = &model[*addr as usize..*addr as usize + len];
+                        if got != want {
+                            *mismatch.lock().unwrap() =
+                                Some(format!("at {addr:#x}: {got:?} != {want:?}"));
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+        sim.run();
+        prop_assert!(mismatch.lock().unwrap().is_none(), "{:?}", mismatch.lock().unwrap());
+    }
+
+    /// Every in-range address routes; every out-of-range address yields a
+    /// decode error — the router is total and never panics.
+    #[test]
+    fn router_decode_is_total(addr in 0u64..0x4000) {
+        let sim = Simulation::new();
+        let mut router = Router::new("map");
+        router.map(0x100..0x200, Arc::new(Memory::new("a", 0x100)), true);
+        router.map(0x1000..0x2000, Arc::new(Memory::new("b", 0x1000)), true);
+        let port = OcpMasterPort::bind(MasterId(0), Arc::new(router));
+        let outcome = Arc::new(Mutex::new(None));
+        {
+            let outcome = Arc::clone(&outcome);
+            sim.spawn_thread("m", move |ctx| {
+                *outcome.lock().unwrap() = Some(port.read(ctx, addr, 1));
+            });
+        }
+        sim.run();
+        let result = outcome.lock().unwrap().take().unwrap();
+        let mapped = (0x100..0x200).contains(&addr) || (0x1000..0x2000).contains(&addr);
+        match (mapped, result) {
+            (true, Ok(d)) => prop_assert_eq!(d.len(), 1),
+            (false, Err(OcpError::AddressDecode { addr: a })) => prop_assert_eq!(a, addr),
+            (m, r) => prop_assert!(false, "mapped={m}, result={r:?}"),
+        }
+    }
+
+    /// Beat arithmetic: beats * word_bytes always covers the payload, with
+    /// less than one word of slack.
+    #[test]
+    fn beats_cover_payload(len in 0usize..5000, word in 1usize..32) {
+        let req = OcpRequest::read(0, len);
+        let beats = req.beats(word) as usize;
+        prop_assert!(beats * word >= len);
+        prop_assert!(beats >= 1);
+        if len > 0 {
+            prop_assert!((beats - 1) * word < len);
+        }
+    }
+
+    /// Request constructors preserve their inputs.
+    #[test]
+    fn request_constructors_roundtrip(addr in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let w = OcpRequest::write(addr, data.clone());
+        prop_assert_eq!(w.addr, addr);
+        prop_assert_eq!(w.cmd.len(), data.len());
+        prop_assert_eq!(w.cmd.mcmd(), MCmd::Write);
+        let r = OcpRequest::read(addr, data.len());
+        prop_assert_eq!(r.cmd.mcmd(), MCmd::Read);
+        prop_assert_eq!(r.cmd.len(), data.len());
+    }
+}

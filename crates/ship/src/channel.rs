@@ -1,0 +1,528 @@
+//! The SHIP channel: a directed point-to-point transaction channel with the
+//! four blocking interface method calls `send`, `recv`, `request`, `reply`
+//! (paper §2).
+//!
+//! A [`ShipChannel`] joins exactly two endpoints. Each endpoint is wrapped in
+//! a [`ShipPort`], the handle a processing element (PE) programs against.
+//! Because `ShipPort` is backed by the object-safe [`ShipEndpoint`] trait,
+//! the *same PE source code* runs unchanged when the channel is later mapped
+//! onto a bus (wrapper endpoints) or across the HW/SW boundary (device-driver
+//! endpoints) — the paper's central "no source change" constraint.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use shiptlm_kernel::event::Event;
+use shiptlm_kernel::process::ThreadCtx;
+use shiptlm_kernel::sim::SimHandle;
+use shiptlm_kernel::time::SimDur;
+
+use crate::error::ShipError;
+use crate::record::{fnv1a, ShipOp, TransactionLog, TxRecord};
+use crate::role::{RoleObservation, Usage};
+use crate::serialize::{from_wire, to_wire, ShipSerialize};
+
+/// Which end of a channel an endpoint sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The first endpoint.
+    A,
+    /// The second endpoint.
+    B,
+}
+
+impl Side {
+    /// The opposite end.
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::A => Side::B,
+            Side::B => Side::A,
+        }
+    }
+}
+
+/// Configuration of an (untimed or estimation-timed) SHIP channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShipConfig {
+    /// Maximum buffered messages per direction; `send` blocks when full.
+    pub capacity: usize,
+    /// Fixed transport latency applied to every transfer.
+    pub latency: SimDur,
+    /// Additional latency per payload byte (coarse bandwidth estimate for
+    /// pre-mapping exploration).
+    pub per_byte: SimDur,
+}
+
+impl Default for ShipConfig {
+    fn default() -> Self {
+        ShipConfig {
+            capacity: 16,
+            latency: SimDur::ZERO,
+            per_byte: SimDur::ZERO,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MsgKind {
+    Data,
+    Request,
+}
+
+#[derive(Debug)]
+struct Message {
+    kind: MsgKind,
+    bytes: Vec<u8>,
+}
+
+/// Per-side queue bundle; index *i* belongs to side *i* (0 = A, 1 = B).
+#[derive(Debug, Default)]
+struct DirQueues {
+    /// Data/request messages **from** this side to the opposite one.
+    messages: VecDeque<Message>,
+    /// Replies destined **to** this side (this side was the requester).
+    replies: VecDeque<Vec<u8>>,
+    /// Requests **from** this side the peer has popped but not yet replied
+    /// to.
+    owed_replies: u64,
+}
+
+struct ChanShared {
+    name: String,
+    config: ShipConfig,
+    /// Index 0: A→B traffic; index 1: B→A traffic.
+    dirs: [Mutex<DirQueues>; 2],
+    /// Message enqueued by side [A, B].
+    msg_written: [Event; 2],
+    /// Message dequeued from side [A, B]'s queue.
+    msg_read: [Event; 2],
+    /// Reply delivered to side [A, B].
+    reply_written: [Event; 2],
+    usage: [Arc<Usage>; 2],
+}
+
+impl ChanShared {
+    fn dir_index(from: Side) -> usize {
+        match from {
+            Side::A => 0,
+            Side::B => 1,
+        }
+    }
+}
+
+/// A point-to-point SHIP channel between two endpoints.
+///
+/// ```
+/// use shiptlm_kernel::prelude::*;
+/// use shiptlm_ship::prelude::*;
+///
+/// let sim = Simulation::new();
+/// let channel = ShipChannel::new(&sim.handle(), "link", ShipConfig::default());
+/// let (master, slave) = channel.ports("producer", "consumer");
+/// sim.spawn_thread("producer", move |ctx| {
+///     master.send(ctx, &42u32).unwrap();
+///     let doubled: u32 = master.request(ctx, &21u32).unwrap();
+///     assert_eq!(doubled, 42);
+/// });
+/// sim.spawn_thread("consumer", move |ctx| {
+///     assert_eq!(slave.recv::<u32>(ctx).unwrap(), 42);
+///     let q: u32 = slave.recv(ctx).unwrap();
+///     slave.reply(ctx, &(q * 2)).unwrap();
+/// });
+/// sim.run();
+/// assert_eq!(channel.observed_roles().0.role(), Some(Role::Master));
+/// ```
+pub struct ShipChannel {
+    shared: Arc<ChanShared>,
+}
+
+impl ShipChannel {
+    /// Creates a channel on the given simulation.
+    pub fn new(sim: &SimHandle, name: &str, config: ShipConfig) -> Self {
+        assert!(config.capacity > 0, "ship channel capacity must be non-zero");
+        let ev = |suffix: &str| sim.event(&format!("{name}.{suffix}"));
+        ShipChannel {
+            shared: Arc::new(ChanShared {
+                name: name.to_string(),
+                config,
+                dirs: [
+                    Mutex::new(DirQueues::default()),
+                    Mutex::new(DirQueues::default()),
+                ],
+                msg_written: [ev("a2b.written"), ev("b2a.written")],
+                msg_read: [ev("a2b.read"), ev("b2a.read")],
+                reply_written: [ev("reply2a"), ev("reply2b")],
+                usage: [Arc::new(Usage::new()), Arc::new(Usage::new())],
+            }),
+        }
+    }
+
+    /// The channel's name.
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// Creates the two port handles, labelled with their PE names.
+    /// Call once; PEs keep their port for the whole simulation.
+    pub fn ports(&self, label_a: &str, label_b: &str) -> (ShipPort, ShipPort) {
+        let a = ShipPort {
+            endpoint: Arc::new(ChannelEndpoint {
+                shared: Arc::clone(&self.shared),
+                side: Side::A,
+            }),
+            usage: Arc::clone(&self.shared.usage[0]),
+            channel: self.shared.name.clone(),
+            label: label_a.to_string(),
+            recorder: Arc::new(Mutex::new(None)),
+        };
+        let b = ShipPort {
+            endpoint: Arc::new(ChannelEndpoint {
+                shared: Arc::clone(&self.shared),
+                side: Side::B,
+            }),
+            usage: Arc::clone(&self.shared.usage[1]),
+            channel: self.shared.name.clone(),
+            label: label_b.to_string(),
+            recorder: Arc::new(Mutex::new(None)),
+        };
+        (a, b)
+    }
+
+    /// Observed roles of (side A, side B) — the paper's automatic
+    /// master/slave detection.
+    pub fn observed_roles(&self) -> (RoleObservation, RoleObservation) {
+        (
+            self.shared.usage[0].snapshot().observe(),
+            self.shared.usage[1].snapshot().observe(),
+        )
+    }
+
+    /// Validates that the channel ended up with exactly one master and one
+    /// slave end.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShipError::Protocol`] describing the offending end
+    /// otherwise.
+    pub fn validate_roles(&self) -> Result<(), ShipError> {
+        use RoleObservation::*;
+        match self.observed_roles() {
+            (Master, Slave) | (Slave, Master) => Ok(()),
+            (a, b) => Err(ShipError::Protocol(format!(
+                "channel '{}' has invalid role pair ({a}, {b})",
+                self.shared.name
+            ))),
+        }
+    }
+}
+
+impl fmt::Debug for ShipChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (ra, rb) = self.observed_roles();
+        f.debug_struct("ShipChannel")
+            .field("name", &self.shared.name)
+            .field("role_a", &ra)
+            .field("role_b", &rb)
+            .finish()
+    }
+}
+
+/// Raw byte-level endpoint behaviour behind a [`ShipPort`].
+///
+/// Implemented by the in-memory channel here, by SHIP↔OCP bus wrappers in
+/// `shiptlm-cam`, and by the eSW device-driver communication library in
+/// `shiptlm-hwsw`. PE code only ever sees [`ShipPort`], so swapping the
+/// backing endpoint never requires source changes.
+pub trait ShipEndpoint: Send + Sync {
+    /// Transfers `bytes` to the peer; blocks while the channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShipError`] on protocol violations.
+    fn send_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<(), ShipError>;
+
+    /// Receives the next message (data or request payload); blocks while
+    /// empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShipError`] on protocol violations.
+    fn recv_bytes(&self, ctx: &mut ThreadCtx) -> Result<Vec<u8>, ShipError>;
+
+    /// Sends a request and blocks until the matching reply arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShipError`] on protocol violations.
+    fn request_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<Vec<u8>, ShipError>;
+
+    /// Replies to the oldest outstanding request received on this end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShipError::Protocol`] when no request is outstanding.
+    fn reply_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<(), ShipError>;
+}
+
+struct ChannelEndpoint {
+    shared: Arc<ChanShared>,
+    side: Side,
+}
+
+impl ChannelEndpoint {
+    fn out_dir(&self) -> usize {
+        ChanShared::dir_index(self.side)
+    }
+    fn in_dir(&self) -> usize {
+        ChanShared::dir_index(self.side.opposite())
+    }
+
+    fn transport_delay(&self, ctx: &mut ThreadCtx, len: usize) {
+        let cfg = &self.shared.config;
+        let d = cfg.latency + cfg.per_byte.saturating_mul(len as u64);
+        if !d.is_zero() {
+            ctx.wait_for(d);
+        }
+    }
+
+    fn push_message(&self, ctx: &mut ThreadCtx, msg: Message) {
+        let dir = self.out_dir();
+        let mut msg = Some(msg);
+        loop {
+            {
+                let mut q = self.shared.dirs[dir].lock().unwrap_or_else(|e| e.into_inner());
+                if q.messages.len() < self.shared.config.capacity {
+                    q.messages.push_back(msg.take().expect("message consumed twice"));
+                    break;
+                }
+            }
+            ctx.wait(&self.shared.msg_read[dir]);
+        }
+        self.shared.msg_written[dir].notify_delta();
+    }
+
+    fn pop_message(&self, ctx: &mut ThreadCtx) -> Message {
+        let dir = self.in_dir();
+        loop {
+            {
+                let mut q = self.shared.dirs[dir].lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(m) = q.messages.pop_front() {
+                    if m.kind == MsgKind::Request {
+                        q.owed_replies += 1;
+                    }
+                    drop(q);
+                    self.shared.msg_read[dir].notify_delta();
+                    return m;
+                }
+            }
+            ctx.wait(&self.shared.msg_written[dir]);
+        }
+    }
+}
+
+impl ShipEndpoint for ChannelEndpoint {
+    fn send_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<(), ShipError> {
+        self.transport_delay(ctx, bytes.len());
+        self.push_message(
+            ctx,
+            Message {
+                kind: MsgKind::Data,
+                bytes,
+            },
+        );
+        Ok(())
+    }
+
+    fn recv_bytes(&self, ctx: &mut ThreadCtx) -> Result<Vec<u8>, ShipError> {
+        Ok(self.pop_message(ctx).bytes)
+    }
+
+    fn request_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<Vec<u8>, ShipError> {
+        self.transport_delay(ctx, bytes.len());
+        self.push_message(
+            ctx,
+            Message {
+                kind: MsgKind::Request,
+                bytes,
+            },
+        );
+        // Wait for a reply travelling back to this side.
+        let my_dir = self.out_dir(); // replies-to-me are indexed by my side
+        loop {
+            {
+                let mut q = self.shared.dirs[my_dir]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                if let Some(r) = q.replies.pop_front() {
+                    return Ok(r);
+                }
+            }
+            ctx.wait(&self.shared.reply_written[my_dir]);
+        }
+    }
+
+    fn reply_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<(), ShipError> {
+        self.transport_delay(ctx, bytes.len());
+        // The requester lives on the opposite side; its reply queue is
+        // indexed by *its* side.
+        let peer_dir = self.in_dir();
+        {
+            let mut q = self.shared.dirs[peer_dir]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if q.owed_replies == 0 {
+                return Err(ShipError::Protocol(format!(
+                    "reply on channel '{}' without an outstanding request",
+                    self.shared.name
+                )));
+            }
+            q.owed_replies -= 1;
+            q.replies.push_back(bytes);
+        }
+        self.shared.reply_written[peer_dir].notify_delta();
+        Ok(())
+    }
+}
+
+/// The typed, recorded handle a PE uses to talk SHIP.
+///
+/// Obtained from [`ShipChannel::ports`] (or from wrapper/driver factories at
+/// lower abstraction levels). All four calls block the calling process, per
+/// the paper.
+#[derive(Clone)]
+pub struct ShipPort {
+    endpoint: Arc<dyn ShipEndpoint>,
+    usage: Arc<Usage>,
+    channel: String,
+    label: String,
+    recorder: Arc<Mutex<Option<TransactionLog>>>,
+}
+
+impl ShipPort {
+    /// Builds a port around a custom [`ShipEndpoint`] backend (used by bus
+    /// wrappers and the eSW communication library).
+    pub fn from_endpoint(
+        endpoint: Arc<dyn ShipEndpoint>,
+        channel: &str,
+        label: &str,
+    ) -> ShipPort {
+        ShipPort {
+            endpoint,
+            usage: Arc::new(Usage::new()),
+            channel: channel.to_string(),
+            label: label.to_string(),
+            recorder: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// The channel name this port belongs to.
+    pub fn channel_name(&self) -> &str {
+        &self.channel
+    }
+
+    /// The PE label given at creation.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Attaches a transaction log; every completed call is recorded.
+    pub fn attach_recorder(&self, log: TransactionLog) {
+        *self.recorder.lock().unwrap_or_else(|e| e.into_inner()) = Some(log);
+    }
+
+    /// The role observed from this port's usage so far.
+    pub fn observed_role(&self) -> RoleObservation {
+        self.usage.snapshot().observe()
+    }
+
+    /// Raw usage counters.
+    pub fn usage(&self) -> crate::role::UsageSnapshot {
+        self.usage.snapshot()
+    }
+
+    fn record(&self, ctx: &ThreadCtx, op: ShipOp, bytes: &[u8], start: shiptlm_kernel::time::SimTime) {
+        let g = self.recorder.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(log) = g.as_ref() {
+            log.push(TxRecord {
+                channel: self.channel.clone(),
+                port: self.label.clone(),
+                op,
+                len: bytes.len(),
+                digest: fnv1a(bytes),
+                start,
+                end: ctx.now(),
+            });
+        }
+    }
+
+    /// Sends `value` to the peer (master call). Blocks while the channel is
+    /// full.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShipError`] on protocol violations.
+    pub fn send<T: ShipSerialize>(&self, ctx: &mut ThreadCtx, value: &T) -> Result<(), ShipError> {
+        let start = ctx.now();
+        let bytes = to_wire(value);
+        self.usage.count_send();
+        self.endpoint.send_bytes(ctx, bytes.clone())?;
+        self.record(ctx, ShipOp::Send, &bytes, start);
+        Ok(())
+    }
+
+    /// Receives the next message (slave call). Blocks while empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShipError::Wire`] when the payload cannot decode as `T`.
+    pub fn recv<T: ShipSerialize>(&self, ctx: &mut ThreadCtx) -> Result<T, ShipError> {
+        let start = ctx.now();
+        self.usage.count_recv();
+        let bytes = self.endpoint.recv_bytes(ctx)?;
+        self.record(ctx, ShipOp::Recv, &bytes, start);
+        Ok(from_wire(&bytes)?)
+    }
+
+    /// Sends a request and blocks until the reply arrives (master call).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShipError::Wire`] when the reply cannot decode as `R`.
+    pub fn request<Q, R>(&self, ctx: &mut ThreadCtx, req: &Q) -> Result<R, ShipError>
+    where
+        Q: ShipSerialize,
+        R: ShipSerialize,
+    {
+        let start = ctx.now();
+        let bytes = to_wire(req);
+        self.usage.count_request();
+        let reply = self.endpoint.request_bytes(ctx, bytes)?;
+        self.record(ctx, ShipOp::Request, &reply, start);
+        Ok(from_wire(&reply)?)
+    }
+
+    /// Replies to the oldest outstanding request (slave call).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShipError::Protocol`] when no request is outstanding.
+    pub fn reply<T: ShipSerialize>(&self, ctx: &mut ThreadCtx, value: &T) -> Result<(), ShipError> {
+        let start = ctx.now();
+        let bytes = to_wire(value);
+        self.usage.count_reply();
+        self.endpoint.reply_bytes(ctx, bytes.clone())?;
+        self.record(ctx, ShipOp::Reply, &bytes, start);
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ShipPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShipPort")
+            .field("channel", &self.channel)
+            .field("label", &self.label)
+            .field("role", &self.observed_role())
+            .finish()
+    }
+}

@@ -1,0 +1,40 @@
+//! SHIP protocol errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::wire::WireError;
+
+/// Failure of a SHIP channel operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShipError {
+    /// The payload could not be decoded into the requested type.
+    Wire(WireError),
+    /// The four-call protocol was violated (e.g. `reply` without an
+    /// outstanding `request`).
+    Protocol(String),
+}
+
+impl fmt::Display for ShipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShipError::Wire(e) => write!(f, "ship wire error: {e}"),
+            ShipError::Protocol(s) => write!(f, "ship protocol violation: {s}"),
+        }
+    }
+}
+
+impl Error for ShipError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ShipError::Wire(e) => Some(e),
+            ShipError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<WireError> for ShipError {
+    fn from(e: WireError) -> Self {
+        ShipError::Wire(e)
+    }
+}

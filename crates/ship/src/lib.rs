@@ -1,0 +1,62 @@
+//! # shiptlm-ship
+//!
+//! The **SHIP** protocol (*SystemC High-level Interface Protocol*) from
+//! Klingauf, *Systematic Transaction Level Modeling of Embedded Systems with
+//! SystemC* (DATE 2005), §2 — reimplemented in Rust on the
+//! [`shiptlm-kernel`](shiptlm_kernel) discrete-event kernel.
+//!
+//! SHIP is "a lightweight communication protocol for transaction-based
+//! modeling of directed point-to-point connections between two communication
+//! entities". This crate provides:
+//!
+//! * the [`ShipChannel`](channel::ShipChannel) message-passing channel with
+//!   the four blocking interface method calls `send`, `recv`, `request` and
+//!   `reply`;
+//! * the [`ShipSerialize`](serialize::ShipSerialize) trait (the paper's
+//!   `ship_serializable_if`) and a [wire format](wire), plus a
+//!   [serde adapter](codec) so *any* serializable object can travel through a
+//!   channel;
+//! * [automatic master/slave detection](role) from observed call usage;
+//! * [transaction recording](record) for cross-abstraction-level equivalence
+//!   checking.
+//!
+//! ## Example
+//!
+//! ```
+//! use shiptlm_kernel::prelude::*;
+//! use shiptlm_ship::prelude::*;
+//!
+//! let sim = Simulation::new();
+//! let ch = ShipChannel::new(&sim.handle(), "dct2q", ShipConfig::default());
+//! let (tx, rx) = ch.ports("dct", "quant");
+//! sim.spawn_thread("dct", move |ctx| {
+//!     tx.send(ctx, &vec![1i32, -2, 3]).unwrap();
+//! });
+//! sim.spawn_thread("quant", move |ctx| {
+//!     let block: Vec<i32> = rx.recv(ctx).unwrap();
+//!     assert_eq!(block, vec![1, -2, 3]);
+//! });
+//! sim.run();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod channel;
+pub mod codec;
+pub mod error;
+pub mod record;
+pub mod role;
+pub mod serialize;
+pub mod wire;
+
+/// Commonly used SHIP items.
+pub mod prelude {
+    pub use crate::channel::{ShipChannel, ShipConfig, ShipEndpoint, ShipPort, Side};
+    pub use crate::codec::Serde;
+    pub use crate::error::ShipError;
+    pub use crate::record::{ShipOp, TransactionLog, TxRecord};
+    pub use crate::role::{Role, RoleObservation, Usage, UsageSnapshot};
+    pub use crate::serialize::{from_wire, to_wire, ShipSerialize};
+    pub use crate::wire::{ByteReader, ByteWriter, WireError};
+}

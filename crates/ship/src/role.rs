@@ -1,0 +1,183 @@
+//! Automatic master/slave detection (paper §2).
+//!
+//! "PEs that exclusively use the `send` and `request` functions implicitly
+//! represent a communication master, `recv` and `reply` are slave methods.
+//! When consequently applied, this allows for automatic master/slave
+//! detection."
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A communication role derived from observed call usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Initiates transfers (`send` / `request`).
+    Master,
+    /// Responds to transfers (`recv` / `reply`).
+    Slave,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Role::Master => "master",
+            Role::Slave => "slave",
+        })
+    }
+}
+
+/// Outcome of observing an endpoint's call usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoleObservation {
+    /// No calls observed yet.
+    Unused,
+    /// Only master calls observed.
+    Master,
+    /// Only slave calls observed.
+    Slave,
+    /// Both master and slave calls observed — the PE violates the SHIP
+    /// discipline and cannot be mapped automatically.
+    Inconsistent,
+}
+
+impl RoleObservation {
+    /// The definite role, if one was established.
+    pub fn role(self) -> Option<Role> {
+        match self {
+            RoleObservation::Master => Some(Role::Master),
+            RoleObservation::Slave => Some(Role::Slave),
+            _ => None,
+        }
+    }
+
+    /// Merges observations from several ports of the same PE.
+    pub fn combine(self, other: RoleObservation) -> RoleObservation {
+        use RoleObservation::*;
+        match (self, other) {
+            (Unused, x) | (x, Unused) => x,
+            (Master, Master) => Master,
+            (Slave, Slave) => Slave,
+            _ => Inconsistent,
+        }
+    }
+}
+
+impl fmt::Display for RoleObservation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RoleObservation::Unused => "unused",
+            RoleObservation::Master => "master",
+            RoleObservation::Slave => "slave",
+            RoleObservation::Inconsistent => "inconsistent",
+        })
+    }
+}
+
+/// Thread-safe call-usage counters attached to each SHIP port.
+#[derive(Debug, Default)]
+pub struct Usage {
+    sends: AtomicU64,
+    recvs: AtomicU64,
+    requests: AtomicU64,
+    replies: AtomicU64,
+}
+
+impl Usage {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Usage::default()
+    }
+
+    pub(crate) fn count_send(&self) {
+        self.sends.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn count_recv(&self) {
+        self.recvs.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn count_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn count_reply(&self) {
+        self.replies.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> UsageSnapshot {
+        UsageSnapshot {
+            sends: self.sends.load(Ordering::Relaxed),
+            recvs: self.recvs.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            replies: self.replies.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Counter values captured by [`Usage::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UsageSnapshot {
+    /// Number of `send` calls.
+    pub sends: u64,
+    /// Number of `recv` calls.
+    pub recvs: u64,
+    /// Number of `request` calls.
+    pub requests: u64,
+    /// Number of `reply` calls.
+    pub replies: u64,
+}
+
+impl UsageSnapshot {
+    /// Derives the observed role per the paper's rule.
+    pub fn observe(self) -> RoleObservation {
+        let master = self.sends + self.requests > 0;
+        let slave = self.recvs + self.replies > 0;
+        match (master, slave) {
+            (false, false) => RoleObservation::Unused,
+            (true, false) => RoleObservation::Master,
+            (false, true) => RoleObservation::Slave,
+            (true, true) => RoleObservation::Inconsistent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_detection_rules() {
+        let mk = |s, r, q, p| UsageSnapshot {
+            sends: s,
+            recvs: r,
+            requests: q,
+            replies: p,
+        };
+        assert_eq!(mk(0, 0, 0, 0).observe(), RoleObservation::Unused);
+        assert_eq!(mk(3, 0, 0, 0).observe(), RoleObservation::Master);
+        assert_eq!(mk(0, 0, 2, 0).observe(), RoleObservation::Master);
+        assert_eq!(mk(0, 5, 0, 0).observe(), RoleObservation::Slave);
+        assert_eq!(mk(0, 0, 0, 1).observe(), RoleObservation::Slave);
+        assert_eq!(mk(1, 1, 0, 0).observe(), RoleObservation::Inconsistent);
+    }
+
+    #[test]
+    fn combine_is_commutative_and_sticky() {
+        use RoleObservation::*;
+        assert_eq!(Unused.combine(Master), Master);
+        assert_eq!(Master.combine(Unused), Master);
+        assert_eq!(Master.combine(Slave), Inconsistent);
+        assert_eq!(Inconsistent.combine(Master), Inconsistent);
+        assert_eq!(Slave.combine(Slave), Slave);
+    }
+
+    #[test]
+    fn usage_counters_accumulate() {
+        let u = Usage::new();
+        u.count_send();
+        u.count_send();
+        u.count_reply();
+        let s = u.snapshot();
+        assert_eq!(s.sends, 2);
+        assert_eq!(s.replies, 1);
+        assert_eq!(s.observe(), RoleObservation::Inconsistent);
+    }
+}

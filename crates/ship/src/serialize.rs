@@ -1,0 +1,259 @@
+//! The `ShipSerialize` trait — the Rust analogue of the paper's
+//! `ship_serializable_if` interface with its `serialize` / `deserialize`
+//! functions.
+//!
+//! Any type implementing [`ShipSerialize`] can travel through a
+//! [`ShipChannel`](crate::channel::ShipChannel). Implementations are provided
+//! for the primitive types, `String`, `Option`, `Vec`, arrays, and tuples;
+//! arbitrary `serde` types ride along via [`Serde`](crate::codec::Serde).
+
+use crate::wire::{ByteReader, ByteWriter, WireError};
+
+/// Objects that can be flattened into a SHIP wire stream and back.
+///
+/// ```
+/// use shiptlm_ship::prelude::*;
+///
+/// #[derive(Debug, PartialEq)]
+/// struct Frame { id: u32, data: Vec<u8> }
+///
+/// impl ShipSerialize for Frame {
+///     fn serialize(&self, w: &mut ByteWriter) {
+///         self.id.serialize(w);
+///         self.data.serialize(w);
+///     }
+///     fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+///         Ok(Frame { id: u32::deserialize(r)?, data: Vec::deserialize(r)? })
+///     }
+/// }
+///
+/// # fn main() -> Result<(), WireError> {
+/// let frame = Frame { id: 7, data: vec![1, 2, 3] };
+/// let bytes = to_wire(&frame);
+/// assert_eq!(from_wire::<Frame>(&bytes)?, frame);
+/// # Ok(())
+/// # }
+/// ```
+pub trait ShipSerialize: Sized {
+    /// Appends this object's wire representation to `w`.
+    fn serialize(&self, w: &mut ByteWriter);
+
+    /// Reconstructs an object from the wire stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] when the stream is truncated or malformed.
+    fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError>;
+}
+
+/// Serializes `value` into a fresh byte vector.
+pub fn to_wire<T: ShipSerialize>(value: &T) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    value.serialize(&mut w);
+    w.into_bytes()
+}
+
+/// Deserializes a `T` from `bytes`, requiring the stream to be fully
+/// consumed.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on malformed input or trailing bytes.
+pub fn from_wire<T: ShipSerialize>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut r = ByteReader::new(bytes);
+    let v = T::deserialize(&mut r)?;
+    if !r.is_exhausted() {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(v)
+}
+
+macro_rules! impl_ship_primitive {
+    ($($t:ty => $put:ident, $get:ident);* $(;)?) => {$(
+        impl ShipSerialize for $t {
+            fn serialize(&self, w: &mut ByteWriter) {
+                w.$put(*self);
+            }
+            fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+                r.$get()
+            }
+        }
+    )*};
+}
+
+impl_ship_primitive! {
+    bool => put_bool, get_bool;
+    u8 => put_u8, get_u8;
+    u16 => put_u16, get_u16;
+    u32 => put_u32, get_u32;
+    u64 => put_u64, get_u64;
+    i8 => put_i8, get_i8;
+    i16 => put_i16, get_i16;
+    i32 => put_i32, get_i32;
+    i64 => put_i64, get_i64;
+    f32 => put_f32, get_f32;
+    f64 => put_f64, get_f64;
+}
+
+impl ShipSerialize for usize {
+    fn serialize(&self, w: &mut ByteWriter) {
+        w.put_u64(*self as u64);
+    }
+    fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        let v = r.get_u64()?;
+        usize::try_from(v).map_err(|_| WireError::BadLength(v))
+    }
+}
+
+impl ShipSerialize for () {
+    fn serialize(&self, _w: &mut ByteWriter) {}
+    fn deserialize(_r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl ShipSerialize for String {
+    fn serialize(&self, w: &mut ByteWriter) {
+        w.put_len_prefixed(self.as_bytes());
+    }
+    fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        let bytes = r.get_len_prefixed()?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| WireError::InvalidValue(format!("utf-8: {e}")))
+    }
+}
+
+impl<T: ShipSerialize> ShipSerialize for Option<T> {
+    fn serialize(&self, w: &mut ByteWriter) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.serialize(w);
+            }
+        }
+    }
+    fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize(r)?)),
+            b => Err(WireError::InvalidValue(format!("option tag {b:#x}"))),
+        }
+    }
+}
+
+impl<T: ShipSerialize> ShipSerialize for Vec<T> {
+    fn serialize(&self, w: &mut ByteWriter) {
+        w.put_u64(self.len() as u64);
+        for item in self {
+            item.serialize(w);
+        }
+    }
+    fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        let n = r.get_u64()?;
+        // Elements are at least one byte on the wire (except unit, whose
+        // vectors are pathological anyway); bound against the remainder.
+        if n > r.remaining() as u64 && std::mem::size_of::<T>() != 0 {
+            return Err(WireError::BadLength(n));
+        }
+        let mut out = Vec::with_capacity(n.min(1 << 20) as usize);
+        for _ in 0..n {
+            out.push(T::deserialize(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: ShipSerialize, const N: usize> ShipSerialize for [T; N] {
+    fn serialize(&self, w: &mut ByteWriter) {
+        for item in self {
+            item.serialize(w);
+        }
+    }
+    fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(T::deserialize(r)?);
+        }
+        out.try_into()
+            .map_err(|_| WireError::InvalidValue("array length".into()))
+    }
+}
+
+macro_rules! impl_ship_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: ShipSerialize),+> ShipSerialize for ($($name,)+) {
+            fn serialize(&self, w: &mut ByteWriter) {
+                $(self.$idx.serialize(w);)+
+            }
+            fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+                Ok(($($name::deserialize(r)?,)+))
+            }
+        }
+    };
+}
+
+impl_ship_tuple!(A: 0);
+impl_ship_tuple!(A: 0, B: 1);
+impl_ship_tuple!(A: 0, B: 1, C: 2);
+impl_ship_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: ShipSerialize + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = to_wire(&v);
+        assert_eq!(from_wire::<T>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(true);
+        roundtrip(0xFFu8);
+        roundtrip(-123i64);
+        roundtrip(3.25f32);
+        roundtrip(f64::MIN_POSITIVE);
+        roundtrip(usize::MAX);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(String::from("grüße from Braunschweig"));
+        roundtrip(Some(42u32));
+        roundtrip(Option::<u32>::None);
+        roundtrip(vec![1u16, 2, 3]);
+        roundtrip(vec![vec![1u8], vec![], vec![2, 3]]);
+        roundtrip([7u32; 4]);
+        roundtrip((1u8, String::from("x"), vec![9u64]));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_wire(&5u8);
+        bytes.push(0);
+        assert_eq!(from_wire::<u8>(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn vec_length_bomb_rejected() {
+        // A length prefix of u64::MAX must not cause a huge allocation.
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            from_wire::<Vec<u8>>(&bytes),
+            Err(WireError::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_len_prefixed(&[0xFF, 0xFE]);
+        assert!(matches!(
+            from_wire::<String>(&w.into_bytes()),
+            Err(WireError::InvalidValue(_))
+        ));
+    }
+}

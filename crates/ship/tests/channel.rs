@@ -1,0 +1,325 @@
+//! SHIP channel behaviour: the four blocking calls, back-pressure, RPC
+//! ordering, role detection and transaction recording.
+
+use std::sync::{Arc, Mutex};
+
+use shiptlm_kernel::prelude::*;
+use shiptlm_ship::prelude::*;
+
+fn channel(sim: &Simulation, name: &str) -> ShipChannel {
+    ShipChannel::new(&sim.handle(), name, ShipConfig::default())
+}
+
+#[test]
+fn send_recv_transfers_objects_in_order() {
+    let sim = Simulation::new();
+    let ch = channel(&sim, "c");
+    let (tx, rx) = ch.ports("p", "c");
+    let got = Arc::new(Mutex::new(Vec::new()));
+    sim.spawn_thread("p", move |ctx| {
+        for i in 0..20u32 {
+            tx.send(ctx, &(i, format!("msg{i}"))).unwrap();
+        }
+    });
+    {
+        let got = Arc::clone(&got);
+        sim.spawn_thread("c", move |ctx| {
+            for _ in 0..20 {
+                let (i, s): (u32, String) = rx.recv(ctx).unwrap();
+                got.lock().unwrap().push((i, s));
+            }
+        });
+    }
+    sim.run();
+    let got = got.lock().unwrap();
+    assert_eq!(got.len(), 20);
+    for (i, (n, s)) in got.iter().enumerate() {
+        assert_eq!(*n, i as u32);
+        assert_eq!(s, &format!("msg{i}"));
+    }
+}
+
+#[test]
+fn send_blocks_on_full_channel() {
+    let sim = Simulation::new();
+    let ch = ShipChannel::new(
+        &sim.handle(),
+        "small",
+        ShipConfig {
+            capacity: 2,
+            ..ShipConfig::default()
+        },
+    );
+    let (tx, rx) = ch.ports("p", "c");
+    let send_times = Arc::new(Mutex::new(Vec::new()));
+    {
+        let st = Arc::clone(&send_times);
+        sim.spawn_thread("p", move |ctx| {
+            for i in 0..4u8 {
+                tx.send(ctx, &i).unwrap();
+                st.lock().unwrap().push(ctx.now().as_ps());
+            }
+        });
+    }
+    sim.spawn_thread("c", move |ctx| {
+        for _ in 0..4 {
+            ctx.wait_for(SimDur::ns(100));
+            let _: u8 = rx.recv(ctx).unwrap();
+        }
+    });
+    sim.run();
+    let st = send_times.lock().unwrap();
+    // First two fit the buffer at t=0; the rest wait for reads at 100/200 ns.
+    assert_eq!(st[0], 0);
+    assert_eq!(st[1], 0);
+    assert_eq!(st[2], 100_000);
+    assert_eq!(st[3], 200_000);
+}
+
+#[test]
+fn request_reply_rpc_roundtrip() {
+    let sim = Simulation::new();
+    let ch = channel(&sim, "rpc");
+    let (master, slave) = ch.ports("cpu", "acc");
+    sim.spawn_thread("cpu", move |ctx| {
+        for i in 0..10u64 {
+            let sq: u64 = master.request(ctx, &i).unwrap();
+            assert_eq!(sq, i * i);
+        }
+    });
+    sim.spawn_thread("acc", move |ctx| {
+        for _ in 0..10 {
+            let q: u64 = slave.recv(ctx).unwrap();
+            slave.reply(ctx, &(q * q)).unwrap();
+        }
+    });
+    let r = sim.run();
+    assert_eq!(r.reason, StopReason::Starved);
+    assert_eq!(ch.observed_roles().0, RoleObservation::Master);
+    assert_eq!(ch.observed_roles().1, RoleObservation::Slave);
+    assert!(ch.validate_roles().is_ok());
+}
+
+#[test]
+fn reply_without_request_is_a_protocol_error() {
+    let sim = Simulation::new();
+    let ch = channel(&sim, "bad");
+    let (_m, slave) = ch.ports("m", "s");
+    let err = Arc::new(Mutex::new(None));
+    {
+        let err = Arc::clone(&err);
+        sim.spawn_thread("s", move |ctx| {
+            let e = slave.reply(ctx, &1u8).unwrap_err();
+            *err.lock().unwrap() = Some(e);
+        });
+    }
+    sim.run();
+    assert!(matches!(
+        err.lock().unwrap().take(),
+        Some(ShipError::Protocol(_))
+    ));
+}
+
+#[test]
+fn mixed_usage_detected_as_inconsistent() {
+    let sim = Simulation::new();
+    let ch = channel(&sim, "mix");
+    let (a, b) = ch.ports("a", "b");
+    sim.spawn_thread("a", move |ctx| {
+        a.send(ctx, &1u8).unwrap();
+        let _: u8 = a.recv(ctx).unwrap(); // violates master discipline
+    });
+    sim.spawn_thread("b", move |ctx| {
+        let _: u8 = b.recv(ctx).unwrap();
+        b.send(ctx, &2u8).unwrap();
+    });
+    sim.run();
+    let (ra, rb) = ch.observed_roles();
+    assert_eq!(ra, RoleObservation::Inconsistent);
+    assert_eq!(rb, RoleObservation::Inconsistent);
+    assert!(ch.validate_roles().is_err());
+}
+
+#[test]
+fn unused_channel_roles() {
+    let sim = Simulation::new();
+    let ch = channel(&sim, "idle");
+    let (_a, _b) = ch.ports("a", "b");
+    sim.run();
+    assert_eq!(ch.observed_roles(), (RoleObservation::Unused, RoleObservation::Unused));
+}
+
+#[test]
+fn wrong_type_decode_fails_cleanly() {
+    let sim = Simulation::new();
+    let ch = channel(&sim, "c");
+    let (tx, rx) = ch.ports("p", "c");
+    let got = Arc::new(Mutex::new(None));
+    sim.spawn_thread("p", move |ctx| {
+        tx.send(ctx, &0xFFu8).unwrap(); // one byte
+    });
+    {
+        let got = Arc::clone(&got);
+        sim.spawn_thread("c", move |ctx| {
+            // Try to decode as u32: four bytes needed.
+            *got.lock().unwrap() = Some(rx.recv::<u32>(ctx));
+        });
+    }
+    sim.run();
+    assert!(matches!(
+        got.lock().unwrap().take(),
+        Some(Err(ShipError::Wire(_)))
+    ));
+}
+
+#[test]
+fn channel_timing_models_latency_and_bandwidth() {
+    let sim = Simulation::new();
+    let ch = ShipChannel::new(
+        &sim.handle(),
+        "timed",
+        ShipConfig {
+            capacity: 16,
+            latency: SimDur::ns(100),
+            per_byte: SimDur::ns(1),
+        },
+    );
+    let (tx, rx) = ch.ports("p", "c");
+    let recv_time = Arc::new(Mutex::new(SimTime::ZERO));
+    sim.spawn_thread("p", move |ctx| {
+        // Vec<u8> of 8 bytes: wire size = 8-byte length prefix + 8 = 16 bytes.
+        tx.send(ctx, &vec![0u8; 8]).unwrap();
+    });
+    {
+        let rt = Arc::clone(&recv_time);
+        sim.spawn_thread("c", move |ctx| {
+            let _: Vec<u8> = rx.recv(ctx).unwrap();
+            *rt.lock().unwrap() = ctx.now();
+        });
+    }
+    sim.run();
+    // 100 ns latency + 16 bytes * 1 ns.
+    assert_eq!(*recv_time.lock().unwrap(), SimTime::ZERO + SimDur::ns(116));
+}
+
+#[test]
+fn serde_payloads_travel_through_channels() {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
+    struct MacroBlock {
+        x: u16,
+        y: u16,
+        coeffs: Vec<i16>,
+    }
+
+    let sim = Simulation::new();
+    let ch = channel(&sim, "blocks");
+    let (tx, rx) = ch.ports("front", "back");
+    let block = MacroBlock {
+        x: 3,
+        y: 7,
+        coeffs: (0..64).map(|i| i - 32).collect(),
+    };
+    let expected = block.clone();
+    sim.spawn_thread("front", move |ctx| {
+        tx.send(ctx, &Serde(block.clone())).unwrap();
+    });
+    sim.spawn_thread("back", move |ctx| {
+        let got: Serde<MacroBlock> = rx.recv(ctx).unwrap();
+        assert_eq!(got.0, expected);
+    });
+    sim.run();
+}
+
+#[test]
+fn recorder_captures_all_operations() {
+    let sim = Simulation::new();
+    let ch = channel(&sim, "rec");
+    let (m, s) = ch.ports("m", "s");
+    let log = TransactionLog::new();
+    m.attach_recorder(log.clone());
+    s.attach_recorder(log.clone());
+    sim.spawn_thread("m", move |ctx| {
+        m.send(ctx, &1u32).unwrap();
+        let _: u32 = m.request(ctx, &2u32).unwrap();
+    });
+    sim.spawn_thread("s", move |ctx| {
+        let _: u32 = s.recv(ctx).unwrap();
+        let _: u32 = s.recv(ctx).unwrap();
+        s.reply(ctx, &99u32).unwrap();
+    });
+    sim.run();
+    let recs = log.to_vec();
+    assert_eq!(recs.len(), 5);
+    let ops: Vec<ShipOp> = recs.iter().map(|r| r.op).collect();
+    assert!(ops.contains(&ShipOp::Send));
+    assert!(ops.contains(&ShipOp::Request));
+    assert!(ops.contains(&ShipOp::Reply));
+    assert_eq!(ops.iter().filter(|o| **o == ShipOp::Recv).count(), 2);
+}
+
+#[test]
+fn equivalent_runs_produce_equivalent_logs() {
+    // Run the same workload twice (different channel timing) and compare.
+    let run = |latency: SimDur| {
+        let sim = Simulation::new();
+        let ch = ShipChannel::new(
+            &sim.handle(),
+            "c",
+            ShipConfig {
+                capacity: 4,
+                latency,
+                per_byte: SimDur::ZERO,
+            },
+        );
+        let (tx, rx) = ch.ports("p", "c");
+        let log = TransactionLog::new();
+        tx.attach_recorder(log.clone());
+        rx.attach_recorder(log.clone());
+        sim.spawn_thread("p", move |ctx| {
+            for i in 0..8u32 {
+                tx.send(ctx, &vec![i as u8; (i + 1) as usize]).unwrap();
+            }
+        });
+        sim.spawn_thread("c", move |ctx| {
+            for _ in 0..8 {
+                let _: Vec<u8> = rx.recv(ctx).unwrap();
+            }
+        });
+        sim.run();
+        log
+    };
+    let fast = run(SimDur::ZERO);
+    let slow = run(SimDur::us(3));
+    assert!(fast.content_equivalent(&slow).is_ok());
+}
+
+#[test]
+fn multiple_outstanding_requests_replied_in_fifo_order() {
+    let sim = Simulation::new();
+    let ch = channel(&sim, "pipe");
+    let (m, s) = ch.ports("m", "s");
+    let results = Arc::new(Mutex::new(Vec::new()));
+    // Two master processes sharing the port would be unusual; instead one
+    // master fires requests back-to-back from a helper protocol: here we
+    // emulate pipelining by having the slave delay replies.
+    {
+        let results = Arc::clone(&results);
+        sim.spawn_thread("m", move |ctx| {
+            for i in 0..3u32 {
+                let r: u32 = m.request(ctx, &i).unwrap();
+                results.lock().unwrap().push(r);
+            }
+        });
+    }
+    sim.spawn_thread("s", move |ctx| {
+        for _ in 0..3 {
+            let q: u32 = s.recv(ctx).unwrap();
+            ctx.wait_for(SimDur::ns(50));
+            s.reply(ctx, &(q + 100)).unwrap();
+        }
+    });
+    sim.run();
+    assert_eq!(*results.lock().unwrap(), vec![100, 101, 102]);
+}

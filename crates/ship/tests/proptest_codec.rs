@@ -1,0 +1,98 @@
+//! Property-based tests: every value the codec can encode decodes back to
+//! itself, and corrupted streams never panic.
+
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use shiptlm_ship::codec::{from_bytes, to_bytes};
+use shiptlm_ship::serialize::{from_wire, to_wire};
+
+#[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
+enum Op {
+    Idle,
+    Write { addr: u64, data: Vec<u8> },
+    Read(u64, u16),
+    Tag(String),
+}
+
+#[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
+struct Record {
+    id: u32,
+    ops: Vec<Op>,
+    note: Option<String>,
+    scale: f64,
+    flags: (bool, bool, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Idle),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(addr, data)| Op::Write { addr, data }),
+        (any::<u64>(), any::<u16>()).prop_map(|(a, n)| Op::Read(a, n)),
+        "[a-zA-Z0-9 ]{0,16}".prop_map(Op::Tag),
+    ]
+}
+
+fn record_strategy() -> impl Strategy<Value = Record> {
+    (
+        any::<u32>(),
+        proptest::collection::vec(op_strategy(), 0..8),
+        proptest::option::of("[ -~]{0,20}"),
+        any::<f64>().prop_filter("NaN breaks PartialEq", |f| !f.is_nan()),
+        (any::<bool>(), any::<bool>(), any::<u8>()),
+    )
+        .prop_map(|(id, ops, note, scale, flags)| Record {
+            id,
+            ops,
+            note,
+            scale,
+            flags,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn serde_roundtrip(rec in record_strategy()) {
+        let bytes = to_bytes(&rec).unwrap();
+        let back: Record = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn ship_serialize_roundtrip_vecs(v in proptest::collection::vec(any::<u32>(), 0..128)) {
+        let bytes = to_wire(&v);
+        let back: Vec<u32> = from_wire(&bytes).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn ship_serialize_roundtrip_strings(s in "\\PC{0,64}") {
+        let owned = s.to_string();
+        let bytes = to_wire(&owned);
+        let back: String = from_wire(&bytes).unwrap();
+        prop_assert_eq!(back, owned);
+    }
+
+    #[test]
+    fn truncation_never_panics(rec in record_strategy(), cut in 0usize..200) {
+        let bytes = to_bytes(&rec).unwrap();
+        let cut = cut.min(bytes.len());
+        // Either decodes to some value (prefix happens to be valid) or
+        // errors; must never panic or hang.
+        let _ = from_bytes::<Record>(&bytes[..cut]);
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = from_bytes::<Record>(&bytes);
+        let _ = from_wire::<Vec<u64>>(&bytes);
+        let _ = from_wire::<String>(&bytes);
+    }
+
+    #[test]
+    fn encoding_is_deterministic(rec in record_strategy()) {
+        prop_assert_eq!(to_bytes(&rec).unwrap(), to_bytes(&rec).unwrap());
+    }
+}

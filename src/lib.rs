@@ -1,0 +1,2 @@
+//! Meta-package hosting the workspace examples and integration tests.
+pub use shiptlm;
