@@ -7,7 +7,7 @@
 //! prototype level. The expected shape: each refinement costs roughly an
 //! order of magnitude in host simulation speed (messages per host second).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shiptlm_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use shiptlm::prelude::*;
 
 const STAGES: usize = 6;
@@ -31,12 +31,12 @@ fn bench_levels(c: &mut Criterion) {
             |b, &bytes| b.iter(|| run_component_assembly(&app(bytes)).unwrap()),
         );
         g.bench_with_input(BenchmarkId::new("ccatb", bytes), &bytes, |b, &bytes| {
-            b.iter(|| run_mapped(&app(bytes), &roles, &ArchSpec::plb()))
+            b.iter(|| run_mapped(&app(bytes), &roles, &ArchSpec::plb()).unwrap())
         });
         g.bench_with_input(
             BenchmarkId::new("pin_accurate", bytes),
             &bytes,
-            |b, &bytes| b.iter(|| run_pin_accurate(&app(bytes), &roles, &ArchSpec::plb())),
+            |b, &bytes| b.iter(|| run_pin_accurate(&app(bytes), &roles, &ArchSpec::plb()).unwrap()),
         );
     }
     g.finish();
@@ -51,10 +51,10 @@ fn bench_levels(c: &mut Criterion) {
     let roles = ca.roles.clone();
     let rows = [
         ("component-assembly", ca.output),
-        ("ccatb", run_mapped(&app(256), &roles, &ArchSpec::plb()).output),
+        ("ccatb", run_mapped(&app(256), &roles, &ArchSpec::plb()).unwrap().output),
         (
             "pin-accurate",
-            run_pin_accurate(&app(256), &roles, &ArchSpec::plb()).output,
+            run_pin_accurate(&app(256), &roles, &ArchSpec::plb()).unwrap().output,
         ),
     ];
     let mut speeds = Vec::new();

@@ -6,7 +6,7 @@
 //! starves the rest; round-robin evens mean waits out; TDMA bounds the
 //! worst case at the cost of idle slots (lower utilization, longer total).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shiptlm_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use shiptlm::prelude::*;
 
 fn the_app() -> AppSpec {
@@ -35,7 +35,7 @@ fn bench_arbitration(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     for (name, policy) in policies() {
         g.bench_with_input(BenchmarkId::new("hotspot", name), &policy, |b, p| {
-            b.iter(|| run_mapped(&the_app(), &roles, &ArchSpec::plb().with_arb(p.clone())))
+            b.iter(|| run_mapped(&the_app(), &roles, &ArchSpec::plb().with_arb(p.clone())).unwrap())
         });
     }
     g.finish();
@@ -46,7 +46,7 @@ fn bench_arbitration(c: &mut Criterion) {
         "policy", "total time", "util", "mean wait cycles per master"
     );
     for (name, policy) in policies() {
-        let run = run_mapped(&the_app(), &roles, &ArchSpec::plb().with_arb(policy));
+        let run = run_mapped(&the_app(), &roles, &ArchSpec::plb().with_arb(policy)).unwrap();
         let waits: Vec<String> = run
             .bus
             .per_master

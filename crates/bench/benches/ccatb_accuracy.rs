@@ -8,7 +8,7 @@
 //! grows with per-transaction pin overhead (small payloads) and shrinks for
 //! bulk transfers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use shiptlm_bench::minibench::{criterion_group, criterion_main, Criterion};
 use shiptlm::prelude::*;
 
 fn app(blocks: u32, bytes: usize) -> AppSpec {
@@ -22,10 +22,10 @@ fn bench_accuracy(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     let roles = run_component_assembly(&app(16, 256)).unwrap().roles;
     g.bench_function("ccatb_16x256", |b| {
-        b.iter(|| run_mapped(&app(16, 256), &roles, &ArchSpec::plb()))
+        b.iter(|| run_mapped(&app(16, 256), &roles, &ArchSpec::plb()).unwrap())
     });
     g.bench_function("pin_16x256", |b| {
-        b.iter(|| run_pin_accurate(&app(16, 256), &roles, &ArchSpec::plb()))
+        b.iter(|| run_pin_accurate(&app(16, 256), &roles, &ArchSpec::plb()).unwrap())
     });
     g.finish();
 
@@ -37,8 +37,8 @@ fn bench_accuracy(c: &mut Criterion) {
     for (blocks, bytes) in [(16u32, 32usize), (16, 256), (8, 2048)] {
         let a = app(blocks, bytes);
         let roles = run_component_assembly(&a).unwrap().roles;
-        let ccatb = run_mapped(&a, &roles, &ArchSpec::plb());
-        let pin = run_pin_accurate(&a, &roles, &ArchSpec::plb());
+        let ccatb = run_mapped(&a, &roles, &ArchSpec::plb()).unwrap();
+        let pin = run_pin_accurate(&a, &roles, &ArchSpec::plb()).unwrap();
         println!(
             "{:<16} {:>14} {:>14} {:>9.2}x {:>14} {:>14}",
             format!("{blocks}x{bytes}B"),

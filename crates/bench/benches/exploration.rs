@@ -6,7 +6,7 @@
 //! latency/throughput/utilization table and benchmarking the host cost of
 //! one sweep (the "fast" part of the claim).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use shiptlm_bench::minibench::{criterion_group, criterion_main, Criterion};
 use shiptlm::prelude::*;
 
 fn the_app() -> AppSpec {
@@ -47,7 +47,7 @@ fn bench_exploration(c: &mut Criterion) {
     });
     g.bench_function("single_candidate", |b| {
         let roles = run_component_assembly(&the_app()).unwrap().roles;
-        b.iter(|| run_mapped(&the_app(), &roles, &ArchSpec::plb()))
+        b.iter(|| run_mapped(&the_app(), &roles, &ArchSpec::plb()).unwrap())
     });
     g.finish();
 

@@ -5,7 +5,7 @@
 //! Measures the host cost of each flow stage and prints the per-level
 //! comparison table (the reproduction's rendition of Figure 1's flow).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use shiptlm_bench::minibench::{criterion_group, criterion_main, Criterion};
 use shiptlm::prelude::*;
 
 fn the_app() -> AppSpec {
@@ -23,10 +23,10 @@ fn bench_flow(c: &mut Criterion) {
     });
     let roles = run_component_assembly(&the_app()).unwrap().roles;
     g.bench_function("ccatb_mapping", |b| {
-        b.iter(|| run_mapped(&the_app(), &roles, &ArchSpec::plb()))
+        b.iter(|| run_mapped(&the_app(), &roles, &ArchSpec::plb()).unwrap())
     });
     g.bench_function("pin_accurate", |b| {
-        b.iter(|| run_pin_accurate(&the_app(), &roles, &ArchSpec::plb()))
+        b.iter(|| run_pin_accurate(&the_app(), &roles, &ArchSpec::plb()).unwrap())
     });
     g.bench_function("full_flow_with_checks", |b| {
         b.iter(|| {

@@ -7,7 +7,7 @@
 //! overhead per transaction of the HW/SW interface (driver + bus + mailbox +
 //! wakeup) against the HW↔HW wrapper path, plus host cost of each variant.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shiptlm_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use shiptlm::prelude::*;
 
 fn the_app(payload: usize) -> AppSpec {
@@ -22,7 +22,7 @@ fn bench_hwsw(c: &mut Criterion) {
     for &payload in &[64usize, 1024, 4096] {
         let roles = run_component_assembly(&the_app(payload)).unwrap().roles;
         g.bench_with_input(BenchmarkId::new("hw_hw", payload), &payload, |b, &p| {
-            b.iter(|| run_mapped(&the_app(p), &roles, &ArchSpec::plb()))
+            b.iter(|| run_mapped(&the_app(p), &roles, &ArchSpec::plb()).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("hw_sw", payload), &payload, |b, &p| {
             b.iter(|| {
@@ -46,7 +46,7 @@ fn bench_hwsw(c: &mut Criterion) {
     for payload in [64usize, 256, 1024, 4096] {
         let app = the_app(payload);
         let ca = run_component_assembly(&app).unwrap();
-        let hw = run_mapped(&app, &ca.roles, &ArchSpec::plb());
+        let hw = run_mapped(&app, &ca.roles, &ArchSpec::plb()).unwrap();
         let sw = run_partitioned(
             &app,
             &ca.roles,

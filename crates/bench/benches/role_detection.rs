@@ -4,7 +4,7 @@
 //! Benchmarks role detection over apps of growing channel count and checks
 //! detection correctness against ground truth for every topology shape.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shiptlm_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use shiptlm::prelude::*;
 
 fn bench_detection(c: &mut Criterion) {

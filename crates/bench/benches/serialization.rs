@@ -5,14 +5,14 @@
 //!
 //! Measures serialize/deserialize throughput of the wire codec for the
 //! object shapes embedded workloads move: raw byte blocks, numeric vectors,
-//! nested structures (via serde), across payload sizes 16 B – 64 KiB.
+//! nested structures, across payload sizes 16 B – 64 KiB.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use serde::{Deserialize, Serialize};
+use shiptlm_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use shiptlm_ship::codec::{from_bytes, to_bytes, Serde};
+use shiptlm_ship::prelude::{ByteReader, ByteWriter, ShipSerialize, WireError};
 use shiptlm_ship::serialize::{from_wire, to_wire};
 
-#[derive(Serialize, Deserialize, Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 struct Frame {
     seq: u32,
     ts: u64,
@@ -20,11 +20,61 @@ struct Frame {
     payload: Vec<u8>,
 }
 
-#[derive(Serialize, Deserialize, Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 enum FrameKind {
     Video { width: u16, height: u16 },
     Audio { rate: u32 },
     Control(String),
+}
+
+impl ShipSerialize for FrameKind {
+    fn serialize(&self, w: &mut ByteWriter) {
+        match self {
+            FrameKind::Video { width, height } => {
+                w.put_u8(0);
+                width.serialize(w);
+                height.serialize(w);
+            }
+            FrameKind::Audio { rate } => {
+                w.put_u8(1);
+                rate.serialize(w);
+            }
+            FrameKind::Control(s) => {
+                w.put_u8(2);
+                s.serialize(w);
+            }
+        }
+    }
+    fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(FrameKind::Video {
+                width: u16::deserialize(r)?,
+                height: u16::deserialize(r)?,
+            }),
+            1 => Ok(FrameKind::Audio {
+                rate: u32::deserialize(r)?,
+            }),
+            2 => Ok(FrameKind::Control(String::deserialize(r)?)),
+            v => Err(WireError::InvalidValue(format!("frame kind {v}"))),
+        }
+    }
+}
+
+impl ShipSerialize for Frame {
+    fn serialize(&self, w: &mut ByteWriter) {
+        self.seq.serialize(w);
+        self.ts.serialize(w);
+        self.kind.serialize(w);
+        self.payload.serialize(w);
+    }
+    fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(Frame {
+            seq: u32::deserialize(r)?,
+            ts: u64::deserialize(r)?,
+            kind: FrameKind::deserialize(r)?,
+            payload: Vec::deserialize(r)?,
+        })
+    }
 }
 
 fn frame(size: usize) -> Frame {

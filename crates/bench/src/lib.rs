@@ -1,5 +1,266 @@
 //! Shared helpers for the shiptlm benchmark harness.
 //!
 //! The benches themselves live in `benches/`; see `EXPERIMENTS.md` at the
-//! repository root for the experiment index.
+//! repository root for the experiment index. They run on [`minibench`], a
+//! small self-contained harness exposing the subset of the `criterion` API
+//! the benches use (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Throughput`, `criterion_group!`/`criterion_main!`), so the workspace
+//! builds without network access to crates.io.
 pub use shiptlm;
+
+pub mod minibench {
+    //! Minimal wall-clock benchmark harness with a `criterion`-shaped API.
+    //!
+    //! Each benchmark is warmed up for `warm_up_time`, then timed for up to
+    //! `measurement_time` or `sample_size` batches, whichever comes first.
+    //! Results (mean ns/iter and, when a throughput is declared, MB/s) are
+    //! printed to stdout.
+
+    use std::fmt::Display;
+    use std::hint;
+    use std::time::{Duration, Instant};
+
+    /// Opaque value barrier preventing the optimizer from deleting the
+    /// benchmarked computation.
+    pub fn black_box<T>(v: T) -> T {
+        hint::black_box(v)
+    }
+
+    /// Declared units of work per iteration, used to derive throughput.
+    #[derive(Debug, Clone, Copy)]
+    pub enum Throughput {
+        /// Bytes processed per iteration.
+        Bytes(u64),
+        /// Logical elements processed per iteration.
+        Elements(u64),
+    }
+
+    /// A benchmark identifier: `function_name/parameter`.
+    #[derive(Debug, Clone)]
+    pub struct BenchmarkId {
+        id: String,
+    }
+
+    impl BenchmarkId {
+        /// Builds an id from a function name and a displayed parameter.
+        pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+            BenchmarkId {
+                id: format!("{}/{}", function.into(), parameter),
+            }
+        }
+    }
+
+    impl From<&str> for BenchmarkId {
+        fn from(s: &str) -> Self {
+            BenchmarkId { id: s.to_string() }
+        }
+    }
+
+    /// Per-iteration timer handed to benchmark closures.
+    #[derive(Debug)]
+    pub struct Bencher {
+        warm_up: Duration,
+        measurement: Duration,
+        samples: usize,
+        /// Mean nanoseconds per iteration, filled in by `iter`.
+        mean_ns: f64,
+        iters: u64,
+    }
+
+    impl Bencher {
+        /// Times `f` repeatedly and records the mean cost per call.
+        pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+            // Warm-up: run untimed until the warm-up budget is spent.
+            let start = Instant::now();
+            while start.elapsed() < self.warm_up {
+                black_box(f());
+            }
+            // Measure: time batches until the measurement budget or the
+            // sample count is exhausted.
+            let mut total = Duration::ZERO;
+            let mut iters: u64 = 0;
+            for _ in 0..self.samples {
+                let t0 = Instant::now();
+                black_box(f());
+                total += t0.elapsed();
+                iters += 1;
+                if total >= self.measurement {
+                    break;
+                }
+            }
+            self.iters = iters.max(1);
+            self.mean_ns = total.as_nanos() as f64 / self.iters as f64;
+        }
+    }
+
+    /// A named group of benchmarks sharing timing configuration.
+    #[derive(Debug)]
+    pub struct BenchmarkGroup {
+        name: String,
+        sample_size: usize,
+        warm_up: Duration,
+        measurement: Duration,
+        throughput: Option<Throughput>,
+    }
+
+    impl BenchmarkGroup {
+        /// Sets how many timed samples to collect per benchmark.
+        pub fn sample_size(&mut self, n: usize) -> &mut Self {
+            self.sample_size = n.max(1);
+            self
+        }
+
+        /// Sets the untimed warm-up budget.
+        pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+            self.warm_up = d;
+            self
+        }
+
+        /// Sets the timed measurement budget.
+        pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+            self.measurement = d;
+            self
+        }
+
+        /// Declares per-iteration throughput for subsequent benchmarks.
+        pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+            self.throughput = Some(t);
+            self
+        }
+
+        /// Runs one benchmark under this group's configuration.
+        pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+        where
+            F: FnMut(&mut Bencher),
+        {
+            let id = id.into();
+            let mut b = Bencher {
+                warm_up: self.warm_up,
+                measurement: self.measurement,
+                samples: self.sample_size,
+                mean_ns: 0.0,
+                iters: 0,
+            };
+            f(&mut b);
+            self.report(&id.id, &b);
+            self
+        }
+
+        /// Runs one parameterized benchmark.
+        pub fn bench_with_input<I: ?Sized, F>(
+            &mut self,
+            id: BenchmarkId,
+            input: &I,
+            mut f: F,
+        ) -> &mut Self
+        where
+            F: FnMut(&mut Bencher, &I),
+        {
+            let mut b = Bencher {
+                warm_up: self.warm_up,
+                measurement: self.measurement,
+                samples: self.sample_size,
+                mean_ns: 0.0,
+                iters: 0,
+            };
+            f(&mut b, input);
+            self.report(&id.id, &b);
+            self
+        }
+
+        fn report(&self, id: &str, b: &Bencher) {
+            let mut line = format!(
+                "{}/{:<40} {:>14.1} ns/iter ({} iters)",
+                self.name, id, b.mean_ns, b.iters
+            );
+            if let Some(tp) = self.throughput {
+                let (per_iter, unit) = match tp {
+                    Throughput::Bytes(n) => (n as f64, "MB/s"),
+                    Throughput::Elements(n) => (n as f64, "Melem/s"),
+                };
+                if b.mean_ns > 0.0 {
+                    line += &format!("  {:>10.2} {unit}", per_iter * 1e3 / b.mean_ns);
+                }
+            }
+            println!("{line}");
+        }
+
+        /// Ends the group (kept for criterion API parity).
+        pub fn finish(&mut self) {}
+    }
+
+    /// Top-level harness handle passed to each benchmark function.
+    #[derive(Debug, Default)]
+    pub struct Criterion {
+        _private: (),
+    }
+
+    impl Criterion {
+        /// Opens a named benchmark group with default timing settings.
+        pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+            BenchmarkGroup {
+                name: name.into(),
+                sample_size: 20,
+                warm_up: Duration::from_millis(200),
+                measurement: Duration::from_secs(1),
+                throughput: None,
+            }
+        }
+
+        /// Runs an ungrouped benchmark with default settings.
+        pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+        where
+            F: FnMut(&mut Bencher),
+        {
+            self.benchmark_group("bench").bench_function(id, f);
+            self
+        }
+    }
+
+    /// Bundles benchmark functions into a single runner, mirroring
+    /// `criterion_group!`.
+    #[macro_export]
+    macro_rules! criterion_group {
+        ($name:ident, $($target:path),+ $(,)?) => {
+            fn $name() {
+                let mut c = $crate::minibench::Criterion::default();
+                $($target(&mut c);)+
+            }
+        };
+    }
+
+    /// Emits `main`, mirroring `criterion_main!`.
+    #[macro_export]
+    macro_rules! criterion_main {
+        ($($group:ident),+ $(,)?) => {
+            fn main() {
+                $($group();)+
+            }
+        };
+    }
+
+    pub use crate::{criterion_group, criterion_main};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::minibench::*;
+    use std::time::Duration;
+
+    #[test]
+    fn minibench_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        g.bench_with_input(BenchmarkId::new("sized", 7), &7u32, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        g.finish();
+    }
+}

@@ -1,10 +1,10 @@
 //! A descriptor-driven DMA engine: the classic CoreConnect-ecosystem bus
 //! master used to offload bulk copies from the CPU.
 //!
-//! The engine is a bus **slave** for its register file (descriptor + control
-//! + status) and a bus **master** for the data movement itself. A completion
-//! sideband can be wired to a CPU interrupt line, mirroring the mailbox
-//! adapter's HW/SW signalling.
+//! The engine is a bus **slave** for its register file (descriptor, control
+//! and status) and a bus **master** for the data movement itself. A
+//! completion sideband can be wired to a CPU interrupt line, mirroring the
+//! mailbox adapter's HW/SW signalling.
 
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -147,7 +147,7 @@ impl DmaEngine {
             // Wait for a start doorbell.
             let desc = loop {
                 {
-                    let mut g = self.lock();
+                    let g = self.lock();
                     if g.busy {
                         break g.desc;
                     }
@@ -226,7 +226,7 @@ impl OcpTarget for DmaEngine {
                     _ => return Ok(OcpResponse::error(timing)),
                 };
                 let mut data = value.to_le_bytes().to_vec();
-                data.truncate(bytes.min(8).max(1));
+                data.truncate(bytes.clamp(1, 8));
                 data.resize(bytes, 0);
                 Ok(OcpResponse::read_ok(data, timing))
             }

@@ -20,6 +20,7 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 
 use shiptlm_kernel::event::Event;
+use shiptlm_kernel::liveness::EndpointId;
 use shiptlm_kernel::process::ThreadCtx;
 use shiptlm_kernel::signal::Signal;
 use shiptlm_kernel::sim::SimHandle;
@@ -153,11 +154,38 @@ pub struct ShipSlaveAdapter {
     sideband: Mutex<Option<Signal<bool>>>,
     /// Extra latency per register/window access.
     access_latency: SimDur,
+    /// Liveness registry handle + endpoint ids for deadlock diagnosis.
+    sim: SimHandle,
+    ep_slave: EndpointId,
+    ep_master: EndpointId,
 }
 
 impl ShipSlaveAdapter {
     /// Creates an adapter with the given mailbox depth.
     pub fn new(sim: &SimHandle, name: &str, cfg: &WrapperConfig) -> Arc<Self> {
+        let resource = format!("mapped adapter '{name}'");
+        let ep_slave = sim.register_blocking_endpoint(&resource, "slave");
+        let ep_master = sim.register_blocking_endpoint(&resource, "master");
+        let rx_written = sim.event(&format!("{name}.rx_written"));
+        let reply_taken = sim.event(&format!("{name}.reply_taken"));
+        let rx_taken = sim.event(&format!("{name}.rx_taken"));
+        let reply_set = sim.event(&format!("{name}.reply_set"));
+        sim.annotate_wait(
+            &rx_written,
+            "recv (awaiting mailbox message)",
+            Some(ep_master),
+        );
+        sim.annotate_wait(
+            &reply_taken,
+            "reply (awaiting reply-slot ack)",
+            Some(ep_master),
+        );
+        sim.annotate_wait(
+            &rx_taken,
+            "send (mailbox full, awaiting drain)",
+            Some(ep_slave),
+        );
+        sim.annotate_wait(&reply_set, "request (awaiting reply)", Some(ep_slave));
         Arc::new(ShipSlaveAdapter {
             name: name.to_string(),
             state: Mutex::new(AdapterState {
@@ -168,12 +196,15 @@ impl ShipSlaveAdapter {
                 reply_staging: Vec::new(),
                 owed_replies: 0,
             }),
-            rx_written: sim.event(&format!("{name}.rx_written")),
-            reply_taken: sim.event(&format!("{name}.reply_taken")),
-            rx_taken: sim.event(&format!("{name}.rx_taken")),
-            reply_set: sim.event(&format!("{name}.reply_set")),
+            rx_written,
+            reply_taken,
+            rx_taken,
+            reply_set,
             sideband: Mutex::new(None),
             access_latency: SimDur::ZERO,
+            sim: sim.clone(),
+            ep_slave,
+            ep_master,
         })
     }
 
@@ -202,6 +233,17 @@ impl ShipSlaveAdapter {
 
     fn lock(&self) -> std::sync::MutexGuard<'_, AdapterState> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Publishes the slave side's outstanding-reply debt to the liveness
+    /// registry (shown in deadlock reports).
+    fn note_owed(&self, owed: u64) {
+        let note = if owed > 0 {
+            Some(format!("owes {owed} reply(s)"))
+        } else {
+            None
+        };
+        self.sim.endpoint_note(self.ep_slave, note);
     }
 
     fn update_sideband(&self) {
@@ -335,7 +377,9 @@ impl OcpTarget for ShipSlaveAdapter {
                                     Some(_) => {}
                                     None => return Ok(OcpResponse::error(timing)),
                                 }
+                                let owed = g.owed_replies;
                                 drop(g);
+                                self.note_owed(owed);
                                 self.rx_taken.notify_delta();
                                 self.update_sideband();
                             }
@@ -345,9 +389,11 @@ impl OcpTarget for ShipSlaveAdapter {
                                     return Ok(OcpResponse::error(timing));
                                 }
                                 g.owed_replies -= 1;
+                                let owed = g.owed_replies;
                                 let r = std::mem::take(&mut g.reply_staging);
                                 g.reply = Some(r);
                                 drop(g);
+                                self.note_owed(owed);
                                 self.reply_set.notify_delta();
                                 self.update_sideband();
                             }
@@ -418,6 +464,9 @@ impl ShipEndpoint for AdapterSlaveEndpoint {
     }
 
     fn recv_bytes(&self, ctx: &mut ThreadCtx) -> Result<Vec<u8>, ShipError> {
+        self.adapter
+            .sim
+            .endpoint_user(self.adapter.ep_slave, ctx.pid());
         loop {
             {
                 let mut g = self.adapter.lock();
@@ -425,7 +474,9 @@ impl ShipEndpoint for AdapterSlaveEndpoint {
                     if kind == MsgKind::Request {
                         g.owed_replies += 1;
                     }
+                    let owed = g.owed_replies;
                     drop(g);
+                    self.adapter.note_owed(owed);
                     // Space freed: pulse the ready sideband for any waiting
                     // master wrapper.
                     self.adapter.rx_taken.notify_delta();
@@ -447,6 +498,10 @@ impl ShipEndpoint for AdapterSlaveEndpoint {
         if bytes.len() as u64 > regs::REPLY_WIN_END - regs::REPLY_WIN {
             return Err(ShipError::Protocol("reply exceeds reply window".into()));
         }
+        self.adapter
+            .sim
+            .endpoint_user(self.adapter.ep_slave, ctx.pid());
+        let owed;
         loop {
             {
                 let mut g = self.adapter.lock();
@@ -458,12 +513,14 @@ impl ShipEndpoint for AdapterSlaveEndpoint {
                 if g.reply.is_none() {
                     g.reply = Some(bytes);
                     g.owed_replies -= 1;
+                    owed = g.owed_replies;
                     break;
                 }
             }
             // Previous reply not yet consumed: wait for the master to ack.
             ctx.wait(&self.adapter.reply_taken);
         }
+        self.adapter.note_owed(owed);
         self.adapter.reply_set.notify_delta();
         self.adapter.update_sideband();
         Ok(())
@@ -480,6 +537,8 @@ pub struct ShipBusMasterEndpoint {
     /// reply published). When absent the endpoint falls back to timed
     /// polling of STATUS — the CPU-style access pattern.
     sideband: Option<(Event, Event)>,
+    /// Liveness identity of the adapter's master side (sideband wiring only).
+    liveness: Option<(SimHandle, EndpointId)>,
 }
 
 impl ShipBusMasterEndpoint {
@@ -491,6 +550,7 @@ impl ShipBusMasterEndpoint {
             base,
             cfg,
             sideband: None,
+            liveness: None,
         })
     }
 
@@ -514,6 +574,7 @@ impl ShipBusMasterEndpoint {
                 adapter.space_event().clone(),
                 adapter.reply_event().clone(),
             )),
+            liveness: Some((adapter.sim.clone(), adapter.ep_master)),
         })
     }
 
@@ -531,6 +592,9 @@ impl ShipBusMasterEndpoint {
     }
 
     fn wait_status(&self, ctx: &mut ThreadCtx, mask: u32) -> Result<(), ShipError> {
+        if let Some((sim, ep)) = &self.liveness {
+            sim.endpoint_user(*ep, ctx.pid());
+        }
         loop {
             let status = self
                 .bus

@@ -1,9 +1,12 @@
-//! Property-based tests of the arbitration policies: every grant goes to a
+//! Randomized tests of the arbitration policies: every grant goes to a
 //! pending requester, priorities are respected, round-robin is fair over a
 //! full rotation, and TDMA never grants outside the owner's slot.
+//!
+//! Inputs come from a deterministic seeded [`Rng`], so each case reproduces
+//! from its iteration index.
 
-use proptest::prelude::*;
 use shiptlm_cam::arb::{ArbPolicy, Ticket};
+use shiptlm_kernel::rng::Rng;
 use shiptlm_kernel::time::{SimDur, SimTime};
 use shiptlm_ocp::tl::MasterId;
 
@@ -18,101 +21,145 @@ fn tickets(masters: &[usize]) -> Vec<Ticket> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn gen_masters(rng: &mut Rng, bound: usize, min_len: usize, max_len: usize) -> Vec<usize> {
+    (0..rng.gen_range_usize(min_len, max_len))
+        .map(|_| rng.gen_range_usize(0, bound))
+        .collect()
+}
 
-    /// The winner, when any, is always one of the pending tickets.
-    #[test]
-    fn winner_is_pending(
-        masters in proptest::collection::vec(0usize..8, 0..10),
-        last in proptest::option::of(0usize..8),
-        now_ns in 0u64..100_000,
-    ) {
+const CASES: u64 = 256;
+
+/// The winner, when any, is always one of the pending tickets.
+#[test]
+fn winner_is_pending() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xa2b0_0000 + case);
+        let masters = gen_masters(&mut rng, 8, 0, 10);
+        let last = if rng.gen_bool() {
+            Some(rng.gen_range_usize(0, 8))
+        } else {
+            None
+        };
+        let now_ns = rng.gen_range_u64(0, 100_000);
+
         let pending = tickets(&masters);
         let now = SimTime::from_ps(now_ns * 1_000);
         for policy in [
             ArbPolicy::FixedPriority,
             ArbPolicy::RoundRobin,
-            ArbPolicy::Tdma { slot: SimDur::ns(100), slots: 4 },
+            ArbPolicy::Tdma {
+                slot: SimDur::ns(100),
+                slots: 4,
+            },
         ] {
             let w = policy.pick(&pending, last.map(MasterId), now);
             if let Some(w) = w {
-                prop_assert!(pending.contains(&w));
+                assert!(pending.contains(&w), "case {case}");
             }
             if pending.is_empty() {
-                prop_assert!(w.is_none());
+                assert!(w.is_none(), "case {case}");
             }
         }
     }
+}
 
-    /// Fixed priority always grants the smallest pending master id.
-    #[test]
-    fn priority_grants_minimum(masters in proptest::collection::vec(0usize..16, 1..10)) {
+/// Fixed priority always grants the smallest pending master id.
+#[test]
+fn priority_grants_minimum() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xa2b0_1000 + case);
+        let masters = gen_masters(&mut rng, 16, 1, 10);
         let pending = tickets(&masters);
         let w = ArbPolicy::FixedPriority
             .pick(&pending, None, SimTime::ZERO)
             .unwrap();
-        prop_assert_eq!(w.master.0, *masters.iter().min().unwrap());
+        assert_eq!(w.master.0, *masters.iter().min().unwrap(), "case {case}");
     }
+}
 
-    /// Fixed priority with unique masters is insensitive to arrival order.
-    #[test]
-    fn priority_ignores_arrival_order(mut masters in proptest::collection::vec(0usize..32, 1..8)) {
+/// Fixed priority with unique masters is insensitive to arrival order.
+#[test]
+fn priority_ignores_arrival_order() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xa2b0_2000 + case);
+        let mut masters = gen_masters(&mut rng, 32, 1, 8);
         masters.sort_unstable();
         masters.dedup();
         let forward = tickets(&masters);
         let reversed: Vec<usize> = masters.iter().rev().copied().collect();
         let backward = tickets(&reversed);
-        let a = ArbPolicy::FixedPriority.pick(&forward, None, SimTime::ZERO).unwrap();
-        let b = ArbPolicy::FixedPriority.pick(&backward, None, SimTime::ZERO).unwrap();
-        prop_assert_eq!(a.master, b.master);
+        let a = ArbPolicy::FixedPriority
+            .pick(&forward, None, SimTime::ZERO)
+            .unwrap();
+        let b = ArbPolicy::FixedPriority
+            .pick(&backward, None, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(a.master, b.master, "case {case}");
     }
+}
 
-    /// Round-robin serves every distinct pending master exactly once per
-    /// rotation when the pending set is stable.
-    #[test]
-    fn round_robin_is_fair_over_a_rotation(mut masters in proptest::collection::vec(0usize..8, 1..8)) {
+/// Round-robin serves every distinct pending master exactly once per
+/// rotation when the pending set is stable.
+#[test]
+fn round_robin_is_fair_over_a_rotation() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xa2b0_3000 + case);
+        let mut masters = gen_masters(&mut rng, 8, 1, 8);
         masters.sort_unstable();
         masters.dedup();
         let pending = tickets(&masters);
         let mut last: Option<MasterId> = None;
         let mut served = Vec::new();
         for _ in 0..masters.len() {
-            let w = ArbPolicy::RoundRobin.pick(&pending, last, SimTime::ZERO).unwrap();
+            let w = ArbPolicy::RoundRobin
+                .pick(&pending, last, SimTime::ZERO)
+                .unwrap();
             served.push(w.master.0);
             last = Some(w.master);
         }
         served.sort_unstable();
-        prop_assert_eq!(served, masters);
+        assert_eq!(served, masters, "case {case}");
     }
+}
 
-    /// TDMA only ever grants the master owning the current slot.
-    #[test]
-    fn tdma_grants_only_in_slot(
-        masters in proptest::collection::vec(0usize..8, 1..10),
-        now_ns in 0u64..1_000_000,
-        slots in 1usize..8,
-    ) {
+/// TDMA only ever grants the master owning the current slot.
+#[test]
+fn tdma_grants_only_in_slot() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xa2b0_4000 + case);
+        let masters = gen_masters(&mut rng, 8, 1, 10);
+        let now_ns = rng.gen_range_u64(0, 1_000_000);
+        let slots = rng.gen_range_usize(1, 8);
+
         let slot = SimDur::ns(250);
         let now = SimTime::from_ps(now_ns * 1_000);
         let policy = ArbPolicy::Tdma { slot, slots };
         let owner = ((now_ns * 1_000) / slot.as_ps()) as usize % slots;
         let pending = tickets(&masters);
         match policy.pick(&pending, None, now) {
-            Some(w) => prop_assert_eq!(w.master.0 % slots, owner),
-            None => prop_assert!(masters.iter().all(|m| m % slots != owner)),
+            Some(w) => assert_eq!(w.master.0 % slots, owner, "case {case}"),
+            None => assert!(
+                masters.iter().all(|m| m % slots != owner),
+                "case {case}"
+            ),
         }
     }
+}
 
-    /// TDMA's recheck delay lands exactly on the next slot boundary.
-    #[test]
-    fn tdma_recheck_hits_boundary(now_ps in 0u64..10_000_000, slot_ns in 1u64..1_000) {
+/// TDMA's recheck delay lands exactly on the next slot boundary.
+#[test]
+fn tdma_recheck_hits_boundary() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xa2b0_5000 + case);
+        let now_ps = rng.gen_range_u64(0, 10_000_000);
+        let slot_ns = rng.gen_range_u64(1, 1_000);
+
         let slot = SimDur::ns(slot_ns);
         let policy = ArbPolicy::Tdma { slot, slots: 4 };
         let now = SimTime::from_ps(now_ps);
         let d = policy.recheck_delay(now).unwrap();
-        prop_assert!(d.as_ps() > 0);
-        prop_assert!(d <= slot);
-        prop_assert_eq!((now_ps + d.as_ps()) % slot.as_ps(), 0);
+        assert!(d.as_ps() > 0, "case {case}");
+        assert!(d <= slot, "case {case}");
+        assert_eq!((now_ps + d.as_ps()) % slot.as_ps(), 0, "case {case}");
     }
 }

@@ -180,7 +180,7 @@ impl DesignFlow {
     /// diverges from the component-assembly reference.
     pub fn run(&self) -> Result<FlowRun, FlowError> {
         let ca = run_component_assembly(&self.app)?;
-        let ccatb = run_mapped(&self.app, &ca.roles, &self.arch);
+        let ccatb = run_mapped(&self.app, &ca.roles, &self.arch)?;
         ca.output
             .log
             .content_equivalent(&ccatb.output.log)
@@ -189,7 +189,7 @@ impl DesignFlow {
                 source,
             })?;
         let pin_accurate = if self.with_pin_level {
-            let pin = run_pin_accurate(&self.app, &ca.roles, &self.arch);
+            let pin = run_pin_accurate(&self.app, &ca.roles, &self.arch)?;
             ca.output
                 .log
                 .content_equivalent(&pin.output.log)

@@ -73,17 +73,33 @@ impl Partition {
 pub enum PartitionError {
     /// A PE named in the partition does not exist in the app.
     UnknownPe(String),
+    /// The role map does not cover every channel of the app.
+    Roles(shiptlm_explore::mapper::MapError),
 }
 
 impl fmt::Display for PartitionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PartitionError::UnknownPe(p) => write!(f, "partition names unknown PE '{p}'"),
+            PartitionError::Roles(e) => write!(f, "partitioning failed: {e}"),
         }
     }
 }
 
-impl Error for PartitionError {}
+impl Error for PartitionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PartitionError::UnknownPe(_) => None,
+            PartitionError::Roles(e) => Some(e),
+        }
+    }
+}
+
+impl From<shiptlm_explore::mapper::MapError> for PartitionError {
+    fn from(e: shiptlm_explore::mapper::MapError) -> Self {
+        PartitionError::Roles(e)
+    }
+}
 
 /// Result of a partitioned run: the mapped-run artifacts plus RTOS counters.
 #[derive(Debug)]
@@ -99,11 +115,8 @@ pub struct PartitionedRun {
 ///
 /// # Errors
 ///
-/// Returns a [`PartitionError`] when the partition names an unknown PE.
-///
-/// # Panics
-///
-/// Panics if `roles` does not cover every channel of `app`.
+/// Returns a [`PartitionError`] when the partition names an unknown PE or
+/// `roles` does not cover every channel of `app`.
 pub fn run_partitioned(
     app: &AppSpec,
     roles: &RoleMap,
@@ -133,10 +146,7 @@ pub fn run_partitioned(
     let mut slaves: Vec<(std::ops::Range<u64>, Arc<dyn shiptlm_ocp::tl::OcpTarget>)> = Vec::new();
     for (k, c) in app.channels().iter().enumerate() {
         let base = MAP_BASE + k as u64 * ADAPTER_SIZE;
-        let master_pe = roles
-            .master_of
-            .get(&c.name)
-            .unwrap_or_else(|| panic!("role map misses channel '{}'", c.name));
+        let master_pe = roles.master_pe(&c.name)?;
         let (ml, sl) = if master_pe == &c.a {
             (c.a.as_str(), c.b.as_str())
         } else {

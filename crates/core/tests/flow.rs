@@ -17,7 +17,7 @@ fn full_flow_pipeline_all_three_levels() {
 
     // Level 1: only the PEs' own compute time passes (communication is
     // untimed), so it is the fastest level.
-    assert!(run.component_assembly.output.log.len() > 0);
+    assert!(!run.component_assembly.output.log.is_empty());
 
     // Level 2: CCATB — real bus cycles on top of compute time.
     let ccatb = &run.ccatb;

@@ -8,7 +8,7 @@ use shiptlm::prelude::*;
 fn sw_partition_preserves_content_vs_hw_mapping() {
     let app = workload::rpc(1, 4, 64, SimDur::ns(300));
     let ca = run_component_assembly(&app).unwrap();
-    let hw = run_mapped(&app, &ca.roles, &ArchSpec::plb());
+    let hw = run_mapped(&app, &ca.roles, &ArchSpec::plb()).unwrap();
     let sw = run_partitioned(
         &app,
         &ca.roles,
@@ -27,7 +27,7 @@ fn sw_partition_preserves_content_vs_hw_mapping() {
 fn hwsw_path_costs_more_than_hw_path() {
     let app = workload::rpc(1, 6, 128, SimDur::ZERO);
     let ca = run_component_assembly(&app).unwrap();
-    let hw = run_mapped(&app, &ca.roles, &ArchSpec::plb());
+    let hw = run_mapped(&app, &ca.roles, &ArchSpec::plb()).unwrap();
     let sw = run_partitioned(
         &app,
         &ca.roles,
@@ -126,4 +126,18 @@ fn finer_polling_reduces_hwsw_latency() {
     let coarse = run(SimDur::us(50));
     let fine = run(SimDur::us(1));
     assert!(fine < coarse, "fine polling {fine} must beat coarse {coarse}");
+}
+
+#[test]
+fn missing_role_is_a_partition_error_not_a_panic() {
+    let app = workload::rpc(1, 2, 16, SimDur::ZERO);
+    let err = run_partitioned(
+        &app,
+        &RoleMap::default(),
+        &ArchSpec::plb(),
+        &Partition::software(["server0"]),
+    )
+    .unwrap_err();
+    assert!(matches!(err, PartitionError::Roles(_)));
+    assert!(err.to_string().contains("role map misses channel"));
 }

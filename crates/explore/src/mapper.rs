@@ -38,6 +38,20 @@ pub struct RoleMap {
     pub master_of: BTreeMap<String, String>,
 }
 
+impl RoleMap {
+    /// The master PE of `channel`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::Missing`] when the map does not cover `channel`
+    /// (e.g. a hand-built map, or an app grown after role detection).
+    pub fn master_pe(&self, channel: &str) -> Result<&String, MapError> {
+        self.master_of.get(channel).ok_or_else(|| MapError::Missing {
+            channel: channel.to_string(),
+        })
+    }
+}
+
 /// Failure to derive a consistent mapping.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MapError {
@@ -53,6 +67,11 @@ pub enum MapError {
         /// Channel in question.
         channel: String,
     },
+    /// The supplied role map does not cover a channel of the app.
+    Missing {
+        /// Channel in question.
+        channel: String,
+    },
 }
 
 impl fmt::Display for MapError {
@@ -65,6 +84,9 @@ impl fmt::Display for MapError {
             ),
             MapError::Unused { channel } => {
                 write!(f, "channel '{channel}' was never used; cannot derive roles")
+            }
+            MapError::Missing { channel } => {
+                write!(f, "role map misses channel '{channel}'")
             }
         }
     }
@@ -177,10 +199,11 @@ pub struct MappedRun {
 /// (its index in declaration order), so fixed-priority arbitration follows
 /// PE declaration order.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `roles` does not cover every channel of `app`.
-pub fn run_mapped(app: &AppSpec, roles: &RoleMap, arch: &ArchSpec) -> MappedRun {
+/// Returns [`MapError::Missing`] if `roles` does not cover every channel of
+/// `app`.
+pub fn run_mapped(app: &AppSpec, roles: &RoleMap, arch: &ArchSpec) -> Result<MappedRun, MapError> {
     let started = Instant::now();
     let sim = Simulation::new();
     let h = sim.handle();
@@ -197,10 +220,7 @@ pub fn run_mapped(app: &AppSpec, roles: &RoleMap, arch: &ArchSpec) -> MappedRun 
     let mut slaves: Vec<(std::ops::Range<u64>, Arc<dyn shiptlm_ocp::tl::OcpTarget>)> = Vec::new();
     for (k, c) in app.channels().iter().enumerate() {
         let base = MAP_BASE + k as u64 * ADAPTER_SIZE;
-        let master_pe = roles
-            .master_of
-            .get(&c.name)
-            .unwrap_or_else(|| panic!("role map misses channel '{}'", c.name));
+        let master_pe = roles.master_pe(&c.name)?;
         let (master_label, slave_label) = if master_pe == &c.a {
             (c.a.as_str(), c.b.as_str())
         } else {
@@ -241,7 +261,7 @@ pub fn run_mapped(app: &AppSpec, roles: &RoleMap, arch: &ArchSpec) -> MappedRun 
     }
     let result = sim.run();
 
-    MappedRun {
+    Ok(MappedRun {
         output: RunOutput {
             log,
             sim_time: result
@@ -251,7 +271,7 @@ pub fn run_mapped(app: &AppSpec, roles: &RoleMap, arch: &ArchSpec) -> MappedRun 
             wall_seconds: started.elapsed().as_secs_f64(),
         },
         bus: interconnect.stats(),
-    }
+    })
 }
 
 /// Re-elaborates `app` at the **pin-accurate prototype level**: channels are
@@ -260,10 +280,15 @@ pub fn run_mapped(app: &AppSpec, roles: &RoleMap, arch: &ArchSpec) -> MappedRun 
 /// — request and response cross real signal pins cycle by cycle (paper §3's
 /// synthesizable prototype path).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `roles` does not cover every channel of `app`.
-pub fn run_pin_accurate(app: &AppSpec, roles: &RoleMap, arch: &ArchSpec) -> MappedRun {
+/// Returns [`MapError::Missing`] if `roles` does not cover every channel of
+/// `app`.
+pub fn run_pin_accurate(
+    app: &AppSpec,
+    roles: &RoleMap,
+    arch: &ArchSpec,
+) -> Result<MappedRun, MapError> {
     let started = Instant::now();
     let sim = Simulation::new();
     let h = sim.handle();
@@ -279,10 +304,7 @@ pub fn run_pin_accurate(app: &AppSpec, roles: &RoleMap, arch: &ArchSpec) -> Mapp
     let mut slaves: Vec<(std::ops::Range<u64>, Arc<dyn shiptlm_ocp::tl::OcpTarget>)> = Vec::new();
     for (k, c) in app.channels().iter().enumerate() {
         let base = MAP_BASE + k as u64 * ADAPTER_SIZE;
-        let master_pe = roles
-            .master_of
-            .get(&c.name)
-            .unwrap_or_else(|| panic!("role map misses channel '{}'", c.name));
+        let master_pe = roles.master_pe(&c.name)?;
         let (ml, sl) = if master_pe == &c.a {
             (c.a.as_str(), c.b.as_str())
         } else {
@@ -347,7 +369,7 @@ pub fn run_pin_accurate(app: &AppSpec, roles: &RoleMap, arch: &ArchSpec) -> Mapp
     sim.run();
     let result_time = sim.now();
 
-    MappedRun {
+    Ok(MappedRun {
         output: RunOutput {
             log,
             sim_time: result_time.saturating_since(shiptlm_kernel::time::SimTime::ZERO),
@@ -355,7 +377,7 @@ pub fn run_pin_accurate(app: &AppSpec, roles: &RoleMap, arch: &ArchSpec) -> Mapp
             wall_seconds: started.elapsed().as_secs_f64(),
         },
         bus: interconnect.stats(),
-    }
+    })
 }
 
 /// Convenience: detect roles then map in one call.
@@ -365,6 +387,6 @@ pub fn run_pin_accurate(app: &AppSpec, roles: &RoleMap, arch: &ArchSpec) -> Mapp
 /// Returns a [`MapError`] from the role-detection phase.
 pub fn explore_one(app: &AppSpec, arch: &ArchSpec) -> Result<(CaRun, MappedRun), MapError> {
     let ca = run_component_assembly(app)?;
-    let mapped = run_mapped(app, &ca.roles, arch);
+    let mapped = run_mapped(app, &ca.roles, arch)?;
     Ok((ca, mapped))
 }

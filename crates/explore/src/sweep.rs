@@ -66,7 +66,7 @@ impl Sweep {
             ));
         }
         for arch in &self.archs {
-            let mapped = crate::mapper::run_mapped(&self.app, &ca.roles, arch);
+            let mapped = crate::mapper::run_mapped(&self.app, &ca.roles, arch)?;
             report.push(RunMetrics::from_log(
                 &arch.label(),
                 &mapped.output.log,

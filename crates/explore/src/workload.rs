@@ -4,17 +4,14 @@
 //! (multimedia pipelines, control + accelerator splits); each generator is
 //! deterministic given its seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use shiptlm_kernel::rng::Rng;
 use shiptlm_kernel::time::SimDur;
 
 use crate::app::AppSpec;
 
 /// Deterministic pseudo-random block of `len` bytes.
 pub fn block(seed: u64, len: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..len).map(|_| rng.gen()).collect()
+    Rng::seed_from_u64(seed).bytes(len)
 }
 
 /// A linear processing pipeline: `source → stage1 → … → sink`.

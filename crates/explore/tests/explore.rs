@@ -224,3 +224,15 @@ fn pe_and_channel_validation() {
     }));
     assert!(result.is_err());
 }
+
+#[test]
+fn missing_role_is_a_mapping_error_not_a_panic() {
+    let app = workload::pipeline(2, 2, 16, SimDur::ZERO);
+    // A hand-built role map that misses every channel.
+    let empty = RoleMap::default();
+    let err = run_mapped(&app, &empty, &ArchSpec::plb()).unwrap_err();
+    assert!(matches!(err, MapError::Missing { ref channel } if channel == "ch0"));
+    assert!(err.to_string().contains("role map misses channel 'ch0'"));
+    let err = run_pin_accurate(&app, &empty, &ArchSpec::plb()).unwrap_err();
+    assert!(matches!(err, MapError::Missing { .. }));
+}

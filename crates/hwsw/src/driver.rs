@@ -11,12 +11,13 @@
 //! source code" constraint.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use shiptlm_cam::wrapper::{
     regs, DOORBELL_DATA, DOORBELL_REPLY_ACK, DOORBELL_REPLY_SET, DOORBELL_REQUEST,
     DOORBELL_RX_ACK, STATUS_REPLY_READY, STATUS_RX_PENDING, STATUS_RX_SPACE,
 };
+use shiptlm_kernel::liveness::EndpointId;
 use shiptlm_kernel::process::ThreadCtx;
 use shiptlm_kernel::time::SimDur;
 use shiptlm_ocp::error::OcpError;
@@ -90,11 +91,29 @@ struct DriverCore {
     bus: OcpMasterPort,
     base: u64,
     cfg: DriverConfig,
+    /// Which SHIP role this driver plays (`master` / `slave`).
+    role: &'static str,
+    /// Liveness identity, registered on first blocking call.
+    ep: OnceLock<EndpointId>,
 }
 
 impl DriverCore {
     fn charge(&self, ctx: &mut ThreadCtx, d: SimDur) {
         self.rtos.execute(ctx, self.task, d);
+    }
+
+    /// Registers this driver with the liveness registry (first call) and
+    /// records the calling process as its current user.
+    fn note_user(&self, ctx: &mut ThreadCtx) -> EndpointId {
+        let sim = ctx.sim();
+        let ep = *self.ep.get_or_init(|| {
+            sim.register_blocking_endpoint(
+                &format!("sw driver @ {:#x}", self.base),
+                self.role,
+            )
+        });
+        sim.endpoint_user(ep, ctx.pid());
+        ep
     }
 
     fn read_u32(&self, ctx: &mut ThreadCtx, off: u64) -> Result<u32, ShipError> {
@@ -107,10 +126,27 @@ impl DriverCore {
 
     /// Waits until STATUS has any bit of `mask` set.
     fn wait_status(&self, ctx: &mut ThreadCtx, mask: u32) -> Result<(), ShipError> {
+        let ep = self.note_user(ctx);
+        let sim = ctx.sim();
+        let mut noted = false;
         loop {
             let status = self.read_u32(ctx, regs::STATUS)?;
             if status & mask != 0 {
+                if noted {
+                    sim.endpoint_note(ep, None);
+                }
                 return Ok(());
+            }
+            if !noted {
+                let what = if mask & STATUS_REPLY_READY != 0 {
+                    "awaiting reply"
+                } else if mask & STATUS_RX_PENDING != 0 {
+                    "awaiting message"
+                } else {
+                    "awaiting mailbox space"
+                };
+                sim.endpoint_note(ep, Some(what.to_string()));
+                noted = true;
             }
             match &self.cfg.notify {
                 NotifyMode::Polling { interval } => {
@@ -186,6 +222,8 @@ impl SwShipMaster {
                 bus,
                 base,
                 cfg,
+                role: "master",
+                ep: OnceLock::new(),
             },
         })
     }
@@ -261,6 +299,8 @@ impl SwShipSlave {
                 bus,
                 base,
                 cfg,
+                role: "slave",
+                ep: OnceLock::new(),
             },
         })
     }
@@ -291,6 +331,7 @@ impl ShipEndpoint for SwShipSlave {
 
     fn reply_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<(), ShipError> {
         let c = &self.core;
+        c.note_user(ctx);
         c.charge(ctx, c.cfg.call_overhead);
         // Wait for the previous reply (if any) to be consumed.
         loop {

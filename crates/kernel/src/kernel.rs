@@ -22,7 +22,11 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
+use crate::liveness::{
+    BlockedProcess, DeadlockReport, EndpointId, Registry, WaitDesc, WaitForGraph,
+};
 use crate::time::{SimDur, SimTime};
 use crate::trace::VcdTracer;
 
@@ -44,6 +48,10 @@ pub enum StopReason {
     Stopped,
     /// The requested time limit was reached.
     TimeLimit,
+    /// The wall-clock watchdog expired while the simulation was still
+    /// making (possibly unbounded) progress. Diagnose with
+    /// [`Simulation::diagnose`](crate::sim::Simulation::diagnose).
+    Watchdog,
 }
 
 impl fmt::Display for StopReason {
@@ -52,6 +60,7 @@ impl fmt::Display for StopReason {
             StopReason::Starved => "event starvation",
             StopReason::Stopped => "explicit stop",
             StopReason::TimeLimit => "time limit",
+            StopReason::Watchdog => "wall-clock watchdog",
         };
         f.write_str(s)
     }
@@ -101,7 +110,9 @@ enum ProcKind {
 pub(crate) type MethodFn = Box<dyn FnMut(&mut MethodApi) + Send>;
 
 struct ThreadLink {
-    resume_tx: SyncSender<Resume>,
+    /// `None` after teardown dropped it to force a blocked `recv` to error
+    /// out (the `KillToken` unwind path).
+    resume_tx: Option<SyncSender<Resume>>,
     /// Wrapped in its own mutex so the kernel can block on a yield without
     /// holding the main kernel lock.
     yield_rx: Arc<Mutex<Receiver<YieldMsg>>>,
@@ -126,6 +137,14 @@ struct ProcRec {
     timer: EventId,
 }
 
+/// Min-heap entry for timed notifications; `seq` keeps FIFO order among
+/// identical timestamps.
+type TimedEntry = Reverse<(SimTime, u64, EventId)>;
+
+/// A deferred update callback, run in the update phase (SystemC
+/// `request_update` / `update` pattern).
+pub(crate) type UpdateFn = Box<dyn FnOnce(&KernelShared) + Send>;
+
 pub(crate) struct Inner {
     now: SimTime,
     delta_count: u64,
@@ -136,17 +155,19 @@ pub(crate) struct Inner {
     runnable: VecDeque<ProcessId>,
     /// Events with a pending delta notification (promoted in phase 3).
     delta_queue: Vec<EventId>,
-    /// Timed notifications: (time, seq, event). `seq` keeps FIFO order among
-    /// identical timestamps.
-    timed: BinaryHeap<Reverse<(SimTime, u64, EventId)>>,
+    timed: BinaryHeap<TimedEntry>,
     timed_seq: u64,
-    update_requests: Vec<Box<dyn FnOnce(&KernelShared) + Send>>,
+    update_requests: Vec<UpdateFn>,
 }
 
 /// Kernel state shared between the scheduler, process contexts and channels.
 pub(crate) struct KernelShared {
     pub(crate) inner: Mutex<Inner>,
     pub(crate) tracer: Mutex<Option<VcdTracer>>,
+    /// Liveness edge metadata (endpoints, event annotations).
+    pub(crate) liveness: Mutex<Registry>,
+    /// Wall-clock budget for a single `run` call, if configured.
+    pub(crate) watchdog: Mutex<Option<Duration>>,
 }
 
 impl KernelShared {
@@ -166,6 +187,8 @@ impl KernelShared {
                 update_requests: Vec::new(),
             }),
             tracer: Mutex::new(None),
+            liveness: Mutex::new(Registry::default()),
+            watchdog: Mutex::new(None),
         })
     }
 
@@ -294,7 +317,7 @@ impl KernelShared {
         }
     }
 
-    pub(crate) fn request_update(&self, f: Box<dyn FnOnce(&KernelShared) + Send>) {
+    pub(crate) fn request_update(&self, f: UpdateFn) {
         self.lock().update_requests.push(f);
     }
 
@@ -312,7 +335,7 @@ impl KernelShared {
             g.processes.push(ProcRec {
                 name: name.to_string(),
                 kind: ProcKind::Thread(ThreadLink {
-                    resume_tx,
+                    resume_tx: Some(resume_tx),
                     yield_rx: Arc::new(Mutex::new(yield_rx)),
                     join: None,
                 }),
@@ -399,16 +422,30 @@ impl KernelShared {
         self.lock().processes[pid.0].name.clone()
     }
 
-    /// Runs the scheduler until `limit`, stop or starvation.
+    /// Runs the scheduler until `limit`, stop, starvation or watchdog
+    /// expiry.
     pub(crate) fn run(self: &Arc<Self>, limit: Option<SimTime>) -> RunResult {
         {
             let mut g = self.lock();
             g.started = true;
             g.stop_requested = false;
         }
+        let deadline = self
+            .watchdog
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map(|budget| Instant::now() + budget);
         loop {
             // --- Phase 1: evaluate ----------------------------------------
             loop {
+                if let Some(dl) = deadline {
+                    if Instant::now() >= dl {
+                        return RunResult {
+                            time: self.now(),
+                            reason: StopReason::Watchdog,
+                        };
+                    }
+                }
                 let next = {
                     let mut g = self.lock();
                     g.runnable.pop_front()
@@ -523,10 +560,14 @@ impl KernelShared {
                 // always registers a new wait before yielding.
                 p.state = PState::Waiting;
                 match &mut p.kind {
-                    ProcKind::Thread(link) => Action::Thread {
-                        cause,
-                        resume_tx: link.resume_tx.clone(),
-                        yield_rx: Arc::clone(&link.yield_rx),
+                    ProcKind::Thread(link) => match &link.resume_tx {
+                        Some(tx) => Action::Thread {
+                            cause,
+                            resume_tx: tx.clone(),
+                            yield_rx: Arc::clone(&link.yield_rx),
+                        },
+                        // Torn down mid-flight: nothing left to resume.
+                        None => Action::Skip,
                     },
                     ProcKind::Method(slot) => match slot.take() {
                         Some(f) => Action::Method { f, cause },
@@ -576,23 +617,163 @@ impl KernelShared {
     }
 
     /// Kills and joins every live process thread. Called on simulation drop.
+    ///
+    /// Each thread is parked either in its initial `recv` (never dispatched)
+    /// or inside `yield_now` waiting for a resume. `Resume::Kill` unwinds it
+    /// via the `KillToken` panic payload. Dropping the kernel-side sender as
+    /// well guarantees the `recv` errors out even if the kill message could
+    /// not be buffered, so teardown can never hang on a live thread.
     pub(crate) fn teardown(&self) {
-        let links: Vec<(SyncSender<Resume>, Option<JoinHandle<()>>)> = {
+        type LinkParts = (Option<SyncSender<Resume>>, Option<JoinHandle<()>>);
+        let links: Vec<LinkParts> = {
             let mut g = self.lock();
             g.processes
                 .iter_mut()
-                .filter_map(|p| match &mut p.kind {
-                    ProcKind::Thread(link) => Some((link.resume_tx.clone(), link.join.take())),
-                    ProcKind::Method(_) => None,
+                .map(|p| {
+                    p.state = PState::Terminated;
+                    match &mut p.kind {
+                        ProcKind::Thread(link) => (link.resume_tx.take(), link.join.take()),
+                        ProcKind::Method(_) => (None, None),
+                    }
                 })
                 .collect()
         };
-        for (tx, join) in links {
-            let _ = tx.send(Resume::Kill);
-            if let Some(j) = join {
-                let _ = j.join();
-            }
+        // First wave: send kills / drop senders without joining, so sibling
+        // processes are all unblocked before we wait on any of them.
+        let joins: Vec<JoinHandle<()>> = links
+            .into_iter()
+            .filter_map(|(tx, join)| {
+                if let Some(tx) = tx {
+                    let _ = tx.try_send(Resume::Kill);
+                    // `tx` drops here: a full buffer still ends in a
+                    // disconnect error on the thread's next recv.
+                }
+                join
+            })
+            .collect();
+        for j in joins {
+            let _ = j.join();
         }
+    }
+
+    // --- Liveness: edge metadata and diagnosis ---------------------------
+
+    /// Registers a blocking endpoint (one side of a channel / adapter).
+    pub(crate) fn register_endpoint(&self, resource: &str, side: &str) -> EndpointId {
+        self.liveness
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .register_endpoint(resource, side)
+    }
+
+    /// Records the process currently using `ep`.
+    pub(crate) fn endpoint_user(&self, ep: EndpointId, pid: ProcessId) {
+        let mut g = self.liveness.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(e) = g.endpoints.get_mut(ep.0) {
+            e.last_user = Some(pid);
+        }
+    }
+
+    /// Records the *name* of the process expected to use `ep` before any
+    /// call happens (resolved against the process table during diagnosis).
+    pub(crate) fn endpoint_owner_hint(&self, ep: EndpointId, name: &str) {
+        let mut g = self.liveness.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(e) = g.endpoints.get_mut(ep.0) {
+            e.owner_hint = Some(name.to_string());
+        }
+    }
+
+    /// Attaches live detail text (e.g. pending reply counts) to `ep`.
+    pub(crate) fn endpoint_note(&self, ep: EndpointId, note: Option<String>) {
+        let mut g = self.liveness.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(e) = g.endpoints.get_mut(ep.0) {
+            e.note = note;
+        }
+    }
+
+    /// Annotates an event with the meaning of waiting on it and, when
+    /// known, the endpoint responsible for firing it.
+    pub(crate) fn annotate_wait(
+        &self,
+        event: EventId,
+        description: &str,
+        notifier: Option<EndpointId>,
+    ) {
+        let mut g = self.liveness.lock().unwrap_or_else(|e| e.into_inner());
+        g.edges.insert(
+            event,
+            crate::liveness::EdgeRec {
+                description: description.to_string(),
+                notifier,
+            },
+        );
+    }
+
+    /// Snapshots every blocked process, builds the wait-for graph from the
+    /// registered edge metadata and runs cycle detection.
+    pub(crate) fn diagnose(&self) -> DeadlockReport {
+        let g = self.lock();
+        let reg = self.liveness.lock().unwrap_or_else(|e| e.into_inner());
+        let mut blocked = Vec::new();
+        let mut graph = WaitForGraph::new();
+        for (i, p) in g.processes.iter().enumerate() {
+            if p.state != PState::Waiting || p.waiting_on.is_empty() {
+                continue;
+            }
+            let pid = ProcessId(i);
+            let mut waits = Vec::new();
+            for eid in &p.waiting_on {
+                let edge = reg.edges.get(eid);
+                let notifier_pid = edge
+                    .and_then(|e| e.notifier)
+                    .and_then(|ep| reg.endpoints.get(ep.0))
+                    .and_then(|e| {
+                        // Prefer the observed user; fall back to resolving
+                        // the owner name against the process table (the
+                        // owner may deadlock before its first call).
+                        e.last_user.or_else(|| {
+                            e.owner_hint.as_ref().and_then(|name| {
+                                g.processes
+                                    .iter()
+                                    .position(|p| &p.name == name)
+                                    .map(ProcessId)
+                            })
+                        })
+                    });
+                if let Some(q) = notifier_pid {
+                    graph.add_edge(pid, q);
+                }
+                waits.push(WaitDesc {
+                    event: g.events[eid.0].name.clone(),
+                    description: edge.map(|e| e.description.clone()),
+                    notifier: edge
+                        .and_then(|e| e.notifier)
+                        .and_then(|ep| reg.describe_endpoint(ep)),
+                    notifier_pid,
+                });
+            }
+            blocked.push(BlockedProcess {
+                pid,
+                name: p.name.clone(),
+                waits,
+            });
+        }
+        let name_of = |pid: ProcessId| g.processes[pid.0].name.clone();
+        let cycles = graph
+            .cycles()
+            .into_iter()
+            .map(|c| c.into_iter().map(name_of).collect())
+            .collect();
+        DeadlockReport {
+            time: g.now,
+            blocked,
+            cycles,
+        }
+    }
+
+    /// Sets (or clears) the wall-clock watchdog budget for subsequent runs.
+    pub(crate) fn set_watchdog(&self, budget: Option<Duration>) {
+        *self.watchdog.lock().unwrap_or_else(|e| e.into_inner()) = budget;
     }
 }
 

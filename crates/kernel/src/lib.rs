@@ -14,7 +14,10 @@
 //! * [`Signal`](signal::Signal) (request/update), [`Fifo`](fifo::Fifo),
 //!   [`Clock`](clock::Clock), [`SimMutex`](sync::SimMutex) and
 //!   [`SimSemaphore`](sync::SimSemaphore);
-//! * VCD [tracing](trace) and [statistics](stats) helpers.
+//! * VCD [tracing](trace) and [statistics](stats) helpers;
+//! * [liveness] diagnosis — wait-for graphs, cycle detection and
+//!   human-readable [`DeadlockReport`](liveness::DeadlockReport)s, plus a
+//!   wall-clock watchdog ([`StopReason::Watchdog`]).
 //!
 //! ## Example
 //!
@@ -44,7 +47,9 @@ pub mod clock;
 pub mod event;
 mod kernel;
 pub mod fifo;
+pub mod liveness;
 pub mod process;
+pub mod rng;
 pub mod signal;
 pub mod sim;
 pub mod stats;
@@ -59,6 +64,7 @@ pub mod prelude {
     pub use crate::clock::Clock;
     pub use crate::event::Event;
     pub use crate::fifo::Fifo;
+    pub use crate::liveness::{DeadlockReport, EndpointId, WaitForGraph};
     pub use crate::process::ThreadCtx;
     pub use crate::signal::Signal;
     pub use crate::sim::{SimHandle, Simulation};

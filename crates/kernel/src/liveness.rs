@@ -1,0 +1,313 @@
+//! Liveness diagnosis: wait-for graphs, cycle detection and deadlock
+//! reports.
+//!
+//! A transaction-level model whose four SHIP calls all *block* (paper §2)
+//! can deadlock exactly like the modeled hardware: the master waits in
+//! `request` for a reply while the slave waits in `recv` on a different
+//! channel the master will never serve. The kernel already detects the
+//! *symptom* — the scheduler starves ([`StopReason::Starved`]) — but the
+//! raw stop reason names nobody. This module turns the symptom into a
+//! diagnosis:
+//!
+//! * channels and bus/driver endpoints register **edge metadata**: which
+//!   event a blocked caller waits on, what that wait means ("awaiting
+//!   reply"), and which endpoint is responsible for notifying it;
+//! * endpoints report the **process** that last used them, so the graph can
+//!   connect "waits on event E" to "E is fired by process Q";
+//! * [`diagnose`](crate::sim::Simulation::diagnose) snapshots every blocked
+//!   process, builds the [`WaitForGraph`] and runs cycle detection;
+//! * the resulting [`DeadlockReport`] renders human-readable lines naming
+//!   processes, channels, sides and the blocking call, plus any wait cycles.
+//!
+//! [`StopReason::Starved`]: crate::kernel::StopReason::Starved
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::kernel::{EventId, ProcessId};
+use crate::time::SimTime;
+
+/// Identifies a registered blocking endpoint (one side of a SHIP channel, a
+/// bus mailbox adapter, a device-driver port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EndpointId(pub(crate) usize);
+
+#[derive(Debug)]
+pub(crate) struct EndpointRec {
+    /// The shared resource, e.g. `ship channel 'rpc'`.
+    pub(crate) resource: String,
+    /// Which end, e.g. a PE label or `side A`.
+    pub(crate) side: String,
+    /// Last process observed using this endpoint.
+    pub(crate) last_user: Option<ProcessId>,
+    /// Owner process *name*, when the channel knows it before any call is
+    /// made (e.g. a port handed to a named PE). Fallback for `last_user`.
+    pub(crate) owner_hint: Option<String>,
+    /// Free-form live detail, e.g. `owed replies: 1`.
+    pub(crate) note: Option<String>,
+}
+
+#[derive(Debug)]
+pub(crate) struct EdgeRec {
+    /// What waiting on this event means, e.g. `request (awaiting reply)`.
+    pub(crate) description: String,
+    /// The endpoint whose activity fires this event, when known.
+    pub(crate) notifier: Option<EndpointId>,
+}
+
+/// Edge metadata registry: endpoints plus event → meaning/notifier edges.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    pub(crate) endpoints: Vec<EndpointRec>,
+    pub(crate) edges: HashMap<EventId, EdgeRec>,
+}
+
+impl Registry {
+    pub(crate) fn register_endpoint(&mut self, resource: &str, side: &str) -> EndpointId {
+        let id = EndpointId(self.endpoints.len());
+        self.endpoints.push(EndpointRec {
+            resource: resource.to_string(),
+            side: side.to_string(),
+            last_user: None,
+            owner_hint: None,
+            note: None,
+        });
+        id
+    }
+
+    pub(crate) fn describe_endpoint(&self, id: EndpointId) -> Option<String> {
+        self.endpoints.get(id.0).map(|e| {
+            let mut s = format!("{} side '{}'", e.resource, e.side);
+            if let Some(n) = &e.note {
+                s += &format!(" ({n})");
+            }
+            s
+        })
+    }
+}
+
+/// A directed wait-for graph over processes: an edge *P → Q* means "P can
+/// only make progress once Q acts".
+///
+/// Built by [`Simulation::diagnose`](crate::sim::Simulation::diagnose) from
+/// the registered edge metadata, but also constructible by hand for testing
+/// arbitrary topologies.
+#[derive(Debug, Default)]
+pub struct WaitForGraph {
+    adj: HashMap<ProcessId, Vec<ProcessId>>,
+}
+
+impl WaitForGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the edge "`from` waits for `to`". Self-loops are kept: a process
+    /// waiting on an event only itself can fire is the smallest deadlock.
+    pub fn add_edge(&mut self, from: ProcessId, to: ProcessId) {
+        let targets = self.adj.entry(from).or_default();
+        if !targets.contains(&to) {
+            targets.push(to);
+        }
+        self.adj.entry(to).or_default();
+    }
+
+    /// True if the graph has no edges at all.
+    pub fn is_empty(&self) -> bool {
+        self.adj.values().all(|v| v.is_empty())
+    }
+
+    /// Finds elementary wait cycles, each reported once (rotated so the
+    /// smallest process id leads) and sorted for deterministic output.
+    /// Guaranteed to report at least one cycle whenever any exists.
+    pub fn cycles(&self) -> Vec<Vec<ProcessId>> {
+        let mut found: Vec<Vec<ProcessId>> = Vec::new();
+        let mut nodes: Vec<ProcessId> = self.adj.keys().copied().collect();
+        nodes.sort_unstable();
+        for &start in &nodes {
+            let mut stack = vec![start];
+            let mut on_stack = vec![start];
+            self.dfs(start, &mut stack, &mut on_stack, &mut found);
+        }
+        found.sort();
+        found.dedup();
+        found
+    }
+
+    fn dfs(
+        &self,
+        node: ProcessId,
+        stack: &mut Vec<ProcessId>,
+        on_stack: &mut Vec<ProcessId>,
+        found: &mut Vec<Vec<ProcessId>>,
+    ) {
+        let Some(next) = self.adj.get(&node) else {
+            return;
+        };
+        for &n in next {
+            if let Some(pos) = stack.iter().position(|p| *p == n) {
+                // Back edge: the slice from `pos` is an elementary cycle.
+                let cycle = canonical(&stack[pos..]);
+                if !found.contains(&cycle) {
+                    found.push(cycle);
+                }
+            } else if !on_stack.contains(&n) {
+                stack.push(n);
+                on_stack.push(n);
+                self.dfs(n, stack, on_stack, found);
+                stack.pop();
+            }
+        }
+    }
+}
+
+/// Rotates a cycle so the smallest process id comes first, making duplicates
+/// (the same cycle discovered from different start nodes) comparable.
+fn canonical(cycle: &[ProcessId]) -> Vec<ProcessId> {
+    let min_pos = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, p)| **p)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut out = Vec::with_capacity(cycle.len());
+    out.extend_from_slice(&cycle[min_pos..]);
+    out.extend_from_slice(&cycle[..min_pos]);
+    out
+}
+
+/// One wait of a blocked process: the event, what it means, and who is
+/// expected to fire it.
+#[derive(Debug, Clone)]
+pub struct WaitDesc {
+    /// Kernel name of the awaited event.
+    pub event: String,
+    /// Registered meaning of the wait (e.g. `request (awaiting reply)`),
+    /// when a channel annotated the event.
+    pub description: Option<String>,
+    /// Rendered description of the notifying endpoint, when registered.
+    pub notifier: Option<String>,
+    /// The process expected to fire the event, when the notifying endpoint
+    /// has a known user.
+    pub notifier_pid: Option<ProcessId>,
+}
+
+/// A process found blocked at diagnosis time, with every event it waits on.
+#[derive(Debug, Clone)]
+pub struct BlockedProcess {
+    /// Kernel process id.
+    pub pid: ProcessId,
+    /// The name the process was spawned with.
+    pub name: String,
+    /// All waits registered by this process (several for `wait_any`).
+    pub waits: Vec<WaitDesc>,
+}
+
+/// The rendered outcome of a liveness diagnosis.
+///
+/// Obtained from [`Simulation::diagnose`](crate::sim::Simulation::diagnose)
+/// after a run stopped (typically on
+/// [`StopReason::Starved`](crate::kernel::StopReason::Starved) or
+/// [`StopReason::Watchdog`](crate::kernel::StopReason::Watchdog)). The
+/// `Display` impl produces the human-readable report.
+#[derive(Debug, Clone)]
+pub struct DeadlockReport {
+    /// Simulated time of the snapshot.
+    pub time: SimTime,
+    /// Every process blocked in a kernel wait.
+    pub blocked: Vec<BlockedProcess>,
+    /// Detected wait cycles, as process-name rings.
+    pub cycles: Vec<Vec<String>>,
+}
+
+impl DeadlockReport {
+    /// True when at least one wait cycle was found — a certain deadlock
+    /// among the named processes.
+    pub fn has_cycle(&self) -> bool {
+        !self.cycles.is_empty()
+    }
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "liveness diagnosis at t={}:", self.time)?;
+        if self.blocked.is_empty() {
+            writeln!(f, "  no blocked processes")?;
+        }
+        for p in &self.blocked {
+            writeln!(f, "  process '{}' is blocked:", p.name)?;
+            for w in &p.waits {
+                let mut line = format!("    waiting on event '{}'", w.event);
+                if let Some(d) = &w.description {
+                    line += &format!(" — {d}");
+                }
+                if let Some(n) = &w.notifier {
+                    line += &format!("; fired by {n}");
+                }
+                writeln!(f, "{line}")?;
+            }
+        }
+        if self.cycles.is_empty() {
+            writeln!(f, "  no wait cycle detected")?;
+        } else {
+            for c in &self.cycles {
+                let ring = c.join("' -> '");
+                writeln!(f, "  DEADLOCK cycle: '{ring}' -> '{}'", c[0])?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn two_process_cycle_detected() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(p(0), p(1));
+        g.add_edge(p(1), p(0));
+        assert_eq!(g.cycles(), vec![vec![p(0), p(1)]]);
+    }
+
+    #[test]
+    fn three_process_ring_detected_once() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(p(2), p(0));
+        g.add_edge(p(0), p(1));
+        g.add_edge(p(1), p(2));
+        assert_eq!(g.cycles(), vec![vec![p(0), p(1), p(2)]]);
+    }
+
+    #[test]
+    fn chain_without_cycle_is_clean() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(p(0), p(1));
+        g.add_edge(p(1), p(2));
+        g.add_edge(p(3), p(2));
+        assert!(g.cycles().is_empty());
+    }
+
+    #[test]
+    fn self_wait_is_a_cycle() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(p(4), p(4));
+        assert_eq!(g.cycles(), vec![vec![p(4)]]);
+    }
+
+    #[test]
+    fn two_disjoint_cycles_both_found() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(p(0), p(1));
+        g.add_edge(p(1), p(0));
+        g.add_edge(p(5), p(6));
+        g.add_edge(p(6), p(5));
+        assert_eq!(g.cycles(), vec![vec![p(0), p(1)], vec![p(5), p(6)]]);
+    }
+}

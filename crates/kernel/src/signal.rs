@@ -14,13 +14,16 @@ pub trait SignalValue: Clone + PartialEq + Send + 'static {}
 
 impl<T: Clone + PartialEq + Send + 'static> SignalValue for T {}
 
+/// VCD trace id plus the monomorphized bit-conversion for one signal.
+type TraceHook<T> = (TraceId, fn(&T) -> u64);
+
 struct SigState<T> {
     cur: T,
     next: Option<T>,
     update_pending: bool,
     /// VCD hook: trace id plus the monomorphized bit-conversion, installed by
     /// [`Signal::trace`].
-    trace: Option<(TraceId, fn(&T) -> u64)>,
+    trace: Option<TraceHook<T>>,
 }
 
 struct SigShared<T> {

@@ -8,6 +8,7 @@ use crate::clock::Clock;
 use crate::event::Event;
 use crate::fifo::Fifo;
 use crate::kernel::{KernelShared, MethodApi, ProcessId, RunResult};
+use crate::liveness::{DeadlockReport, EndpointId};
 use crate::process::ThreadCtx;
 use crate::signal::{Signal, SignalValue};
 use crate::time::{SimDur, SimTime};
@@ -167,6 +168,26 @@ impl Simulation {
     pub fn stop(&self) {
         self.kernel.request_stop();
     }
+
+    /// Arms a wall-clock watchdog: any subsequent `run*` call returns
+    /// [`StopReason::Watchdog`](crate::kernel::StopReason::Watchdog) once
+    /// `budget` of real time has elapsed, instead of spinning forever on a
+    /// livelocked model. Pass `None` to disarm.
+    pub fn set_watchdog(&self, budget: Option<std::time::Duration>) {
+        self.kernel.set_watchdog(budget);
+    }
+
+    /// Snapshots every blocked process, builds the wait-for graph from
+    /// channel-registered edge metadata and runs cycle detection.
+    ///
+    /// Call after a run ends — typically on
+    /// [`StopReason::Starved`](crate::kernel::StopReason::Starved) (all
+    /// processes blocked, which is a deadlock whenever work was still
+    /// outstanding) or [`StopReason::Watchdog`](crate::kernel::StopReason::Watchdog).
+    /// The report's `Display` impl renders the human-readable diagnosis.
+    pub fn diagnose(&self) -> DeadlockReport {
+        self.kernel.diagnose()
+    }
 }
 
 impl Default for Simulation {
@@ -250,6 +271,44 @@ impl SimHandle {
     /// Requests the simulation to stop.
     pub fn stop(&self) {
         self.kernel.request_stop();
+    }
+
+    /// Registers a blocking endpoint (one side of a channel, a bus mailbox
+    /// adapter, a driver port) for liveness diagnosis.
+    pub fn register_blocking_endpoint(&self, resource: &str, side: &str) -> EndpointId {
+        self.kernel.register_endpoint(resource, side)
+    }
+
+    /// Records which process is currently using `ep`; wait-for edges point
+    /// at this process when someone blocks on an event `ep` fires.
+    pub fn endpoint_user(&self, ep: EndpointId, pid: ProcessId) {
+        self.kernel.endpoint_user(ep, pid);
+    }
+
+    /// Declares which *named* process is expected to use `ep` (e.g. the PE
+    /// label a port was handed to). Used as a fallback when the owner
+    /// deadlocks before its first call ever records a
+    /// [`endpoint_user`](Self::endpoint_user).
+    pub fn endpoint_owner_hint(&self, ep: EndpointId, name: &str) {
+        self.kernel.endpoint_owner_hint(ep, name);
+    }
+
+    /// Attaches live detail text to `ep` (e.g. `owed replies: 1`), shown in
+    /// deadlock reports.
+    pub fn endpoint_note(&self, ep: EndpointId, note: Option<String>) {
+        self.kernel.endpoint_note(ep, note);
+    }
+
+    /// Annotates `event` with the meaning of waiting on it (e.g.
+    /// `request (awaiting reply)`) and, when known, the endpoint whose
+    /// activity fires it.
+    pub fn annotate_wait(&self, event: &Event, description: &str, notifier: Option<EndpointId>) {
+        self.kernel.annotate_wait(event.id, description, notifier);
+    }
+
+    /// See [`Simulation::diagnose`].
+    pub fn diagnose(&self) -> DeadlockReport {
+        self.kernel.diagnose()
     }
 }
 

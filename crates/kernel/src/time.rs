@@ -221,7 +221,7 @@ fn fmt_ps(ps: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         (1_000, "ns"),
     ];
     for (scale, unit) in UNITS {
-        if ps >= scale && ps % scale == 0 {
+        if ps >= scale && ps.is_multiple_of(scale) {
             return write!(f, "{} {unit}", ps / scale);
         }
     }

@@ -1,19 +1,26 @@
-//! Property-based tests of scheduler invariants: timed events always fire
-//! in timestamp order, FIFOs never reorder or drop, signals obey
+//! Randomized tests of scheduler invariants: timed events always fire in
+//! timestamp order, FIFOs never reorder or drop, signals obey
 //! last-write-wins, and simulated time never runs backwards.
+//!
+//! Inputs are generated from a deterministic seeded [`Rng`], so every case
+//! is reproducible from its iteration index.
 
 use std::sync::{Arc, Mutex};
 
-use proptest::prelude::*;
 use shiptlm_kernel::prelude::*;
+use shiptlm_kernel::rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// Whatever order timed notifications are scheduled in, waiters observe
-    /// them in non-decreasing timestamp order.
-    #[test]
-    fn timed_events_fire_in_time_order(delays in proptest::collection::vec(1u64..10_000, 1..20)) {
+/// Whatever order timed notifications are scheduled in, waiters observe
+/// them in non-decreasing timestamp order.
+#[test]
+fn timed_events_fire_in_time_order() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x7131_0000 + case);
+        let n = rng.gen_range_usize(1, 20);
+        let delays: Vec<u64> = (0..n).map(|_| rng.gen_range_u64(1, 10_000)).collect();
+
         let sim = Simulation::new();
         let fired = Arc::new(Mutex::new(Vec::new()));
         for (i, d) in delays.iter().enumerate() {
@@ -28,22 +35,26 @@ proptest! {
         }
         sim.run();
         let fired = fired.lock().unwrap();
-        prop_assert_eq!(fired.len(), delays.len());
-        prop_assert!(fired.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(fired.len(), delays.len(), "case {case}");
+        assert!(fired.windows(2).all(|w| w[0] <= w[1]), "case {case}");
         let mut expected: Vec<u64> = delays.iter().map(|d| d * 1_000).collect();
         expected.sort_unstable();
-        prop_assert_eq!(&*fired, &expected);
+        assert_eq!(&*fired, &expected, "case {case}");
     }
+}
 
-    /// A FIFO delivers every item exactly once, in order, regardless of
-    /// capacity and producer/consumer pacing.
-    #[test]
-    fn fifo_preserves_order_and_content(
-        cap in 1usize..8,
-        items in proptest::collection::vec(any::<u32>(), 1..50),
-        prod_gap in 0u64..50,
-        cons_gap in 0u64..50,
-    ) {
+/// A FIFO delivers every item exactly once, in order, regardless of
+/// capacity and producer/consumer pacing.
+#[test]
+fn fifo_preserves_order_and_content() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x7131_1000 + case);
+        let cap = rng.gen_range_usize(1, 8);
+        let n = rng.gen_range_usize(1, 50);
+        let items: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
+        let prod_gap = rng.gen_range_u64(0, 50);
+        let cons_gap = rng.gen_range_u64(0, 50);
+
         let sim = Simulation::new();
         let f = sim.fifo::<u32>("f", cap);
         let (tx, rx) = (f.clone(), f);
@@ -70,14 +81,20 @@ proptest! {
             });
         }
         let r = sim.run();
-        prop_assert_eq!(r.reason, StopReason::Starved);
-        prop_assert_eq!(&*received.lock().unwrap(), &items);
+        assert_eq!(r.reason, StopReason::Starved, "case {case}");
+        assert_eq!(&*received.lock().unwrap(), &items, "case {case}");
     }
+}
 
-    /// The last write in an evaluate phase wins; intermediate values are
-    /// never observable in later phases.
-    #[test]
-    fn signal_last_write_wins(writes in proptest::collection::vec(any::<u16>(), 1..20)) {
+/// The last write in an evaluate phase wins; intermediate values are
+/// never observable in later phases.
+#[test]
+fn signal_last_write_wins() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x7131_2000 + case);
+        let n = rng.gen_range_usize(1, 20);
+        let writes: Vec<u16> = (0..n).map(|_| rng.next_u16()).collect();
+
         let sim = Simulation::new();
         let sig = sim.signal("s", 0u16);
         let last = *writes.last().unwrap();
@@ -90,12 +107,18 @@ proptest! {
             assert_eq!(s2.read(), last);
         });
         sim.run();
-        prop_assert_eq!(sig.read(), last);
+        assert_eq!(sig.read(), last, "case {case}");
     }
+}
 
-    /// `wait_for` sequences accumulate exactly.
-    #[test]
-    fn wait_for_accumulates(delays in proptest::collection::vec(0u64..1_000, 1..20)) {
+/// `wait_for` sequences accumulate exactly.
+#[test]
+fn wait_for_accumulates() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x7131_3000 + case);
+        let n = rng.gen_range_usize(1, 20);
+        let delays: Vec<u64> = (0..n).map(|_| rng.gen_range_u64(0, 1_000)).collect();
+
         let sim = Simulation::new();
         let total: u64 = delays.iter().sum();
         sim.spawn_thread("p", move |ctx| {
@@ -104,17 +127,20 @@ proptest! {
             }
         });
         let r = sim.run();
-        prop_assert_eq!(r.time.as_ps(), total);
+        assert_eq!(r.time.as_ps(), total, "case {case}");
     }
+}
 
-    /// Semaphores never go negative and serve every acquirer under random
-    /// contention.
-    #[test]
-    fn semaphore_conserves_permits(
-        procs in 1usize..6,
-        permits in 1usize..4,
-        hold_ns in 1u64..100,
-    ) {
+/// Semaphores never go negative and serve every acquirer under random
+/// contention.
+#[test]
+fn semaphore_conserves_permits() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x7131_4000 + case);
+        let procs = rng.gen_range_usize(1, 6);
+        let permits = rng.gen_range_usize(1, 4);
+        let hold_ns = rng.gen_range_u64(1, 100);
+
         let sim = Simulation::new();
         let sem = SimSemaphore::new(&sim.handle(), "s", permits);
         let active = Arc::new(Mutex::new((0usize, 0usize))); // (current, peak)
@@ -134,10 +160,10 @@ proptest! {
             });
         }
         let r = sim.run();
-        prop_assert_eq!(r.reason, StopReason::Starved);
+        assert_eq!(r.reason, StopReason::Starved, "case {case}");
         let g = active.lock().unwrap();
-        prop_assert_eq!(g.0, 0);
-        prop_assert!(g.1 <= permits);
-        prop_assert_eq!(sem.available(), permits);
+        assert_eq!(g.0, 0, "case {case}");
+        assert!(g.1 <= permits, "case {case}");
+        assert_eq!(sem.available(), permits, "case {case}");
     }
 }

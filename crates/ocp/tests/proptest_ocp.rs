@@ -1,24 +1,29 @@
-//! Property-based tests of the OCP layer: memory semantics under random
-//! access sequences, router decode totality, and beat arithmetic.
+//! Randomized tests of the OCP layer: memory semantics under random access
+//! sequences, router decode totality, and beat arithmetic.
+//!
+//! Inputs come from a deterministic seeded [`Rng`], so each case reproduces
+//! from its iteration index.
 
 use std::sync::{Arc, Mutex};
 
-use proptest::prelude::*;
 use shiptlm_kernel::prelude::*;
+use shiptlm_kernel::rng::Rng;
 use shiptlm_ocp::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// The memory model behaves like a byte array under any in-bounds
+/// write/read sequence issued through the transaction interface.
+#[test]
+fn memory_matches_reference_model() {
+    for case in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0x0c90_0000 + case);
+        let ops: Vec<(u64, Vec<u8>, bool)> = (0..rng.gen_range_usize(1, 24))
+            .map(|_| {
+                let addr = rng.gen_range_u64(0, 240);
+                let len = rng.gen_range_usize(1, 16);
+                (addr, rng.bytes(len), rng.gen_bool())
+            })
+            .collect();
 
-    /// The memory model behaves like a byte array under any in-bounds
-    /// write/read sequence issued through the transaction interface.
-    #[test]
-    fn memory_matches_reference_model(
-        ops in proptest::collection::vec(
-            (0u64..240, proptest::collection::vec(any::<u8>(), 1..16), any::<bool>()),
-            1..24,
-        )
-    ) {
         let sim = Simulation::new();
         let mem = Arc::new(Memory::new("ram", 256));
         let port = OcpMasterPort::bind(MasterId(0), mem);
@@ -29,7 +34,9 @@ proptest! {
                 let mut model = vec![0u8; 256];
                 for (addr, data, is_write) in &ops {
                     let len = data.len().min(256 - *addr as usize);
-                    if len == 0 { continue; }
+                    if len == 0 {
+                        continue;
+                    }
                     if *is_write {
                         port.write(ctx, *addr, data[..len].to_vec()).unwrap();
                         model[*addr as usize..*addr as usize + len]
@@ -47,13 +54,29 @@ proptest! {
             });
         }
         sim.run();
-        prop_assert!(mismatch.lock().unwrap().is_none(), "{:?}", mismatch.lock().unwrap());
+        let m = mismatch.lock().unwrap();
+        assert!(m.is_none(), "case {case}: {m:?}");
     }
+}
 
-    /// Every in-range address routes; every out-of-range address yields a
-    /// decode error — the router is total and never panics.
-    #[test]
-    fn router_decode_is_total(addr in 0u64..0x4000) {
+/// Every in-range address routes; every out-of-range address yields a
+/// decode error — the router is total and never panics.
+#[test]
+fn router_decode_is_total() {
+    for case in 0..96u64 {
+        let mut rng = Rng::seed_from_u64(0x0c90_1000 + case);
+        // Bias half the cases into the mapped windows so both arms get
+        // exercised.
+        let addr = if rng.gen_bool() {
+            if rng.gen_bool() {
+                rng.gen_range_u64(0x100, 0x200)
+            } else {
+                rng.gen_range_u64(0x1000, 0x2000)
+            }
+        } else {
+            rng.gen_range_u64(0, 0x4000)
+        };
+
         let sim = Simulation::new();
         let mut router = Router::new("map");
         router.map(0x100..0x200, Arc::new(Memory::new("a", 0x100)), true);
@@ -70,34 +93,47 @@ proptest! {
         let result = outcome.lock().unwrap().take().unwrap();
         let mapped = (0x100..0x200).contains(&addr) || (0x1000..0x2000).contains(&addr);
         match (mapped, result) {
-            (true, Ok(d)) => prop_assert_eq!(d.len(), 1),
-            (false, Err(OcpError::AddressDecode { addr: a })) => prop_assert_eq!(a, addr),
-            (m, r) => prop_assert!(false, "mapped={m}, result={r:?}"),
+            (true, Ok(d)) => assert_eq!(d.len(), 1, "case {case}"),
+            (false, Err(OcpError::AddressDecode { addr: a })) => {
+                assert_eq!(a, addr, "case {case}")
+            }
+            (m, r) => panic!("case {case}: mapped={m}, result={r:?}"),
         }
     }
+}
 
-    /// Beat arithmetic: beats * word_bytes always covers the payload, with
-    /// less than one word of slack.
-    #[test]
-    fn beats_cover_payload(len in 0usize..5000, word in 1usize..32) {
+/// Beat arithmetic: beats * word_bytes always covers the payload, with
+/// less than one word of slack.
+#[test]
+fn beats_cover_payload() {
+    for case in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0x0c90_2000 + case);
+        let len = rng.gen_range_usize(0, 5000);
+        let word = rng.gen_range_usize(1, 32);
         let req = OcpRequest::read(0, len);
         let beats = req.beats(word) as usize;
-        prop_assert!(beats * word >= len);
-        prop_assert!(beats >= 1);
+        assert!(beats * word >= len, "case {case}");
+        assert!(beats >= 1, "case {case}");
         if len > 0 {
-            prop_assert!((beats - 1) * word < len);
+            assert!((beats - 1) * word < len, "case {case}");
         }
     }
+}
 
-    /// Request constructors preserve their inputs.
-    #[test]
-    fn request_constructors_roundtrip(addr in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..64)) {
+/// Request constructors preserve their inputs.
+#[test]
+fn request_constructors_roundtrip() {
+    for case in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0x0c90_3000 + case);
+        let addr = rng.next_u64();
+        let dlen = rng.gen_range_usize(0, 64);
+        let data = rng.bytes(dlen);
         let w = OcpRequest::write(addr, data.clone());
-        prop_assert_eq!(w.addr, addr);
-        prop_assert_eq!(w.cmd.len(), data.len());
-        prop_assert_eq!(w.cmd.mcmd(), MCmd::Write);
+        assert_eq!(w.addr, addr, "case {case}");
+        assert_eq!(w.cmd.len(), data.len(), "case {case}");
+        assert_eq!(w.cmd.mcmd(), MCmd::Write, "case {case}");
         let r = OcpRequest::read(addr, data.len());
-        prop_assert_eq!(r.cmd.mcmd(), MCmd::Read);
-        prop_assert_eq!(r.cmd.len(), data.len());
+        assert_eq!(r.cmd.mcmd(), MCmd::Read, "case {case}");
+        assert_eq!(r.cmd.len(), data.len(), "case {case}");
     }
 }

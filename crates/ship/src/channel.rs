@@ -14,9 +14,10 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 
 use shiptlm_kernel::event::Event;
+use shiptlm_kernel::liveness::EndpointId;
 use shiptlm_kernel::process::ThreadCtx;
 use shiptlm_kernel::sim::SimHandle;
-use shiptlm_kernel::time::SimDur;
+use shiptlm_kernel::time::{SimDur, SimTime};
 
 use crate::error::ShipError;
 use crate::record::{fnv1a, ShipOp, TransactionLog, TxRecord};
@@ -52,6 +53,11 @@ pub struct ShipConfig {
     /// Additional latency per payload byte (coarse bandwidth estimate for
     /// pre-mapping exploration).
     pub per_byte: SimDur,
+    /// Simulated-time budget for each blocking call. When set, a call that
+    /// would block past the budget returns [`ShipError::Timeout`] with a
+    /// channel-state snapshot instead of hanging the simulation. `None`
+    /// (the default) blocks indefinitely, per the paper.
+    pub timeout: Option<SimDur>,
 }
 
 impl Default for ShipConfig {
@@ -60,6 +66,7 @@ impl Default for ShipConfig {
             capacity: 16,
             latency: SimDur::ZERO,
             per_byte: SimDur::ZERO,
+            timeout: None,
         }
     }
 }
@@ -100,6 +107,10 @@ struct ChanShared {
     /// Reply delivered to side [A, B].
     reply_written: [Event; 2],
     usage: [Arc<Usage>; 2],
+    /// Handle for liveness bookkeeping (endpoint users, wait annotations).
+    sim: SimHandle,
+    /// Liveness endpoint ids of side [A, B].
+    ep: [EndpointId; 2],
 }
 
 impl ChanShared {
@@ -142,6 +153,42 @@ impl ShipChannel {
     pub fn new(sim: &SimHandle, name: &str, config: ShipConfig) -> Self {
         assert!(config.capacity > 0, "ship channel capacity must be non-zero");
         let ev = |suffix: &str| sim.event(&format!("{name}.{suffix}"));
+        let msg_written = [ev("a2b.written"), ev("b2a.written")];
+        let msg_read = [ev("a2b.read"), ev("b2a.read")];
+        let reply_written = [ev("reply2a"), ev("reply2b")];
+
+        // Register both sides as liveness endpoints and annotate each
+        // blocking-wait event with its meaning and the side that fires it,
+        // so starved runs diagnose into named deadlock reports.
+        let resource = format!("ship channel '{name}'");
+        let ep = [
+            sim.register_blocking_endpoint(&resource, "A"),
+            sim.register_blocking_endpoint(&resource, "B"),
+        ];
+        for side in [0usize, 1] {
+            let peer = 1 - side;
+            // Waited on by the peer's `recv`; fired by this side writing.
+            sim.annotate_wait(
+                &msg_written[side],
+                "recv (awaiting message)",
+                Some(ep[side]),
+            );
+            // Waited on by this side's `send` when full; fired by the peer
+            // draining the direction queue.
+            sim.annotate_wait(
+                &msg_read[side],
+                "send (channel full, awaiting reader)",
+                Some(ep[peer]),
+            );
+            // Waited on by this side's `request`; fired by the peer's
+            // `reply`.
+            sim.annotate_wait(
+                &reply_written[side],
+                "request (awaiting reply)",
+                Some(ep[peer]),
+            );
+        }
+
         ShipChannel {
             shared: Arc::new(ChanShared {
                 name: name.to_string(),
@@ -150,10 +197,12 @@ impl ShipChannel {
                     Mutex::new(DirQueues::default()),
                     Mutex::new(DirQueues::default()),
                 ],
-                msg_written: [ev("a2b.written"), ev("b2a.written")],
-                msg_read: [ev("a2b.read"), ev("b2a.read")],
-                reply_written: [ev("reply2a"), ev("reply2b")],
+                msg_written,
+                msg_read,
+                reply_written,
                 usage: [Arc::new(Usage::new()), Arc::new(Usage::new())],
+                sim: sim.clone(),
+                ep,
             }),
         }
     }
@@ -166,6 +215,14 @@ impl ShipChannel {
     /// Creates the two port handles, labelled with their PE names.
     /// Call once; PEs keep their port for the whole simulation.
     pub fn ports(&self, label_a: &str, label_b: &str) -> (ShipPort, ShipPort) {
+        // Port labels are conventionally the owning PE names: give liveness
+        // a fallback identity for owners that deadlock before calling.
+        self.shared
+            .sim
+            .endpoint_owner_hint(self.shared.ep[0], label_a);
+        self.shared
+            .sim
+            .endpoint_owner_hint(self.shared.ep[1], label_b);
         let a = ShipPort {
             endpoint: Arc::new(ChannelEndpoint {
                 shared: Arc::clone(&self.shared),
@@ -277,6 +334,82 @@ impl ChannelEndpoint {
     fn in_dir(&self) -> usize {
         ChanShared::dir_index(self.side.opposite())
     }
+    fn ep(&self) -> EndpointId {
+        self.shared.ep[ChanShared::dir_index(self.side)]
+    }
+    fn side_str(&self) -> &'static str {
+        match self.side {
+            Side::A => "A",
+            Side::B => "B",
+        }
+    }
+
+    /// Records the calling process as this side's user, so wait-for edges
+    /// pointing at this endpoint resolve to a process name.
+    fn note_user(&self, ctx: &ThreadCtx) {
+        self.shared.sim.endpoint_user(self.ep(), ctx.pid());
+    }
+
+    /// Simulated-time deadline for the current call, if a timeout is
+    /// configured. Taken at call entry, so transport delay counts against
+    /// the budget.
+    fn deadline(&self, ctx: &ThreadCtx) -> Option<SimTime> {
+        self.shared.config.timeout.and_then(|t| ctx.now().checked_add(t))
+    }
+
+    /// Queue-state snapshot embedded in timeout errors and endpoint notes.
+    fn snapshot(&self) -> String {
+        let d0 = self.shared.dirs[0].lock().unwrap_or_else(|e| e.into_inner());
+        let d1 = self.shared.dirs[1].lock().unwrap_or_else(|e| e.into_inner());
+        format!(
+            "a2b {} queued / {} owed replies, b2a {} queued / {} owed replies",
+            d0.messages.len(),
+            d0.owed_replies,
+            d1.messages.len(),
+            d1.owed_replies
+        )
+    }
+
+    fn timeout_error(&self, call: &'static str) -> ShipError {
+        ShipError::Timeout {
+            channel: self.shared.name.clone(),
+            side: self.side_str().to_string(),
+            call,
+            detail: self.snapshot(),
+        }
+    }
+
+    /// Blocks on `ev`, honouring the call's deadline when one is set.
+    fn wait_or_timeout(
+        &self,
+        ctx: &mut ThreadCtx,
+        ev: &Event,
+        call: &'static str,
+        deadline: Option<SimTime>,
+    ) -> Result<(), ShipError> {
+        let Some(dl) = deadline else {
+            ctx.wait(ev);
+            return Ok(());
+        };
+        let remaining = dl.saturating_since(ctx.now());
+        if remaining.is_zero() {
+            return Err(self.timeout_error(call));
+        }
+        match ctx.wait_any_for(&[ev], remaining) {
+            Some(_) => Ok(()),
+            None => Err(self.timeout_error(call)),
+        }
+    }
+
+    /// Publishes this side's outstanding-reply debt as a liveness note.
+    fn publish_owed(&self, owed: u64) {
+        let note = if owed == 0 {
+            None
+        } else {
+            Some(format!("owes {owed} reply(s)"))
+        };
+        self.shared.sim.endpoint_note(self.ep(), note);
+    }
 
     fn transport_delay(&self, ctx: &mut ThreadCtx, len: usize) {
         let cfg = &self.shared.config;
@@ -286,7 +419,13 @@ impl ChannelEndpoint {
         }
     }
 
-    fn push_message(&self, ctx: &mut ThreadCtx, msg: Message) {
+    fn push_message(
+        &self,
+        ctx: &mut ThreadCtx,
+        msg: Message,
+        call: &'static str,
+        deadline: Option<SimTime>,
+    ) -> Result<(), ShipError> {
         let dir = self.out_dir();
         let mut msg = Some(msg);
         loop {
@@ -297,32 +436,45 @@ impl ChannelEndpoint {
                     break;
                 }
             }
-            ctx.wait(&self.shared.msg_read[dir]);
+            self.wait_or_timeout(ctx, &self.shared.msg_read[dir], call, deadline)?;
         }
         self.shared.msg_written[dir].notify_delta();
+        Ok(())
     }
 
-    fn pop_message(&self, ctx: &mut ThreadCtx) -> Message {
+    fn pop_message(
+        &self,
+        ctx: &mut ThreadCtx,
+        call: &'static str,
+        deadline: Option<SimTime>,
+    ) -> Result<Message, ShipError> {
         let dir = self.in_dir();
         loop {
             {
                 let mut q = self.shared.dirs[dir].lock().unwrap_or_else(|e| e.into_inner());
                 if let Some(m) = q.messages.pop_front() {
+                    let mut owed = None;
                     if m.kind == MsgKind::Request {
                         q.owed_replies += 1;
+                        owed = Some(q.owed_replies);
                     }
                     drop(q);
+                    if let Some(o) = owed {
+                        self.publish_owed(o);
+                    }
                     self.shared.msg_read[dir].notify_delta();
-                    return m;
+                    return Ok(m);
                 }
             }
-            ctx.wait(&self.shared.msg_written[dir]);
+            self.wait_or_timeout(ctx, &self.shared.msg_written[dir], call, deadline)?;
         }
     }
 }
 
 impl ShipEndpoint for ChannelEndpoint {
     fn send_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<(), ShipError> {
+        self.note_user(ctx);
+        let deadline = self.deadline(ctx);
         self.transport_delay(ctx, bytes.len());
         self.push_message(
             ctx,
@@ -330,15 +482,20 @@ impl ShipEndpoint for ChannelEndpoint {
                 kind: MsgKind::Data,
                 bytes,
             },
-        );
-        Ok(())
+            "send",
+            deadline,
+        )
     }
 
     fn recv_bytes(&self, ctx: &mut ThreadCtx) -> Result<Vec<u8>, ShipError> {
-        Ok(self.pop_message(ctx).bytes)
+        self.note_user(ctx);
+        let deadline = self.deadline(ctx);
+        Ok(self.pop_message(ctx, "recv", deadline)?.bytes)
     }
 
     fn request_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<Vec<u8>, ShipError> {
+        self.note_user(ctx);
+        let deadline = self.deadline(ctx);
         self.transport_delay(ctx, bytes.len());
         self.push_message(
             ctx,
@@ -346,7 +503,9 @@ impl ShipEndpoint for ChannelEndpoint {
                 kind: MsgKind::Request,
                 bytes,
             },
-        );
+            "request",
+            deadline,
+        )?;
         // Wait for a reply travelling back to this side.
         let my_dir = self.out_dir(); // replies-to-me are indexed by my side
         loop {
@@ -358,16 +517,17 @@ impl ShipEndpoint for ChannelEndpoint {
                     return Ok(r);
                 }
             }
-            ctx.wait(&self.shared.reply_written[my_dir]);
+            self.wait_or_timeout(ctx, &self.shared.reply_written[my_dir], "request", deadline)?;
         }
     }
 
     fn reply_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<(), ShipError> {
+        self.note_user(ctx);
         self.transport_delay(ctx, bytes.len());
         // The requester lives on the opposite side; its reply queue is
         // indexed by *its* side.
         let peer_dir = self.in_dir();
-        {
+        let owed = {
             let mut q = self.shared.dirs[peer_dir]
                 .lock()
                 .unwrap_or_else(|e| e.into_inner());
@@ -379,7 +539,9 @@ impl ShipEndpoint for ChannelEndpoint {
             }
             q.owed_replies -= 1;
             q.replies.push_back(bytes);
-        }
+            q.owed_replies
+        };
+        self.publish_owed(owed);
         self.shared.reply_written[peer_dir].notify_delta();
         Ok(())
     }

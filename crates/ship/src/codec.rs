@@ -1,19 +1,35 @@
-//! Serde adapter for the SHIP wire format.
+//! Envelope codec for the SHIP wire format.
 //!
 //! The paper's SHIP channel transfers "any C++ object that implements the
-//! `ship_serializable_if` interface". The Rust equivalent of "any object" is
-//! any `serde` type: [`to_bytes`] / [`from_bytes`] encode and decode through
-//! a compact, non-self-describing binary codec over the same
-//! [`wire`](crate::wire) format the hand-written [`ShipSerialize`]
-//! implementations use, and the [`Serde`] wrapper lets such types travel
-//! through a SHIP channel directly.
+//! `ship_serializable_if` interface". The Rust equivalent is any type
+//! implementing [`ShipSerialize`]: [`to_bytes`] / [`from_bytes`] encode and
+//! decode through the compact, non-self-describing binary
+//! [`wire`](crate::wire) format, and the [`Serde`] wrapper adds a
+//! length-prefixed *envelope* around a payload so receivers can skip or
+//! validate it without understanding its interior layout (the framing the
+//! bus mailbox adapters rely on).
 //!
 //! ```
-//! use serde::{Deserialize, Serialize};
 //! use shiptlm_ship::codec::{from_bytes, to_bytes};
+//! use shiptlm_ship::prelude::*;
 //!
-//! #[derive(Serialize, Deserialize, Debug, PartialEq)]
+//! #[derive(Debug, PartialEq)]
 //! struct Packet { seq: u32, payload: Vec<u8>, urgent: bool }
+//!
+//! impl ShipSerialize for Packet {
+//!     fn serialize(&self, w: &mut ByteWriter) {
+//!         self.seq.serialize(w);
+//!         self.payload.serialize(w);
+//!         self.urgent.serialize(w);
+//!     }
+//!     fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+//!         Ok(Packet {
+//!             seq: u32::deserialize(r)?,
+//!             payload: Vec::deserialize(r)?,
+//!             urgent: bool::deserialize(r)?,
+//!         })
+//!     }
+//! }
 //!
 //! # fn main() -> Result<(), shiptlm_ship::wire::WireError> {
 //! let p = Packet { seq: 9, payload: vec![1, 2], urgent: true };
@@ -23,52 +39,36 @@
 //! # }
 //! ```
 
-use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
-use serde::{ser, Serialize};
-
-use crate::serialize::ShipSerialize;
+use crate::serialize::{from_wire, to_wire, ShipSerialize};
 use crate::wire::{ByteReader, ByteWriter, WireError};
 
-impl ser::Error for WireError {
-    fn custom<T: std::fmt::Display>(msg: T) -> Self {
-        WireError::Custom(msg.to_string())
-    }
-}
-
-impl de::Error for WireError {
-    fn custom<T: std::fmt::Display>(msg: T) -> Self {
-        WireError::Custom(msg.to_string())
-    }
-}
-
-/// Encodes any `serde` value into SHIP wire bytes.
+/// Encodes any [`ShipSerialize`] value into SHIP wire bytes.
 ///
 /// # Errors
 ///
-/// Returns a [`WireError`] if the value's `Serialize` implementation fails
-/// (e.g. a map with an unknown length).
-pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, WireError> {
-    let mut w = ByteWriter::new();
-    value.serialize(&mut Serializer { w: &mut w })?;
-    Ok(w.into_bytes())
+/// Infallible today (kept as a `Result` so richer backends can report
+/// encoder-side failures without an API break).
+pub fn to_bytes<T: ShipSerialize>(value: &T) -> Result<Vec<u8>, WireError> {
+    Ok(to_wire(value))
 }
 
-/// Decodes a `serde` value from SHIP wire bytes, requiring full consumption.
+/// Decodes a [`ShipSerialize`] value from SHIP wire bytes, requiring full
+/// consumption of the input.
 ///
 /// # Errors
 ///
 /// Returns a [`WireError`] on malformed input or trailing bytes.
-pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, WireError> {
-    let mut r = ByteReader::new(bytes);
-    let v = T::deserialize(&mut Deserializer { r: &mut r })?;
-    if !r.is_exhausted() {
-        return Err(WireError::TrailingBytes(r.remaining()));
-    }
-    Ok(v)
+pub fn from_bytes<T: ShipSerialize>(bytes: &[u8]) -> Result<T, WireError> {
+    from_wire(bytes)
 }
 
-/// Wrapper giving any `serde` type a [`ShipSerialize`] implementation, so it
-/// can travel through a SHIP channel: `port.send(ctx, &Serde(my_struct))`.
+/// Wrapper that frames a [`ShipSerialize`] payload in a length-prefixed
+/// envelope, so it can travel through a SHIP channel with self-delimiting
+/// framing: `port.send(ctx, &Serde(my_struct))`.
+///
+/// The name is kept from the original `serde`-backed adapter; the wrapper is
+/// now dependency-free but preserves the same wire envelope (length prefix +
+/// payload bytes), so recorded digests stay comparable across levels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Serde<T>(pub T);
 
@@ -85,502 +85,82 @@ impl<T> From<T> for Serde<T> {
     }
 }
 
-impl<T: Serialize + DeserializeOwned> ShipSerialize for Serde<T> {
+impl<T: ShipSerialize> ShipSerialize for Serde<T> {
     fn serialize(&self, w: &mut ByteWriter) {
-        let bytes = to_bytes(&self.0).expect("serde serialization failed");
+        let bytes = to_wire(&self.0);
         w.put_len_prefixed(&bytes);
     }
     fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
         let bytes = r.get_len_prefixed()?;
-        Ok(Serde(from_bytes(bytes)?))
-    }
-}
-
-struct Serializer<'a> {
-    w: &'a mut ByteWriter,
-}
-
-impl<'a, 'b> ser::Serializer for &'a mut Serializer<'b> {
-    type Ok = ();
-    type Error = WireError;
-    type SerializeSeq = Self;
-    type SerializeTuple = Self;
-    type SerializeTupleStruct = Self;
-    type SerializeTupleVariant = Self;
-    type SerializeMap = Self;
-    type SerializeStruct = Self;
-    type SerializeStructVariant = Self;
-
-    fn serialize_bool(self, v: bool) -> Result<(), WireError> {
-        self.w.put_bool(v);
-        Ok(())
-    }
-    fn serialize_i8(self, v: i8) -> Result<(), WireError> {
-        self.w.put_i8(v);
-        Ok(())
-    }
-    fn serialize_i16(self, v: i16) -> Result<(), WireError> {
-        self.w.put_i16(v);
-        Ok(())
-    }
-    fn serialize_i32(self, v: i32) -> Result<(), WireError> {
-        self.w.put_i32(v);
-        Ok(())
-    }
-    fn serialize_i64(self, v: i64) -> Result<(), WireError> {
-        self.w.put_i64(v);
-        Ok(())
-    }
-    fn serialize_u8(self, v: u8) -> Result<(), WireError> {
-        self.w.put_u8(v);
-        Ok(())
-    }
-    fn serialize_u16(self, v: u16) -> Result<(), WireError> {
-        self.w.put_u16(v);
-        Ok(())
-    }
-    fn serialize_u32(self, v: u32) -> Result<(), WireError> {
-        self.w.put_u32(v);
-        Ok(())
-    }
-    fn serialize_u64(self, v: u64) -> Result<(), WireError> {
-        self.w.put_u64(v);
-        Ok(())
-    }
-    fn serialize_f32(self, v: f32) -> Result<(), WireError> {
-        self.w.put_f32(v);
-        Ok(())
-    }
-    fn serialize_f64(self, v: f64) -> Result<(), WireError> {
-        self.w.put_f64(v);
-        Ok(())
-    }
-    fn serialize_char(self, v: char) -> Result<(), WireError> {
-        self.w.put_u32(v as u32);
-        Ok(())
-    }
-    fn serialize_str(self, v: &str) -> Result<(), WireError> {
-        self.w.put_len_prefixed(v.as_bytes());
-        Ok(())
-    }
-    fn serialize_bytes(self, v: &[u8]) -> Result<(), WireError> {
-        self.w.put_len_prefixed(v);
-        Ok(())
-    }
-    fn serialize_none(self) -> Result<(), WireError> {
-        self.w.put_u8(0);
-        Ok(())
-    }
-    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), WireError> {
-        self.w.put_u8(1);
-        value.serialize(self)
-    }
-    fn serialize_unit(self) -> Result<(), WireError> {
-        Ok(())
-    }
-    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), WireError> {
-        Ok(())
-    }
-    fn serialize_unit_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-    ) -> Result<(), WireError> {
-        self.w.put_u32(variant_index);
-        Ok(())
-    }
-    fn serialize_newtype_struct<T: Serialize + ?Sized>(
-        self,
-        _name: &'static str,
-        value: &T,
-    ) -> Result<(), WireError> {
-        value.serialize(self)
-    }
-    fn serialize_newtype_variant<T: Serialize + ?Sized>(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        value: &T,
-    ) -> Result<(), WireError> {
-        self.w.put_u32(variant_index);
-        value.serialize(self)
-    }
-    fn serialize_seq(self, len: Option<usize>) -> Result<Self, WireError> {
-        let len = len.ok_or(WireError::Unsupported("sequences of unknown length"))?;
-        self.w.put_u64(len as u64);
-        Ok(self)
-    }
-    fn serialize_tuple(self, _len: usize) -> Result<Self, WireError> {
-        Ok(self)
-    }
-    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, WireError> {
-        Ok(self)
-    }
-    fn serialize_tuple_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        _len: usize,
-    ) -> Result<Self, WireError> {
-        self.w.put_u32(variant_index);
-        Ok(self)
-    }
-    fn serialize_map(self, len: Option<usize>) -> Result<Self, WireError> {
-        let len = len.ok_or(WireError::Unsupported("maps of unknown length"))?;
-        self.w.put_u64(len as u64);
-        Ok(self)
-    }
-    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, WireError> {
-        Ok(self)
-    }
-    fn serialize_struct_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        _len: usize,
-    ) -> Result<Self, WireError> {
-        self.w.put_u32(variant_index);
-        Ok(self)
-    }
-    fn is_human_readable(&self) -> bool {
-        false
-    }
-}
-
-macro_rules! impl_compound_ser {
-    ($trait:path, $method:ident) => {
-        impl<'a, 'b> $trait for &'a mut Serializer<'b> {
-            type Ok = ();
-            type Error = WireError;
-            fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), WireError> {
-                value.serialize(&mut **self)
-            }
-            fn end(self) -> Result<(), WireError> {
-                Ok(())
-            }
-        }
-    };
-}
-
-impl_compound_ser!(ser::SerializeSeq, serialize_element);
-impl_compound_ser!(ser::SerializeTuple, serialize_element);
-impl_compound_ser!(ser::SerializeTupleStruct, serialize_field);
-impl_compound_ser!(ser::SerializeTupleVariant, serialize_field);
-
-impl<'a, 'b> ser::SerializeMap for &'a mut Serializer<'b> {
-    type Ok = ();
-    type Error = WireError;
-    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), WireError> {
-        key.serialize(&mut **self)
-    }
-    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), WireError> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<(), WireError> {
-        Ok(())
-    }
-}
-
-impl<'a, 'b> ser::SerializeStruct for &'a mut Serializer<'b> {
-    type Ok = ();
-    type Error = WireError;
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        _key: &'static str,
-        value: &T,
-    ) -> Result<(), WireError> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<(), WireError> {
-        Ok(())
-    }
-}
-
-impl<'a, 'b> ser::SerializeStructVariant for &'a mut Serializer<'b> {
-    type Ok = ();
-    type Error = WireError;
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        _key: &'static str,
-        value: &T,
-    ) -> Result<(), WireError> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<(), WireError> {
-        Ok(())
-    }
-}
-
-struct Deserializer<'a, 'de> {
-    r: &'a mut ByteReader<'de>,
-}
-
-impl<'a, 'de, 'b> de::Deserializer<'de> for &'b mut Deserializer<'a, 'de> {
-    type Error = WireError;
-
-    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
-        Err(WireError::Unsupported(
-            "deserialize_any (the ship wire format is not self-describing)",
-        ))
-    }
-
-    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        visitor.visit_bool(self.r.get_bool()?)
-    }
-    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        visitor.visit_i8(self.r.get_i8()?)
-    }
-    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        visitor.visit_i16(self.r.get_i16()?)
-    }
-    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        visitor.visit_i32(self.r.get_i32()?)
-    }
-    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        visitor.visit_i64(self.r.get_i64()?)
-    }
-    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        visitor.visit_u8(self.r.get_u8()?)
-    }
-    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        visitor.visit_u16(self.r.get_u16()?)
-    }
-    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        visitor.visit_u32(self.r.get_u32()?)
-    }
-    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        visitor.visit_u64(self.r.get_u64()?)
-    }
-    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        visitor.visit_f32(self.r.get_f32()?)
-    }
-    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        visitor.visit_f64(self.r.get_f64()?)
-    }
-    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        let raw = self.r.get_u32()?;
-        let c = char::from_u32(raw)
-            .ok_or_else(|| WireError::InvalidValue(format!("char scalar {raw:#x}")))?;
-        visitor.visit_char(c)
-    }
-    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        let bytes = self.r.get_len_prefixed()?;
-        let s = std::str::from_utf8(bytes)
-            .map_err(|e| WireError::InvalidValue(format!("utf-8: {e}")))?;
-        visitor.visit_borrowed_str(s)
-    }
-    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        self.deserialize_str(visitor)
-    }
-    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        visitor.visit_borrowed_bytes(self.r.get_len_prefixed()?)
-    }
-    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        self.deserialize_bytes(visitor)
-    }
-    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        match self.r.get_u8()? {
-            0 => visitor.visit_none(),
-            1 => visitor.visit_some(self),
-            b => Err(WireError::InvalidValue(format!("option tag {b:#x}"))),
-        }
-    }
-    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        visitor.visit_unit()
-    }
-    fn deserialize_unit_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        visitor: V,
-    ) -> Result<V::Value, WireError> {
-        visitor.visit_unit()
-    }
-    fn deserialize_newtype_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        visitor: V,
-    ) -> Result<V::Value, WireError> {
-        visitor.visit_newtype_struct(self)
-    }
-    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        let len = self.r.get_u64()?;
-        if len > self.r.remaining() as u64 {
-            return Err(WireError::BadLength(len));
-        }
-        visitor.visit_seq(Access {
-            de: self,
-            remaining: len as usize,
-        })
-    }
-    fn deserialize_tuple<V: Visitor<'de>>(
-        self,
-        len: usize,
-        visitor: V,
-    ) -> Result<V::Value, WireError> {
-        visitor.visit_seq(Access {
-            de: self,
-            remaining: len,
-        })
-    }
-    fn deserialize_tuple_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        len: usize,
-        visitor: V,
-    ) -> Result<V::Value, WireError> {
-        self.deserialize_tuple(len, visitor)
-    }
-    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        let len = self.r.get_u64()?;
-        if len > self.r.remaining() as u64 {
-            return Err(WireError::BadLength(len));
-        }
-        visitor.visit_map(Access {
-            de: self,
-            remaining: len as usize,
-        })
-    }
-    fn deserialize_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        fields: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value, WireError> {
-        self.deserialize_tuple(fields.len(), visitor)
-    }
-    fn deserialize_enum<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        _variants: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value, WireError> {
-        visitor.visit_enum(EnumAccess { de: self })
-    }
-    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
-        Err(WireError::Unsupported("identifiers"))
-    }
-    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
-        Err(WireError::Unsupported(
-            "ignored_any (the ship wire format is not self-describing)",
-        ))
-    }
-    fn is_human_readable(&self) -> bool {
-        false
-    }
-}
-
-struct Access<'b, 'a, 'de> {
-    de: &'b mut Deserializer<'a, 'de>,
-    remaining: usize,
-}
-
-impl<'b, 'a, 'de> de::SeqAccess<'de> for Access<'b, 'a, 'de> {
-    type Error = WireError;
-    fn next_element_seed<T: de::DeserializeSeed<'de>>(
-        &mut self,
-        seed: T,
-    ) -> Result<Option<T::Value>, WireError> {
-        if self.remaining == 0 {
-            return Ok(None);
-        }
-        self.remaining -= 1;
-        seed.deserialize(&mut *self.de).map(Some)
-    }
-    fn size_hint(&self) -> Option<usize> {
-        Some(self.remaining)
-    }
-}
-
-impl<'b, 'a, 'de> de::MapAccess<'de> for Access<'b, 'a, 'de> {
-    type Error = WireError;
-    fn next_key_seed<K: de::DeserializeSeed<'de>>(
-        &mut self,
-        seed: K,
-    ) -> Result<Option<K::Value>, WireError> {
-        if self.remaining == 0 {
-            return Ok(None);
-        }
-        self.remaining -= 1;
-        seed.deserialize(&mut *self.de).map(Some)
-    }
-    fn next_value_seed<V: de::DeserializeSeed<'de>>(
-        &mut self,
-        seed: V,
-    ) -> Result<V::Value, WireError> {
-        seed.deserialize(&mut *self.de)
-    }
-    fn size_hint(&self) -> Option<usize> {
-        Some(self.remaining)
-    }
-}
-
-struct EnumAccess<'b, 'a, 'de> {
-    de: &'b mut Deserializer<'a, 'de>,
-}
-
-impl<'b, 'a, 'de> de::EnumAccess<'de> for EnumAccess<'b, 'a, 'de> {
-    type Error = WireError;
-    type Variant = Self;
-    fn variant_seed<V: de::DeserializeSeed<'de>>(
-        self,
-        seed: V,
-    ) -> Result<(V::Value, Self), WireError> {
-        let index = self.de.r.get_u32()?;
-        let value = seed.deserialize(index.into_deserializer())?;
-        Ok((value, self))
-    }
-}
-
-impl<'b, 'a, 'de> de::VariantAccess<'de> for EnumAccess<'b, 'a, 'de> {
-    type Error = WireError;
-    fn unit_variant(self) -> Result<(), WireError> {
-        Ok(())
-    }
-    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
-        self,
-        seed: T,
-    ) -> Result<T::Value, WireError> {
-        seed.deserialize(self.de)
-    }
-    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, WireError> {
-        de::Deserializer::deserialize_tuple(self.de, len, visitor)
-    }
-    fn struct_variant<V: Visitor<'de>>(
-        self,
-        fields: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value, WireError> {
-        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
+        Ok(Serde(from_wire(bytes)?))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serde::{Deserialize, Serialize};
-    use std::collections::BTreeMap;
 
-    fn roundtrip<T: Serialize + DeserializeOwned + PartialEq + std::fmt::Debug>(v: T) {
+    fn roundtrip<T: ShipSerialize + PartialEq + std::fmt::Debug>(v: T) {
         let bytes = to_bytes(&v).unwrap();
         assert_eq!(from_bytes::<T>(&bytes).unwrap(), v);
     }
 
-    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    #[derive(Debug, PartialEq, Clone)]
     struct Nested {
         name: String,
         values: Vec<i32>,
         flag: Option<bool>,
     }
 
-    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    impl ShipSerialize for Nested {
+        fn serialize(&self, w: &mut ByteWriter) {
+            self.name.serialize(w);
+            self.values.serialize(w);
+            self.flag.serialize(w);
+        }
+        fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+            Ok(Nested {
+                name: String::deserialize(r)?,
+                values: Vec::deserialize(r)?,
+                flag: Option::deserialize(r)?,
+            })
+        }
+    }
+
+    #[derive(Debug, PartialEq, Clone)]
     enum Command {
         Nop,
         Write { addr: u64, data: Vec<u8> },
         Read(u64, u32),
+    }
+
+    impl ShipSerialize for Command {
+        fn serialize(&self, w: &mut ByteWriter) {
+            match self {
+                Command::Nop => w.put_u32(0),
+                Command::Write { addr, data } => {
+                    w.put_u32(1);
+                    addr.serialize(w);
+                    data.serialize(w);
+                }
+                Command::Read(addr, n) => {
+                    w.put_u32(2);
+                    addr.serialize(w);
+                    n.serialize(w);
+                }
+            }
+        }
+        fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+            match r.get_u32()? {
+                0 => Ok(Command::Nop),
+                1 => Ok(Command::Write {
+                    addr: u64::deserialize(r)?,
+                    data: Vec::deserialize(r)?,
+                }),
+                2 => Ok(Command::Read(u64::deserialize(r)?, u32::deserialize(r)?)),
+                v => Err(WireError::InvalidValue(format!("command variant {v}"))),
+            }
+        }
     }
 
     #[test]
@@ -604,24 +184,16 @@ mod tests {
 
     #[test]
     fn collections_roundtrip() {
-        let mut m = BTreeMap::new();
-        m.insert("a".to_string(), 1u32);
-        m.insert("b".to_string(), 2);
-        roundtrip(m);
-        roundtrip(vec![Some('x'), None]);
+        roundtrip(vec![Some(1u32), None]);
         roundtrip((1u8, "two".to_string(), 3.0f64));
+        roundtrip(vec![vec![1u8, 2], vec![], vec![3]]);
     }
 
     #[test]
     fn encoding_is_compact() {
-        // A u32 costs exactly 4 bytes; a struct has no framing overhead.
+        // A u32 costs exactly 4 bytes; a tuple has no framing overhead.
         assert_eq!(to_bytes(&7u32).unwrap().len(), 4);
-        #[derive(Serialize)]
-        struct P {
-            a: u32,
-            b: u16,
-        }
-        assert_eq!(to_bytes(&P { a: 1, b: 2 }).unwrap().len(), 6);
+        assert_eq!(to_bytes(&(1u32, 2u16)).unwrap().len(), 6);
     }
 
     #[test]
@@ -645,8 +217,7 @@ mod tests {
     }
 
     #[test]
-    fn serde_wrapper_implements_ship_serialize() {
-        use crate::serialize::{from_wire, to_wire};
+    fn serde_wrapper_is_length_prefixed() {
         let v = Serde(Nested {
             name: "wrap".into(),
             values: vec![],
@@ -655,5 +226,8 @@ mod tests {
         let bytes = to_wire(&v);
         let back: Serde<Nested> = from_wire(&bytes).unwrap();
         assert_eq!(back.0, v.0);
+        // Envelope = 8-byte length prefix + interior payload.
+        let interior = to_wire(&v.0);
+        assert_eq!(bytes.len(), 8 + interior.len());
     }
 }

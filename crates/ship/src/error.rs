@@ -13,6 +13,20 @@ pub enum ShipError {
     /// The four-call protocol was violated (e.g. `reply` without an
     /// outstanding `request`).
     Protocol(String),
+    /// A blocking call exceeded its configured timeout
+    /// ([`ShipConfig::timeout`](crate::channel::ShipConfig::timeout))
+    /// instead of hanging the simulation.
+    Timeout {
+        /// Channel the call was made on.
+        channel: String,
+        /// Which end made the call (`A` or `B`, or an adapter label).
+        side: String,
+        /// The blocking call that timed out (`send`/`recv`/`request`/`reply`).
+        call: &'static str,
+        /// Diagnostic snapshot of the channel state when the timeout fired
+        /// (queue depths, outstanding replies).
+        detail: String,
+    },
 }
 
 impl fmt::Display for ShipError {
@@ -20,6 +34,15 @@ impl fmt::Display for ShipError {
         match self {
             ShipError::Wire(e) => write!(f, "ship wire error: {e}"),
             ShipError::Protocol(s) => write!(f, "ship protocol violation: {s}"),
+            ShipError::Timeout {
+                channel,
+                side,
+                call,
+                detail,
+            } => write!(
+                f,
+                "ship {call} timed out on channel '{channel}' side {side}: {detail}"
+            ),
         }
     }
 }
@@ -28,7 +51,7 @@ impl Error for ShipError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ShipError::Wire(e) => Some(e),
-            ShipError::Protocol(_) => None,
+            ShipError::Protocol(_) | ShipError::Timeout { .. } => None,
         }
     }
 }

@@ -13,8 +13,8 @@
 //!   the four blocking interface method calls `send`, `recv`, `request` and
 //!   `reply`;
 //! * the [`ShipSerialize`](serialize::ShipSerialize) trait (the paper's
-//!   `ship_serializable_if`) and a [wire format](wire), plus a
-//!   [serde adapter](codec) so *any* serializable object can travel through a
+//!   `ship_serializable_if`) and a [wire format](wire), plus an
+//!   [envelope codec](codec) so framed objects can travel through a
 //!   channel;
 //! * [automatic master/slave detection](role) from observed call usage;
 //! * [transaction recording](record) for cross-abstraction-level equivalence

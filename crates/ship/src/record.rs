@@ -124,9 +124,10 @@ impl TransactionLog {
     /// interleaving across independent channels may legitimately differ
     /// between abstraction levels.
     pub fn content_equivalent(&self, other: &TransactionLog) -> Result<(), EquivalenceError> {
+        // Per-(channel, port) stream of (op, len, digest) triples.
+        type Streams = std::collections::BTreeMap<(String, String), Vec<(ShipOp, usize, u64)>>;
         let group = |log: &TransactionLog| {
-            let mut m: std::collections::BTreeMap<(String, String), Vec<(ShipOp, usize, u64)>> =
-                std::collections::BTreeMap::new();
+            let mut m: Streams = Streams::new();
             for r in log.to_vec() {
                 m.entry((r.channel.clone(), r.port.clone()))
                     .or_default()

@@ -5,7 +5,7 @@
 //! Any type implementing [`ShipSerialize`] can travel through a
 //! [`ShipChannel`](crate::channel::ShipChannel). Implementations are provided
 //! for the primitive types, `String`, `Option`, `Vec`, arrays, and tuples;
-//! arbitrary `serde` types ride along via [`Serde`](crate::codec::Serde).
+//! length-prefixed framing rides along via [`Serde`](crate::codec::Serde).
 
 use crate::wire::{ByteReader, ByteWriter, WireError};
 

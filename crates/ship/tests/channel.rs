@@ -182,6 +182,7 @@ fn channel_timing_models_latency_and_bandwidth() {
             capacity: 16,
             latency: SimDur::ns(100),
             per_byte: SimDur::ns(1),
+            ..ShipConfig::default()
         },
     );
     let (tx, rx) = ch.ports("p", "c");
@@ -204,13 +205,26 @@ fn channel_timing_models_latency_and_bandwidth() {
 
 #[test]
 fn serde_payloads_travel_through_channels() {
-    use serde::{Deserialize, Serialize};
-
-    #[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
+    #[derive(Debug, PartialEq, Clone)]
     struct MacroBlock {
         x: u16,
         y: u16,
         coeffs: Vec<i16>,
+    }
+
+    impl ShipSerialize for MacroBlock {
+        fn serialize(&self, w: &mut ByteWriter) {
+            self.x.serialize(w);
+            self.y.serialize(w);
+            self.coeffs.serialize(w);
+        }
+        fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+            Ok(MacroBlock {
+                x: u16::deserialize(r)?,
+                y: u16::deserialize(r)?,
+                coeffs: Vec::deserialize(r)?,
+            })
+        }
     }
 
     let sim = Simulation::new();
@@ -271,6 +285,7 @@ fn equivalent_runs_produce_equivalent_logs() {
                 capacity: 4,
                 latency,
                 per_byte: SimDur::ZERO,
+                ..ShipConfig::default()
             },
         );
         let (tx, rx) = ch.ports("p", "c");

@@ -1,0 +1,169 @@
+//! Liveness diagnosis through SHIP channels: deadlock reports that name the
+//! blocked processes, the channel and the blocking call, and timeouts that
+//! turn hangs into [`ShipError::Timeout`].
+
+use std::sync::{Arc, Mutex};
+
+use shiptlm_kernel::prelude::*;
+use shiptlm_ship::prelude::*;
+
+/// The acceptance scenario: two PEs each blocked in `recv`, both expecting
+/// the other to send first. The diagnosis must name both processes, the
+/// channel and the blocking call, and find the wait cycle.
+#[test]
+fn deadlocked_two_pe_example_is_diagnosed() {
+    let sim = Simulation::new();
+    let ch = ShipChannel::new(&sim.handle(), "link", ShipConfig::default());
+    let (pa, pb) = ch.ports("producer", "consumer");
+    sim.spawn_thread("producer", move |ctx| {
+        // Waits for the consumer to speak first — it never will.
+        let _ = pa.recv::<u32>(ctx);
+    });
+    sim.spawn_thread("consumer", move |ctx| {
+        let _ = pb.recv::<u32>(ctx);
+    });
+    let result = sim.run();
+    assert_eq!(result.reason, StopReason::Starved);
+
+    let report = sim.diagnose();
+    assert!(report.has_cycle(), "expected a wait cycle:\n{report}");
+    let text = report.to_string();
+    assert!(text.contains("producer"), "missing process name:\n{text}");
+    assert!(text.contains("consumer"), "missing process name:\n{text}");
+    assert!(text.contains("ship channel 'link'"), "missing channel:\n{text}");
+    assert!(text.contains("recv"), "missing blocking call:\n{text}");
+    assert!(text.contains("DEADLOCK cycle"), "missing cycle line:\n{text}");
+}
+
+/// A request cycle across two channels: each PE serves the other but both
+/// fire their request first.
+#[test]
+fn cross_request_cycle_is_diagnosed() {
+    let sim = Simulation::new();
+    let ab = ShipChannel::new(&sim.handle(), "a_to_b", ShipConfig::default());
+    let ba = ShipChannel::new(&sim.handle(), "b_to_a", ShipConfig::default());
+    let (a_m, b_s) = ab.ports("pe_a", "pe_b");
+    let (b_m, a_s) = ba.ports("pe_b", "pe_a");
+    sim.spawn_thread("pe_a", move |ctx| {
+        // Request first, serve later: needs pe_b to answer, but pe_b is
+        // symmetric — classic request cycle.
+        let _ = a_m.request::<u32, u32>(ctx, &1);
+        let q: u32 = a_s.recv(ctx).unwrap();
+        a_s.reply(ctx, &q).unwrap();
+    });
+    sim.spawn_thread("pe_b", move |ctx| {
+        let _ = b_m.request::<u32, u32>(ctx, &2);
+        let q: u32 = b_s.recv(ctx).unwrap();
+        b_s.reply(ctx, &q).unwrap();
+    });
+    let result = sim.run();
+    assert_eq!(result.reason, StopReason::Starved);
+
+    let report = sim.diagnose();
+    assert!(report.has_cycle(), "expected a wait cycle:\n{report}");
+    let text = report.to_string();
+    assert!(text.contains("pe_a"), "{text}");
+    assert!(text.contains("pe_b"), "{text}");
+    assert!(text.contains("request"), "{text}");
+}
+
+/// A healthy pipeline that simply ran out of work must not be reported as
+/// deadlocked (no false positives from completed processes).
+#[test]
+fn finished_run_reports_no_cycle() {
+    let sim = Simulation::new();
+    let ch = ShipChannel::new(&sim.handle(), "ok", ShipConfig::default());
+    let (tx, rx) = ch.ports("p", "c");
+    sim.spawn_thread("p", move |ctx| {
+        for i in 0..4u32 {
+            tx.send(ctx, &i).unwrap();
+        }
+    });
+    sim.spawn_thread("c", move |ctx| {
+        for _ in 0..4 {
+            let _: u32 = rx.recv(ctx).unwrap();
+        }
+    });
+    let result = sim.run();
+    assert_eq!(result.reason, StopReason::Starved);
+    let report = sim.diagnose();
+    assert!(!report.has_cycle(), "false positive:\n{report}");
+    assert!(report.blocked.is_empty(), "no process should be blocked");
+}
+
+/// A `request` with a configured timeout returns [`ShipError::Timeout`]
+/// instead of hanging when the slave never replies.
+#[test]
+fn timed_out_request_returns_timeout_error() {
+    let sim = Simulation::new();
+    let ch = ShipChannel::new(
+        &sim.handle(),
+        "rpc",
+        ShipConfig {
+            timeout: Some(SimDur::us(5)),
+            ..ShipConfig::default()
+        },
+    );
+    let (master, _slave) = ch.ports("cpu", "acc");
+    let got = Arc::new(Mutex::new(None));
+    {
+        let got = Arc::clone(&got);
+        sim.spawn_thread("cpu", move |ctx| {
+            *got.lock().unwrap() = Some(master.request::<u32, u32>(ctx, &7));
+        });
+    }
+    // No slave process at all: the reply never comes.
+    sim.run();
+    let err = got
+        .lock()
+        .unwrap()
+        .take()
+        .expect("request should have completed with an error")
+        .unwrap_err();
+    match err {
+        ShipError::Timeout {
+            channel,
+            call,
+            ref detail,
+            ..
+        } => {
+            assert_eq!(channel, "rpc");
+            assert_eq!(call, "request");
+            assert!(
+                detail.contains("owed"),
+                "detail should snapshot owed replies: {detail}"
+            );
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+}
+
+/// `recv` with a timeout on an idle channel errors out instead of blocking
+/// the simulation forever.
+#[test]
+fn timed_out_recv_returns_timeout_error() {
+    let sim = Simulation::new();
+    let ch = ShipChannel::new(
+        &sim.handle(),
+        "idle",
+        ShipConfig {
+            timeout: Some(SimDur::ns(500)),
+            ..ShipConfig::default()
+        },
+    );
+    let (_tx, rx) = ch.ports("p", "c");
+    let got = Arc::new(Mutex::new(None));
+    {
+        let got = Arc::clone(&got);
+        sim.spawn_thread("c", move |ctx| {
+            *got.lock().unwrap() = Some(rx.recv::<u32>(ctx));
+        });
+    }
+    let result = sim.run();
+    assert!(matches!(
+        got.lock().unwrap().take(),
+        Some(Err(ShipError::Timeout { call: "recv", .. }))
+    ));
+    // The timeout fired at simulated time 500 ns, not at wall-clock whim.
+    assert_eq!(result.time, SimTime::ZERO + SimDur::ns(500));
+}

@@ -1,12 +1,15 @@
-//! Property-based tests: every value the codec can encode decodes back to
+//! Randomized codec tests: every value the codec can encode decodes back to
 //! itself, and corrupted streams never panic.
+//!
+//! Inputs come from a deterministic seeded [`Rng`], so each case reproduces
+//! from its iteration index.
 
-use proptest::prelude::*;
-use serde::{Deserialize, Serialize};
+use shiptlm_kernel::rng::Rng;
 use shiptlm_ship::codec::{from_bytes, to_bytes};
+use shiptlm_ship::prelude::*;
 use shiptlm_ship::serialize::{from_wire, to_wire};
 
-#[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
+#[derive(Debug, PartialEq, Clone)]
 enum Op {
     Idle,
     Write { addr: u64, data: Vec<u8> },
@@ -14,7 +17,41 @@ enum Op {
     Tag(String),
 }
 
-#[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
+impl ShipSerialize for Op {
+    fn serialize(&self, w: &mut ByteWriter) {
+        match self {
+            Op::Idle => w.put_u8(0),
+            Op::Write { addr, data } => {
+                w.put_u8(1);
+                addr.serialize(w);
+                data.serialize(w);
+            }
+            Op::Read(a, n) => {
+                w.put_u8(2);
+                a.serialize(w);
+                n.serialize(w);
+            }
+            Op::Tag(s) => {
+                w.put_u8(3);
+                s.serialize(w);
+            }
+        }
+    }
+    fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(Op::Idle),
+            1 => Ok(Op::Write {
+                addr: u64::deserialize(r)?,
+                data: Vec::deserialize(r)?,
+            }),
+            2 => Ok(Op::Read(u64::deserialize(r)?, u16::deserialize(r)?)),
+            3 => Ok(Op::Tag(String::deserialize(r)?)),
+            v => Err(WireError::InvalidValue(format!("op variant {v}"))),
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Clone)]
 struct Record {
     id: u32,
     ops: Vec<Op>,
@@ -23,76 +60,135 @@ struct Record {
     flags: (bool, bool, u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::Idle),
-        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64))
-            .prop_map(|(addr, data)| Op::Write { addr, data }),
-        (any::<u64>(), any::<u16>()).prop_map(|(a, n)| Op::Read(a, n)),
-        "[a-zA-Z0-9 ]{0,16}".prop_map(Op::Tag),
-    ]
-}
-
-fn record_strategy() -> impl Strategy<Value = Record> {
-    (
-        any::<u32>(),
-        proptest::collection::vec(op_strategy(), 0..8),
-        proptest::option::of("[ -~]{0,20}"),
-        any::<f64>().prop_filter("NaN breaks PartialEq", |f| !f.is_nan()),
-        (any::<bool>(), any::<bool>(), any::<u8>()),
-    )
-        .prop_map(|(id, ops, note, scale, flags)| Record {
-            id,
-            ops,
-            note,
-            scale,
-            flags,
+impl ShipSerialize for Record {
+    fn serialize(&self, w: &mut ByteWriter) {
+        self.id.serialize(w);
+        self.ops.serialize(w);
+        self.note.serialize(w);
+        self.scale.serialize(w);
+        self.flags.serialize(w);
+    }
+    fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(Record {
+            id: u32::deserialize(r)?,
+            ops: Vec::deserialize(r)?,
+            note: Option::deserialize(r)?,
+            scale: f64::deserialize(r)?,
+            flags: <(bool, bool, u8)>::deserialize(r)?,
         })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn gen_op(rng: &mut Rng) -> Op {
+    match rng.gen_range_u64(0, 4) {
+        0 => Op::Idle,
+        1 => {
+            let addr = rng.next_u64();
+            let len = rng.gen_range_usize(0, 64);
+            Op::Write {
+                addr,
+                data: rng.bytes(len),
+            }
+        }
+        2 => Op::Read(rng.next_u64(), rng.next_u16()),
+        _ => {
+            let len = rng.gen_range_usize(0, 16);
+            Op::Tag(rng.alnum_string(len))
+        }
+    }
+}
 
-    #[test]
-    fn serde_roundtrip(rec in record_strategy()) {
+fn gen_record(rng: &mut Rng) -> Record {
+    Record {
+        id: rng.next_u32(),
+        ops: (0..rng.gen_range_usize(0, 8)).map(|_| gen_op(rng)).collect(),
+        note: if rng.gen_bool() {
+            let len = rng.gen_range_usize(0, 20);
+            Some(rng.alnum_string(len))
+        } else {
+            None
+        },
+        scale: rng.gen_f64(),
+        flags: (rng.gen_bool(), rng.gen_bool(), rng.next_u8()),
+    }
+}
+
+const CASES: u64 = 256;
+
+#[test]
+fn codec_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5e12_0000 + case);
+        let rec = gen_record(&mut rng);
         let bytes = to_bytes(&rec).unwrap();
         let back: Record = from_bytes(&bytes).unwrap();
-        prop_assert_eq!(back, rec);
+        assert_eq!(back, rec, "case {case}");
     }
+}
 
-    #[test]
-    fn ship_serialize_roundtrip_vecs(v in proptest::collection::vec(any::<u32>(), 0..128)) {
+#[test]
+fn ship_serialize_roundtrip_vecs() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5e12_1000 + case);
+        let v: Vec<u32> = (0..rng.gen_range_usize(0, 128))
+            .map(|_| rng.next_u32())
+            .collect();
         let bytes = to_wire(&v);
         let back: Vec<u32> = from_wire(&bytes).unwrap();
-        prop_assert_eq!(back, v);
+        assert_eq!(back, v, "case {case}");
     }
+}
 
-    #[test]
-    fn ship_serialize_roundtrip_strings(s in "\\PC{0,64}") {
-        let owned = s.to_string();
-        let bytes = to_wire(&owned);
+#[test]
+fn ship_serialize_roundtrip_strings() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5e12_2000 + case);
+        // Mix ASCII and multi-byte codepoints.
+        let len = rng.gen_range_usize(0, 64);
+        let s: String = (0..len)
+            .map(|_| match rng.gen_range_u64(0, 4) {
+                0 => char::from(rng.gen_range_u64(0x20, 0x7f) as u8),
+                1 => 'ü',
+                2 => '→',
+                _ => '𝄞',
+            })
+            .collect();
+        let bytes = to_wire(&s);
         let back: String = from_wire(&bytes).unwrap();
-        prop_assert_eq!(back, owned);
+        assert_eq!(back, s, "case {case}");
     }
+}
 
-    #[test]
-    fn truncation_never_panics(rec in record_strategy(), cut in 0usize..200) {
+#[test]
+fn truncation_never_panics() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5e12_3000 + case);
+        let rec = gen_record(&mut rng);
         let bytes = to_bytes(&rec).unwrap();
-        let cut = cut.min(bytes.len());
+        let cut = rng.gen_range_usize(0, 200).min(bytes.len());
         // Either decodes to some value (prefix happens to be valid) or
         // errors; must never panic or hang.
         let _ = from_bytes::<Record>(&bytes[..cut]);
     }
+}
 
-    #[test]
-    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn random_bytes_never_panic() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5e12_4000 + case);
+        let len = rng.gen_range_usize(0, 256);
+        let bytes = rng.bytes(len);
         let _ = from_bytes::<Record>(&bytes);
         let _ = from_wire::<Vec<u64>>(&bytes);
         let _ = from_wire::<String>(&bytes);
     }
+}
 
-    #[test]
-    fn encoding_is_deterministic(rec in record_strategy()) {
-        prop_assert_eq!(to_bytes(&rec).unwrap(), to_bytes(&rec).unwrap());
+#[test]
+fn encoding_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5e12_5000 + case);
+        let rec = gen_record(&mut rng);
+        assert_eq!(to_bytes(&rec).unwrap(), to_bytes(&rec).unwrap(), "case {case}");
     }
 }

@@ -65,7 +65,7 @@ fn main() {
     );
 
     // (a) Pure hardware: both PEs behind SHIP↔OCP wrappers on the PLB.
-    let hw = run_mapped(&app, &ca.roles, &arch);
+    let hw = run_mapped(&app, &ca.roles, &arch).expect("roles cover all channels");
 
     // (b) HW/SW: control becomes an eSW task; same source, driver-backed
     //     ports, polling every 500 ns.

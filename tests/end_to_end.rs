@@ -77,14 +77,14 @@ fn sensor_fusion_through_the_whole_flow() {
     // CCATB mapping on three architectures; results correct each time.
     for arch in [ArchSpec::plb(), ArchSpec::opb(), ArchSpec::crossbar()] {
         let (app, results) = sensor_fusion(samples);
-        let mapped = run_mapped(&app, &ca.roles, &arch);
+        let mapped = run_mapped(&app, &ca.roles, &arch).unwrap();
         assert_eq!(*results.lock().unwrap(), expected(samples), "{}", arch.label());
         ca.output.log.content_equivalent(&mapped.output.log).unwrap();
     }
 
     // Pin-accurate prototype.
     let (app, results) = sensor_fusion(samples);
-    let pin = run_pin_accurate(&app, &ca.roles, &ArchSpec::plb());
+    let pin = run_pin_accurate(&app, &ca.roles, &ArchSpec::plb()).unwrap();
     assert_eq!(*results.lock().unwrap(), expected(samples));
     ca.output.log.content_equivalent(&pin.output.log).unwrap();
 
@@ -136,7 +136,7 @@ fn deterministic_repeat_runs() {
     let run = || {
         let (app, _) = sensor_fusion(6);
         let ca = run_component_assembly(&app).unwrap();
-        let mapped = run_mapped(&app, &ca.roles, &ArchSpec::plb());
+        let mapped = run_mapped(&app, &ca.roles, &ArchSpec::plb()).unwrap();
         (
             mapped.output.sim_time,
             mapped.output.log.to_vec(),
