@@ -4,9 +4,13 @@
 //! Sweeps {PLB, OPB, crossbar} × {priority, round-robin, TDMA} × burst
 //! {16, 64, 256} over a parallel-streams workload, printing the full
 //! latency/throughput/utilization table and benchmarking the host cost of
-//! one sweep (the "fast" part of the claim).
+//! one sweep (the "fast" part of the claim) — serially and fanned out over
+//! worker threads via `Sweep::run_parallel`.
+//!
+//! Results are also written to `BENCH_exploration.json` at the workspace
+//! root for the CI artifact and EXPERIMENTS.md tables.
 
-use shiptlm_bench::minibench::{criterion_group, criterion_main, Criterion};
+use shiptlm_bench::minibench::{criterion_group, criterion_main, write_json, Criterion};
 use shiptlm::prelude::*;
 
 fn the_app() -> AppSpec {
@@ -37,7 +41,7 @@ fn bench_exploration(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(std::time::Duration::from_millis(500));
     g.measurement_time(std::time::Duration::from_secs(2));
-    g.bench_function("sweep_13_configs", |b| {
+    g.bench_function("sweep_13_configs/serial", |b| {
         b.iter(|| {
             Sweep::new(the_app())
                 .archs(candidates())
@@ -45,6 +49,17 @@ fn bench_exploration(c: &mut Criterion) {
                 .unwrap()
         })
     });
+    for threads in [2usize, 4, 8] {
+        let id = format!("sweep_13_configs/parallel_t{threads}");
+        g.bench_function(id.as_str(), |b| {
+            b.iter(|| {
+                Sweep::new(the_app())
+                    .archs(candidates())
+                    .run_parallel(threads)
+                    .unwrap()
+            })
+        });
+    }
     g.bench_function("single_candidate", |b| {
         let roles = run_component_assembly(&the_app()).unwrap().roles;
         b.iter(|| run_mapped(&the_app(), &roles, &ArchSpec::plb()).unwrap())
@@ -55,10 +70,13 @@ fn bench_exploration(c: &mut Criterion) {
     let report = Sweep::new(the_app())
         .with_untimed_baseline()
         .archs(candidates())
-        .run()
+        .run_parallel(std::thread::available_parallelism().map_or(2, |n| n.get()))
         .unwrap();
     println!("{report}");
     println!("csv:\n{}", report.to_csv());
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exploration.json");
+    write_json("exploration", out).expect("write BENCH_exploration.json");
 }
 
 criterion_group!(benches, bench_exploration);

@@ -7,7 +7,10 @@
 //! object shapes embedded workloads move: raw byte blocks, numeric vectors,
 //! nested structures, across payload sizes 16 B – 64 KiB.
 
-use shiptlm_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use shiptlm_bench::minibench::{
+    black_box, criterion_group, criterion_main, write_json, BenchmarkId, Criterion, Throughput,
+};
+use shiptlm_ship::bytes::ShipBytes;
 use shiptlm_ship::codec::{from_bytes, to_bytes, Serde};
 use shiptlm_ship::prelude::{ByteReader, ByteWriter, ShipSerialize, WireError};
 use shiptlm_ship::serialize::{from_wire, to_wire};
@@ -135,6 +138,29 @@ fn bench_serialization(c: &mut Criterion) {
     }
     g.finish();
 
+    // Payload hand-off cost: what each hop of the SHIP stack used to pay
+    // (deep Vec clone) versus what it pays now (ShipBytes = Arc bump).
+    let mut g = c.benchmark_group("payload_handoff");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for &size in &[16usize, 256, 4096, 65536] {
+        g.throughput(Throughput::Bytes(size as u64));
+        let payload: Vec<u8> = (0..size).map(|i| i as u8).collect();
+        g.bench_with_input(
+            BenchmarkId::new("vec_clone", size),
+            &payload,
+            |b, p| b.iter(|| black_box(p.clone())),
+        );
+        let shared = ShipBytes::from(payload.clone());
+        g.bench_with_input(
+            BenchmarkId::new("ship_bytes_clone", size),
+            &shared,
+            |b, p| b.iter(|| black_box(p.clone())),
+        );
+    }
+    g.finish();
+
     println!("\n=== E5: wire sizes ===");
     for size in [16usize, 256, 4096] {
         let f = frame(size);
@@ -145,6 +171,9 @@ fn bench_serialization(c: &mut Criterion) {
         );
     }
     println!();
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serialization.json");
+    write_json("serialization", out).expect("write BENCH_serialization.json");
 }
 
 criterion_group!(benches, bench_serialization);

@@ -14,16 +14,113 @@ pub mod minibench {
     //! Each benchmark is warmed up for `warm_up_time`, then timed for up to
     //! `measurement_time` or `sample_size` batches, whichever comes first.
     //! Results (mean ns/iter and, when a throughput is declared, MB/s) are
-    //! printed to stdout.
+    //! printed to stdout and recorded in a process-wide registry that
+    //! [`write_json`] can dump as a machine-readable `BENCH_*.json` artifact.
+    //! Setting `MINIBENCH_QUICK=1` shrinks every timing budget to smoke-test
+    //! size for CI (see [`quick_mode`]).
 
     use std::fmt::Display;
     use std::hint;
+    use std::io::Write as _;
+    use std::path::Path;
+    use std::sync::Mutex;
     use std::time::{Duration, Instant};
 
     /// Opaque value barrier preventing the optimizer from deleting the
     /// benchmarked computation.
     pub fn black_box<T>(v: T) -> T {
         hint::black_box(v)
+    }
+
+    /// True when the `MINIBENCH_QUICK` environment variable is set (to any
+    /// value other than `0` or the empty string). Quick mode shrinks every
+    /// group's timing budget to a smoke-test size so CI can exercise the
+    /// bench binaries in seconds; the numbers it produces are not
+    /// publication-grade.
+    pub fn quick_mode() -> bool {
+        match std::env::var("MINIBENCH_QUICK") {
+            Ok(v) => !v.is_empty() && v != "0",
+            Err(_) => false,
+        }
+    }
+
+    /// One finished measurement, as recorded by the results registry.
+    #[derive(Debug, Clone)]
+    pub struct BenchResult {
+        /// Group name (`Criterion::benchmark_group` argument).
+        pub group: String,
+        /// Benchmark id within the group.
+        pub id: String,
+        /// Mean nanoseconds per iteration.
+        pub mean_ns: f64,
+        /// Timed iterations behind the mean.
+        pub iters: u64,
+        /// Derived MB/s (or Melem/s), when a throughput was declared.
+        pub throughput: Option<f64>,
+    }
+
+    static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+    fn record_result(r: BenchResult) {
+        RESULTS.lock().unwrap_or_else(|e| e.into_inner()).push(r);
+    }
+
+    /// Snapshot of every result recorded so far in this process.
+    pub fn results() -> Vec<BenchResult> {
+        RESULTS.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    fn json_escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Writes every recorded result as a small self-describing JSON document
+    /// (no external serializer — the format is flat enough to hand-roll).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating or writing `path`.
+    pub fn write_json(bench: &str, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{{")?;
+        writeln!(f, "  \"bench\": \"{}\",", json_escape(bench))?;
+        writeln!(f, "  \"quick\": {},", quick_mode())?;
+        writeln!(f, "  \"results\": [")?;
+        let rows = results();
+        for (i, r) in rows.iter().enumerate() {
+            let tp = match r.throughput {
+                Some(t) => format!("{t:.2}"),
+                None => "null".to_string(),
+            };
+            let comma = if i + 1 == rows.len() { "" } else { "," };
+            writeln!(
+                f,
+                "    {{\"group\": \"{}\", \"id\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}, \"throughput\": {}}}{}",
+                json_escape(&r.group),
+                json_escape(&r.id),
+                r.mean_ns,
+                r.iters,
+                tp,
+                comma
+            )?;
+        }
+        writeln!(f, "  ]")?;
+        writeln!(f, "}}")?;
+        eprintln!("bench results written to {}", path.display());
+        Ok(())
     }
 
     /// Declared units of work per iteration, used to derive throughput.
@@ -94,6 +191,10 @@ pub mod minibench {
     }
 
     /// A named group of benchmarks sharing timing configuration.
+    ///
+    /// Under [`quick_mode`] the timing setters become no-ops: the group keeps
+    /// its smoke-test budget no matter what the bench asks for, so CI runs
+    /// finish fast without editing each bench.
     #[derive(Debug)]
     pub struct BenchmarkGroup {
         name: String,
@@ -101,24 +202,31 @@ pub mod minibench {
         warm_up: Duration,
         measurement: Duration,
         throughput: Option<Throughput>,
+        quick: bool,
     }
 
     impl BenchmarkGroup {
         /// Sets how many timed samples to collect per benchmark.
         pub fn sample_size(&mut self, n: usize) -> &mut Self {
-            self.sample_size = n.max(1);
+            if !self.quick {
+                self.sample_size = n.max(1);
+            }
             self
         }
 
         /// Sets the untimed warm-up budget.
         pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
-            self.warm_up = d;
+            if !self.quick {
+                self.warm_up = d;
+            }
             self
         }
 
         /// Sets the timed measurement budget.
         pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
-            self.measurement = d;
+            if !self.quick {
+                self.measurement = d;
+            }
             self
         }
 
@@ -173,16 +281,26 @@ pub mod minibench {
                 "{}/{:<40} {:>14.1} ns/iter ({} iters)",
                 self.name, id, b.mean_ns, b.iters
             );
+            let mut rate = None;
             if let Some(tp) = self.throughput {
                 let (per_iter, unit) = match tp {
                     Throughput::Bytes(n) => (n as f64, "MB/s"),
                     Throughput::Elements(n) => (n as f64, "Melem/s"),
                 };
                 if b.mean_ns > 0.0 {
-                    line += &format!("  {:>10.2} {unit}", per_iter * 1e3 / b.mean_ns);
+                    let r = per_iter * 1e3 / b.mean_ns;
+                    line += &format!("  {r:>10.2} {unit}");
+                    rate = Some(r);
                 }
             }
             println!("{line}");
+            record_result(BenchResult {
+                group: self.name.clone(),
+                id: id.to_string(),
+                mean_ns: b.mean_ns,
+                iters: b.iters,
+                throughput: rate,
+            });
         }
 
         /// Ends the group (kept for criterion API parity).
@@ -196,14 +314,22 @@ pub mod minibench {
     }
 
     impl Criterion {
-        /// Opens a named benchmark group with default timing settings.
+        /// Opens a named benchmark group with default timing settings
+        /// (smoke-test settings under [`quick_mode`]).
         pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+            let quick = quick_mode();
+            let (sample_size, warm_up, measurement) = if quick {
+                (3, Duration::from_millis(10), Duration::from_millis(50))
+            } else {
+                (20, Duration::from_millis(200), Duration::from_secs(1))
+            };
             BenchmarkGroup {
                 name: name.into(),
-                sample_size: 20,
-                warm_up: Duration::from_millis(200),
-                measurement: Duration::from_secs(1),
+                sample_size,
+                warm_up,
+                measurement,
                 throughput: None,
+                quick,
             }
         }
 
@@ -262,5 +388,37 @@ mod tests {
             b.iter(|| n * 2);
         });
         g.finish();
+
+        let recorded = results();
+        assert!(recorded.iter().any(|r| r.group == "t" && r.id == "sum"));
+        let sum = recorded.iter().find(|r| r.id == "sum").unwrap();
+        assert!(sum.mean_ns > 0.0 && sum.iters >= 1);
+        assert!(sum.throughput.is_some(), "Bytes throughput should derive MB/s");
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("json");
+        g.sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        g.bench_function("noop", |b| b.iter(|| 1u32 + 1));
+        g.finish();
+
+        let dir = std::env::temp_dir().join("shiptlm-minibench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        write_json("unit-test", &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"bench\": \"unit-test\""));
+        assert!(text.contains("\"group\": \"json\""));
+        assert!(text.contains("\"id\": \"noop\""));
+        // Flat sanity checks on JSON shape: balanced braces/brackets, no
+        // trailing comma before the closing bracket.
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+        assert!(!text.contains(",\n  ]"));
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -28,6 +28,7 @@ use shiptlm_kernel::time::SimDur;
 use shiptlm_ocp::error::OcpError;
 use shiptlm_ocp::payload::{OcpCommand, OcpRequest, OcpResponse, TxTiming};
 use shiptlm_ocp::tl::{MasterId, OcpMasterPort, OcpTarget};
+use shiptlm_ship::bytes::ShipBytes;
 use shiptlm_ship::channel::{ShipEndpoint, ShipPort};
 use shiptlm_ship::error::ShipError;
 
@@ -111,10 +112,10 @@ enum MsgKind {
 
 #[derive(Debug)]
 struct AdapterState {
-    rx: VecDeque<(MsgKind, Vec<u8>)>,
+    rx: VecDeque<(MsgKind, ShipBytes)>,
     rx_capacity: usize,
     staging: Vec<u8>,
-    reply: Option<Vec<u8>>,
+    reply: Option<ShipBytes>,
     /// Reply buffer being staged over the bus by a SW slave.
     reply_staging: Vec<u8>,
     /// Requests popped by the slave PE that still owe a reply.
@@ -359,7 +360,9 @@ impl OcpTarget for ShipSlaveAdapter {
                                 if g.rx.len() >= g.rx_capacity {
                                     return Ok(OcpResponse::error(timing));
                                 }
-                                let msg = std::mem::take(&mut g.staging);
+                                // Staging buffer is frozen into the mailbox
+                                // without copying.
+                                let msg = ShipBytes::from(std::mem::take(&mut g.staging));
                                 g.rx.push_back((kind, msg));
                                 drop(g);
                                 self.rx_written.notify_delta();
@@ -390,7 +393,7 @@ impl OcpTarget for ShipSlaveAdapter {
                                 }
                                 g.owed_replies -= 1;
                                 let owed = g.owed_replies;
-                                let r = std::mem::take(&mut g.reply_staging);
+                                let r = ShipBytes::from(std::mem::take(&mut g.reply_staging));
                                 g.reply = Some(r);
                                 drop(g);
                                 self.note_owed(owed);
@@ -457,13 +460,13 @@ struct AdapterSlaveEndpoint {
 }
 
 impl ShipEndpoint for AdapterSlaveEndpoint {
-    fn send_bytes(&self, _ctx: &mut ThreadCtx, _bytes: Vec<u8>) -> Result<(), ShipError> {
+    fn send_bytes(&self, _ctx: &mut ThreadCtx, _bytes: ShipBytes) -> Result<(), ShipError> {
         Err(ShipError::Protocol(
             "mapped slave endpoints support recv/reply only".into(),
         ))
     }
 
-    fn recv_bytes(&self, ctx: &mut ThreadCtx) -> Result<Vec<u8>, ShipError> {
+    fn recv_bytes(&self, ctx: &mut ThreadCtx) -> Result<ShipBytes, ShipError> {
         self.adapter
             .sim
             .endpoint_user(self.adapter.ep_slave, ctx.pid());
@@ -488,13 +491,17 @@ impl ShipEndpoint for AdapterSlaveEndpoint {
         }
     }
 
-    fn request_bytes(&self, _ctx: &mut ThreadCtx, _bytes: Vec<u8>) -> Result<Vec<u8>, ShipError> {
+    fn request_bytes(
+        &self,
+        _ctx: &mut ThreadCtx,
+        _bytes: ShipBytes,
+    ) -> Result<ShipBytes, ShipError> {
         Err(ShipError::Protocol(
             "mapped slave endpoints support recv/reply only".into(),
         ))
     }
 
-    fn reply_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<(), ShipError> {
+    fn reply_bytes(&self, ctx: &mut ThreadCtx, bytes: ShipBytes) -> Result<(), ShipError> {
         if bytes.len() as u64 > regs::REPLY_WIN_END - regs::REPLY_WIN {
             return Err(ShipError::Protocol("reply exceeds reply window".into()));
         }
@@ -511,7 +518,9 @@ impl ShipEndpoint for AdapterSlaveEndpoint {
                     ));
                 }
                 if g.reply.is_none() {
-                    g.reply = Some(bytes);
+                    // Zero-copy: the slave's reply payload is shared with the
+                    // adapter, not duplicated.
+                    g.reply = Some(bytes.clone());
                     g.owed_replies -= 1;
                     owed = g.owed_replies;
                     break;
@@ -682,22 +691,26 @@ impl ShipBusMasterEndpoint {
 }
 
 impl ShipEndpoint for ShipBusMasterEndpoint {
-    fn send_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<(), ShipError> {
+    fn send_bytes(&self, ctx: &mut ThreadCtx, bytes: ShipBytes) -> Result<(), ShipError> {
         self.push_message(ctx, &bytes, DOORBELL_DATA)
     }
 
-    fn recv_bytes(&self, _ctx: &mut ThreadCtx) -> Result<Vec<u8>, ShipError> {
+    fn recv_bytes(&self, _ctx: &mut ThreadCtx) -> Result<ShipBytes, ShipError> {
         Err(ShipError::Protocol(
             "mapped master endpoints support send/request only".into(),
         ))
     }
 
-    fn request_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<Vec<u8>, ShipError> {
+    fn request_bytes(
+        &self,
+        ctx: &mut ThreadCtx,
+        bytes: ShipBytes,
+    ) -> Result<ShipBytes, ShipError> {
         self.push_message(ctx, &bytes, DOORBELL_REQUEST)?;
-        self.pull_reply(ctx)
+        Ok(ShipBytes::from(self.pull_reply(ctx)?))
     }
 
-    fn reply_bytes(&self, _ctx: &mut ThreadCtx, _bytes: Vec<u8>) -> Result<(), ShipError> {
+    fn reply_bytes(&self, _ctx: &mut ThreadCtx, _bytes: ShipBytes) -> Result<(), ShipError> {
         Err(ShipError::Protocol(
             "mapped master endpoints support send/request only".into(),
         ))

@@ -48,6 +48,6 @@ pub mod prelude {
     };
     pub use crate::metrics::{Report, RunMetrics};
     pub use crate::pareto::{dominates, pareto_front, report_front};
-    pub use crate::sweep::{verify_equivalence, Sweep};
+    pub use crate::sweep::{sweep, verify_equivalence, Sweep};
     pub use crate::workload;
 }

@@ -1,12 +1,39 @@
 //! Parameter sweeps over candidate architectures — the paper's "fast
 //! communication architecture exploration".
+//!
+//! Candidate simulations are fully independent [`Simulation`] instances, so
+//! a sweep can fan them out over a bounded pool of OS threads
+//! ([`Sweep::run_parallel`]). Role detection still runs exactly once and is
+//! shared immutably; results are collected in candidate order, so the
+//! [`Report`] is identical to a serial run regardless of thread count.
 
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use shiptlm_kernel::sim::Simulation;
 
 use crate::app::AppSpec;
 use crate::arch::ArchSpec;
-use crate::mapper::{explore_one, run_component_assembly, MapError};
+use crate::mapper::{run_component_assembly, run_mapped, MapError, MappedRun, RoleMap};
 use crate::metrics::{Report, RunMetrics};
+
+// Compile-time guarantee that sweep workers are safely isolated: every piece
+// of state a worker thread touches must be Send (and the shared inputs Sync).
+// A hidden global or thread-affine handle anywhere in the kernel/ship/cam
+// stack would surface here as a build failure, not a data race.
+const fn assert_send<T: Send>() {}
+const fn assert_sync<T: Sync>() {}
+const _: () = {
+    assert_send::<Simulation>();
+    assert_sync::<AppSpec>();
+    assert_sync::<RoleMap>();
+    assert_sync::<ArchSpec>();
+    assert_send::<MappedRun>();
+    assert_send::<RunMetrics>();
+    assert_send::<Report>();
+    assert_send::<MapError>();
+};
 
 /// Runs one application across many candidate architectures.
 #[derive(Debug)]
@@ -44,7 +71,7 @@ impl Sweep {
         self
     }
 
-    /// Executes the sweep.
+    /// Executes the sweep serially.
     ///
     /// Role detection runs once (on the untimed model); every candidate is
     /// then mapped and simulated with identical PE source.
@@ -53,6 +80,27 @@ impl Sweep {
     ///
     /// Returns a [`MapError`] when role detection fails.
     pub fn run(self) -> Result<Report, MapError> {
+        self.execute(1)
+    }
+
+    /// Executes the sweep with up to `threads` candidates simulating
+    /// concurrently, each on its own OS thread.
+    ///
+    /// The report is identical to [`Sweep::run`] (rows in candidate order,
+    /// same simulated times and metrics) — only host wall-clock differs.
+    /// `threads` is clamped to at least 1; passing 1 is exactly the serial
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MapError`] when role detection or any candidate mapping
+    /// fails. On a candidate failure the error of the earliest failing
+    /// candidate (in list order) is returned, matching the serial run.
+    pub fn run_parallel(self, threads: usize) -> Result<Report, MapError> {
+        self.execute(threads.max(1))
+    }
+
+    fn execute(self, threads: usize) -> Result<Report, MapError> {
         let ca = run_component_assembly(&self.app)?;
         let mut report = Report::new();
         if self.include_untimed {
@@ -65,23 +113,97 @@ impl Sweep {
                 ca.output.wall_seconds,
             ));
         }
-        for arch in &self.archs {
-            let mapped = crate::mapper::run_mapped(&self.app, &ca.roles, arch)?;
-            report.push(RunMetrics::from_log(
-                &arch.label(),
-                &mapped.output.log,
-                mapped.output.sim_time,
-                Some(mapped.bus.clone()),
-                mapped.output.delta_cycles,
-                mapped.output.wall_seconds,
-            ));
+        let rows = if threads <= 1 || self.archs.len() <= 1 {
+            let mut rows = Vec::with_capacity(self.archs.len());
+            for arch in &self.archs {
+                rows.push(candidate_row(&self.app, &ca.roles, arch)?);
+            }
+            rows
+        } else {
+            candidate_rows_parallel(&self.app, &ca.roles, &self.archs, threads)?
+        };
+        for row in rows {
+            report.push(row);
         }
         Ok(report)
     }
 }
 
+/// Maps and simulates one candidate, turning its artifacts into a report
+/// row. The interconnect statistics are moved into the row, not cloned.
+fn candidate_row(
+    app: &AppSpec,
+    roles: &RoleMap,
+    arch: &ArchSpec,
+) -> Result<RunMetrics, MapError> {
+    let MappedRun { output, bus } = run_mapped(app, roles, arch)?;
+    Ok(RunMetrics::from_log(
+        &arch.label(),
+        &output.log,
+        output.sim_time,
+        Some(bus),
+        output.delta_cycles,
+        output.wall_seconds,
+    ))
+}
+
+/// Work-stealing-free bounded pool: workers pull candidate indices from a
+/// shared counter and write results into per-candidate slots, so assembly
+/// order (and therefore the report) is deterministic.
+fn candidate_rows_parallel(
+    app: &AppSpec,
+    roles: &RoleMap,
+    archs: &[ArchSpec],
+    threads: usize,
+) -> Result<Vec<RunMetrics>, MapError> {
+    let slots: Vec<Mutex<Option<Result<RunMetrics, MapError>>>> =
+        archs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(archs.len());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= archs.len() {
+                    break;
+                }
+                let row = candidate_row(app, roles, &archs[i]);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(row);
+            });
+        }
+    });
+    let mut rows = Vec::with_capacity(archs.len());
+    for slot in slots {
+        let row = slot
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .expect("every candidate slot is filled once the scope joins");
+        rows.push(row?);
+    }
+    Ok(rows)
+}
+
+/// One-call exploration: sweep `app` over `archs` on up to `threads` worker
+/// threads (1 = serial). Equivalent to
+/// `Sweep::new(app).archs(archs).run_parallel(threads)`.
+///
+/// # Errors
+///
+/// Returns a [`MapError`] when role detection or any candidate mapping
+/// fails.
+pub fn sweep<I: IntoIterator<Item = ArchSpec>>(
+    app: AppSpec,
+    archs: I,
+    threads: usize,
+) -> Result<Report, MapError> {
+    Sweep::new(app).archs(archs).run_parallel(threads)
+}
+
 /// Verifies that every mapped run of a sweep stays content-equivalent to the
 /// untimed reference — the refinement-correctness check of the design flow.
+///
+/// Role detection runs once; each candidate reuses the detected roles
+/// instead of re-running the component assembly.
 ///
 /// # Errors
 ///
@@ -89,7 +211,7 @@ impl Sweep {
 pub fn verify_equivalence(app: &AppSpec, archs: &[ArchSpec]) -> Result<(), String> {
     let ca = run_component_assembly(app).map_err(|e| e.to_string())?;
     for arch in archs {
-        let (_, mapped) = explore_one(app, arch).map_err(|e| e.to_string())?;
+        let mapped = run_mapped(app, &ca.roles, arch).map_err(|e| e.to_string())?;
         ca.output
             .log
             .content_equivalent(&mapped.output.log)

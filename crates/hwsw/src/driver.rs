@@ -22,6 +22,7 @@ use shiptlm_kernel::process::ThreadCtx;
 use shiptlm_kernel::time::SimDur;
 use shiptlm_ocp::error::OcpError;
 use shiptlm_ocp::tl::OcpMasterPort;
+use shiptlm_ship::bytes::ShipBytes;
 use shiptlm_ship::channel::ShipEndpoint;
 use shiptlm_ship::error::ShipError;
 
@@ -240,17 +241,21 @@ impl SwShipMaster {
 }
 
 impl ShipEndpoint for SwShipMaster {
-    fn send_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<(), ShipError> {
+    fn send_bytes(&self, ctx: &mut ThreadCtx, bytes: ShipBytes) -> Result<(), ShipError> {
         self.push(ctx, &bytes, DOORBELL_DATA)
     }
 
-    fn recv_bytes(&self, _ctx: &mut ThreadCtx) -> Result<Vec<u8>, ShipError> {
+    fn recv_bytes(&self, _ctx: &mut ThreadCtx) -> Result<ShipBytes, ShipError> {
         Err(ShipError::Protocol(
             "sw master endpoints support send/request only".into(),
         ))
     }
 
-    fn request_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<Vec<u8>, ShipError> {
+    fn request_bytes(
+        &self,
+        ctx: &mut ThreadCtx,
+        bytes: ShipBytes,
+    ) -> Result<ShipBytes, ShipError> {
         self.push(ctx, &bytes, DOORBELL_REQUEST)?;
         let c = &self.core;
         c.wait_status(ctx, STATUS_REPLY_READY)?;
@@ -258,10 +263,10 @@ impl ShipEndpoint for SwShipMaster {
         let len = c.read_u32(ctx, regs::REPLY_LEN)? as usize;
         let reply = c.read_window(ctx, regs::REPLY_WIN, len)?;
         c.write_u32(ctx, regs::DOORBELL, DOORBELL_REPLY_ACK)?;
-        Ok(reply)
+        Ok(ShipBytes::from(reply))
     }
 
-    fn reply_bytes(&self, _ctx: &mut ThreadCtx, _bytes: Vec<u8>) -> Result<(), ShipError> {
+    fn reply_bytes(&self, _ctx: &mut ThreadCtx, _bytes: ShipBytes) -> Result<(), ShipError> {
         Err(ShipError::Protocol(
             "sw master endpoints support send/request only".into(),
         ))
@@ -307,29 +312,33 @@ impl SwShipSlave {
 }
 
 impl ShipEndpoint for SwShipSlave {
-    fn send_bytes(&self, _ctx: &mut ThreadCtx, _bytes: Vec<u8>) -> Result<(), ShipError> {
+    fn send_bytes(&self, _ctx: &mut ThreadCtx, _bytes: ShipBytes) -> Result<(), ShipError> {
         Err(ShipError::Protocol(
             "sw slave endpoints support recv/reply only".into(),
         ))
     }
 
-    fn recv_bytes(&self, ctx: &mut ThreadCtx) -> Result<Vec<u8>, ShipError> {
+    fn recv_bytes(&self, ctx: &mut ThreadCtx) -> Result<ShipBytes, ShipError> {
         let c = &self.core;
         c.charge(ctx, c.cfg.call_overhead);
         c.wait_status(ctx, STATUS_RX_PENDING)?;
         let len = c.read_u32(ctx, regs::RX_LEN)? as usize;
         let bytes = c.read_window(ctx, regs::RX_WIN, len)?;
         c.write_u32(ctx, regs::DOORBELL, DOORBELL_RX_ACK)?;
-        Ok(bytes)
+        Ok(ShipBytes::from(bytes))
     }
 
-    fn request_bytes(&self, _ctx: &mut ThreadCtx, _bytes: Vec<u8>) -> Result<Vec<u8>, ShipError> {
+    fn request_bytes(
+        &self,
+        _ctx: &mut ThreadCtx,
+        _bytes: ShipBytes,
+    ) -> Result<ShipBytes, ShipError> {
         Err(ShipError::Protocol(
             "sw slave endpoints support recv/reply only".into(),
         ))
     }
 
-    fn reply_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<(), ShipError> {
+    fn reply_bytes(&self, ctx: &mut ThreadCtx, bytes: ShipBytes) -> Result<(), ShipError> {
         let c = &self.core;
         c.note_user(ctx);
         c.charge(ctx, c.cfg.call_overhead);

@@ -45,8 +45,8 @@ impl Event {
         self.id
     }
 
-    /// The name given at creation.
-    pub fn name(&self) -> String {
+    /// The name given at creation (an interned label; cloning it is cheap).
+    pub fn name(&self) -> std::sync::Arc<str> {
         self.kernel.event_name(self.id)
     }
 

@@ -91,7 +91,8 @@ pub(crate) enum YieldMsg {
 pub(crate) struct KillToken;
 
 struct EventRec {
-    name: String,
+    /// Interned: handed out as `Arc` clones, never re-allocated per query.
+    name: Arc<str>,
     /// Threads dynamically waiting on this event.
     waiters: Vec<ProcessId>,
     /// Methods statically sensitive to this event.
@@ -127,7 +128,8 @@ enum PState {
 }
 
 struct ProcRec {
-    name: String,
+    /// Interned: handed out as `Arc` clones, never re-allocated per query.
+    name: Arc<str>,
     kind: ProcKind,
     state: PState,
     /// Events this process is dynamically registered on (for `wait_any`).
@@ -212,7 +214,7 @@ impl KernelShared {
         let mut g = self.lock();
         let id = EventId(g.events.len());
         g.events.push(EventRec {
-            name: name.to_string(),
+            name: Arc::from(name),
             waiters: Vec::new(),
             static_sensitive: Vec::new(),
             delta_pending: false,
@@ -221,8 +223,8 @@ impl KernelShared {
         id
     }
 
-    pub(crate) fn event_name(&self, id: EventId) -> String {
-        self.lock().events[id.0].name.clone()
+    pub(crate) fn event_name(&self, id: EventId) -> Arc<str> {
+        Arc::clone(&self.lock().events[id.0].name)
     }
 
     /// Immediate notification: wakes waiters into the *current* evaluate
@@ -280,14 +282,37 @@ impl KernelShared {
 
     /// Fires `id`: wakes dynamic waiters and triggers static-sensitive
     /// methods, moving them into the runnable set.
+    ///
+    /// Allocation-free on the hot path: both process lists are moved out,
+    /// iterated, and moved back so their capacity is reused across fires.
+    /// This is sound because `wake` only touches process state, `waiters`
+    /// lists and the runnable queue — never `static_sensitive` — and the
+    /// kernel lock is held throughout, so nothing else can repopulate the
+    /// vectors mid-loop.
     fn fire(g: &mut Inner, id: EventId) {
-        let waiters = std::mem::take(&mut g.events[id.0].waiters);
-        for pid in waiters {
+        let mut waiters = std::mem::take(&mut g.events[id.0].waiters);
+        for pid in waiters.drain(..) {
             Self::wake(g, pid, Some(id));
         }
-        let methods = g.events[id.0].static_sensitive.clone();
-        for pid in methods {
+        // `wake` may have re-registered nothing on this event (it only
+        // deregisters), so the slot is empty and takes the capacity back.
+        let slot = &mut g.events[id.0].waiters;
+        if slot.is_empty() {
+            *slot = waiters;
+        }
+
+        let methods = std::mem::take(&mut g.events[id.0].static_sensitive);
+        for &pid in &methods {
             Self::wake(g, pid, Some(id));
+        }
+        let slot = &mut g.events[id.0].static_sensitive;
+        if slot.is_empty() {
+            *slot = methods;
+        } else {
+            // A method registered itself mid-fire (not possible today, but
+            // cheap to stay correct about): keep both sets.
+            let appended = std::mem::replace(slot, methods);
+            slot.extend(appended);
         }
     }
 
@@ -333,7 +358,7 @@ impl KernelShared {
             let mut g = self.lock();
             let pid = ProcessId(g.processes.len());
             g.processes.push(ProcRec {
-                name: name.to_string(),
+                name: Arc::from(name),
                 kind: ProcKind::Thread(ThreadLink {
                     resume_tx: Some(resume_tx),
                     yield_rx: Arc::new(Mutex::new(yield_rx)),
@@ -394,7 +419,7 @@ impl KernelShared {
         let mut g = self.lock();
         let pid = ProcessId(g.processes.len());
         g.processes.push(ProcRec {
-            name: name.to_string(),
+            name: Arc::from(name),
             kind: ProcKind::Method(Some(f)),
             state: if initialize {
                 PState::Ready
@@ -418,8 +443,8 @@ impl KernelShared {
         self.lock().processes[pid.0].timer
     }
 
-    pub(crate) fn process_name(&self, pid: ProcessId) -> String {
-        self.lock().processes[pid.0].name.clone()
+    pub(crate) fn process_name(&self, pid: ProcessId) -> Arc<str> {
+        Arc::clone(&self.lock().processes[pid.0].name)
     }
 
     /// Runs the scheduler until `limit`, stop, starvation or watchdog
@@ -435,6 +460,10 @@ impl KernelShared {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .map(|budget| Instant::now() + budget);
+        // Swapped with `delta_queue` each delta cycle so the queue's
+        // allocation is reused for the whole run instead of dropped per
+        // cycle.
+        let mut delta_scratch: Vec<EventId> = Vec::new();
         loop {
             // --- Phase 1: evaluate ----------------------------------------
             loop {
@@ -466,8 +495,8 @@ impl KernelShared {
             // --- Phase 3: delta notification ------------------------------
             let woke = {
                 let mut g = self.lock();
-                let pending = std::mem::take(&mut g.delta_queue);
-                for id in pending {
+                std::mem::swap(&mut g.delta_queue, &mut delta_scratch);
+                for id in delta_scratch.drain(..) {
                     if g.events[id.0].delta_pending {
                         g.events[id.0].delta_pending = false;
                         Self::fire(&mut g, id);
@@ -735,7 +764,7 @@ impl KernelShared {
                             e.owner_hint.as_ref().and_then(|name| {
                                 g.processes
                                     .iter()
-                                    .position(|p| &p.name == name)
+                                    .position(|p| p.name.as_ref() == name.as_str())
                                     .map(ProcessId)
                             })
                         })
@@ -744,7 +773,7 @@ impl KernelShared {
                     graph.add_edge(pid, q);
                 }
                 waits.push(WaitDesc {
-                    event: g.events[eid.0].name.clone(),
+                    event: g.events[eid.0].name.to_string(),
                     description: edge.map(|e| e.description.clone()),
                     notifier: edge
                         .and_then(|e| e.notifier)
@@ -754,11 +783,11 @@ impl KernelShared {
             }
             blocked.push(BlockedProcess {
                 pid,
-                name: p.name.clone(),
+                name: p.name.to_string(),
                 waits,
             });
         }
-        let name_of = |pid: ProcessId| g.processes[pid.0].name.clone();
+        let name_of = |pid: ProcessId| g.processes[pid.0].name.to_string();
         let cycles = graph
             .cycles()
             .into_iter()

@@ -49,8 +49,9 @@ impl ThreadCtx {
         self.pid
     }
 
-    /// The name this process was spawned with.
-    pub fn name(&self) -> String {
+    /// The name this process was spawned with (an interned label; cloning
+    /// it is cheap).
+    pub fn name(&self) -> std::sync::Arc<str> {
         self.kernel.process_name(self.pid)
     }
 

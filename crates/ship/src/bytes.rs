@@ -1,0 +1,163 @@
+//! `ShipBytes` — the zero-copy payload carrier of the SHIP data path.
+//!
+//! Every SHIP transfer used to move a `Vec<u8>` by value through each hop of
+//! the stack (port → endpoint → queue → peer port), cloning it wherever the
+//! payload was both forwarded *and* recorded. [`ShipBytes`] keeps one
+//! contiguous, immutable buffer behind an [`Arc`], so forwarding a payload
+//! across a channel, a mailbox adapter or a device driver is a reference
+//! count bump instead of a memcpy. The buffer is frozen at construction —
+//! exactly the semantics of a serialized wire message.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply-clonable byte payload.
+///
+/// Construction from a `Vec<u8>` is zero-copy (the vector is moved behind
+/// the `Arc`), and `clone` is O(1). Dereferences to `[u8]`, so all slice
+/// APIs work directly:
+///
+/// ```
+/// use shiptlm_ship::bytes::ShipBytes;
+///
+/// let b = ShipBytes::from(vec![1u8, 2, 3]);
+/// let b2 = b.clone();           // refcount bump, no copy
+/// assert_eq!(&*b2, &[1, 2, 3]);
+/// assert_eq!(b.len(), 3);
+/// ```
+#[derive(Clone, Default)]
+pub struct ShipBytes {
+    inner: Arc<Vec<u8>>,
+}
+
+impl ShipBytes {
+    /// An empty payload.
+    pub fn new() -> Self {
+        ShipBytes::default()
+    }
+
+    /// The payload as a byte slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.inner
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Recovers the owned vector: without copying when this is the only
+    /// handle, cloning otherwise.
+    pub fn into_vec(self) -> Vec<u8> {
+        Arc::try_unwrap(self.inner).unwrap_or_else(|arc| (*arc).clone())
+    }
+
+    /// Copies the payload into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.as_ref().clone()
+    }
+}
+
+impl From<Vec<u8>> for ShipBytes {
+    fn from(v: Vec<u8>) -> Self {
+        ShipBytes { inner: Arc::new(v) }
+    }
+}
+
+impl From<&[u8]> for ShipBytes {
+    fn from(s: &[u8]) -> Self {
+        ShipBytes {
+            inner: Arc::new(s.to_vec()),
+        }
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for ShipBytes {
+    fn from(a: [u8; N]) -> Self {
+        ShipBytes {
+            inner: Arc::new(a.to_vec()),
+        }
+    }
+}
+
+impl Deref for ShipBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for ShipBytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl PartialEq for ShipBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for ShipBytes {}
+
+impl PartialEq<[u8]> for ShipBytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for ShipBytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl fmt::Debug for ShipBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ShipBytes({} B)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage() {
+        let b = ShipBytes::from(vec![9u8; 1024]);
+        let c = b.clone();
+        assert_eq!(b.as_slice().as_ptr(), c.as_slice().as_ptr());
+        assert_eq!(c.len(), 1024);
+    }
+
+    #[test]
+    fn into_vec_is_zero_copy_when_unique() {
+        let v = vec![1u8, 2, 3];
+        let ptr = v.as_ptr();
+        let b = ShipBytes::from(v);
+        let back = b.into_vec();
+        assert_eq!(back.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn into_vec_clones_when_shared() {
+        let b = ShipBytes::from(vec![7u8; 8]);
+        let c = b.clone();
+        assert_eq!(b.into_vec(), c.to_vec());
+    }
+
+    #[test]
+    fn slice_semantics() {
+        let b = ShipBytes::from(&[1u8, 2, 3][..]);
+        assert_eq!(&b[1..], &[2, 3]);
+        assert!(!b.is_empty());
+        assert_eq!(b, vec![1u8, 2, 3]);
+    }
+}

@@ -19,6 +19,7 @@ use shiptlm_kernel::process::ThreadCtx;
 use shiptlm_kernel::sim::SimHandle;
 use shiptlm_kernel::time::{SimDur, SimTime};
 
+use crate::bytes::ShipBytes;
 use crate::error::ShipError;
 use crate::record::{fnv1a, ShipOp, TransactionLog, TxRecord};
 use crate::role::{RoleObservation, Usage};
@@ -80,7 +81,7 @@ enum MsgKind {
 #[derive(Debug)]
 struct Message {
     kind: MsgKind,
-    bytes: Vec<u8>,
+    bytes: ShipBytes,
 }
 
 /// Per-side queue bundle; index *i* belongs to side *i* (0 = A, 1 = B).
@@ -89,7 +90,7 @@ struct DirQueues {
     /// Data/request messages **from** this side to the opposite one.
     messages: VecDeque<Message>,
     /// Replies destined **to** this side (this side was the requester).
-    replies: VecDeque<Vec<u8>>,
+    replies: VecDeque<ShipBytes>,
     /// Requests **from** this side the peer has popped but not yet replied
     /// to.
     owed_replies: u64,
@@ -223,14 +224,15 @@ impl ShipChannel {
         self.shared
             .sim
             .endpoint_owner_hint(self.shared.ep[1], label_b);
+        let channel: Arc<str> = Arc::from(self.shared.name.as_str());
         let a = ShipPort {
             endpoint: Arc::new(ChannelEndpoint {
                 shared: Arc::clone(&self.shared),
                 side: Side::A,
             }),
             usage: Arc::clone(&self.shared.usage[0]),
-            channel: self.shared.name.clone(),
-            label: label_a.to_string(),
+            channel: Arc::clone(&channel),
+            label: Arc::from(label_a),
             recorder: Arc::new(Mutex::new(None)),
         };
         let b = ShipPort {
@@ -239,8 +241,8 @@ impl ShipChannel {
                 side: Side::B,
             }),
             usage: Arc::clone(&self.shared.usage[1]),
-            channel: self.shared.name.clone(),
-            label: label_b.to_string(),
+            channel,
+            label: Arc::from(label_b),
             recorder: Arc::new(Mutex::new(None)),
         };
         (a, b)
@@ -294,10 +296,13 @@ impl fmt::Debug for ShipChannel {
 pub trait ShipEndpoint: Send + Sync {
     /// Transfers `bytes` to the peer; blocks while the channel is full.
     ///
+    /// The payload is an Arc-backed [`ShipBytes`], so handing it to the
+    /// channel (and on to the peer) never copies the buffer.
+    ///
     /// # Errors
     ///
     /// Returns a [`ShipError`] on protocol violations.
-    fn send_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<(), ShipError>;
+    fn send_bytes(&self, ctx: &mut ThreadCtx, bytes: ShipBytes) -> Result<(), ShipError>;
 
     /// Receives the next message (data or request payload); blocks while
     /// empty.
@@ -305,21 +310,22 @@ pub trait ShipEndpoint: Send + Sync {
     /// # Errors
     ///
     /// Returns a [`ShipError`] on protocol violations.
-    fn recv_bytes(&self, ctx: &mut ThreadCtx) -> Result<Vec<u8>, ShipError>;
+    fn recv_bytes(&self, ctx: &mut ThreadCtx) -> Result<ShipBytes, ShipError>;
 
     /// Sends a request and blocks until the matching reply arrives.
     ///
     /// # Errors
     ///
     /// Returns a [`ShipError`] on protocol violations.
-    fn request_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<Vec<u8>, ShipError>;
+    fn request_bytes(&self, ctx: &mut ThreadCtx, bytes: ShipBytes)
+        -> Result<ShipBytes, ShipError>;
 
     /// Replies to the oldest outstanding request received on this end.
     ///
     /// # Errors
     ///
     /// Returns [`ShipError::Protocol`] when no request is outstanding.
-    fn reply_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<(), ShipError>;
+    fn reply_bytes(&self, ctx: &mut ThreadCtx, bytes: ShipBytes) -> Result<(), ShipError>;
 }
 
 struct ChannelEndpoint {
@@ -472,7 +478,7 @@ impl ChannelEndpoint {
 }
 
 impl ShipEndpoint for ChannelEndpoint {
-    fn send_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<(), ShipError> {
+    fn send_bytes(&self, ctx: &mut ThreadCtx, bytes: ShipBytes) -> Result<(), ShipError> {
         self.note_user(ctx);
         let deadline = self.deadline(ctx);
         self.transport_delay(ctx, bytes.len());
@@ -487,13 +493,17 @@ impl ShipEndpoint for ChannelEndpoint {
         )
     }
 
-    fn recv_bytes(&self, ctx: &mut ThreadCtx) -> Result<Vec<u8>, ShipError> {
+    fn recv_bytes(&self, ctx: &mut ThreadCtx) -> Result<ShipBytes, ShipError> {
         self.note_user(ctx);
         let deadline = self.deadline(ctx);
         Ok(self.pop_message(ctx, "recv", deadline)?.bytes)
     }
 
-    fn request_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<Vec<u8>, ShipError> {
+    fn request_bytes(
+        &self,
+        ctx: &mut ThreadCtx,
+        bytes: ShipBytes,
+    ) -> Result<ShipBytes, ShipError> {
         self.note_user(ctx);
         let deadline = self.deadline(ctx);
         self.transport_delay(ctx, bytes.len());
@@ -521,7 +531,7 @@ impl ShipEndpoint for ChannelEndpoint {
         }
     }
 
-    fn reply_bytes(&self, ctx: &mut ThreadCtx, bytes: Vec<u8>) -> Result<(), ShipError> {
+    fn reply_bytes(&self, ctx: &mut ThreadCtx, bytes: ShipBytes) -> Result<(), ShipError> {
         self.note_user(ctx);
         self.transport_delay(ctx, bytes.len());
         // The requester lives on the opposite side; its reply queue is
@@ -556,8 +566,11 @@ impl ShipEndpoint for ChannelEndpoint {
 pub struct ShipPort {
     endpoint: Arc<dyn ShipEndpoint>,
     usage: Arc<Usage>,
-    channel: String,
-    label: String,
+    /// Interned channel name; recording a transaction clones the `Arc`, not
+    /// the string.
+    channel: Arc<str>,
+    /// Interned PE label, same deal.
+    label: Arc<str>,
     recorder: Arc<Mutex<Option<TransactionLog>>>,
 }
 
@@ -572,8 +585,8 @@ impl ShipPort {
         ShipPort {
             endpoint,
             usage: Arc::new(Usage::new()),
-            channel: channel.to_string(),
-            label: label.to_string(),
+            channel: Arc::from(channel),
+            label: Arc::from(label),
             recorder: Arc::new(Mutex::new(None)),
         }
     }
@@ -607,8 +620,8 @@ impl ShipPort {
         let g = self.recorder.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(log) = g.as_ref() {
             log.push(TxRecord {
-                channel: self.channel.clone(),
-                port: self.label.clone(),
+                channel: Arc::clone(&self.channel),
+                port: Arc::clone(&self.label),
                 op,
                 len: bytes.len(),
                 digest: fnv1a(bytes),
@@ -626,8 +639,10 @@ impl ShipPort {
     /// Returns a [`ShipError`] on protocol violations.
     pub fn send<T: ShipSerialize>(&self, ctx: &mut ThreadCtx, value: &T) -> Result<(), ShipError> {
         let start = ctx.now();
-        let bytes = to_wire(value);
+        let bytes = ShipBytes::from(to_wire(value));
         self.usage.count_send();
+        // `clone` bumps the refcount; the payload itself is shared with the
+        // channel, not copied.
         self.endpoint.send_bytes(ctx, bytes.clone())?;
         self.record(ctx, ShipOp::Send, &bytes, start);
         Ok(())
@@ -657,7 +672,7 @@ impl ShipPort {
         R: ShipSerialize,
     {
         let start = ctx.now();
-        let bytes = to_wire(req);
+        let bytes = ShipBytes::from(to_wire(req));
         self.usage.count_request();
         let reply = self.endpoint.request_bytes(ctx, bytes)?;
         self.record(ctx, ShipOp::Request, &reply, start);
@@ -671,7 +686,7 @@ impl ShipPort {
     /// Returns [`ShipError::Protocol`] when no request is outstanding.
     pub fn reply<T: ShipSerialize>(&self, ctx: &mut ThreadCtx, value: &T) -> Result<(), ShipError> {
         let start = ctx.now();
-        let bytes = to_wire(value);
+        let bytes = ShipBytes::from(to_wire(value));
         self.usage.count_reply();
         self.endpoint.reply_bytes(ctx, bytes.clone())?;
         self.record(ctx, ShipOp::Reply, &bytes, start);

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bytes;
 pub mod channel;
 pub mod codec;
 pub mod error;
@@ -52,10 +53,11 @@ pub mod wire;
 
 /// Commonly used SHIP items.
 pub mod prelude {
+    pub use crate::bytes::ShipBytes;
     pub use crate::channel::{ShipChannel, ShipConfig, ShipEndpoint, ShipPort, Side};
     pub use crate::codec::Serde;
     pub use crate::error::ShipError;
-    pub use crate::record::{ShipOp, TransactionLog, TxRecord};
+    pub use crate::record::{Label, ShipOp, TransactionLog, TxRecord};
     pub use crate::role::{Role, RoleObservation, Usage, UsageSnapshot};
     pub use crate::serialize::{from_wire, to_wire, ShipSerialize};
     pub use crate::wire::{ByteReader, ByteWriter, WireError};

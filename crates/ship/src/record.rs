@@ -9,6 +9,10 @@
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
+/// An interned name label (channel or port). Cloning is a refcount bump, so
+/// recording a transaction never allocates for its labels.
+pub type Label = Arc<str>;
+
 use shiptlm_kernel::time::SimTime;
 
 /// Which of the four SHIP calls produced a record.
@@ -38,10 +42,10 @@ impl fmt::Display for ShipOp {
 /// One completed SHIP operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TxRecord {
-    /// Channel the operation ran on.
-    pub channel: String,
-    /// Port label (usually the PE name).
-    pub port: String,
+    /// Channel the operation ran on (interned).
+    pub channel: Label,
+    /// Port label, usually the PE name (interned).
+    pub port: Label,
     /// Operation kind.
     pub op: ShipOp,
     /// Payload length in bytes.
@@ -56,7 +60,7 @@ pub struct TxRecord {
 
 impl TxRecord {
     /// The timing-independent portion used for equivalence checking.
-    pub fn content_key(&self) -> (String, String, ShipOp, usize, u64) {
+    pub fn content_key(&self) -> (Label, Label, ShipOp, usize, u64) {
         (
             self.channel.clone(),
             self.port.clone(),
@@ -125,7 +129,7 @@ impl TransactionLog {
     /// between abstraction levels.
     pub fn content_equivalent(&self, other: &TransactionLog) -> Result<(), EquivalenceError> {
         // Per-(channel, port) stream of (op, len, digest) triples.
-        type Streams = std::collections::BTreeMap<(String, String), Vec<(ShipOp, usize, u64)>>;
+        type Streams = std::collections::BTreeMap<(Label, Label), Vec<(ShipOp, usize, u64)>>;
         let group = |log: &TransactionLog| {
             let mut m: Streams = Streams::new();
             for r in log.to_vec() {
@@ -149,8 +153,8 @@ impl TransactionLog {
                     .position(|(x, y)| x != y)
                     .unwrap_or_else(|| sa.len().min(sb.len()));
                 return Err(EquivalenceError {
-                    channel: key.0,
-                    port: key.1,
+                    channel: key.0.to_string(),
+                    port: key.1.to_string(),
                     index: first_diff,
                     left_len: sa.len(),
                     right_len: sb.len(),

@@ -1,7 +1,9 @@
 //! Full communication-architecture exploration sweep: four workload shapes
 //! × {PLB, OPB, crossbar} × {priority, round-robin, TDMA} × burst size,
 //! printing one report table per workload — the paper's "fast communication
-//! architecture exploration" in action.
+//! architecture exploration" in action. Candidate simulations fan out over
+//! worker threads (`Sweep::run_parallel`); the serial-vs-parallel wall-clock
+//! comparison is printed first.
 //!
 //! Run with `cargo run --release --example exploration`.
 
@@ -30,6 +32,30 @@ fn candidates() -> Vec<ArchSpec> {
 
 fn main() {
     let started = Instant::now();
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
+
+    // Serial vs parallel on one workload first: same report, less wall-clock.
+    let racing = || workload::parallel_streams(4, 24, 256);
+    let t0 = Instant::now();
+    let serial = Sweep::new(racing()).archs(candidates()).run().unwrap();
+    let serial_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let parallel = Sweep::new(racing())
+        .archs(candidates())
+        .run_parallel(threads)
+        .unwrap();
+    let parallel_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        serial.to_string(),
+        parallel.to_string(),
+        "parallel sweep must reproduce the serial report"
+    );
+    println!(
+        "serial sweep {serial_s:.3}s, parallel sweep ({threads} threads) {parallel_s:.3}s \
+         — {:.2}x speedup, identical report\n",
+        serial_s / parallel_s.max(1e-9)
+    );
+
     let workloads: Vec<(&str, AppSpec)> = vec![
         (
             "pipeline (4 stages, 32×512B)",
@@ -53,7 +79,7 @@ fn main() {
         let report = Sweep::new(app)
             .with_untimed_baseline()
             .archs(candidates())
-            .run()
+            .run_parallel(threads)
             .expect("role detection");
         println!("{report}");
         let front = report_front(&report);

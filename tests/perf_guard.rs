@@ -1,0 +1,84 @@
+//! Performance regression guard for the E1 claim ("very high simulation
+//! speeds become feasible"): the abstraction ladder must keep its cost
+//! ordering — untimed ≪ CCATB ≪ pin-accurate.
+//!
+//! Kernel delta cycles are the primary, fully deterministic proxy for host
+//! cost (each delta is a scheduler round trip); a very generous wall-clock
+//! assertion backs it up without inviting flakes on loaded CI runners.
+
+use shiptlm::prelude::*;
+
+fn the_app() -> AppSpec {
+    workload::pipeline(6, 16, 256, SimDur::ZERO)
+}
+
+#[test]
+fn abstraction_ladder_keeps_its_cost_ordering() {
+    let app = the_app();
+    let ca = run_component_assembly(&app).expect("untimed run");
+    let ccatb = run_mapped(&app, &ca.roles, &ArchSpec::plb()).expect("ccatb run");
+    let pin = run_pin_accurate(&app, &ca.roles, &ArchSpec::plb()).expect("pin run");
+
+    let ca_deltas = ca.output.delta_cycles;
+    let ccatb_deltas = ccatb.output.delta_cycles;
+    let pin_deltas = pin.output.delta_cycles;
+
+    // Deterministic ordering: each refinement step must cost markedly more
+    // scheduler work than the last (measured ratios are ~35x and ~15x; the
+    // guard only demands 2x so legitimate timing-model changes don't trip it).
+    assert!(
+        ccatb_deltas > ca_deltas.max(1) * 2,
+        "CCATB ({ccatb_deltas} deltas) should cost well over the untimed model ({ca_deltas})"
+    );
+    assert!(
+        pin_deltas > ccatb_deltas * 2,
+        "pin-accurate ({pin_deltas} deltas) should cost well over CCATB ({ccatb_deltas})"
+    );
+
+    // All three levels still deliver the same content.
+    ca.output
+        .log
+        .content_equivalent(&ccatb.output.log)
+        .expect("ccatb content-equivalent to untimed");
+    ca.output
+        .log
+        .content_equivalent(&pin.output.log)
+        .expect("pin content-equivalent to untimed");
+
+    // Generous wall-clock backstop: the untimed model runs hundreds of times
+    // faster than the pin-accurate one, so even a heavily loaded runner
+    // leaves a wide margin around this 2x bound.
+    assert!(
+        ca.output.wall_seconds <= pin.output.wall_seconds * 2.0,
+        "untimed run ({:.4}s) should not be slower than 2x the pin-accurate run ({:.4}s)",
+        ca.output.wall_seconds,
+        pin.output.wall_seconds
+    );
+}
+
+#[test]
+fn sweep_throughput_stays_interactive() {
+    // A whole 8-candidate sweep of a small workload must stay interactive
+    // (E2: "fast ... exploration"). The bound is enormous relative to the
+    // measured cost (tens of milliseconds in release builds) so it only
+    // catches order-of-magnitude regressions, not scheduler noise.
+    let app = workload::parallel_streams(3, 12, 256);
+    let archs = vec![
+        ArchSpec::plb(),
+        ArchSpec::plb().with_burst(16),
+        ArchSpec::plb().with_burst(128),
+        ArchSpec::opb(),
+        ArchSpec::opb().with_burst(16),
+        ArchSpec::crossbar(),
+        ArchSpec::crossbar().with_burst(16),
+        ArchSpec::crossbar().with_burst(128),
+    ];
+    let t0 = std::time::Instant::now();
+    let report = Sweep::new(app).archs(archs).run().expect("sweep");
+    let elapsed = t0.elapsed();
+    assert_eq!(report.rows().len(), 8);
+    assert!(
+        elapsed < std::time::Duration::from_secs(60),
+        "8-candidate sweep took {elapsed:?} — exploration is no longer interactive"
+    );
+}
