@@ -17,6 +17,7 @@ use shiptlm_kernel::process::ThreadCtx;
 use shiptlm_kernel::sim::SimHandle;
 use shiptlm_kernel::stats::{Histogram, RunningStats};
 use shiptlm_kernel::time::{SimDur, SimTime};
+use shiptlm_kernel::txn::{TxnLevel, TxnSpan};
 use shiptlm_ocp::error::OcpError;
 use shiptlm_ocp::memory::Router;
 use shiptlm_ocp::payload::{OcpCommand, OcpRequest, OcpResponse, TxTiming};
@@ -259,6 +260,8 @@ pub struct CcatbBus {
     router: Router,
     gate: ArbGate,
     stats: Mutex<BusStats>,
+    /// Interned bus name for the transaction recorder.
+    label: Arc<str>,
 }
 
 impl CcatbBus {
@@ -272,6 +275,7 @@ impl CcatbBus {
             router: Router::new(&format!("{}.decoder", cfg.name)),
             gate,
             stats: Mutex::new(BusStats::default()),
+            label: Arc::from(cfg.name.as_str()),
             cfg,
         }
     }
@@ -367,6 +371,29 @@ impl OcpTarget for CcatbBus {
                 }
                 Err(_) => s.errors += 1,
             }
+        }
+
+        if ctx.txn_enabled() {
+            // Two spans per transaction: arbitration wait until grant, then
+            // the occupied transfer (address + data + slave access).
+            ctx.txn_record(TxnSpan {
+                level: TxnLevel::Bus,
+                op: "grant",
+                resource: &self.label,
+                start: t_req,
+                end: granted_at,
+                bytes: 0,
+                ok: true,
+            });
+            ctx.txn_record(TxnSpan {
+                level: TxnLevel::Bus,
+                op: if is_read { "read" } else { "write" },
+                resource: &self.label,
+                start: granted_at,
+                end,
+                bytes: len,
+                ok: result.is_ok(),
+            });
         }
 
         result.map(|mut resp| {

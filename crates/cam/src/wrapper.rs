@@ -24,7 +24,8 @@ use shiptlm_kernel::liveness::EndpointId;
 use shiptlm_kernel::process::ThreadCtx;
 use shiptlm_kernel::signal::Signal;
 use shiptlm_kernel::sim::SimHandle;
-use shiptlm_kernel::time::SimDur;
+use shiptlm_kernel::time::{SimDur, SimTime};
+use shiptlm_kernel::txn::{TxnLevel, TxnSpan};
 use shiptlm_ocp::error::OcpError;
 use shiptlm_ocp::payload::{OcpCommand, OcpRequest, OcpResponse, TxTiming};
 use shiptlm_ocp::tl::{MasterId, OcpMasterPort, OcpTarget};
@@ -141,6 +142,8 @@ impl AdapterState {
 /// The HW mailbox adapter: a bus slave carrying one SHIP channel endpoint.
 pub struct ShipSlaveAdapter {
     name: String,
+    /// Interned copy of `name` for the transaction recorder.
+    label: Arc<str>,
     state: Mutex<AdapterState>,
     /// Fired when a message lands in the mailbox.
     rx_written: Event,
@@ -189,6 +192,7 @@ impl ShipSlaveAdapter {
         sim.annotate_wait(&reply_set, "request (awaiting reply)", Some(ep_slave));
         Arc::new(ShipSlaveAdapter {
             name: name.to_string(),
+            label: Arc::from(name),
             state: Mutex::new(AdapterState {
                 rx: VecDeque::new(),
                 rx_capacity: cfg.rx_capacity,
@@ -470,6 +474,7 @@ impl ShipEndpoint for AdapterSlaveEndpoint {
         self.adapter
             .sim
             .endpoint_user(self.adapter.ep_slave, ctx.pid());
+        let start = ctx.now();
         loop {
             {
                 let mut g = self.adapter.lock();
@@ -484,6 +489,17 @@ impl ShipEndpoint for AdapterSlaveEndpoint {
                     // master wrapper.
                     self.adapter.rx_taken.notify_delta();
                     self.adapter.update_sideband();
+                    if ctx.txn_enabled() {
+                        ctx.txn_record(TxnSpan {
+                            level: TxnLevel::Bus,
+                            op: "mbox.drain",
+                            resource: &self.adapter.label,
+                            start,
+                            end: ctx.now(),
+                            bytes: bytes.len(),
+                            ok: true,
+                        });
+                    }
                     return Ok(bytes);
                 }
             }
@@ -508,6 +524,7 @@ impl ShipEndpoint for AdapterSlaveEndpoint {
         self.adapter
             .sim
             .endpoint_user(self.adapter.ep_slave, ctx.pid());
+        let start = ctx.now();
         let owed;
         loop {
             {
@@ -532,6 +549,17 @@ impl ShipEndpoint for AdapterSlaveEndpoint {
         self.adapter.note_owed(owed);
         self.adapter.reply_set.notify_delta();
         self.adapter.update_sideband();
+        if ctx.txn_enabled() {
+            ctx.txn_record(TxnSpan {
+                level: TxnLevel::Bus,
+                op: "mbox.reply",
+                resource: &self.adapter.label,
+                start,
+                end: ctx.now(),
+                bytes: bytes.len(),
+                ok: true,
+            });
+        }
         Ok(())
     }
 }
@@ -548,6 +576,9 @@ pub struct ShipBusMasterEndpoint {
     sideband: Option<(Event, Event)>,
     /// Liveness identity of the adapter's master side (sideband wiring only).
     liveness: Option<(SimHandle, EndpointId)>,
+    /// Interned label for the transaction recorder: the adapter name when
+    /// known, otherwise the mailbox base address.
+    label: Arc<str>,
 }
 
 impl ShipBusMasterEndpoint {
@@ -556,10 +587,11 @@ impl ShipBusMasterEndpoint {
         assert!(cfg.burst_bytes > 0, "burst size must be non-zero");
         Arc::new(ShipBusMasterEndpoint {
             bus,
-            base,
             cfg,
             sideband: None,
             liveness: None,
+            label: Arc::from(format!("mbox@{base:#x}").as_str()),
+            base,
         })
     }
 
@@ -584,6 +616,7 @@ impl ShipBusMasterEndpoint {
                 adapter.reply_event().clone(),
             )),
             liveness: Some((adapter.sim.clone(), adapter.ep_master)),
+            label: Arc::clone(&adapter.label),
         })
     }
 
@@ -690,9 +723,30 @@ impl ShipBusMasterEndpoint {
     }
 }
 
+impl ShipBusMasterEndpoint {
+    /// Records one mailbox operation (level [`TxnLevel::Bus`]).
+    fn txn(&self, ctx: &ThreadCtx, op: &'static str, start: SimTime, bytes: usize, ok: bool) {
+        if !ctx.txn_enabled() {
+            return;
+        }
+        ctx.txn_record(TxnSpan {
+            level: TxnLevel::Bus,
+            op,
+            resource: &self.label,
+            start,
+            end: ctx.now(),
+            bytes,
+            ok,
+        });
+    }
+}
+
 impl ShipEndpoint for ShipBusMasterEndpoint {
     fn send_bytes(&self, ctx: &mut ThreadCtx, bytes: ShipBytes) -> Result<(), ShipError> {
-        self.push_message(ctx, &bytes, DOORBELL_DATA)
+        let start = ctx.now();
+        let result = self.push_message(ctx, &bytes, DOORBELL_DATA);
+        self.txn(ctx, "mbox.push", start, bytes.len(), result.is_ok());
+        result
     }
 
     fn recv_bytes(&self, _ctx: &mut ThreadCtx) -> Result<ShipBytes, ShipError> {
@@ -706,8 +760,20 @@ impl ShipEndpoint for ShipBusMasterEndpoint {
         ctx: &mut ThreadCtx,
         bytes: ShipBytes,
     ) -> Result<ShipBytes, ShipError> {
-        self.push_message(ctx, &bytes, DOORBELL_REQUEST)?;
-        Ok(ShipBytes::from(self.pull_reply(ctx)?))
+        let start = ctx.now();
+        let result = self.push_message(ctx, &bytes, DOORBELL_REQUEST);
+        self.txn(ctx, "mbox.push", start, bytes.len(), result.is_ok());
+        result?;
+        let start = ctx.now();
+        let result = self.pull_reply(ctx);
+        self.txn(
+            ctx,
+            "mbox.pull",
+            start,
+            result.as_ref().map_or(0, |r| r.len()),
+            result.is_ok(),
+        );
+        Ok(ShipBytes::from(result?))
     }
 
     fn reply_bytes(&self, _ctx: &mut ThreadCtx, _bytes: ShipBytes) -> Result<(), ShipError> {

@@ -464,3 +464,22 @@ fn accessor_path_is_slower_than_direct_bus_path() {
         "pin path {via_pins} must be slower than direct {direct}"
     );
 }
+
+#[test]
+fn default_bus_stats_track_min_and_max_from_first_sample() {
+    // Regression: `BusStats::default()` used to derive `RunningStats`'s
+    // Default, whose zeroed min/max swallowed the first real sample.
+    let mut stats = BusStats::default();
+    stats.latency_cycles.record(7.0);
+    assert_eq!(stats.latency_cycles.min(), Some(7.0));
+    assert_eq!(stats.latency_cycles.max(), Some(7.0));
+    assert_eq!(stats.latency_cycles.count(), 1);
+
+    // Merging a default accumulator into a populated one is a no-op.
+    let empty = BusStats::default();
+    let mut merged = stats.latency_cycles;
+    merged.merge(&empty.latency_cycles);
+    assert_eq!(merged.min(), Some(7.0));
+    assert_eq!(merged.max(), Some(7.0));
+    assert_eq!(merged.count(), 1);
+}

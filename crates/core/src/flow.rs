@@ -20,7 +20,8 @@ use std::fmt;
 use shiptlm_explore::app::AppSpec;
 use shiptlm_explore::arch::ArchSpec;
 use shiptlm_explore::mapper::{
-    run_component_assembly, run_mapped, run_pin_accurate, CaRun, MapError, MappedRun,
+    run_component_assembly_with, run_mapped_with, run_pin_accurate_with, CaRun, MapError,
+    MappedRun, RunOptions,
 };
 use shiptlm_explore::metrics::{Report, RunMetrics};
 use shiptlm_ship::record::EquivalenceError;
@@ -152,6 +153,7 @@ pub struct DesignFlow {
     app: AppSpec,
     arch: ArchSpec,
     with_pin_level: bool,
+    opts: RunOptions,
 }
 
 impl DesignFlow {
@@ -161,6 +163,7 @@ impl DesignFlow {
             app,
             arch,
             with_pin_level: false,
+            opts: RunOptions::default(),
         }
     }
 
@@ -168,6 +171,14 @@ impl DesignFlow {
     /// (slower to simulate).
     pub fn with_pin_level(mut self) -> Self {
         self.with_pin_level = true;
+        self
+    }
+
+    /// Enables the transaction recorder on every level (`capacity` events
+    /// per run); each run's trace is available as `output.txn` on the
+    /// [`FlowRun`] members.
+    pub fn with_recorder(mut self, capacity: usize) -> Self {
+        self.opts.record_txns = Some(capacity);
         self
     }
 
@@ -179,8 +190,8 @@ impl DesignFlow {
     /// [`FlowError::Equivalence`] when a refined level's transaction log
     /// diverges from the component-assembly reference.
     pub fn run(&self) -> Result<FlowRun, FlowError> {
-        let ca = run_component_assembly(&self.app)?;
-        let ccatb = run_mapped(&self.app, &ca.roles, &self.arch)?;
+        let ca = run_component_assembly_with(&self.app, &self.opts)?;
+        let ccatb = run_mapped_with(&self.app, &ca.roles, &self.arch, &self.opts)?;
         ca.output
             .log
             .content_equivalent(&ccatb.output.log)
@@ -189,7 +200,7 @@ impl DesignFlow {
                 source,
             })?;
         let pin_accurate = if self.with_pin_level {
-            let pin = run_pin_accurate(&self.app, &ca.roles, &self.arch)?;
+            let pin = run_pin_accurate_with(&self.app, &ca.roles, &self.arch, &self.opts)?;
             ca.output
                 .log
                 .content_equivalent(&pin.output.log)

@@ -60,7 +60,9 @@ pub use shiptlm_ship as ship;
 /// One-stop imports for applications using the full stack.
 pub mod prelude {
     pub use crate::flow::{DesignFlow, FlowError, FlowRun, Level};
-    pub use crate::partition::{run_partitioned, Partition, PartitionError, PartitionedRun};
+    pub use crate::partition::{
+        run_partitioned, run_partitioned_with, Partition, PartitionError, PartitionedRun,
+    };
     pub use shiptlm_cam::prelude::*;
     pub use shiptlm_explore::prelude::*;
     pub use shiptlm_hwsw::prelude::*;

@@ -27,7 +27,7 @@ use std::time::Instant;
 use shiptlm_cam::wrapper::{map_channel, WrapperConfig, ADAPTER_SIZE};
 use shiptlm_explore::app::AppSpec;
 use shiptlm_explore::arch::{build_interconnect, ArchSpec};
-use shiptlm_explore::mapper::{MappedRun, RoleMap, RunOutput, MAP_BASE};
+use shiptlm_explore::mapper::{MappedRun, RoleMap, RunOptions, RunOutput, MAP_BASE};
 use shiptlm_hwsw::cpu::{Cpu, SwChannelBinding};
 use shiptlm_hwsw::rtos::RtosStats;
 use shiptlm_kernel::sim::Simulation;
@@ -123,6 +123,23 @@ pub fn run_partitioned(
     arch: &ArchSpec,
     partition: &Partition,
 ) -> Result<PartitionedRun, PartitionError> {
+    run_partitioned_with(app, roles, arch, partition, &RunOptions::default())
+}
+
+/// [`run_partitioned`] with explicit [`RunOptions`] (e.g. the transaction
+/// recorder, which captures the SW driver doorbell/IRQ spans).
+///
+/// # Errors
+///
+/// Returns a [`PartitionError`] when the partition names an unknown PE or
+/// `roles` does not cover every channel of `app`.
+pub fn run_partitioned_with(
+    app: &AppSpec,
+    roles: &RoleMap,
+    arch: &ArchSpec,
+    partition: &Partition,
+    opts: &RunOptions,
+) -> Result<PartitionedRun, PartitionError> {
     for pe in &partition.sw {
         if app.pe(pe).is_none() {
             return Err(PartitionError::UnknownPe(pe.clone()));
@@ -130,6 +147,9 @@ pub fn run_partitioned(
     }
     let started = Instant::now();
     let sim = Simulation::new();
+    if let Some(cap) = opts.record_txns {
+        sim.record_transactions(cap);
+    }
     let h = sim.handle();
     let log = TransactionLog::new();
 
@@ -249,6 +269,7 @@ pub fn run_partitioned(
                     .saturating_since(shiptlm_kernel::time::SimTime::ZERO),
                 delta_cycles: sim.delta_count(),
                 wall_seconds: started.elapsed().as_secs_f64(),
+                txn: opts.record_txns.map(|_| sim.txn_trace()),
             },
             bus: interconnect.stats(),
         },

@@ -20,6 +20,7 @@ use std::time::Instant;
 use shiptlm_cam::wrapper::{map_channel, WrapperConfig, ADAPTER_SIZE};
 use shiptlm_kernel::sim::Simulation;
 use shiptlm_kernel::time::SimDur;
+use shiptlm_kernel::txn::TxnTrace;
 use shiptlm_ocp::tl::MasterId;
 use shiptlm_ship::channel::{ShipChannel, ShipConfig, ShipPort};
 use shiptlm_ship::record::TransactionLog;
@@ -94,6 +95,33 @@ impl fmt::Display for MapError {
 
 impl Error for MapError {}
 
+/// Optional knobs for a single elaboration + run.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Enable the kernel transaction recorder with this ring capacity; the
+    /// resulting [`TxnTrace`] lands in [`RunOutput::txn`].
+    pub record_txns: Option<usize>,
+}
+
+impl RunOptions {
+    /// Options with the transaction recorder enabled (`capacity` events).
+    pub fn with_recorder(capacity: usize) -> Self {
+        RunOptions {
+            record_txns: Some(capacity),
+        }
+    }
+
+    fn arm(&self, sim: &Simulation) {
+        if let Some(cap) = self.record_txns {
+            sim.record_transactions(cap);
+        }
+    }
+
+    fn collect(&self, sim: &Simulation) -> Option<TxnTrace> {
+        self.record_txns.map(|_| sim.txn_trace())
+    }
+}
+
 /// Result of one elaboration + run.
 #[derive(Debug)]
 pub struct RunOutput {
@@ -105,6 +133,9 @@ pub struct RunOutput {
     pub delta_cycles: u64,
     /// Host wall-clock seconds spent simulating.
     pub wall_seconds: f64,
+    /// Transaction-level trace, when recording was requested via
+    /// [`RunOptions::record_txns`].
+    pub txn: Option<TxnTrace>,
 }
 
 /// Output of the component-assembly run: functional results plus detected
@@ -124,8 +155,20 @@ pub struct CaRun {
 /// Returns a [`MapError`] when any channel's usage does not yield a unique
 /// master/slave split.
 pub fn run_component_assembly(app: &AppSpec) -> Result<CaRun, MapError> {
+    run_component_assembly_with(app, &RunOptions::default())
+}
+
+/// [`run_component_assembly`] with explicit [`RunOptions`] (e.g. the
+/// transaction recorder).
+///
+/// # Errors
+///
+/// Returns a [`MapError`] when any channel's usage does not yield a unique
+/// master/slave split.
+pub fn run_component_assembly_with(app: &AppSpec, opts: &RunOptions) -> Result<CaRun, MapError> {
     let started = Instant::now();
     let sim = Simulation::new();
+    opts.arm(&sim);
     let h = sim.handle();
     let log = TransactionLog::new();
 
@@ -178,6 +221,7 @@ pub fn run_component_assembly(app: &AppSpec) -> Result<CaRun, MapError> {
             sim_time: result.time.saturating_since(shiptlm_kernel::time::SimTime::ZERO),
             delta_cycles: sim.delta_count(),
             wall_seconds: started.elapsed().as_secs_f64(),
+            txn: opts.collect(&sim),
         },
         roles,
     })
@@ -204,8 +248,25 @@ pub struct MappedRun {
 /// Returns [`MapError::Missing`] if `roles` does not cover every channel of
 /// `app`.
 pub fn run_mapped(app: &AppSpec, roles: &RoleMap, arch: &ArchSpec) -> Result<MappedRun, MapError> {
+    run_mapped_with(app, roles, arch, &RunOptions::default())
+}
+
+/// [`run_mapped`] with explicit [`RunOptions`] (e.g. the transaction
+/// recorder).
+///
+/// # Errors
+///
+/// Returns [`MapError::Missing`] if `roles` does not cover every channel of
+/// `app`.
+pub fn run_mapped_with(
+    app: &AppSpec,
+    roles: &RoleMap,
+    arch: &ArchSpec,
+    opts: &RunOptions,
+) -> Result<MappedRun, MapError> {
     let started = Instant::now();
     let sim = Simulation::new();
+    opts.arm(&sim);
     let h = sim.handle();
     let log = TransactionLog::new();
 
@@ -269,6 +330,7 @@ pub fn run_mapped(app: &AppSpec, roles: &RoleMap, arch: &ArchSpec) -> Result<Map
                 .saturating_since(shiptlm_kernel::time::SimTime::ZERO),
             delta_cycles: sim.delta_count(),
             wall_seconds: started.elapsed().as_secs_f64(),
+            txn: opts.collect(&sim),
         },
         bus: interconnect.stats(),
     })
@@ -289,8 +351,25 @@ pub fn run_pin_accurate(
     roles: &RoleMap,
     arch: &ArchSpec,
 ) -> Result<MappedRun, MapError> {
+    run_pin_accurate_with(app, roles, arch, &RunOptions::default())
+}
+
+/// [`run_pin_accurate`] with explicit [`RunOptions`] (e.g. the transaction
+/// recorder).
+///
+/// # Errors
+///
+/// Returns [`MapError::Missing`] if `roles` does not cover every channel of
+/// `app`.
+pub fn run_pin_accurate_with(
+    app: &AppSpec,
+    roles: &RoleMap,
+    arch: &ArchSpec,
+    opts: &RunOptions,
+) -> Result<MappedRun, MapError> {
     let started = Instant::now();
     let sim = Simulation::new();
+    opts.arm(&sim);
     let h = sim.handle();
     let log = TransactionLog::new();
 
@@ -375,6 +454,7 @@ pub fn run_pin_accurate(
             sim_time: result_time.saturating_since(shiptlm_kernel::time::SimTime::ZERO),
             delta_cycles: sim.delta_count(),
             wall_seconds: started.elapsed().as_secs_f64(),
+            txn: opts.collect(&sim),
         },
         bus: interconnect.stats(),
     })

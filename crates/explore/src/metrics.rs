@@ -1,10 +1,12 @@
 //! Run metrics derived from transaction logs and interconnect statistics.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use shiptlm_cam::bus::BusStats;
 use shiptlm_kernel::stats::RunningStats;
 use shiptlm_kernel::time::SimDur;
+use shiptlm_kernel::txn::TxnTrace;
 use shiptlm_ship::record::{ShipOp, TransactionLog};
 
 /// Summary of one exploration run.
@@ -28,6 +30,12 @@ pub struct RunMetrics {
     pub delta_cycles: u64,
     /// Host wall-clock seconds.
     pub wall_seconds: f64,
+    /// Per-channel blocking-call latency in nanoseconds (all SHIP ops),
+    /// keyed by channel name.
+    pub channel_latency: BTreeMap<String, RunningStats>,
+    /// Transaction-level trace captured during the run, when the recorder
+    /// was enabled (see [`RunOptions`](crate::mapper::RunOptions)).
+    pub txn: Option<TxnTrace>,
 }
 
 impl RunMetrics {
@@ -44,7 +52,12 @@ impl RunMetrics {
         let mut bytes = 0;
         let mut rpc_latency = RunningStats::new();
         let mut send_blocking = RunningStats::new();
+        let mut channel_latency: BTreeMap<String, RunningStats> = BTreeMap::new();
         for r in log.to_vec() {
+            channel_latency
+                .entry(r.channel.to_string())
+                .or_default()
+                .record(r.end.saturating_since(r.start).as_ps() as f64 / 1_000.0);
             match r.op {
                 ShipOp::Recv => {
                     messages += 1;
@@ -70,6 +83,8 @@ impl RunMetrics {
             bus,
             delta_cycles,
             wall_seconds,
+            channel_latency,
+            txn: None,
         }
     }
 
@@ -159,6 +174,26 @@ impl Report {
                 r.delta_cycles,
                 r.wall_seconds,
             ));
+        }
+        out
+    }
+
+    /// Renders per-channel blocking latency (min/mean/max ns) as CSV, one
+    /// row per `(config, channel)` pair.
+    pub fn channel_latency_csv(&self) -> String {
+        let mut out = String::from("config,channel,calls,min_ns,mean_ns,max_ns\n");
+        for r in &self.rows {
+            for (ch, s) in &r.channel_latency {
+                out.push_str(&format!(
+                    "{},{},{},{:.1},{:.1},{:.1}\n",
+                    r.label,
+                    ch,
+                    s.count(),
+                    s.min().unwrap_or(0.0),
+                    s.mean(),
+                    s.max().unwrap_or(0.0),
+                ));
+            }
         }
         out
     }

@@ -15,7 +15,10 @@ use shiptlm_kernel::sim::Simulation;
 
 use crate::app::AppSpec;
 use crate::arch::ArchSpec;
-use crate::mapper::{run_component_assembly, run_mapped, MapError, MappedRun, RoleMap};
+use crate::mapper::{
+    run_component_assembly, run_component_assembly_with, run_mapped, run_mapped_with, MapError,
+    MappedRun, RoleMap, RunOptions,
+};
 use crate::metrics::{Report, RunMetrics};
 
 // Compile-time guarantee that sweep workers are safely isolated: every piece
@@ -33,6 +36,8 @@ const _: () = {
     assert_send::<RunMetrics>();
     assert_send::<Report>();
     assert_send::<MapError>();
+    assert_send::<shiptlm_kernel::txn::TxnTrace>();
+    assert_sync::<RunOptions>();
 };
 
 /// Runs one application across many candidate architectures.
@@ -41,6 +46,7 @@ pub struct Sweep {
     app: AppSpec,
     archs: Vec<ArchSpec>,
     include_untimed: bool,
+    opts: RunOptions,
 }
 
 impl Sweep {
@@ -50,6 +56,7 @@ impl Sweep {
             app,
             archs: Vec::new(),
             include_untimed: false,
+            opts: RunOptions::default(),
         }
     }
 
@@ -68,6 +75,16 @@ impl Sweep {
     /// Also reports the untimed component-assembly run as a baseline row.
     pub fn with_untimed_baseline(mut self) -> Self {
         self.include_untimed = true;
+        self
+    }
+
+    /// Enables the transaction recorder (`capacity` events per candidate);
+    /// each report row then carries its run's [`TxnTrace`]
+    /// (`RunMetrics::txn`).
+    ///
+    /// [`TxnTrace`]: shiptlm_kernel::txn::TxnTrace
+    pub fn with_recorder(mut self, capacity: usize) -> Self {
+        self.opts.record_txns = Some(capacity);
         self
     }
 
@@ -101,26 +118,28 @@ impl Sweep {
     }
 
     fn execute(self, threads: usize) -> Result<Report, MapError> {
-        let ca = run_component_assembly(&self.app)?;
+        let ca = run_component_assembly_with(&self.app, &self.opts)?;
         let mut report = Report::new();
         if self.include_untimed {
-            report.push(RunMetrics::from_log(
+            let mut row = RunMetrics::from_log(
                 "untimed",
                 &ca.output.log,
                 ca.output.sim_time,
                 None,
                 ca.output.delta_cycles,
                 ca.output.wall_seconds,
-            ));
+            );
+            row.txn = ca.output.txn;
+            report.push(row);
         }
         let rows = if threads <= 1 || self.archs.len() <= 1 {
             let mut rows = Vec::with_capacity(self.archs.len());
             for arch in &self.archs {
-                rows.push(candidate_row(&self.app, &ca.roles, arch)?);
+                rows.push(candidate_row(&self.app, &ca.roles, arch, &self.opts)?);
             }
             rows
         } else {
-            candidate_rows_parallel(&self.app, &ca.roles, &self.archs, threads)?
+            candidate_rows_parallel(&self.app, &ca.roles, &self.archs, threads, &self.opts)?
         };
         for row in rows {
             report.push(row);
@@ -135,16 +154,19 @@ fn candidate_row(
     app: &AppSpec,
     roles: &RoleMap,
     arch: &ArchSpec,
+    opts: &RunOptions,
 ) -> Result<RunMetrics, MapError> {
-    let MappedRun { output, bus } = run_mapped(app, roles, arch)?;
-    Ok(RunMetrics::from_log(
+    let MappedRun { output, bus } = run_mapped_with(app, roles, arch, opts)?;
+    let mut row = RunMetrics::from_log(
         &arch.label(),
         &output.log,
         output.sim_time,
         Some(bus),
         output.delta_cycles,
         output.wall_seconds,
-    ))
+    );
+    row.txn = output.txn;
+    Ok(row)
 }
 
 /// Work-stealing-free bounded pool: workers pull candidate indices from a
@@ -155,6 +177,7 @@ fn candidate_rows_parallel(
     roles: &RoleMap,
     archs: &[ArchSpec],
     threads: usize,
+    opts: &RunOptions,
 ) -> Result<Vec<RunMetrics>, MapError> {
     let slots: Vec<Mutex<Option<Result<RunMetrics, MapError>>>> =
         archs.iter().map(|_| Mutex::new(None)).collect();
@@ -167,7 +190,7 @@ fn candidate_rows_parallel(
                 if i >= archs.len() {
                     break;
                 }
-                let row = candidate_row(app, roles, &archs[i]);
+                let row = candidate_row(app, roles, &archs[i], opts);
                 *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(row);
             });
         }

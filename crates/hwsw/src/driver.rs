@@ -19,7 +19,8 @@ use shiptlm_cam::wrapper::{
 };
 use shiptlm_kernel::liveness::EndpointId;
 use shiptlm_kernel::process::ThreadCtx;
-use shiptlm_kernel::time::SimDur;
+use shiptlm_kernel::time::{SimDur, SimTime};
+use shiptlm_kernel::txn::{TxnLevel, TxnSpan};
 use shiptlm_ocp::error::OcpError;
 use shiptlm_ocp::tl::OcpMasterPort;
 use shiptlm_ship::bytes::ShipBytes;
@@ -96,9 +97,40 @@ struct DriverCore {
     role: &'static str,
     /// Liveness identity, registered on first blocking call.
     ep: OnceLock<EndpointId>,
+    /// Interned label for the transaction recorder.
+    label: Arc<str>,
 }
 
 impl DriverCore {
+    fn new(rtos: &Rtos, task: TaskId, bus: OcpMasterPort, base: u64, cfg: DriverConfig, role: &'static str) -> Self {
+        DriverCore {
+            rtos: rtos.clone(),
+            task,
+            bus,
+            base,
+            cfg,
+            role,
+            ep: OnceLock::new(),
+            label: Arc::from(format!("drv@{base:#x}").as_str()),
+        }
+    }
+
+    /// Records one driver operation (level [`TxnLevel::Driver`]).
+    fn txn(&self, ctx: &ThreadCtx, op: &'static str, start: SimTime, bytes: usize, ok: bool) {
+        if !ctx.txn_enabled() {
+            return;
+        }
+        ctx.txn_record(TxnSpan {
+            level: TxnLevel::Driver,
+            op,
+            resource: &self.label,
+            start,
+            end: ctx.now(),
+            bytes,
+            ok,
+        });
+    }
+
     fn charge(&self, ctx: &mut ThreadCtx, d: SimDur) {
         self.rtos.execute(ctx, self.task, d);
     }
@@ -125,16 +157,19 @@ impl DriverCore {
         self.bus.write_u32(ctx, self.base + off, v).map_err(bus_err)
     }
 
-    /// Waits until STATUS has any bit of `mask` set.
+    /// Waits until STATUS has any bit of `mask` set. The poll/IRQ wait is
+    /// recorded as a `drv.wait` span when it actually blocked.
     fn wait_status(&self, ctx: &mut ThreadCtx, mask: u32) -> Result<(), ShipError> {
         let ep = self.note_user(ctx);
         let sim = ctx.sim();
+        let start = ctx.now();
         let mut noted = false;
         loop {
             let status = self.read_u32(ctx, regs::STATUS)?;
             if status & mask != 0 {
                 if noted {
                     sim.endpoint_note(ep, None);
+                    self.txn(ctx, "drv.wait", start, 0, true);
                 }
                 return Ok(());
             }
@@ -217,15 +252,7 @@ impl SwShipMaster {
         cfg: DriverConfig,
     ) -> Arc<Self> {
         Arc::new(SwShipMaster {
-            core: DriverCore {
-                rtos: rtos.clone(),
-                task,
-                bus,
-                base,
-                cfg,
-                role: "master",
-                ep: OnceLock::new(),
-            },
+            core: DriverCore::new(rtos, task, bus, base, cfg, "master"),
         })
     }
 
@@ -242,7 +269,11 @@ impl SwShipMaster {
 
 impl ShipEndpoint for SwShipMaster {
     fn send_bytes(&self, ctx: &mut ThreadCtx, bytes: ShipBytes) -> Result<(), ShipError> {
-        self.push(ctx, &bytes, DOORBELL_DATA)
+        let start = ctx.now();
+        let result = self.push(ctx, &bytes, DOORBELL_DATA);
+        self.core
+            .txn(ctx, "drv.send", start, bytes.len(), result.is_ok());
+        result
     }
 
     fn recv_bytes(&self, _ctx: &mut ThreadCtx) -> Result<ShipBytes, ShipError> {
@@ -256,14 +287,25 @@ impl ShipEndpoint for SwShipMaster {
         ctx: &mut ThreadCtx,
         bytes: ShipBytes,
     ) -> Result<ShipBytes, ShipError> {
-        self.push(ctx, &bytes, DOORBELL_REQUEST)?;
-        let c = &self.core;
-        c.wait_status(ctx, STATUS_REPLY_READY)?;
-        c.charge(ctx, c.cfg.call_overhead);
-        let len = c.read_u32(ctx, regs::REPLY_LEN)? as usize;
-        let reply = c.read_window(ctx, regs::REPLY_WIN, len)?;
-        c.write_u32(ctx, regs::DOORBELL, DOORBELL_REPLY_ACK)?;
-        Ok(ShipBytes::from(reply))
+        let start = ctx.now();
+        let result = (|| {
+            self.push(ctx, &bytes, DOORBELL_REQUEST)?;
+            let c = &self.core;
+            c.wait_status(ctx, STATUS_REPLY_READY)?;
+            c.charge(ctx, c.cfg.call_overhead);
+            let len = c.read_u32(ctx, regs::REPLY_LEN)? as usize;
+            let reply = c.read_window(ctx, regs::REPLY_WIN, len)?;
+            c.write_u32(ctx, regs::DOORBELL, DOORBELL_REPLY_ACK)?;
+            Ok(ShipBytes::from(reply))
+        })();
+        self.core.txn(
+            ctx,
+            "drv.request",
+            start,
+            bytes.len() + result.as_ref().map_or(0, |r: &ShipBytes| r.len()),
+            result.is_ok(),
+        );
+        result
     }
 
     fn reply_bytes(&self, _ctx: &mut ThreadCtx, _bytes: ShipBytes) -> Result<(), ShipError> {
@@ -298,15 +340,7 @@ impl SwShipSlave {
         cfg: DriverConfig,
     ) -> Arc<Self> {
         Arc::new(SwShipSlave {
-            core: DriverCore {
-                rtos: rtos.clone(),
-                task,
-                bus,
-                base,
-                cfg,
-                role: "slave",
-                ep: OnceLock::new(),
-            },
+            core: DriverCore::new(rtos, task, bus, base, cfg, "slave"),
         })
     }
 }
@@ -319,13 +353,24 @@ impl ShipEndpoint for SwShipSlave {
     }
 
     fn recv_bytes(&self, ctx: &mut ThreadCtx) -> Result<ShipBytes, ShipError> {
-        let c = &self.core;
-        c.charge(ctx, c.cfg.call_overhead);
-        c.wait_status(ctx, STATUS_RX_PENDING)?;
-        let len = c.read_u32(ctx, regs::RX_LEN)? as usize;
-        let bytes = c.read_window(ctx, regs::RX_WIN, len)?;
-        c.write_u32(ctx, regs::DOORBELL, DOORBELL_RX_ACK)?;
-        Ok(ShipBytes::from(bytes))
+        let start = ctx.now();
+        let result = (|| {
+            let c = &self.core;
+            c.charge(ctx, c.cfg.call_overhead);
+            c.wait_status(ctx, STATUS_RX_PENDING)?;
+            let len = c.read_u32(ctx, regs::RX_LEN)? as usize;
+            let bytes = c.read_window(ctx, regs::RX_WIN, len)?;
+            c.write_u32(ctx, regs::DOORBELL, DOORBELL_RX_ACK)?;
+            Ok(ShipBytes::from(bytes))
+        })();
+        self.core.txn(
+            ctx,
+            "drv.recv",
+            start,
+            result.as_ref().map_or(0, |b: &ShipBytes| b.len()),
+            result.is_ok(),
+        );
+        result
     }
 
     fn request_bytes(
@@ -339,26 +384,32 @@ impl ShipEndpoint for SwShipSlave {
     }
 
     fn reply_bytes(&self, ctx: &mut ThreadCtx, bytes: ShipBytes) -> Result<(), ShipError> {
-        let c = &self.core;
-        c.note_user(ctx);
-        c.charge(ctx, c.cfg.call_overhead);
-        // Wait for the previous reply (if any) to be consumed.
-        loop {
-            let status = c.read_u32(ctx, regs::STATUS)?;
-            if status & STATUS_REPLY_READY == 0 {
-                break;
-            }
-            match &c.cfg.notify {
-                NotifyMode::Polling { interval } => c.rtos.sleep(ctx, c.task, *interval),
-                NotifyMode::Irq { sem } => {
-                    let _ = sem.take_raw_timeout(ctx, c.task, IRQ_GUARD);
+        let start = ctx.now();
+        let result = (|| {
+            let c = &self.core;
+            c.note_user(ctx);
+            c.charge(ctx, c.cfg.call_overhead);
+            // Wait for the previous reply (if any) to be consumed.
+            loop {
+                let status = c.read_u32(ctx, regs::STATUS)?;
+                if status & STATUS_REPLY_READY == 0 {
+                    break;
+                }
+                match &c.cfg.notify {
+                    NotifyMode::Polling { interval } => c.rtos.sleep(ctx, c.task, *interval),
+                    NotifyMode::Irq { sem } => {
+                        let _ = sem.take_raw_timeout(ctx, c.task, IRQ_GUARD);
+                    }
                 }
             }
-        }
-        c.write_u32(ctx, regs::SET_REPLY_LEN, bytes.len() as u32)?;
-        c.write_window(ctx, regs::REPLY_WIN, &bytes)?;
-        c.write_u32(ctx, regs::DOORBELL, DOORBELL_REPLY_SET)?;
-        Ok(())
+            c.write_u32(ctx, regs::SET_REPLY_LEN, bytes.len() as u32)?;
+            c.write_window(ctx, regs::REPLY_WIN, &bytes)?;
+            c.write_u32(ctx, regs::DOORBELL, DOORBELL_REPLY_SET)?;
+            Ok(())
+        })();
+        self.core
+            .txn(ctx, "drv.reply", start, bytes.len(), result.is_ok());
+        result
     }
 }
 

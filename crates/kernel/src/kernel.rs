@@ -29,6 +29,7 @@ use crate::liveness::{
 };
 use crate::time::{SimDur, SimTime};
 use crate::trace::VcdTracer;
+use crate::txn::TxnShared;
 
 /// Identifies an event inside the kernel arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -170,6 +171,8 @@ pub(crate) struct KernelShared {
     pub(crate) liveness: Mutex<Registry>,
     /// Wall-clock budget for a single `run` call, if configured.
     pub(crate) watchdog: Mutex<Option<Duration>>,
+    /// Transaction-level trace recorder (disabled by default).
+    pub(crate) txn: TxnShared,
 }
 
 impl KernelShared {
@@ -191,6 +194,7 @@ impl KernelShared {
             tracer: Mutex::new(None),
             liveness: Mutex::new(Registry::default()),
             watchdog: Mutex::new(None),
+            txn: TxnShared::new(),
         })
     }
 
@@ -249,10 +253,10 @@ impl KernelShared {
             return;
         }
         let mut g = self.lock();
-        let at = g
-            .now
-            .checked_add(d)
-            .expect("timed notification overflows SimTime");
+        // Saturate instead of panicking: SimTime::MAX is the documented
+        // "infinite horizon", so an overflowing notification simply lands
+        // there (and never fires within any finite run).
+        let at = g.now.checked_add(d).unwrap_or(SimTime::MAX);
         // SystemC keeps a single pending notification per event; an earlier
         // one overrides a later one.
         match g.events[id.0].timed_at {

@@ -56,6 +56,7 @@ pub mod stats;
 pub mod sync;
 pub mod time;
 pub mod trace;
+pub mod txn;
 
 pub use kernel::{EventId, MethodApi, ProcessId, RunResult, StopReason};
 
@@ -70,5 +71,6 @@ pub mod prelude {
     pub use crate::sim::{SimHandle, Simulation};
     pub use crate::sync::{SimMutex, SimSemaphore};
     pub use crate::time::{SimDur, SimTime};
+    pub use crate::txn::{TxnEvent, TxnLevel, TxnOutcome, TxnSpan, TxnTrace};
     pub use crate::{EventId, MethodApi, ProcessId, RunResult, StopReason};
 }

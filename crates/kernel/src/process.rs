@@ -8,6 +8,7 @@ use std::sync::Arc;
 use crate::event::Event;
 use crate::kernel::{EventId, KernelShared, KillToken, ProcessId, Resume, YieldMsg};
 use crate::time::{SimDur, SimTime};
+use crate::txn::{TxnEvent, TxnOutcome, TxnSpan};
 
 /// Execution context of a thread process.
 ///
@@ -64,6 +65,37 @@ impl ThreadCtx {
     /// Requests the simulation to stop at the end of the current delta.
     pub fn stop(&self) {
         self.kernel.request_stop();
+    }
+
+    /// `true` when the transaction recorder is enabled
+    /// ([`Simulation::record_transactions`](crate::sim::Simulation::record_transactions)).
+    /// A single relaxed atomic load — instrumentation sites use it as the
+    /// zero-overhead fast path when recording is off.
+    #[inline]
+    pub fn txn_enabled(&self) -> bool {
+        self.kernel.txn.is_enabled()
+    }
+
+    /// Records a completed transaction span, stamping it with this process's
+    /// name. No-op when the recorder is disabled.
+    pub fn txn_record(&self, span: TxnSpan<'_>) {
+        if !self.kernel.txn.is_enabled() {
+            return;
+        }
+        self.kernel.txn.record(TxnEvent {
+            level: span.level,
+            op: span.op,
+            resource: Arc::clone(span.resource),
+            process: self.kernel.process_name(self.pid),
+            start: span.start,
+            end: span.end,
+            bytes: span.bytes,
+            outcome: if span.ok {
+                TxnOutcome::Ok
+            } else {
+                TxnOutcome::Error
+            },
+        });
     }
 
     /// Suspends until `event` is notified.

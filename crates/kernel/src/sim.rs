@@ -13,6 +13,7 @@ use crate::process::ThreadCtx;
 use crate::signal::{Signal, SignalValue};
 use crate::time::{SimDur, SimTime};
 use crate::trace::{TraceError, VcdTracer};
+use crate::txn::TxnTrace;
 
 /// A discrete-event simulation: owns the kernel, elaborates processes and
 /// channels, and drives the scheduler.
@@ -155,12 +156,11 @@ impl Simulation {
         self.kernel.run(Some(t))
     }
 
-    /// Runs for `d` more simulated time.
+    /// Runs for `d` more simulated time. A duration that would overflow
+    /// [`SimTime`] saturates to [`SimTime::MAX`] (the infinite horizon), so
+    /// the call behaves like an unbounded [`run`](Self::run).
     pub fn run_for(&self, d: SimDur) -> RunResult {
-        let limit = self
-            .now()
-            .checked_add(d)
-            .expect("run_for limit overflows SimTime");
+        let limit = self.now().checked_add(d).unwrap_or(SimTime::MAX);
         self.kernel.run(Some(limit))
     }
 
@@ -175,6 +175,22 @@ impl Simulation {
     /// livelocked model. Pass `None` to disarm.
     pub fn set_watchdog(&self, budget: Option<std::time::Duration>) {
         self.kernel.set_watchdog(budget);
+    }
+
+    /// Enables the transaction-level trace recorder with a bounded ring of
+    /// at most `capacity` events (per-resource statistics still cover every
+    /// event — see [`TxnTrace`]). Calling again resets the recorder.
+    ///
+    /// When never called, instrumented channels pay only a single relaxed
+    /// atomic load per operation.
+    pub fn record_transactions(&self, capacity: usize) {
+        self.kernel.txn.enable(capacity);
+    }
+
+    /// Snapshots everything the transaction recorder captured so far.
+    /// Returns an empty trace when recording was never enabled.
+    pub fn txn_trace(&self) -> TxnTrace {
+        self.kernel.txn.snapshot()
     }
 
     /// Snapshots every blocked process, builds the wait-for graph from
@@ -201,7 +217,11 @@ impl Drop for Simulation {
         self.kernel.teardown();
         let mut g = self.kernel.tracer.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(t) = g.as_mut() {
-            let _ = t.flush();
+            // Drop cannot return the error; at minimum make the data loss
+            // visible. Call `flush_trace()` before dropping to handle it.
+            if let Err(e) = t.flush() {
+                eprintln!("shiptlm-kernel: failed to flush VCD trace on drop: {e}");
+            }
         }
     }
 }
@@ -309,6 +329,18 @@ impl SimHandle {
     /// See [`Simulation::diagnose`].
     pub fn diagnose(&self) -> DeadlockReport {
         self.kernel.diagnose()
+    }
+
+    /// `true` when the transaction recorder is enabled. Instrumentation
+    /// sites check this before doing any span bookkeeping.
+    #[inline]
+    pub fn txn_enabled(&self) -> bool {
+        self.kernel.txn.is_enabled()
+    }
+
+    /// See [`Simulation::txn_trace`].
+    pub fn txn_trace(&self) -> TxnTrace {
+        self.kernel.txn.snapshot()
     }
 }
 

@@ -36,13 +36,22 @@ impl fmt::Display for Counter {
 }
 
 /// Streaming mean/variance/min/max (Welford's algorithm).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunningStats {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+// A derived `Default` would zero-initialize min/max, so the first recorded
+// sample could never lower the minimum below 0.0. `Default` must be
+// indistinguishable from `new()` (min = +INF, max = -INF).
+impl Default for RunningStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl RunningStats {
@@ -269,6 +278,31 @@ mod tests {
         assert_eq!(a.count(), bulk.count());
         assert!((a.mean() - bulk.mean()).abs() < 1e-9);
         assert!((a.variance() - bulk.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_indistinguishable_from_new() {
+        assert_eq!(RunningStats::default(), RunningStats::new());
+        // The derived Default used to start min/max at 0.0, so the first
+        // sample above zero could never set the minimum.
+        let mut s = RunningStats::default();
+        s.record(7.0);
+        assert_eq!(s.min(), Some(7.0));
+        assert_eq!(s.max(), Some(7.0));
+    }
+
+    #[test]
+    fn merge_of_default_is_noop() {
+        let mut s = RunningStats::new();
+        s.record(3.0);
+        s.record(9.0);
+        let before = s;
+        s.merge(&RunningStats::default());
+        assert_eq!(s, before);
+        // And merging *into* a default accumulator copies the other side.
+        let mut d = RunningStats::default();
+        d.merge(&before);
+        assert_eq!(d, before);
     }
 
     #[test]

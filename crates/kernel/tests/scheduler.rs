@@ -594,3 +594,59 @@ fn watchdog_stops_a_livelocked_model() {
     // the model livelocks rather than deadlocks).
     let _ = sim.diagnose();
 }
+
+#[test]
+fn timed_notification_near_u64_max_saturates() {
+    // A notification that would overflow SimTime lands on SimTime::MAX (the
+    // infinite horizon) instead of panicking, so it never fires within any
+    // finite run and the simulation simply starves.
+    let sim = Simulation::new();
+    let ev = sim.event("far_future");
+    let seen = Arc::new(AtomicU64::new(0));
+    {
+        let (ev, seen) = (ev.clone(), Arc::clone(&seen));
+        sim.spawn_thread("astronomer", move |ctx| {
+            ctx.wait_for(SimDur::ns(5));
+            ev.notify_after(SimDur::ps(u64::MAX));
+            ctx.wait(&ev);
+            seen.store(1, Ordering::SeqCst);
+        });
+    }
+    let r = sim.run_until(SimTime::from_ps(1_000_000));
+    assert_eq!(r.reason, StopReason::TimeLimit);
+    assert_eq!(seen.load(Ordering::SeqCst), 0);
+}
+
+#[test]
+fn run_for_near_u64_max_saturates() {
+    let sim = Simulation::new();
+    sim.spawn_thread("ticker", |ctx| {
+        ctx.wait_for(SimDur::ns(3));
+    });
+    // Run once so `now` is non-zero, then ask for more time than the
+    // SimTime domain has left: the limit saturates to SimTime::MAX instead
+    // of panicking and the run ends normally.
+    let r = sim.run_for(SimDur::ps(u64::MAX - 10));
+    assert_eq!(r.reason, StopReason::Starved);
+    assert_eq!(r.time, SimTime::ZERO + SimDur::ns(3));
+    let r = sim.run_for(SimDur::ps(u64::MAX));
+    assert_eq!(r.reason, StopReason::Starved);
+}
+
+#[test]
+fn flush_trace_surfaces_io_errors() {
+    // VcdTracer::flush re-creates the file at its recorded path; removing
+    // the parent directory makes that fail, and flush_trace must report it
+    // rather than swallow it.
+    let dir = std::env::temp_dir().join("shiptlm_kernel_vcd_unwritable");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wave.vcd");
+    let sim = Simulation::new();
+    sim.trace_vcd(&path).unwrap();
+    let sig = sim.signal("data", 0u8);
+    sig.trace("top.data");
+    sim.run();
+    std::fs::remove_dir_all(&dir).unwrap();
+    let err = sim.flush_trace().expect_err("flush into a removed directory");
+    assert!(err.to_string().contains("wave.vcd"), "error names the path: {err}");
+}

@@ -5,9 +5,10 @@ use std::fmt;
 use std::sync::Arc;
 
 use shiptlm_kernel::process::ThreadCtx;
+use shiptlm_kernel::txn::{TxnLevel, TxnSpan};
 
 use crate::error::OcpError;
-use crate::payload::{OcpRequest, OcpResponse};
+use crate::payload::{OcpCommand, OcpRequest, OcpResponse};
 
 /// Identifies a master attached to a target (used for arbitration).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -50,12 +51,20 @@ pub trait OcpTarget: Send + Sync {
 pub struct OcpMasterPort {
     id: MasterId,
     target: Arc<dyn OcpTarget>,
+    /// Target name interned once at bind time; every recorded transaction
+    /// clones the `Arc`, never re-queries the target.
+    target_label: Arc<str>,
 }
 
 impl OcpMasterPort {
     /// Binds master `id` to `target`.
     pub fn bind(id: MasterId, target: Arc<dyn OcpTarget>) -> Self {
-        OcpMasterPort { id, target }
+        let target_label = Arc::from(target.target_name().as_str());
+        OcpMasterPort {
+            id,
+            target,
+            target_label,
+        }
     }
 
     /// This port's master id.
@@ -73,7 +82,26 @@ impl OcpMasterPort {
         ctx: &mut ThreadCtx,
         req: OcpRequest,
     ) -> Result<OcpResponse, OcpError> {
-        self.target.transact(ctx, self.id, req)
+        if !ctx.txn_enabled() {
+            return self.target.transact(ctx, self.id, req);
+        }
+        let start = ctx.now();
+        let op = match req.cmd {
+            OcpCommand::Read { .. } => "read",
+            OcpCommand::Write { .. } => "write",
+        };
+        let bytes = req.cmd.len();
+        let result = self.target.transact(ctx, self.id, req);
+        ctx.txn_record(TxnSpan {
+            level: TxnLevel::Ocp,
+            op,
+            resource: &self.target_label,
+            start,
+            end: ctx.now(),
+            bytes,
+            ok: result.is_ok(),
+        });
+        result
     }
 
     /// Convenience blocking read.

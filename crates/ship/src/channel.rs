@@ -18,6 +18,7 @@ use shiptlm_kernel::liveness::EndpointId;
 use shiptlm_kernel::process::ThreadCtx;
 use shiptlm_kernel::sim::SimHandle;
 use shiptlm_kernel::time::{SimDur, SimTime};
+use shiptlm_kernel::txn::{TxnLevel, TxnSpan};
 
 use crate::bytes::ShipBytes;
 use crate::error::ShipError;
@@ -616,6 +617,23 @@ impl ShipPort {
         self.usage.snapshot()
     }
 
+    /// Records one completed call into the kernel transaction recorder
+    /// (level [`TxnLevel::Ship`]). One atomic load when recording is off.
+    fn txn(&self, ctx: &ThreadCtx, op: &'static str, start: SimTime, bytes: usize, ok: bool) {
+        if !ctx.txn_enabled() {
+            return;
+        }
+        ctx.txn_record(TxnSpan {
+            level: TxnLevel::Ship,
+            op,
+            resource: &self.channel,
+            start,
+            end: ctx.now(),
+            bytes,
+            ok,
+        });
+    }
+
     fn record(&self, ctx: &ThreadCtx, op: ShipOp, bytes: &[u8], start: shiptlm_kernel::time::SimTime) {
         let g = self.recorder.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(log) = g.as_ref() {
@@ -643,7 +661,9 @@ impl ShipPort {
         self.usage.count_send();
         // `clone` bumps the refcount; the payload itself is shared with the
         // channel, not copied.
-        self.endpoint.send_bytes(ctx, bytes.clone())?;
+        let result = self.endpoint.send_bytes(ctx, bytes.clone());
+        self.txn(ctx, "send", start, bytes.len(), result.is_ok());
+        result?;
         self.record(ctx, ShipOp::Send, &bytes, start);
         Ok(())
     }
@@ -656,7 +676,15 @@ impl ShipPort {
     pub fn recv<T: ShipSerialize>(&self, ctx: &mut ThreadCtx) -> Result<T, ShipError> {
         let start = ctx.now();
         self.usage.count_recv();
-        let bytes = self.endpoint.recv_bytes(ctx)?;
+        let result = self.endpoint.recv_bytes(ctx);
+        self.txn(
+            ctx,
+            "recv",
+            start,
+            result.as_ref().map_or(0, |b| b.len()),
+            result.is_ok(),
+        );
+        let bytes = result?;
         self.record(ctx, ShipOp::Recv, &bytes, start);
         Ok(from_wire(&bytes)?)
     }
@@ -674,7 +702,16 @@ impl ShipPort {
         let start = ctx.now();
         let bytes = ShipBytes::from(to_wire(req));
         self.usage.count_request();
-        let reply = self.endpoint.request_bytes(ctx, bytes)?;
+        let req_len = bytes.len();
+        let result = self.endpoint.request_bytes(ctx, bytes);
+        self.txn(
+            ctx,
+            "request",
+            start,
+            result.as_ref().map_or(req_len, |r| req_len + r.len()),
+            result.is_ok(),
+        );
+        let reply = result?;
         self.record(ctx, ShipOp::Request, &reply, start);
         Ok(from_wire(&reply)?)
     }
@@ -688,7 +725,9 @@ impl ShipPort {
         let start = ctx.now();
         let bytes = ShipBytes::from(to_wire(value));
         self.usage.count_reply();
-        self.endpoint.reply_bytes(ctx, bytes.clone())?;
+        let result = self.endpoint.reply_bytes(ctx, bytes.clone());
+        self.txn(ctx, "reply", start, bytes.len(), result.is_ok());
+        result?;
         self.record(ctx, ShipOp::Reply, &bytes, start);
         Ok(())
     }

@@ -2,7 +2,9 @@
 //! design flow — component-assembly → CCATB (PLB) → pin-accurate — with
 //! automatic master/slave detection and cross-level equivalence checking.
 //!
-//! Run with `cargo run --example quickstart`.
+//! Run with `cargo run --example quickstart`. Set `SHIPTLM_TRACE_OUT=t.json`
+//! to also export the CCATB run's transaction-level trace as Chrome
+//! `trace_event` JSON (load it at <https://ui.perfetto.dev>).
 
 use shiptlm::prelude::*;
 
@@ -28,9 +30,11 @@ fn main() -> Result<(), FlowError> {
     });
     app.connect("stream", "producer", "consumer");
 
-    // 2. Run the flow against a CoreConnect-PLB-like architecture.
+    // 2. Run the flow against a CoreConnect-PLB-like architecture, with the
+    //    transaction recorder capturing SHIP/bus/OCP events at every level.
     let run = DesignFlow::new(app, ArchSpec::plb())
         .with_pin_level()
+        .with_recorder(65_536)
         .run()?;
 
     // 3. Inspect what the flow derived and measured.
@@ -53,5 +57,30 @@ fn main() -> Result<(), FlowError> {
         run.ccatb.output.delta_cycles,
     );
     println!("all levels content-equivalent ✓");
+
+    // 4. Per-channel blocking latency and the transaction-level trace.
+    let trace = run
+        .ccatb
+        .output
+        .txn
+        .as_ref()
+        .expect("recorder was enabled");
+    println!();
+    println!("ccatb transaction trace: {trace}");
+    for ((level, resource), s) in trace.stats() {
+        println!(
+            "  [{level}] {resource}: {} txns, latency {:.1}..{:.1} ns (mean {:.1})",
+            s.count,
+            s.latency_ns.min().unwrap_or(0.0),
+            s.latency_ns.max().unwrap_or(0.0),
+            s.latency_ns.mean(),
+        );
+    }
+    if let Ok(path) = std::env::var("SHIPTLM_TRACE_OUT") {
+        trace
+            .write_chrome(&path)
+            .expect("failed to write Chrome trace");
+        println!("wrote Chrome trace to {path}");
+    }
     Ok(())
 }
