@@ -182,6 +182,14 @@ impl DesignFlow {
         self
     }
 
+    /// Replaces the per-level [`RunOptions`] wholesale (timeouts, time
+    /// limits, port hooks). Conformance harnesses use this to bound and
+    /// instrument every level uniformly.
+    pub fn with_options(mut self, opts: RunOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
     /// Runs every level and checks cross-level content equivalence.
     ///
     /// # Errors

@@ -147,9 +147,7 @@ pub fn run_partitioned_with(
     }
     let started = Instant::now();
     let sim = Simulation::new();
-    if let Some(cap) = opts.record_txns {
-        sim.record_transactions(cap);
-    }
+    opts.arm(&sim);
     let h = sim.handle();
     let log = TransactionLog::new();
 
@@ -218,6 +216,7 @@ pub fn run_partitioned_with(
             let bus_port = interconnect.master_port(master_id_of[master_pe.as_str()]);
             let mport = pending.bind(&bus_port);
             mport.attach_recorder(log.clone());
+            let mport = opts.hook_port(&c.name, &master_pe, true, mport);
             hw_ports.entry(master_pe.clone()).or_default().push(mport);
         }
         // Slave end.
@@ -234,6 +233,7 @@ pub fn run_partitioned_with(
         } else {
             let sport = pending.slave_port.clone();
             sport.attach_recorder(log.clone());
+            let sport = opts.hook_port(&c.name, &slave_pe, true, sport);
             hw_ports.entry(slave_pe.clone()).or_default().push(sport);
         }
     }
@@ -258,7 +258,7 @@ pub fn run_partitioned_with(
             sim.spawn_thread(&pe.name, move |ctx| behavior(ctx, ports));
         }
     }
-    let result = sim.run();
+    let result = opts.execute(&sim);
 
     Ok(PartitionedRun {
         mapped: MappedRun {
@@ -269,7 +269,9 @@ pub fn run_partitioned_with(
                     .saturating_since(shiptlm_kernel::time::SimTime::ZERO),
                 delta_cycles: sim.delta_count(),
                 wall_seconds: started.elapsed().as_secs_f64(),
-                txn: opts.record_txns.map(|_| sim.txn_trace()),
+                txn: opts.collect(&sim),
+                reason: result.reason,
+                diagnosis: RunOptions::diagnose_blocked(&sim),
             },
             bus: interconnect.stats(),
         },

@@ -45,7 +45,7 @@ pub mod prelude {
     pub use crate::mapper::{
         explore_one, run_component_assembly, run_component_assembly_with, run_mapped,
         run_mapped_with, run_pin_accurate, run_pin_accurate_with, CaRun, MapError, MappedRun,
-        RoleMap, RunOptions, RunOutput, MAP_BASE,
+        PortHook, PortSite, RoleMap, RunOptions, RunOutput, MAP_BASE,
     };
     pub use crate::metrics::{Report, RunMetrics};
     pub use crate::pareto::{dominates, pareto_front, report_front};

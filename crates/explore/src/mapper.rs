@@ -18,8 +18,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use shiptlm_cam::wrapper::{map_channel, WrapperConfig, ADAPTER_SIZE};
+use shiptlm_kernel::{RunResult, StopReason};
+use shiptlm_kernel::liveness::DeadlockReport;
 use shiptlm_kernel::sim::Simulation;
-use shiptlm_kernel::time::SimDur;
+use shiptlm_kernel::time::{SimDur, SimTime};
 use shiptlm_kernel::txn::TxnTrace;
 use shiptlm_ocp::tl::MasterId;
 use shiptlm_ship::channel::{ShipChannel, ShipConfig, ShipPort};
@@ -95,12 +97,65 @@ impl fmt::Display for MapError {
 
 impl Error for MapError {}
 
+/// Where a [`ShipPort`] handed to PE code sits in the elaborated model.
+///
+/// Passed to [`RunOptions::port_hook`] so a harness can interpose on exactly
+/// the boundary it targets (e.g. one channel's master wrapper at the mapped
+/// levels) while leaving every other port untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortSite<'a> {
+    /// The channel the port belongs to.
+    pub channel: &'a str,
+    /// The PE the port is handed to (the port's label).
+    pub pe: &'a str,
+    /// `true` when the port is backed by a mapped bus wrapper (CCATB or
+    /// pin-accurate level) rather than an abstract SHIP channel.
+    pub mapped: bool,
+}
+
+/// A port-interposition hook: receives every PE-facing port right before it
+/// is handed to PE code and may replace it (typically via
+/// [`ShipPort::map_endpoint`] with a fault-injecting proxy).
+pub type PortHook = Arc<dyn Fn(PortSite<'_>, ShipPort) -> ShipPort + Send + Sync>;
+
 /// Optional knobs for a single elaboration + run.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct RunOptions {
     /// Enable the kernel transaction recorder with this ring capacity; the
     /// resulting [`TxnTrace`] lands in [`RunOutput::txn`].
     pub record_txns: Option<usize>,
+    /// Timeout applied to every blocking SHIP call at the
+    /// component-assembly level (see
+    /// [`ShipConfig::timeout`](shiptlm_ship::channel::ShipConfig)); a call
+    /// that would block past the budget returns
+    /// [`ShipError::Timeout`](shiptlm_ship::error::ShipError) instead of
+    /// hanging the simulation. Mapped levels bound hangs with
+    /// [`time_limit`](Self::time_limit) instead.
+    pub ship_timeout: Option<SimDur>,
+    /// Bound on *simulated* time: the run uses
+    /// [`Simulation::run_until`] instead of running to starvation, so a
+    /// model stuck in a polling livelock still terminates (with
+    /// [`StopReason::TimeLimit`]).
+    pub time_limit: Option<SimDur>,
+    /// Wall-clock watchdog for the run (see [`Simulation::set_watchdog`]);
+    /// the last line of defence when a fault makes simulated time itself
+    /// stop advancing.
+    pub watchdog: Option<std::time::Duration>,
+    /// Port-interposition hook applied to every PE-facing port (fault
+    /// injection seam).
+    pub port_hook: Option<PortHook>,
+}
+
+impl fmt::Debug for RunOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("record_txns", &self.record_txns)
+            .field("ship_timeout", &self.ship_timeout)
+            .field("time_limit", &self.time_limit)
+            .field("watchdog", &self.watchdog)
+            .field("port_hook", &self.port_hook.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl RunOptions {
@@ -108,17 +163,75 @@ impl RunOptions {
     pub fn with_recorder(capacity: usize) -> Self {
         RunOptions {
             record_txns: Some(capacity),
+            ..RunOptions::default()
         }
     }
 
-    fn arm(&self, sim: &Simulation) {
+    /// Sets the component-assembly SHIP call timeout.
+    pub fn with_ship_timeout(mut self, t: SimDur) -> Self {
+        self.ship_timeout = Some(t);
+        self
+    }
+
+    /// Sets the simulated-time bound.
+    pub fn with_time_limit(mut self, d: SimDur) -> Self {
+        self.time_limit = Some(d);
+        self
+    }
+
+    /// Sets the wall-clock watchdog budget.
+    pub fn with_watchdog(mut self, budget: std::time::Duration) -> Self {
+        self.watchdog = Some(budget);
+        self
+    }
+
+    /// Sets the port-interposition hook.
+    pub fn with_port_hook(mut self, hook: PortHook) -> Self {
+        self.port_hook = Some(hook);
+        self
+    }
+
+    /// Arms a fresh simulation according to these options (recorder +
+    /// watchdog). Called by every level runner, including
+    /// `shiptlm::partition`.
+    pub fn arm(&self, sim: &Simulation) {
         if let Some(cap) = self.record_txns {
             sim.record_transactions(cap);
         }
+        sim.set_watchdog(self.watchdog);
     }
 
-    fn collect(&self, sim: &Simulation) -> Option<TxnTrace> {
+    /// Runs `sim` honouring [`time_limit`](Self::time_limit).
+    pub fn execute(&self, sim: &Simulation) -> RunResult {
+        match self.time_limit {
+            Some(d) => sim.run_until(SimTime::ZERO + d),
+            None => sim.run(),
+        }
+    }
+
+    /// Applies the port hook (when set) to a PE-facing port.
+    pub fn hook_port(&self, channel: &str, pe: &str, mapped: bool, port: ShipPort) -> ShipPort {
+        match &self.port_hook {
+            Some(hook) => hook(PortSite { channel, pe, mapped }, port),
+            None => port,
+        }
+    }
+
+    /// Snapshots the transaction trace when recording was requested.
+    pub fn collect(&self, sim: &Simulation) -> Option<TxnTrace> {
         self.record_txns.map(|_| sim.txn_trace())
+    }
+
+    /// Post-run liveness diagnosis: `Some` when the run left processes
+    /// blocked in kernel waits (deadlock, starved PEs, or processes cut off
+    /// by a time limit / watchdog), `None` after a clean finish.
+    pub fn diagnose_blocked(sim: &Simulation) -> Option<DeadlockReport> {
+        let report = sim.diagnose();
+        if report.blocked.is_empty() {
+            None
+        } else {
+            Some(report)
+        }
     }
 }
 
@@ -136,6 +249,17 @@ pub struct RunOutput {
     /// Transaction-level trace, when recording was requested via
     /// [`RunOptions::record_txns`].
     pub txn: Option<TxnTrace>,
+    /// Why the simulation stopped. A healthy run ends in
+    /// [`StopReason::Starved`] (nothing left to do) or
+    /// [`StopReason::Stopped`]; [`StopReason::TimeLimit`] /
+    /// [`StopReason::Watchdog`] indicate the run was cut off by
+    /// [`RunOptions::time_limit`] / [`RunOptions::watchdog`].
+    pub reason: StopReason,
+    /// Liveness diagnosis, present whenever the run ended with processes
+    /// still blocked in kernel waits. Conformance harnesses treat a
+    /// diagnosis naming a PE process as a hang; infrastructure processes
+    /// (clocks, RTOS idle loops) may legitimately appear here.
+    pub diagnosis: Option<DeadlockReport>,
 }
 
 /// Output of the component-assembly run: functional results plus detected
@@ -173,13 +297,19 @@ pub fn run_component_assembly_with(app: &AppSpec, opts: &RunOptions) -> Result<C
     let log = TransactionLog::new();
 
     // Build all channels and distribute port ends per PE.
+    let config = ShipConfig {
+        timeout: opts.ship_timeout,
+        ..ShipConfig::default()
+    };
     let mut channels = Vec::new();
     let mut pe_ports: BTreeMap<String, Vec<ShipPort>> = BTreeMap::new();
     for c in app.channels() {
-        let ch = ShipChannel::new(&h, &c.name, ShipConfig::default());
+        let ch = ShipChannel::new(&h, &c.name, config.clone());
         let (pa, pb) = ch.ports(&c.a, &c.b);
         pa.attach_recorder(log.clone());
         pb.attach_recorder(log.clone());
+        let pa = opts.hook_port(&c.name, &c.a, false, pa);
+        let pb = opts.hook_port(&c.name, &c.b, false, pb);
         pe_ports.entry(c.a.clone()).or_default().push(pa);
         pe_ports.entry(c.b.clone()).or_default().push(pb);
         channels.push(ch);
@@ -189,7 +319,7 @@ pub fn run_component_assembly_with(app: &AppSpec, opts: &RunOptions) -> Result<C
         let behavior = app.behavior(&pe.name);
         sim.spawn_thread(&pe.name, move |ctx| behavior(ctx, ports));
     }
-    let result = sim.run();
+    let result = opts.execute(&sim);
 
     let mut roles = RoleMap::default();
     for (ch, spec) in channels.iter().zip(app.channels()) {
@@ -218,10 +348,12 @@ pub fn run_component_assembly_with(app: &AppSpec, opts: &RunOptions) -> Result<C
     Ok(CaRun {
         output: RunOutput {
             log,
-            sim_time: result.time.saturating_since(shiptlm_kernel::time::SimTime::ZERO),
+            sim_time: result.time.saturating_since(SimTime::ZERO),
             delta_cycles: sim.delta_count(),
             wall_seconds: started.elapsed().as_secs_f64(),
             txn: opts.collect(&sim),
+            reason: result.reason,
+            diagnosis: RunOptions::diagnose_blocked(&sim),
         },
         roles,
     })
@@ -309,6 +441,8 @@ pub fn run_mapped_with(
         mport.attach_recorder(log.clone());
         let sport = pending.slave_port.clone();
         sport.attach_recorder(log.clone());
+        let mport = opts.hook_port(&c.name, master_pe, true, mport);
+        let sport = opts.hook_port(&c.name, slave_pe, true, sport);
         // Insert in the PE's channel order.
         pe_ports.entry(master_pe.clone()).or_default().push(mport);
         pe_ports.entry(slave_pe.clone()).or_default().push(sport);
@@ -320,17 +454,17 @@ pub fn run_mapped_with(
         let behavior = app.behavior(&pe.name);
         sim.spawn_thread(&pe.name, move |ctx| behavior(ctx, ports));
     }
-    let result = sim.run();
+    let result = opts.execute(&sim);
 
     Ok(MappedRun {
         output: RunOutput {
             log,
-            sim_time: result
-                .time
-                .saturating_since(shiptlm_kernel::time::SimTime::ZERO),
+            sim_time: result.time.saturating_since(SimTime::ZERO),
             delta_cycles: sim.delta_count(),
             wall_seconds: started.elapsed().as_secs_f64(),
             txn: opts.collect(&sim),
+            reason: result.reason,
+            diagnosis: RunOptions::diagnose_blocked(&sim),
         },
         bus: interconnect.stats(),
     })
@@ -427,6 +561,8 @@ pub fn run_pin_accurate_with(
         mport.attach_recorder(log.clone());
         let sport = pending.slave_port.clone();
         sport.attach_recorder(log.clone());
+        let mport = opts.hook_port(&c.name, master_pe, true, mport);
+        let sport = opts.hook_port(&c.name, slave_pe, true, sport);
         pe_ports.entry(master_pe.clone()).or_default().push(mport);
         pe_ports.entry(slave_pe.clone()).or_default().push(sport);
     }
@@ -445,16 +581,18 @@ pub fn run_pin_accurate_with(
             }
         });
     }
-    sim.run();
+    let result = opts.execute(&sim);
     let result_time = sim.now();
 
     Ok(MappedRun {
         output: RunOutput {
             log,
-            sim_time: result_time.saturating_since(shiptlm_kernel::time::SimTime::ZERO),
+            sim_time: result_time.saturating_since(SimTime::ZERO),
             delta_cycles: sim.delta_count(),
             wall_seconds: started.elapsed().as_secs_f64(),
             txn: opts.collect(&sim),
+            reason: result.reason,
+            diagnosis: RunOptions::diagnose_blocked(&sim),
         },
         bus: interconnect.stats(),
     })

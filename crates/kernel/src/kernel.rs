@@ -397,7 +397,9 @@ impl KernelShared {
                     }
                     Err(payload) => {
                         if payload.downcast_ref::<KillToken>().is_none() {
-                            let msg = panic_message(&payload);
+                            // `&payload` would coerce the Box itself to
+                            // `&dyn Any` and never downcast; deref first.
+                            let msg = panic_message(&*payload);
                             let _ = yield_tx.send(YieldMsg::Panicked(msg));
                         }
                         // On KillToken the simulation is tearing down and

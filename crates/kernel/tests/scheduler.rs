@@ -650,3 +650,25 @@ fn flush_trace_surfaces_io_errors() {
     let err = sim.flush_trace().expect_err("flush into a removed directory");
     assert!(err.to_string().contains("wave.vcd"), "error names the path: {err}");
 }
+
+#[test]
+fn process_panic_message_reaches_the_driving_thread() {
+    // Regression: the kernel used to coerce the panic payload *Box* itself
+    // to `&dyn Any`, so every process panic surfaced as "unknown panic
+    // payload" instead of the original message.
+    let sim = Simulation::new();
+    sim.spawn_thread("crasher", |_ctx| {
+        // Panic via `unwrap` on purpose — the exact path model PEs take.
+        #[allow(clippy::unnecessary_literal_unwrap)]
+        let () = Err::<(), String>("original cause".into()).unwrap();
+    });
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run()))
+        .expect_err("process panic must re-raise on the driving thread");
+    let msg = payload
+        .downcast_ref::<String>()
+        .expect("re-raised panic carries a String");
+    assert!(
+        msg.contains("process 'crasher' panicked") && msg.contains("original cause"),
+        "driving-thread panic must carry the original message, got: {msg}"
+    );
+}

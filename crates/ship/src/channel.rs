@@ -597,6 +597,24 @@ impl ShipPort {
         &self.channel
     }
 
+    /// Rebuilds this port around a wrapped endpoint, keeping the channel
+    /// name, label, usage counters and attached recorder shared with the
+    /// original. This is the seam conformance harnesses use to interpose a
+    /// fault-injecting proxy (drop/duplicate/delay) between PE code and the
+    /// real transport without PE source changes.
+    pub fn map_endpoint<F>(&self, wrap: F) -> ShipPort
+    where
+        F: FnOnce(Arc<dyn ShipEndpoint>) -> Arc<dyn ShipEndpoint>,
+    {
+        ShipPort {
+            endpoint: wrap(Arc::clone(&self.endpoint)),
+            usage: Arc::clone(&self.usage),
+            channel: Arc::clone(&self.channel),
+            label: Arc::clone(&self.label),
+            recorder: Arc::clone(&self.recorder),
+        }
+    }
+
     /// The PE label given at creation.
     pub fn label(&self) -> &str {
         &self.label

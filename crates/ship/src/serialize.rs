@@ -142,6 +142,23 @@ impl<T: ShipSerialize> ShipSerialize for Option<T> {
     }
 }
 
+impl ShipSerialize for crate::bytes::ShipBytes {
+    // Wire-compatible with `Vec<u8>` (u64 length + raw bytes), so either
+    // side of a channel may use whichever representation it prefers; the
+    // bulk copy avoids the per-element loop of the generic `Vec` impl.
+    fn serialize(&self, w: &mut ByteWriter) {
+        w.put_u64(self.len() as u64);
+        w.put_bytes(self.as_slice());
+    }
+    fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        let n = r.get_u64()?;
+        if n > r.remaining() as u64 {
+            return Err(WireError::BadLength(n));
+        }
+        Ok(crate::bytes::ShipBytes::from(r.take(n as usize)?.to_vec()))
+    }
+}
+
 impl<T: ShipSerialize> ShipSerialize for Vec<T> {
     fn serialize(&self, w: &mut ByteWriter) {
         w.put_u64(self.len() as u64);

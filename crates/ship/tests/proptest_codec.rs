@@ -192,3 +192,61 @@ fn encoding_is_deterministic() {
         assert_eq!(to_bytes(&rec).unwrap(), to_bytes(&rec).unwrap(), "case {case}");
     }
 }
+
+#[test]
+fn ship_bytes_roundtrip_including_empty_and_large() {
+    // The explicit edge cases first: a zero-length payload and buffers
+    // past the 64 KiB mark (beyond any burst or mailbox window size).
+    let empty = ShipBytes::new();
+    let wire = to_wire(&empty);
+    assert_eq!(wire.len(), 8, "empty payload is just the length prefix");
+    let back: ShipBytes = from_wire(&wire).unwrap();
+    assert!(back.is_empty());
+
+    let mut rng = Rng::seed_from_u64(0x5e12_6000);
+    for case in 0..8u32 {
+        let len = 64 * 1024 + rng.gen_range_usize(1, 4096);
+        let payload = ShipBytes::from(rng.bytes(len));
+        let wire = to_wire(&payload);
+        assert_eq!(wire.len(), len + 8, "case {case}");
+        let back: ShipBytes = from_wire(&wire).unwrap();
+        assert_eq!(back.as_slice(), payload.as_slice(), "case {case}");
+    }
+}
+
+#[test]
+fn ship_bytes_wire_matches_vec_u8() {
+    // `ShipBytes` documents wire compatibility with `Vec<u8>`: both
+    // encodings are byte-identical and cross-decode.
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5e12_7000 + case);
+        let len = rng.gen_range_usize(0, 300);
+        let v = rng.bytes(len);
+        let as_vec = to_wire(&v);
+        let as_bytes = to_wire(&ShipBytes::from(v.clone()));
+        assert_eq!(as_vec, as_bytes, "case {case}: encodings differ");
+        let cross_a: Vec<u8> = from_wire(&as_bytes).unwrap();
+        let cross_b: ShipBytes = from_wire(&as_vec).unwrap();
+        assert_eq!(cross_a, v, "case {case}");
+        assert_eq!(cross_b.as_slice(), v.as_slice(), "case {case}");
+    }
+}
+
+#[test]
+fn ship_bytes_rejects_overlong_length_prefix() {
+    // A length prefix claiming more payload than the buffer holds must
+    // error (BadLength), never allocate or panic — including the huge
+    // prefix a corrupted empty message would produce.
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5e12_8000 + case);
+        let len = rng.gen_range_usize(0, 64);
+        let mut wire = to_wire(&ShipBytes::from(rng.bytes(len)));
+        // Inflate the length prefix past the available bytes.
+        wire[7] ^= 0x80;
+        assert!(
+            from_wire::<ShipBytes>(&wire).is_err(),
+            "case {case}: oversized prefix must not decode"
+        );
+        let _ = from_wire::<Vec<u8>>(&wire); // must not panic either
+    }
+}

@@ -1,0 +1,189 @@
+//! Shared assertion helpers for transaction traces and their exports.
+//!
+//! Integration suites across the workspace validate the same properties of
+//! a [`TxnTrace`]: spans must be well-formed, per-process completion times
+//! must be monotone, and the Chrome / JSONL exports must be valid JSON of
+//! the documented shape. These helpers centralize that logic on top of the
+//! testkit's dependency-free [`Json`] parser.
+
+use std::collections::BTreeMap;
+
+use shiptlm_kernel::txn::TxnTrace;
+
+use crate::json::Json;
+
+/// Asserts that every span in `trace` starts no later than it ends and
+/// that completion times are non-decreasing per process (events are
+/// recorded at completion).
+///
+/// # Panics
+///
+/// Panics with a description of the first offending event.
+pub fn assert_spans_consistent(trace: &TxnTrace) {
+    let mut last_end: BTreeMap<&str, _> = BTreeMap::new();
+    for ev in trace.events() {
+        assert!(ev.start <= ev.end, "span begins after it ends: {ev:?}");
+        if let Some(prev) = last_end.insert(&*ev.process, ev.end) {
+            assert!(
+                prev <= ev.end,
+                "process {} completion time went backwards ({prev} -> {})",
+                ev.process,
+                ev.end
+            );
+        }
+    }
+}
+
+/// Shape summary of a parsed Chrome `trace_event` export.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChromeShape {
+    /// `"M"` thread-name metadata records.
+    pub metadata: usize,
+    /// `"X"` complete events.
+    pub complete: usize,
+    /// Distinct `cat` values seen on complete events.
+    pub categories: Vec<String>,
+}
+
+/// Parses `text` as Chrome `trace_event` JSON and validates the shape the
+/// recorder documents: `displayTimeUnit` is `"ns"`, every event is either a
+/// `thread_name` metadata record or a complete event with non-negative
+/// `ts`/`dur`, a known category and `resource`/`bytes` args.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct.
+pub fn check_chrome_trace(text: &str) -> Result<ChromeShape, String> {
+    let doc = Json::parse(text)?;
+    if doc.get("displayTimeUnit").and_then(Json::as_str) != Some("ns") {
+        return Err("displayTimeUnit is not \"ns\"".into());
+    }
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut shape = ChromeShape::default();
+    for (i, ev) in events.iter().enumerate() {
+        match ev.get("ph").and_then(Json::as_str) {
+            Some("M") => {
+                shape.metadata += 1;
+                if ev.get("name").and_then(Json::as_str) != Some("thread_name") {
+                    return Err(format!("metadata event {i} is not a thread_name record"));
+                }
+            }
+            Some("X") => {
+                shape.complete += 1;
+                let ts = ev
+                    .get("ts")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("event {i} missing numeric ts"))?;
+                let dur = ev
+                    .get("dur")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("event {i} missing numeric dur"))?;
+                if ts < 0.0 || dur < 0.0 {
+                    return Err(format!("event {i} has negative ts/dur"));
+                }
+                let cat = ev
+                    .get("cat")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {i} missing cat"))?;
+                if !["ship", "bus", "ocp", "driver"].contains(&cat) {
+                    return Err(format!("event {i} has unknown category '{cat}'"));
+                }
+                if !shape.categories.iter().any(|c| c == cat) {
+                    shape.categories.push(cat.to_string());
+                }
+                let args = ev
+                    .get("args")
+                    .ok_or_else(|| format!("event {i} missing args"))?;
+                if args.get("resource").and_then(Json::as_str).is_none() {
+                    return Err(format!("event {i} missing args.resource"));
+                }
+                if args.get("bytes").and_then(Json::as_num).is_none() {
+                    return Err(format!("event {i} missing args.bytes"));
+                }
+            }
+            other => return Err(format!("event {i} has unexpected phase {other:?}")),
+        }
+    }
+    Ok(shape)
+}
+
+/// Asserts that `trace`'s Chrome export is well-formed and covers exactly
+/// the retained events; returns the shape for further inspection.
+pub fn assert_chrome_export(trace: &TxnTrace) -> ChromeShape {
+    let shape = check_chrome_trace(&trace.to_chrome_json()).expect("chrome trace must be valid");
+    assert_eq!(
+        shape.complete,
+        trace.events().len(),
+        "chrome export must carry one complete event per retained span"
+    );
+    shape
+}
+
+/// Asserts that `trace`'s JSONL export has one valid JSON object per
+/// retained event, each carrying the documented fields.
+pub fn assert_jsonl_export(trace: &TxnTrace) {
+    let jsonl = trace.to_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), trace.events().len());
+    for (i, line) in lines.iter().enumerate() {
+        let obj = Json::parse(line)
+            .unwrap_or_else(|e| panic!("JSONL line {i} must parse: {e}\n{line}"));
+        for key in ["level", "op", "resource", "process", "outcome"] {
+            assert!(
+                obj.get(key).and_then(Json::as_str).is_some(),
+                "JSONL line {i} missing string field '{key}'"
+            );
+        }
+        for key in ["start_ps", "end_ps", "bytes"] {
+            assert!(
+                obj.get(key).and_then(Json::as_num).is_some(),
+                "JSONL line {i} missing numeric field '{key}'"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_checker_accepts_documented_shape() {
+        let text = concat!(
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[",
+            "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":\"p\"}},",
+            "{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"cat\":\"ship\",\"name\":\"send\",\"ts\":1,\"dur\":2,",
+            "\"args\":{\"resource\":\"ch0\",\"bytes\":64,\"outcome\":\"ok\"}}",
+            "]}"
+        );
+        let shape = check_chrome_trace(text).unwrap();
+        assert_eq!(shape.metadata, 1);
+        assert_eq!(shape.complete, 1);
+        assert_eq!(shape.categories, vec!["ship".to_string()]);
+    }
+
+    #[test]
+    fn chrome_checker_rejects_bad_shapes() {
+        assert!(check_chrome_trace("{\"traceEvents\":[]}").is_err());
+        assert!(check_chrome_trace(
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{\"ph\":\"Q\"}]}"
+        )
+        .is_err());
+        assert!(check_chrome_trace(
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{\"ph\":\"X\",\"cat\":\"nope\",\"ts\":0,\"dur\":0,\"args\":{}}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_trace_passes_every_assert() {
+        let trace = TxnTrace::default();
+        assert_spans_consistent(&trace);
+        let shape = assert_chrome_export(&trace);
+        assert_eq!(shape.complete, 0);
+        assert_jsonl_export(&trace);
+    }
+}

@@ -1,0 +1,231 @@
+//! Replayable conformance cases — the shrunk-repro corpus format.
+//!
+//! Every failure the harness shrinks is serialized as one JSON document
+//! holding the minimal [`ModelSpec`], the architecture description, the
+//! injected [`FaultPlan`] (if any) and the expected outcome. Checked-in
+//! corpus files under `tests/corpus/` replay as regression tests; freshly
+//! shrunk failures are written next to the test binary for triage.
+
+use std::path::Path;
+
+use shiptlm_cam::arb::ArbPolicy;
+use shiptlm_explore::arch::{ArchSpec, BusKind};
+use shiptlm_kernel::time::SimDur;
+
+use crate::diff::FailureKind;
+use crate::faults::FaultPlan;
+use crate::json::Json;
+use crate::model::ModelSpec;
+
+/// What a corpus case is expected to do when replayed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// The conformance check passes at every level.
+    Pass,
+    /// The check fails with this classification.
+    Fail(FailureKind),
+}
+
+/// One replayable conformance case.
+#[derive(Debug, Clone)]
+pub struct CorpusCase {
+    /// The (usually shrunk) model.
+    pub spec: ModelSpec,
+    /// Target architecture.
+    pub arch: ArchSpec,
+    /// Injected fault, if any.
+    pub fault: Option<FaultPlan>,
+    /// Expected replay outcome.
+    pub expect: Expectation,
+}
+
+fn failure_kind_label(k: FailureKind) -> &'static str {
+    match k {
+        FailureKind::Map => "map",
+        FailureKind::Behavior => "behavior",
+        FailureKind::Timeout => "timeout",
+        FailureKind::Divergence => "divergence",
+        FailureKind::LatencyOrder => "latency-order",
+        FailureKind::Hang => "hang",
+    }
+}
+
+fn failure_kind_from_label(s: &str) -> Result<FailureKind, String> {
+    Ok(match s {
+        "map" => FailureKind::Map,
+        "behavior" => FailureKind::Behavior,
+        "timeout" => FailureKind::Timeout,
+        "divergence" => FailureKind::Divergence,
+        "latency-order" => FailureKind::LatencyOrder,
+        "hang" => FailureKind::Hang,
+        other => return Err(format!("unknown failure kind '{other}'")),
+    })
+}
+
+fn arch_to_json(a: &ArchSpec) -> Json {
+    let mut fields = vec![
+        (
+            "bus",
+            Json::str(match a.bus {
+                BusKind::Plb => "plb",
+                BusKind::Opb => "opb",
+                BusKind::Crossbar => "crossbar",
+            }),
+        ),
+        ("burst_bytes", Json::num(a.burst_bytes as f64)),
+        ("rx_capacity", Json::num(a.rx_capacity as f64)),
+        ("poll_interval_ps", Json::u64_str(a.poll_interval.as_ps())),
+    ];
+    match a.arb {
+        ArbPolicy::FixedPriority => fields.push(("arb", Json::str("priority"))),
+        ArbPolicy::RoundRobin => fields.push(("arb", Json::str("round-robin"))),
+        ArbPolicy::Tdma { slot, slots } => {
+            fields.push(("arb", Json::str("tdma")));
+            fields.push(("tdma_slot_ps", Json::u64_str(slot.as_ps())));
+            fields.push(("tdma_slots", Json::num(slots as f64)));
+        }
+    }
+    Json::obj(fields)
+}
+
+fn arch_from_json(v: &Json) -> Result<ArchSpec, String> {
+    let mut arch = match v.get("bus").and_then(Json::as_str) {
+        Some("plb") => ArchSpec::plb(),
+        Some("opb") => ArchSpec::opb(),
+        Some("crossbar") => ArchSpec::crossbar(),
+        other => return Err(format!("unknown bus kind {other:?}")),
+    };
+    arch.arb = match v.get("arb").and_then(Json::as_str) {
+        Some("priority") => ArbPolicy::FixedPriority,
+        Some("round-robin") => ArbPolicy::RoundRobin,
+        Some("tdma") => ArbPolicy::Tdma {
+            slot: SimDur::ps(
+                v.get("tdma_slot_ps")
+                    .and_then(Json::as_u64_str)
+                    .ok_or("tdma arch missing 'tdma_slot_ps'")?,
+            ),
+            slots: v
+                .get("tdma_slots")
+                .and_then(Json::as_num)
+                .ok_or("tdma arch missing 'tdma_slots'")? as usize,
+        },
+        other => return Err(format!("unknown arbitration {other:?}")),
+    };
+    if let Some(b) = v.get("burst_bytes").and_then(Json::as_num) {
+        arch.burst_bytes = b as usize;
+    }
+    if let Some(c) = v.get("rx_capacity").and_then(Json::as_num) {
+        arch.rx_capacity = c as usize;
+    }
+    if let Some(p) = v.get("poll_interval_ps").and_then(Json::as_u64_str) {
+        arch.poll_interval = SimDur::ps(p);
+    }
+    Ok(arch)
+}
+
+impl CorpusCase {
+    /// Serializes the case to its JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("model", self.spec.to_json()),
+            ("arch", arch_to_json(&self.arch)),
+            (
+                "expect",
+                match self.expect {
+                    Expectation::Pass => Json::str("pass"),
+                    Expectation::Fail(k) => Json::str(failure_kind_label(k)),
+                },
+            ),
+        ];
+        if let Some(fault) = &self.fault {
+            fields.push(("fault", fault.to_json()));
+        }
+        Json::obj(fields)
+    }
+
+    /// Rebuilds a case from its [`to_json`](Self::to_json) form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field.
+    pub fn from_json(v: &Json) -> Result<CorpusCase, String> {
+        Ok(CorpusCase {
+            spec: ModelSpec::from_json(v.get("model").ok_or("case missing 'model'")?)?,
+            arch: arch_from_json(v.get("arch").ok_or("case missing 'arch'")?)?,
+            fault: v.get("fault").map(FaultPlan::from_json).transpose()?,
+            expect: match v.get("expect").and_then(Json::as_str) {
+                Some("pass") => Expectation::Pass,
+                Some(label) => Expectation::Fail(failure_kind_from_label(label)?),
+                None => return Err("case missing 'expect'".into()),
+            },
+        })
+    }
+
+    /// Parses one corpus file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the I/O or parse failure.
+    pub fn load(path: &Path) -> Result<CorpusCase, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let doc = Json::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+        CorpusCase::from_json(&doc)
+    }
+
+    /// Loads every `*.json` case in `dir`, sorted by file name; an absent
+    /// directory yields an empty corpus.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O or parse failure.
+    pub fn load_dir(dir: &Path) -> Result<Vec<(String, CorpusCase)>, String> {
+        let mut out = Vec::new();
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(_) => return Ok(out),
+        };
+        let mut paths: Vec<_> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        paths.sort();
+        for p in paths {
+            let name = p
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("case")
+                .to_string();
+            out.push((name, CorpusCase::load(&p)?));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultKind, FaultSite};
+    use crate::model::GenConfig;
+
+    #[test]
+    fn corpus_case_roundtrip() {
+        let case = CorpusCase {
+            spec: ModelSpec::random(77, &GenConfig::default()),
+            arch: ModelSpec::random_arch(77),
+            fault: Some(FaultPlan {
+                channel: "m0.ch0".into(),
+                kind: FaultKind::CorruptSend { nth: 0 },
+                site: FaultSite::Mapped,
+            }),
+            expect: Expectation::Fail(FailureKind::Divergence),
+        };
+        let text = case.to_json().to_string();
+        let back = CorpusCase::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.spec, case.spec);
+        assert_eq!(back.fault, case.fault);
+        assert_eq!(back.expect, case.expect);
+        assert_eq!(back.arch.label(), case.arch.label());
+        assert_eq!(back.arch.rx_capacity, case.arch.rx_capacity);
+    }
+}

@@ -1,0 +1,335 @@
+//! The cross-level differential conformance check.
+//!
+//! One [`ModelSpec`] is elaborated and run at up to four targets — the
+//! untimed component-assembly reference, the CCATB model, the pin-accurate
+//! prototype, and a HW/SW-partitioned run — and the checker asserts:
+//!
+//! 1. **Content equivalence**: every refined level's per-(channel, port)
+//!    stream of `(op, len, digest)` triples equals the reference's
+//!    ([`TransactionLog::content_equivalent`]).
+//! 2. **Latency monotonicity**: timing refinement only *adds* time over
+//!    the untimed reference — `untimed ≤ CCATB` and `untimed ≤
+//!    pin-accurate` total simulated time. The two timed levels are not
+//!    mutually ordered: CCATB estimates bus occupancy at burst granularity
+//!    and may legitimately over- or under-shoot the pin-accurate schedule.
+//! 3. **No silent hangs**: a run that ends on its simulated-time bound or
+//!    with a PE still blocked in a kernel wait is a conformance failure
+//!    with the kernel's deadlock diagnosis attached, never a quiet pass.
+//!
+//! PE behaviours may panic (in-app content asserts, `unwrap` on
+//! [`ShipError::Timeout`](shiptlm_ship::error::ShipError)); the kernel
+//! re-raises those on the driving thread, and the checker converts them
+//! into classified [`Failure`]s instead of aborting the whole harness.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use shiptlm::partition::{run_partitioned_with, Partition};
+use shiptlm_explore::arch::ArchSpec;
+use shiptlm_explore::mapper::{
+    run_component_assembly_with, run_mapped_with, run_pin_accurate_with, RunOptions, RunOutput,
+};
+use shiptlm_kernel::time::SimDur;
+use shiptlm_kernel::StopReason;
+use shiptlm_ship::record::TransactionLog;
+
+use crate::faults::FaultPlan;
+use crate::model::ModelSpec;
+
+/// How to run one conformance check.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Target architecture for the mapped levels.
+    pub arch: ArchSpec,
+    /// Also run the pin-accurate prototype level.
+    pub pin_level: bool,
+    /// Also run a HW/SW-partitioned target (one master PE per motif moved
+    /// to software).
+    pub partition: bool,
+    /// Fault to inject, if any.
+    pub fault: Option<FaultPlan>,
+    /// SHIP call timeout at the component-assembly level; converts
+    /// would-be infinite blocking into `ShipError::Timeout`.
+    pub ship_timeout: SimDur,
+    /// Simulated-time bound for every run; mapped-level polling loops keep
+    /// simulated time advancing forever under a dropped message, so hangs
+    /// terminate here with [`StopReason::TimeLimit`].
+    pub time_limit: SimDur,
+    /// Record transaction traces ([`RunOptions::record_txns`]) during the
+    /// runs.
+    pub record: bool,
+}
+
+impl CheckConfig {
+    /// A conformance check against `arch` with defaults sized for
+    /// generated models: CCATB always, a 100 ms simulated-time bound and a
+    /// 10 ms SHIP call timeout (orders of magnitude above any healthy
+    /// generated model's runtime).
+    pub fn new(arch: ArchSpec) -> Self {
+        CheckConfig {
+            arch,
+            pin_level: true,
+            partition: false,
+            fault: None,
+            ship_timeout: SimDur::ms(10),
+            time_limit: SimDur::ms(100),
+            record: false,
+        }
+    }
+
+    fn options(&self) -> RunOptions {
+        let mut opts = RunOptions::default()
+            .with_ship_timeout(self.ship_timeout)
+            .with_time_limit(self.time_limit);
+        if self.record {
+            opts.record_txns = Some(1 << 16);
+        }
+        if let Some(fault) = &self.fault {
+            opts = opts.with_port_hook(fault.hook());
+        }
+        opts
+    }
+}
+
+/// Conformance failure classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Role detection / channel mapping failed.
+    Map,
+    /// A PE behaviour panicked (bad content observed in-app, protocol
+    /// violation, …).
+    Behavior,
+    /// A SHIP call timed out (the bounded surface of a dropped message at
+    /// the component-assembly level).
+    Timeout,
+    /// A refined level's content streams diverged from the reference.
+    Divergence,
+    /// Simulated time shrank under refinement.
+    LatencyOrder,
+    /// The run hit its simulated-time bound or left a PE blocked in a
+    /// kernel wait.
+    Hang,
+}
+
+/// One conformance failure, tagged with the level it was observed at.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Classification.
+    pub kind: FailureKind,
+    /// Level label: `component-assembly`, `ccatb`, `pin-accurate` or
+    /// `partitioned`.
+    pub level: &'static str,
+    /// Human-readable details (equivalence error, panic message, deadlock
+    /// diagnosis, …).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:?} @ {}] {}", self.kind, self.level, self.detail)
+    }
+}
+
+/// Evidence from a passing conformance check.
+#[derive(Debug, Clone)]
+pub struct PassReport {
+    /// SHIP operations recorded at the reference level (sends + recvs +
+    /// requests + replies over all channels).
+    pub ship_ops: usize,
+    /// Number of targets run (reference + refined levels).
+    pub levels: usize,
+    /// Simulated times per level, in refinement order.
+    pub times: Vec<(&'static str, SimDur)>,
+}
+
+fn classify_panic(level: &'static str, payload: Box<dyn std::any::Any + Send>) -> Failure {
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "unknown panic payload".to_string());
+    let kind = if msg.contains("Timeout") || msg.contains("timed out") {
+        FailureKind::Timeout
+    } else {
+        FailureKind::Behavior
+    };
+    Failure {
+        kind,
+        level,
+        detail: msg,
+    }
+}
+
+/// Checks one level's [`RunOutput`] for hangs: a time-limit / watchdog stop
+/// is always a hang, and so is any liveness diagnosis naming a PE of the
+/// model (infrastructure processes such as clocks or the RTOS idle loop are
+/// ignored).
+fn check_liveness(
+    level: &'static str,
+    out: &RunOutput,
+    pe_names: &[String],
+) -> Result<(), Failure> {
+    if matches!(out.reason, StopReason::TimeLimit | StopReason::Watchdog) {
+        let diag = out
+            .diagnosis
+            .as_ref()
+            .map(|d| format!("\n{d}"))
+            .unwrap_or_default();
+        return Err(Failure {
+            kind: FailureKind::Hang,
+            level,
+            detail: format!("run cut off by {}{diag}", out.reason),
+        });
+    }
+    if let Some(diag) = &out.diagnosis {
+        let stuck: Vec<&str> = diag
+            .blocked
+            .iter()
+            .filter(|b| pe_names.iter().any(|pe| pe == &b.name))
+            .map(|b| b.name.as_str())
+            .collect();
+        if !stuck.is_empty() {
+            return Err(Failure {
+                kind: FailureKind::Hang,
+                level,
+                detail: format!("PEs {stuck:?} left blocked:\n{diag}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_equivalence(
+    level: &'static str,
+    reference: &TransactionLog,
+    refined: &TransactionLog,
+) -> Result<(), Failure> {
+    refined
+        .content_equivalent(reference)
+        .map_err(|e| Failure {
+            kind: FailureKind::Divergence,
+            level,
+            detail: e.to_string(),
+        })
+}
+
+/// Runs `spec` through every configured target and checks conformance.
+///
+/// # Errors
+///
+/// Returns the first [`Failure`] observed, in refinement order (reference
+/// level first).
+pub fn check_model(spec: &ModelSpec, cfg: &CheckConfig) -> Result<PassReport, Failure> {
+    let pe_names = spec.pe_names();
+    // Fresh options per level: the fault hook carries a per-run send
+    // counter, which must restart from zero at every level.
+    let opts = cfg.options();
+
+    // Reference: untimed component assembly, also yields channel roles.
+    let app = spec.to_app();
+    let ca = panic::catch_unwind(AssertUnwindSafe(|| run_component_assembly_with(&app, &opts)))
+        .map_err(|p| classify_panic("component-assembly", p))?
+        .map_err(|e| Failure {
+            kind: FailureKind::Map,
+            level: "component-assembly",
+            detail: e.to_string(),
+        })?;
+    check_liveness("component-assembly", &ca.output, &pe_names)?;
+
+    let mut times = vec![("component-assembly", ca.output.sim_time)];
+    let mut levels = 1;
+
+    // CCATB.
+    let app = spec.to_app();
+    let opts = cfg.options();
+    let ccatb = panic::catch_unwind(AssertUnwindSafe(|| {
+        run_mapped_with(&app, &ca.roles, &cfg.arch, &opts)
+    }))
+    .map_err(|p| classify_panic("ccatb", p))?
+    .map_err(|e| Failure {
+        kind: FailureKind::Map,
+        level: "ccatb",
+        detail: e.to_string(),
+    })?;
+    check_liveness("ccatb", &ccatb.output, &pe_names)?;
+    check_equivalence("ccatb", &ca.output.log, &ccatb.output.log)?;
+    times.push(("ccatb", ccatb.output.sim_time));
+    levels += 1;
+
+    // Pin-accurate prototype.
+    let pin_time = if cfg.pin_level {
+        let app = spec.to_app();
+        let opts = cfg.options();
+        let pin = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_pin_accurate_with(&app, &ca.roles, &cfg.arch, &opts)
+        }))
+        .map_err(|p| classify_panic("pin-accurate", p))?
+        .map_err(|e| Failure {
+            kind: FailureKind::Map,
+            level: "pin-accurate",
+            detail: e.to_string(),
+        })?;
+        check_liveness("pin-accurate", &pin.output, &pe_names)?;
+        check_equivalence("pin-accurate", &ca.output.log, &pin.output.log)?;
+        times.push(("pin-accurate", pin.output.sim_time));
+        levels += 1;
+        Some(pin.output.sim_time)
+    } else {
+        None
+    };
+
+    // HW/SW-partitioned target: same roles, one master PE per motif in SW.
+    if cfg.partition {
+        let app = spec.to_app();
+        let opts = cfg.options();
+        let partition = Partition::software(spec.sw_candidates());
+        let sw = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_partitioned_with(&app, &ca.roles, &cfg.arch, &partition, &opts)
+        }))
+        .map_err(|p| classify_panic("partitioned", p))?
+        .map_err(|e| Failure {
+            kind: FailureKind::Map,
+            level: "partitioned",
+            detail: e.to_string(),
+        })?;
+        check_liveness("partitioned", &sw.mapped.output, &pe_names)?;
+        check_equivalence("partitioned", &ca.output.log, &sw.mapped.output.log)?;
+        times.push(("partitioned", sw.mapped.output.sim_time));
+        levels += 1;
+    }
+
+    // Latency monotonicity (only meaningful without injected timing
+    // faults, which may legitimately reorder level timings).
+    if cfg.fault.is_none() {
+        if ccatb.output.sim_time < ca.output.sim_time {
+            return Err(Failure {
+                kind: FailureKind::LatencyOrder,
+                level: "ccatb",
+                detail: format!(
+                    "ccatb finished at {} before the untimed reference's {}",
+                    ccatb.output.sim_time, ca.output.sim_time
+                ),
+            });
+        }
+        // CCATB and pin-accurate are deliberately *not* ordered against
+        // each other: CCATB's burst-granular bus estimate may land on
+        // either side of the cycle-true pin schedule.
+        if let Some(pt) = pin_time {
+            if pt < ca.output.sim_time {
+                return Err(Failure {
+                    kind: FailureKind::LatencyOrder,
+                    level: "pin-accurate",
+                    detail: format!(
+                        "pin-accurate finished at {pt} before the untimed reference's {}",
+                        ca.output.sim_time
+                    ),
+                });
+            }
+        }
+    }
+
+    Ok(PassReport {
+        ship_ops: ca.output.log.len(),
+        levels,
+        times,
+    })
+}

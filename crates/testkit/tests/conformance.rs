@@ -1,0 +1,240 @@
+//! The cross-level differential conformance suite (the harness's own
+//! acceptance tests): bulk random-model conformance across all abstraction
+//! levels, fault-injection surfacing, and shrink-to-minimal-repro on a
+//! deliberately seeded divergence.
+
+use std::path::PathBuf;
+
+use shiptlm_explore::arch::ArchSpec;
+use shiptlm_explore::mapper::{run_component_assembly_with, run_mapped_with, RunOptions};
+use shiptlm_kernel::time::SimDur;
+use shiptlm_testkit::prelude::*;
+
+/// A small deterministic producer→consumer model; `sizes` are the payload
+/// lengths, `checks` controls in-app content asserts.
+fn stream_spec(sizes: Vec<usize>, checks: bool) -> ModelSpec {
+    ModelSpec {
+        name: "stream-fixture".into(),
+        seed: 0xF00D,
+        motifs: vec![Motif::Stream { sizes }],
+        app_checks: checks,
+    }
+}
+
+/// The headline bulk run: ≥50 generated models, each mapped through the
+/// untimed reference, CCATB and the pin-accurate prototype (every fifth
+/// case additionally runs HW/SW-partitioned), with byte-identical
+/// per-channel payload streams and monotone latency required throughout.
+///
+/// `TESTKIT_CASES` / `TESTKIT_SEED` override count and base seed;
+/// `TESTKIT_REPRO_DIR` persists shrunk repros of any failure for CI
+/// artifact upload.
+#[test]
+fn generated_models_conform_across_all_levels() {
+    let mut cfg = HarnessConfig::default().from_env();
+    cfg.repro_dir = std::env::var_os("TESTKIT_REPRO_DIR").map(PathBuf::from);
+    let report = run_conformance(&cfg);
+    assert!(
+        report.all_passed(),
+        "{} of {} generated models failed conformance (seed {}):\n{}",
+        report.failures.len(),
+        report.cases,
+        cfg.seed,
+        report.failure_summary()
+    );
+    assert_eq!(report.passed, cfg.cases);
+    assert!(
+        report.partitioned_runs >= 1,
+        "at least one case must run the HW/SW-partitioned target"
+    );
+    assert!(report.ship_ops > 0);
+}
+
+/// A deliberately seeded cross-level divergence — one payload byte flipped
+/// below the recorder at the mapped levels only, with in-app checks
+/// disabled so nothing but the differential check can see it — must be
+/// caught, classified as divergence, and shrunk to a ≤3-PE reproduction
+/// that replays from its serialized corpus form.
+#[test]
+fn seeded_divergence_is_caught_and_shrunk_to_minimal_repro() {
+    let spec = ModelSpec {
+        name: "seeded-divergence".into(),
+        seed: 99,
+        motifs: vec![
+            Motif::Stream {
+                sizes: vec![64, 32, 16],
+            },
+            Motif::Pipeline {
+                stages: 3,
+                blocks: 2,
+                bytes: 32,
+                compute_ns: 100,
+            },
+            Motif::Rpc {
+                requests: 2,
+                bytes: 24,
+                compute_ns: 50,
+            },
+        ],
+        app_checks: false,
+    };
+    assert!(spec.pe_names().len() > 3, "fixture must start non-minimal");
+
+    let mut cfg = CheckConfig::new(ArchSpec::plb());
+    cfg.fault = Some(FaultPlan {
+        channel: "m0.ch0".into(),
+        kind: FaultKind::CorruptSend { nth: 1 },
+        site: FaultSite::Mapped,
+    });
+
+    let failure = check_model(&spec, &cfg).expect_err("corruption must not pass");
+    assert_eq!(failure.kind, FailureKind::Divergence, "{failure}");
+    assert_eq!(failure.level, "ccatb", "{failure}");
+    assert!(
+        failure.detail.contains("m0.ch0"),
+        "divergence must name the corrupted channel: {failure}"
+    );
+
+    let (shrunk, case) = shrink_failure(&spec, &cfg, &failure, &ShrinkConfig::default());
+    assert!(shrunk.accepted > 0, "fixture must shrink at least one step");
+    assert!(
+        shrunk.minimal.pe_names().len() <= 3,
+        "minimal repro must have ≤3 PEs, got {:?}",
+        shrunk.minimal
+    );
+    assert_eq!(shrunk.minimal.motifs.len(), 1);
+
+    // The shrunk case replays identically from its serialized JSON form.
+    let text = case.to_json().to_string();
+    let back = CorpusCase::from_json(&Json::parse(&text).unwrap()).unwrap();
+    let mut replay = CheckConfig::new(back.arch);
+    replay.fault = back.fault;
+    let replayed = check_model(&back.spec, &replay).expect_err("repro must still fail");
+    assert_eq!(Expectation::Fail(replayed.kind), back.expect);
+}
+
+/// A dropped message at the untimed level surfaces as `ShipError::Timeout`
+/// (the PE unwraps it), classified as a timeout at the reference level.
+#[test]
+fn dropped_send_surfaces_as_timeout_at_untimed_level() {
+    let spec = stream_spec(vec![16], true);
+    let mut cfg = CheckConfig::new(ArchSpec::plb());
+    cfg.fault = Some(FaultPlan {
+        channel: "m0.ch0".into(),
+        kind: FaultKind::DropSend { nth: 0 },
+        site: FaultSite::Untimed,
+    });
+    let failure = check_model(&spec, &cfg).expect_err("dropped message must not pass");
+    assert_eq!(failure.kind, FailureKind::Timeout, "{failure}");
+    assert_eq!(failure.level, "component-assembly");
+    assert!(
+        failure.detail.contains("Timeout"),
+        "detail must carry the SHIP timeout: {failure}"
+    );
+}
+
+/// The same drop at the mapped levels only — the reference stays clean —
+/// is bounded by the simulated-time limit and reported as a hang at CCATB,
+/// never a silent pass.
+#[test]
+fn dropped_send_at_mapped_level_is_reported_as_hang() {
+    let spec = stream_spec(vec![16], true);
+    let mut cfg = CheckConfig::new(ArchSpec::plb());
+    cfg.time_limit = SimDur::ms(1); // bound the hang tightly
+    cfg.fault = Some(FaultPlan {
+        channel: "m0.ch0".into(),
+        kind: FaultKind::DropSend { nth: 0 },
+        site: FaultSite::Mapped,
+    });
+    let failure = check_model(&spec, &cfg).expect_err("dropped message must not pass");
+    assert_eq!(failure.kind, FailureKind::Hang, "{failure}");
+    assert_eq!(failure.level, "ccatb");
+}
+
+/// A duplicated message shifts the receiver's stream; with in-app checks
+/// off, only the differential check can see it — and must.
+#[test]
+fn duplicated_send_surfaces_as_divergence() {
+    let spec = stream_spec(vec![16, 16, 16], false);
+    let mut cfg = CheckConfig::new(ArchSpec::plb());
+    cfg.fault = Some(FaultPlan {
+        channel: "m0.ch0".into(),
+        kind: FaultKind::DuplicateSend { nth: 0 },
+        site: FaultSite::Mapped,
+    });
+    let failure = check_model(&spec, &cfg).expect_err("duplicate must not pass");
+    assert_eq!(failure.kind, FailureKind::Divergence, "{failure}");
+}
+
+/// A pure delay is timing-only: the equivalence relation ignores it, so
+/// the check must pass (latency monotonicity is suspended under injected
+/// timing faults).
+#[test]
+fn delayed_send_preserves_content_equivalence() {
+    let spec = stream_spec(vec![16, 16], true);
+    let mut cfg = CheckConfig::new(ArchSpec::plb());
+    cfg.fault = Some(FaultPlan {
+        channel: "m0.ch0".into(),
+        kind: FaultKind::DelaySend {
+            nth: 0,
+            by: SimDur::us(5),
+        },
+        site: FaultSite::All,
+    });
+    let report = check_model(&spec, &cfg).expect("delay is content-invisible");
+    assert!(report.levels >= 3);
+}
+
+/// Turning the transaction-trace recorder on must not change behaviour:
+/// message sequences, simulated times and delta-cycle counts are identical
+/// with recording on and off, at the untimed and the CCATB level.
+#[test]
+fn txn_recording_does_not_perturb_message_sequences() {
+    let spec = ModelSpec::random(3, &GenConfig::default());
+    let arch = ArchSpec::plb();
+
+    let off = run_component_assembly_with(&spec.to_app(), &RunOptions::default()).unwrap();
+    let on =
+        run_component_assembly_with(&spec.to_app(), &RunOptions::with_recorder(1 << 16)).unwrap();
+    assert!(off.output.txn.is_none());
+    assert!(on.output.txn.is_some());
+    on.output
+        .log
+        .content_equivalent(&off.output.log)
+        .expect("recorder must not change untimed message streams");
+    assert_eq!(off.output.sim_time, on.output.sim_time);
+    assert_eq!(off.output.delta_cycles, on.output.delta_cycles);
+
+    let moff = run_mapped_with(&spec.to_app(), &off.roles, &arch, &RunOptions::default()).unwrap();
+    let mon = run_mapped_with(
+        &spec.to_app(),
+        &off.roles,
+        &arch,
+        &RunOptions::with_recorder(1 << 16),
+    )
+    .unwrap();
+    mon.output
+        .log
+        .content_equivalent(&moff.output.log)
+        .expect("recorder must not change CCATB message streams");
+    assert_eq!(moff.output.sim_time, mon.output.sim_time);
+    assert_eq!(moff.output.delta_cycles, mon.output.delta_cycles);
+
+    // And the trace it produced is well-formed.
+    let trace = mon.output.txn.unwrap();
+    assert_spans_consistent(&trace);
+    assert_chrome_export(&trace);
+    assert_jsonl_export(&trace);
+}
+
+/// Zero-length payloads and partitioned runs: an explicit fixture with an
+/// empty message must stay byte-identical across every level including the
+/// HW/SW-partitioned target.
+#[test]
+fn zero_length_payloads_conform_including_partitioned() {
+    let spec = stream_spec(vec![0, 64, 0, 1], true);
+    let mut cfg = CheckConfig::new(ArchSpec::opb());
+    cfg.partition = true;
+    let report = check_model(&spec, &cfg).expect("zero-length payloads must conform");
+    assert_eq!(report.levels, 4);
+}

@@ -1,0 +1,60 @@
+//! Corpus regression suite: every shrunk reproduction checked into
+//! `tests/corpus/` is replayed through the cross-level differential
+//! checker and must produce exactly its recorded outcome — passes stay
+//! passes, and each captured failure keeps failing with the same
+//! classification. This pins down both the bugs the harness once found
+//! and the replay path itself (JSON → model → four-level run).
+
+use std::path::Path;
+
+use shiptlm_testkit::prelude::*;
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn corpus_directory_is_present_and_parses() {
+    let cases = CorpusCase::load_dir(&corpus_dir()).expect("corpus must parse");
+    assert!(
+        cases.len() >= 3,
+        "expected the checked-in corpus, found {} case(s)",
+        cases.len()
+    );
+    for (name, case) in &cases {
+        assert!(!case.spec.motifs.is_empty(), "{name} has no motifs");
+        // Every case's JSON form roundtrips through the parser.
+        let text = case.to_json().to_string();
+        let back = CorpusCase::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.spec, case.spec, "{name} spec roundtrip");
+        assert_eq!(back.expect, case.expect, "{name} expectation roundtrip");
+    }
+}
+
+#[test]
+fn corpus_cases_replay_with_their_recorded_outcome() {
+    let cases = CorpusCase::load_dir(&corpus_dir()).expect("corpus must parse");
+    assert!(!cases.is_empty());
+    for (name, case) in cases {
+        let mut cfg = CheckConfig::new(case.arch.clone());
+        cfg.fault = case.fault.clone();
+        let outcome = check_model(&case.spec, &cfg);
+        match (case.expect, outcome) {
+            (Expectation::Pass, Ok(report)) => {
+                assert!(report.levels >= 3, "{name}: expected all levels to run");
+            }
+            (Expectation::Fail(kind), Err(failure)) => {
+                assert_eq!(
+                    failure.kind, kind,
+                    "{name}: expected {kind:?}, got {failure}"
+                );
+            }
+            (Expectation::Pass, Err(failure)) => {
+                panic!("{name}: regression — recorded pass now fails: {failure}")
+            }
+            (Expectation::Fail(kind), Ok(_)) => {
+                panic!("{name}: recorded {kind:?} failure now passes silently")
+            }
+        }
+    }
+}

@@ -2,231 +2,15 @@
 //! topology run with recording on must export well-formed Chrome
 //! `trace_event` JSON covering every instrumented layer, event times must be
 //! consistent, and parallel sweeps must trace identically to serial ones.
-
-use std::collections::BTreeMap;
+//!
+//! JSON parsing and the trace shape assertions live in `shiptlm-testkit`
+//! ([`shiptlm_testkit::json`] / [`shiptlm_testkit::asserts`]), shared with
+//! the conformance suites.
 
 use shiptlm::prelude::*;
-
-// ---------------------------------------------------------------------------
-// Minimal recursive-descent JSON parser (no external crates): enough to
-// verify that exported traces are valid JSON and to inspect their structure.
-// ---------------------------------------------------------------------------
-
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(BTreeMap<String, Json>),
-}
-
-impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(m) => m.get(key),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    fn as_num(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    s: &'a [u8],
-    i: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn parse(text: &'a str) -> Result<Json, String> {
-        let mut p = Parser {
-            s: text.as_bytes(),
-            i: 0,
-        };
-        let v = p.value()?;
-        p.skip_ws();
-        if p.i != p.s.len() {
-            return Err(format!("trailing bytes at offset {}", p.i));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(&mut self) {
-        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
-            self.i += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.s.get(self.i).copied()
-    }
-
-    fn eat(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.i += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at offset {}", b as char, self.i))
-        }
-    }
-
-    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
-        if self.s[self.i..].starts_with(word.as_bytes()) {
-            self.i += word.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at offset {}", self.i))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.lit("true", Json::Bool(true)),
-            Some(b'f') => self.lit("false", Json::Bool(false)),
-            Some(b'n') => self.lit("null", Json::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            other => Err(format!("unexpected {other:?} at offset {}", self.i)),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.eat(b'{')?;
-        let mut m = BTreeMap::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.i += 1;
-            return Ok(Json::Obj(m));
-        }
-        loop {
-            self.skip_ws();
-            let k = self.string()?;
-            self.skip_ws();
-            self.eat(b':')?;
-            m.insert(k, self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.i += 1,
-                Some(b'}') => {
-                    self.i += 1;
-                    return Ok(Json::Obj(m));
-                }
-                other => return Err(format!("bad object separator {other:?}")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.eat(b'[')?;
-        let mut v = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.i += 1;
-            return Ok(Json::Arr(v));
-        }
-        loop {
-            v.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.i += 1,
-                Some(b']') => {
-                    self.i += 1;
-                    return Ok(Json::Arr(v));
-                }
-                other => return Err(format!("bad array separator {other:?}")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.eat(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.i += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.i += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            let hex = std::str::from_utf8(&self.s[self.i + 1..self.i + 5])
-                                .map_err(|e| e.to_string())?;
-                            let cp = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
-                            out.push(char::from_u32(cp).ok_or("bad \\u escape")?);
-                            self.i += 4;
-                        }
-                        other => return Err(format!("bad escape {other:?}")),
-                    }
-                    self.i += 1;
-                }
-                Some(_) => {
-                    let start = self.i;
-                    while self
-                        .peek()
-                        .is_some_and(|c| c != b'"' && c != b'\\')
-                    {
-                        self.i += 1;
-                    }
-                    out.push_str(
-                        std::str::from_utf8(&self.s[start..self.i]).map_err(|e| e.to_string())?,
-                    );
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.i;
-        if self.peek() == Some(b'-') {
-            self.i += 1;
-        }
-        while self
-            .peek()
-            .is_some_and(|c| c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-')
-        {
-            self.i += 1;
-        }
-        std::str::from_utf8(&self.s[start..self.i])
-            .map_err(|e| e.to_string())?
-            .parse::<f64>()
-            .map(Json::Num)
-            .map_err(|e| format!("bad number at {start}: {e}"))
-    }
-}
+use shiptlm_testkit::prelude::{
+    assert_chrome_export, assert_jsonl_export, assert_spans_consistent, check_chrome_trace,
+};
 
 // ---------------------------------------------------------------------------
 // The quickstart producer/consumer topology.
@@ -297,17 +81,7 @@ fn trace_events_nest_and_are_monotone_per_process() {
         .with_recorder(65_536)
         .run()
         .unwrap();
-    let trace = run.ccatb.output.txn.as_ref().unwrap();
-
-    let mut last_end: BTreeMap<&str, _> = BTreeMap::new();
-    for ev in trace.events() {
-        assert!(ev.start <= ev.end, "span begins after it ends: {ev:?}");
-        // Events are recorded at completion, so per-process completion
-        // times must be non-decreasing.
-        if let Some(prev) = last_end.insert(&*ev.process, ev.end) {
-            assert!(prev <= ev.end, "process {} went backwards", ev.process);
-        }
-    }
+    assert_spans_consistent(run.ccatb.output.txn.as_ref().unwrap());
 }
 
 #[test]
@@ -318,48 +92,13 @@ fn chrome_export_is_valid_json_with_expected_shape() {
         .unwrap();
     let trace = run.ccatb.output.txn.as_ref().unwrap();
 
-    let doc = Parser::parse(&trace.to_chrome_json()).expect("chrome trace must parse");
-    assert_eq!(
-        doc.get("displayTimeUnit").and_then(Json::as_str),
-        Some("ns")
-    );
-    let events = doc
-        .get("traceEvents")
-        .and_then(Json::as_arr)
-        .expect("traceEvents array");
-    assert!(!events.is_empty());
+    let shape = assert_chrome_export(trace);
+    assert_eq!(shape.metadata, 2); // producer + consumer
+    assert!(shape.categories.iter().any(|c| c == "ship"));
 
-    let mut metadata = 0usize;
-    let mut complete = 0usize;
-    for ev in events {
-        match ev.get("ph").and_then(Json::as_str) {
-            Some("M") => {
-                metadata += 1;
-                assert_eq!(ev.get("name").and_then(Json::as_str), Some("thread_name"));
-            }
-            Some("X") => {
-                complete += 1;
-                assert!(ev.get("ts").and_then(Json::as_num).unwrap() >= 0.0);
-                assert!(ev.get("dur").and_then(Json::as_num).unwrap() >= 0.0);
-                let cat = ev.get("cat").and_then(Json::as_str).unwrap();
-                assert!(["ship", "bus", "ocp", "driver"].contains(&cat));
-                let args = ev.get("args").unwrap();
-                assert!(args.get("resource").and_then(Json::as_str).is_some());
-                assert!(args.get("bytes").and_then(Json::as_num).is_some());
-            }
-            other => panic!("unexpected event phase {other:?}"),
-        }
-    }
-    assert_eq!(metadata, 2); // producer + consumer
-    assert_eq!(complete, trace.events().len());
-
-    // The JSONL export carries the same number of events, one per line.
-    let jsonl = trace.to_jsonl();
-    let lines: Vec<&str> = jsonl.lines().collect();
-    assert_eq!(lines.len(), trace.events().len());
-    for line in lines {
-        Parser::parse(line).expect("each JSONL line must parse");
-    }
+    // The JSONL export carries the same number of events, one per line,
+    // each a valid JSON object with the documented fields.
+    assert_jsonl_export(trace);
 }
 
 #[test]
@@ -410,6 +149,7 @@ fn parallel_sweep_traces_are_identical_to_serial() {
     for (s, p) in serial.rows().iter().zip(parallel.rows()) {
         assert_eq!(s.label, p.label);
         let (st, pt) = (s.txn.as_ref().unwrap(), p.txn.as_ref().unwrap());
+        check_chrome_trace(&st.to_chrome_json()).expect("serial trace must be valid");
         assert_eq!(
             st.to_chrome_json(),
             pt.to_chrome_json(),
