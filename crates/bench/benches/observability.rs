@@ -1,0 +1,61 @@
+//! **E9 — Observability overhead**: cost of the time-resolved metrics
+//! registry, the transaction recorder and the host-time profiler relative
+//! to an uninstrumented run.
+//!
+//! The disabled path is designed to cost one relaxed atomic load per
+//! instrumented operation, so `baseline` vs the instrumented variants is
+//! the headline number. Also prints the per-message cost breakdown.
+
+use shiptlm::prelude::*;
+use shiptlm_bench::minibench::{
+    criterion_group, criterion_main, write_json, Criterion,
+};
+
+fn the_app() -> AppSpec {
+    workload::parallel_streams(4, 24, 256)
+}
+
+fn bench_observability(c: &mut Criterion) {
+    let roles = run_component_assembly(&the_app()).unwrap().roles;
+    let arch = ArchSpec::plb();
+    let run = |opts: &RunOptions| run_mapped_with(&the_app(), &roles, &arch, opts).unwrap();
+
+    let mut g = c.benchmark_group("observability");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    let baseline = RunOptions::default();
+    let metrics = RunOptions::default().with_metrics(SimDur::us(1));
+    let recorder = RunOptions::with_recorder(1 << 20);
+    let both = RunOptions::with_recorder(1 << 20).with_metrics(SimDur::us(1));
+
+    g.bench_function("baseline", |b| b.iter(|| run(&baseline)));
+    g.bench_function("metrics", |b| b.iter(|| run(&metrics)));
+    g.bench_function("recorder", |b| b.iter(|| run(&recorder)));
+    g.bench_function("metrics+recorder", |b| b.iter(|| run(&both)));
+    g.finish();
+
+    // Sanity: instrumentation must not change the simulation.
+    let plain = run(&baseline);
+    let observed = run(&both);
+    plain
+        .output
+        .log
+        .content_equivalent(&observed.output.log)
+        .expect("observability must not perturb content");
+    assert_eq!(plain.output.sim_time, observed.output.sim_time);
+    assert_eq!(plain.output.delta_cycles, observed.output.delta_cycles);
+    let snap = observed.output.metrics.expect("metrics enabled");
+    println!(
+        "instrumented run: {} series, {} bus txns, identical sim time/deltas ✓\n",
+        snap.series.len(),
+        snap.counter_total("bus.txns", "plb"),
+    );
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_observability.json");
+    write_json("observability", out).expect("write BENCH_observability.json");
+}
+
+criterion_group!(benches, bench_observability);
+criterion_main!(benches);

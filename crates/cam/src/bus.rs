@@ -178,10 +178,11 @@ impl ArbGate {
         }
     }
 
-    /// Blocks until `master` is granted; returns the grant time and whether
-    /// the grant is back-to-back with the previous release.
-    pub(crate) fn acquire(&self, ctx: &mut ThreadCtx, master: MasterId) -> (SimTime, bool) {
-        let ticket = {
+    /// Blocks until `master` is granted; returns the grant time, whether
+    /// the grant is back-to-back with the previous release, and the grant
+    /// queue depth observed at enqueue time (including this request).
+    pub(crate) fn acquire(&self, ctx: &mut ThreadCtx, master: MasterId) -> (SimTime, bool, usize) {
+        let (ticket, depth) = {
             let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
             g.seq += 1;
             let t = Ticket {
@@ -189,7 +190,7 @@ impl ArbGate {
                 seq: g.seq,
             };
             g.pending.push(t);
-            t
+            (t, g.pending.len())
         };
         loop {
             {
@@ -201,7 +202,7 @@ impl ArbGate {
                             g.last_granted = Some(master);
                             g.pending.retain(|t| *t != ticket);
                             let back_to_back = g.last_release == ctx.now();
-                            return (ctx.now(), back_to_back);
+                            return (ctx.now(), back_to_back, depth);
                         }
                     }
                 }
@@ -326,7 +327,7 @@ impl OcpTarget for CcatbBus {
         let len = req.cmd.len();
 
         // --- Arbitration ----------------------------------------------------
-        let (granted_at, back_to_back) = self.gate.acquire(ctx, master);
+        let (granted_at, back_to_back, queue_depth) = self.gate.acquire(ctx, master);
         let result = (|| {
             ctx.wait_for(self.cycles(self.cfg.arb_cycles));
 
@@ -371,6 +372,21 @@ impl OcpTarget for CcatbBus {
                 }
                 Err(_) => s.errors += 1,
             }
+        }
+
+        if ctx.metrics_enabled() {
+            let m = ctx.metrics();
+            m.counter_add("bus.txns", &self.label, 1, end);
+            m.counter_add("bus.bytes", &self.label, len as u64, end);
+            // Busy = granted occupancy; per-window busy/window is the
+            // utilization-over-time series the sweep ranks on.
+            m.span_record("bus.busy", &self.label, granted_at, end);
+            m.gauge_set("bus.queue_depth", &self.label, queue_depth as u64, t_req);
+            m.observe(
+                "bus.grant_wait_ns",
+                &self.label,
+                granted_at.since(t_req).as_ns(),
+            );
         }
 
         if ctx.txn_enabled() {

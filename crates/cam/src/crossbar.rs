@@ -60,6 +60,8 @@ pub struct Crossbar {
     sim: SimHandle,
     outputs: Vec<OutputPort>,
     stats: Mutex<BusStats>,
+    /// Interned switch name for the metrics registry.
+    label: Arc<str>,
 }
 
 impl Crossbar {
@@ -71,6 +73,7 @@ impl Crossbar {
             sim: sim.clone(),
             outputs: Vec::new(),
             stats: Mutex::new(BusStats::default()),
+            label: Arc::from(cfg.name.as_str()),
             cfg,
         }
     }
@@ -141,7 +144,7 @@ impl OcpTarget for Crossbar {
             req.addr -= out.range.start;
         }
 
-        let (granted_at, _b2b) = out.gate.acquire(ctx, master);
+        let (granted_at, _b2b, queue_depth) = out.gate.acquire(ctx, master);
         let result = (|| {
             ctx.wait_for(self.cfg.clock.saturating_mul(self.cfg.setup_cycles));
             let beats = req.beats(self.cfg.width_bytes);
@@ -179,6 +182,19 @@ impl OcpTarget for Crossbar {
                 Err(_) => s.errors += 1,
             }
         }
+        if ctx.metrics_enabled() {
+            let m = ctx.metrics();
+            m.counter_add("bus.txns", &self.label, 1, end);
+            m.counter_add("bus.bytes", &self.label, len as u64, end);
+            m.span_record("bus.busy", &self.label, granted_at, end);
+            m.gauge_set("bus.queue_depth", &self.label, queue_depth as u64, t_req);
+            m.observe(
+                "bus.grant_wait_ns",
+                &self.label,
+                granted_at.since(t_req).as_ns(),
+            );
+        }
+
         result.map(|mut resp| {
             resp.timing = TxTiming {
                 start: t_req,

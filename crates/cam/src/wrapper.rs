@@ -353,6 +353,10 @@ impl OcpTarget for ShipSlaveAdapter {
                                 .and_then(|s| s.try_into().ok())
                                 .unwrap_or([0; 4]),
                         );
+                        if ctx.metrics_enabled() {
+                            ctx.metrics()
+                                .counter_add("hwsw.doorbells", &self.label, 1, ctx.now());
+                        }
                         match v {
                             DOORBELL_DATA | DOORBELL_REQUEST => {
                                 let kind = if v == DOORBELL_DATA {
@@ -368,7 +372,16 @@ impl OcpTarget for ShipSlaveAdapter {
                                 // without copying.
                                 let msg = ShipBytes::from(std::mem::take(&mut g.staging));
                                 g.rx.push_back((kind, msg));
+                                let depth = g.rx.len() as u64;
                                 drop(g);
+                                if ctx.metrics_enabled() {
+                                    ctx.metrics().gauge_set(
+                                        "mbox.occupancy",
+                                        &self.label,
+                                        depth,
+                                        ctx.now(),
+                                    );
+                                }
                                 self.rx_written.notify_delta();
                                 self.update_sideband();
                             }
@@ -385,7 +398,16 @@ impl OcpTarget for ShipSlaveAdapter {
                                     None => return Ok(OcpResponse::error(timing)),
                                 }
                                 let owed = g.owed_replies;
+                                let depth = g.rx.len() as u64;
                                 drop(g);
+                                if ctx.metrics_enabled() {
+                                    ctx.metrics().gauge_set(
+                                        "mbox.occupancy",
+                                        &self.label,
+                                        depth,
+                                        ctx.now(),
+                                    );
+                                }
                                 self.note_owed(owed);
                                 self.rx_taken.notify_delta();
                                 self.update_sideband();
@@ -483,7 +505,16 @@ impl ShipEndpoint for AdapterSlaveEndpoint {
                         g.owed_replies += 1;
                     }
                     let owed = g.owed_replies;
+                    let depth = g.rx.len() as u64;
                     drop(g);
+                    if ctx.metrics_enabled() {
+                        ctx.metrics().gauge_set(
+                            "mbox.occupancy",
+                            &self.adapter.label,
+                            depth,
+                            ctx.now(),
+                        );
+                    }
                     self.adapter.note_owed(owed);
                     // Space freed: pulse the ready sideband for any waiting
                     // master wrapper.

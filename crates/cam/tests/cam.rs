@@ -483,3 +483,21 @@ fn default_bus_stats_track_min_and_max_from_first_sample() {
     assert_eq!(merged.max(), Some(7.0));
     assert_eq!(merged.count(), 1);
 }
+
+#[test]
+fn utilization_of_zero_elapsed_run_is_zero_not_nan() {
+    // Regression guard: a sweep candidate whose run ends at t=0 (e.g. an
+    // immediate error) must rank as 0.0 utilization, not NaN — NaN poisons
+    // every comparison-based ranking downstream.
+    let stats = BusStats {
+        busy: SimDur::ns(40),
+        ..BusStats::default()
+    };
+    let u = stats.utilization(SimDur::ZERO);
+    assert_eq!(u, 0.0);
+    assert!(!u.is_nan());
+    assert_eq!(stats.throughput_bps(SimDur::ZERO), 0.0);
+
+    // Sanity: the normal case still divides.
+    assert!((stats.utilization(SimDur::ns(80)) - 0.5).abs() < 1e-12);
+}

@@ -103,31 +103,37 @@ impl FlowRun {
     pub fn report(&self) -> Report {
         let mut report = Report::new();
         let ca = &self.component_assembly.output;
-        report.push(RunMetrics::from_log(
+        let mut row = RunMetrics::from_log(
             "component-assembly",
             &ca.log,
             ca.sim_time,
             None,
             ca.delta_cycles,
             ca.wall_seconds,
-        ));
-        report.push(RunMetrics::from_log(
+        );
+        row.metrics = ca.metrics.clone();
+        report.push(row);
+        let mut row = RunMetrics::from_log(
             "ccatb",
             &self.ccatb.output.log,
             self.ccatb.output.sim_time,
             Some(self.ccatb.bus.clone()),
             self.ccatb.output.delta_cycles,
             self.ccatb.output.wall_seconds,
-        ));
+        );
+        row.metrics = self.ccatb.output.metrics.clone();
+        report.push(row);
         if let Some(pin) = &self.pin_accurate {
-            report.push(RunMetrics::from_log(
+            let mut row = RunMetrics::from_log(
                 "pin-accurate",
                 &pin.output.log,
                 pin.output.sim_time,
                 Some(pin.bus.clone()),
                 pin.output.delta_cycles,
                 pin.output.wall_seconds,
-            ));
+            );
+            row.metrics = pin.output.metrics.clone();
+            report.push(row);
         }
         report
     }
@@ -179,6 +185,15 @@ impl DesignFlow {
     /// [`FlowRun`] members.
     pub fn with_recorder(mut self, capacity: usize) -> Self {
         self.opts.record_txns = Some(capacity);
+        self
+    }
+
+    /// Enables the time-resolved metrics registry on every level with the
+    /// given sim-time sampling window; each run's snapshot is available as
+    /// `output.metrics` on the [`FlowRun`] members and rides along in
+    /// [`FlowRun::report`] rows.
+    pub fn with_metrics(mut self, window: shiptlm_kernel::time::SimDur) -> Self {
+        self.opts.metrics = Some(window);
         self
     }
 

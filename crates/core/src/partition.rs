@@ -270,6 +270,7 @@ pub fn run_partitioned_with(
                 delta_cycles: sim.delta_count(),
                 wall_seconds: started.elapsed().as_secs_f64(),
                 txn: opts.collect(&sim),
+                metrics: opts.collect_metrics(&sim),
                 reason: result.reason,
                 diagnosis: RunOptions::diagnose_blocked(&sim),
             },

@@ -22,6 +22,7 @@ use shiptlm_kernel::{RunResult, StopReason};
 use shiptlm_kernel::liveness::DeadlockReport;
 use shiptlm_kernel::sim::Simulation;
 use shiptlm_kernel::time::{SimDur, SimTime};
+use shiptlm_kernel::metrics::MetricsSnapshot;
 use shiptlm_kernel::txn::TxnTrace;
 use shiptlm_ocp::tl::MasterId;
 use shiptlm_ship::channel::{ShipChannel, ShipConfig, ShipPort};
@@ -144,6 +145,10 @@ pub struct RunOptions {
     /// Port-interposition hook applied to every PE-facing port (fault
     /// injection seam).
     pub port_hook: Option<PortHook>,
+    /// Enable the time-resolved metrics registry with this sim-time
+    /// sampling window; the resulting [`MetricsSnapshot`] lands in
+    /// [`RunOutput::metrics`].
+    pub metrics: Option<SimDur>,
 }
 
 impl fmt::Debug for RunOptions {
@@ -154,6 +159,7 @@ impl fmt::Debug for RunOptions {
             .field("time_limit", &self.time_limit)
             .field("watchdog", &self.watchdog)
             .field("port_hook", &self.port_hook.as_ref().map(|_| "<hook>"))
+            .field("metrics", &self.metrics)
             .finish()
     }
 }
@@ -191,12 +197,22 @@ impl RunOptions {
         self
     }
 
+    /// Enables the time-resolved metrics registry with the given sim-time
+    /// sampling window.
+    pub fn with_metrics(mut self, window: SimDur) -> Self {
+        self.metrics = Some(window);
+        self
+    }
+
     /// Arms a fresh simulation according to these options (recorder +
-    /// watchdog). Called by every level runner, including
+    /// metrics + watchdog). Called by every level runner, including
     /// `shiptlm::partition`.
     pub fn arm(&self, sim: &Simulation) {
         if let Some(cap) = self.record_txns {
             sim.record_transactions(cap);
+        }
+        if let Some(window) = self.metrics {
+            sim.enable_metrics(window);
         }
         sim.set_watchdog(self.watchdog);
     }
@@ -220,6 +236,11 @@ impl RunOptions {
     /// Snapshots the transaction trace when recording was requested.
     pub fn collect(&self, sim: &Simulation) -> Option<TxnTrace> {
         self.record_txns.map(|_| sim.txn_trace())
+    }
+
+    /// Snapshots the metric series when metrics were requested.
+    pub fn collect_metrics(&self, sim: &Simulation) -> Option<MetricsSnapshot> {
+        self.metrics.map(|_| sim.metrics_snapshot())
     }
 
     /// Post-run liveness diagnosis: `Some` when the run left processes
@@ -249,6 +270,9 @@ pub struct RunOutput {
     /// Transaction-level trace, when recording was requested via
     /// [`RunOptions::record_txns`].
     pub txn: Option<TxnTrace>,
+    /// Time-resolved metric series, when requested via
+    /// [`RunOptions::metrics`].
+    pub metrics: Option<MetricsSnapshot>,
     /// Why the simulation stopped. A healthy run ends in
     /// [`StopReason::Starved`] (nothing left to do) or
     /// [`StopReason::Stopped`]; [`StopReason::TimeLimit`] /
@@ -352,6 +376,7 @@ pub fn run_component_assembly_with(app: &AppSpec, opts: &RunOptions) -> Result<C
             delta_cycles: sim.delta_count(),
             wall_seconds: started.elapsed().as_secs_f64(),
             txn: opts.collect(&sim),
+            metrics: opts.collect_metrics(&sim),
             reason: result.reason,
             diagnosis: RunOptions::diagnose_blocked(&sim),
         },
@@ -463,6 +488,7 @@ pub fn run_mapped_with(
             delta_cycles: sim.delta_count(),
             wall_seconds: started.elapsed().as_secs_f64(),
             txn: opts.collect(&sim),
+            metrics: opts.collect_metrics(&sim),
             reason: result.reason,
             diagnosis: RunOptions::diagnose_blocked(&sim),
         },
@@ -591,6 +617,7 @@ pub fn run_pin_accurate_with(
             delta_cycles: sim.delta_count(),
             wall_seconds: started.elapsed().as_secs_f64(),
             txn: opts.collect(&sim),
+            metrics: opts.collect_metrics(&sim),
             reason: result.reason,
             diagnosis: RunOptions::diagnose_blocked(&sim),
         },

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use shiptlm_cam::bus::BusStats;
+use shiptlm_kernel::metrics::{csv_escape, MetricsSnapshot};
 use shiptlm_kernel::stats::RunningStats;
 use shiptlm_kernel::time::SimDur;
 use shiptlm_kernel::txn::TxnTrace;
@@ -36,6 +37,9 @@ pub struct RunMetrics {
     /// Transaction-level trace captured during the run, when the recorder
     /// was enabled (see [`RunOptions`](crate::mapper::RunOptions)).
     pub txn: Option<TxnTrace>,
+    /// Time-resolved metric series captured during the run, when the
+    /// registry was enabled (see [`RunOptions`](crate::mapper::RunOptions)).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl RunMetrics {
@@ -85,6 +89,7 @@ impl RunMetrics {
             wall_seconds,
             channel_latency,
             txn: None,
+            metrics: None,
         }
     }
 
@@ -158,7 +163,7 @@ impl Report {
         for r in &self.rows {
             out.push_str(&format!(
                 "{},{},{},{},{:.3},{},{:.1},{},{},{:.4}\n",
-                r.label,
+                csv_escape(&r.label),
                 r.sim_time.as_ns(),
                 r.messages,
                 r.bytes,
@@ -186,13 +191,33 @@ impl Report {
             for (ch, s) in &r.channel_latency {
                 out.push_str(&format!(
                     "{},{},{},{:.1},{:.1},{:.1}\n",
-                    r.label,
-                    ch,
+                    csv_escape(&r.label),
+                    csv_escape(ch),
                     s.count(),
                     s.min().unwrap_or(0.0),
                     s.mean(),
                     s.max().unwrap_or(0.0),
                 ));
+            }
+        }
+        out
+    }
+
+    /// Renders every candidate's time-resolved metric series as one CSV,
+    /// prefixing each row of
+    /// [`MetricsSnapshot::to_timeseries_csv`] with the configuration
+    /// label. Rows without a snapshot (metrics disabled) are skipped.
+    pub fn timeseries_csv(&self) -> String {
+        let mut out =
+            String::from("config,family,resource,kind,window_start_ns,value,min,max,last\n");
+        for r in &self.rows {
+            let Some(snap) = &r.metrics else { continue };
+            let label = csv_escape(&r.label);
+            for line in snap.to_timeseries_csv().lines().skip(1) {
+                out.push_str(&label);
+                out.push(',');
+                out.push_str(line);
+                out.push('\n');
             }
         }
         out

@@ -37,6 +37,7 @@ const _: () = {
     assert_send::<Report>();
     assert_send::<MapError>();
     assert_send::<shiptlm_kernel::txn::TxnTrace>();
+    assert_send::<shiptlm_kernel::metrics::MetricsSnapshot>();
     assert_sync::<RunOptions>();
 };
 
@@ -88,6 +89,16 @@ impl Sweep {
         self
     }
 
+    /// Enables the time-resolved metrics registry with the given sim-time
+    /// sampling window; each report row then carries its run's
+    /// [`MetricsSnapshot`] (`RunMetrics::metrics`).
+    ///
+    /// [`MetricsSnapshot`]: shiptlm_kernel::metrics::MetricsSnapshot
+    pub fn with_metrics(mut self, window: shiptlm_kernel::time::SimDur) -> Self {
+        self.opts.metrics = Some(window);
+        self
+    }
+
     /// Executes the sweep serially.
     ///
     /// Role detection runs once (on the untimed model); every candidate is
@@ -130,6 +141,7 @@ impl Sweep {
                 ca.output.wall_seconds,
             );
             row.txn = ca.output.txn;
+            row.metrics = ca.output.metrics;
             report.push(row);
         }
         let rows = if threads <= 1 || self.archs.len() <= 1 {
@@ -166,6 +178,7 @@ fn candidate_row(
         output.wall_seconds,
     );
     row.txn = output.txn;
+    row.metrics = output.metrics;
     Ok(row)
 }
 

@@ -135,6 +135,15 @@ impl DriverCore {
         self.rtos.execute(ctx, self.task, d);
     }
 
+    /// Bumps one driver-side rate counter (doorbell rings, IRQ waits,
+    /// status polls). One relaxed load when metrics are off.
+    fn metric_count(&self, ctx: &ThreadCtx, family: &'static str) {
+        if !ctx.metrics_enabled() {
+            return;
+        }
+        ctx.metrics().counter_add(family, &self.label, 1, ctx.now());
+    }
+
     /// Registers this driver with the liveness registry (first call) and
     /// records the calling process as its current user.
     fn note_user(&self, ctx: &mut ThreadCtx) -> EndpointId {
@@ -154,6 +163,9 @@ impl DriverCore {
     }
 
     fn write_u32(&self, ctx: &mut ThreadCtx, off: u64, v: u32) -> Result<(), ShipError> {
+        if off == regs::DOORBELL {
+            self.metric_count(ctx, "drv.doorbells");
+        }
         self.bus.write_u32(ctx, self.base + off, v).map_err(bus_err)
     }
 
@@ -186,9 +198,11 @@ impl DriverCore {
             }
             match &self.cfg.notify {
                 NotifyMode::Polling { interval } => {
+                    self.metric_count(ctx, "drv.polls");
                     self.rtos.sleep(ctx, self.task, *interval);
                 }
                 NotifyMode::Irq { sem } => {
+                    self.metric_count(ctx, "drv.irq_waits");
                     // IRQ-miss guard: the shared level-sensitive sideband may
                     // not re-edge for our condition; fall back to a re-check.
                     let _ = sem.take_raw_timeout(ctx, self.task, IRQ_GUARD);

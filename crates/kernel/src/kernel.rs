@@ -27,6 +27,9 @@ use std::time::{Duration, Instant};
 use crate::liveness::{
     BlockedProcess, DeadlockReport, EndpointId, Registry, WaitDesc, WaitForGraph,
 };
+use crate::metrics::{
+    HostProfiler, MetricsShared, PHASE_ADVANCE, PHASE_DELTA, PHASE_EVALUATE, PHASE_UPDATE,
+};
 use crate::time::{SimDur, SimTime};
 use crate::trace::VcdTracer;
 use crate::txn::TxnShared;
@@ -173,6 +176,10 @@ pub(crate) struct KernelShared {
     pub(crate) watchdog: Mutex<Option<Duration>>,
     /// Transaction-level trace recorder (disabled by default).
     pub(crate) txn: TxnShared,
+    /// Time-resolved metrics registry (disabled by default).
+    pub(crate) metrics: MetricsShared,
+    /// Host wall-clock profiler (disabled by default).
+    pub(crate) profiler: HostProfiler,
 }
 
 impl KernelShared {
@@ -195,6 +202,8 @@ impl KernelShared {
             liveness: Mutex::new(Registry::default()),
             watchdog: Mutex::new(None),
             txn: TxnShared::new(),
+            metrics: MetricsShared::new(),
+            profiler: HostProfiler::new(),
         })
     }
 
@@ -472,6 +481,7 @@ impl KernelShared {
         let mut delta_scratch: Vec<EventId> = Vec::new();
         loop {
             // --- Phase 1: evaluate ----------------------------------------
+            let probe = self.profiler.start();
             loop {
                 if let Some(dl) = deadline {
                     if Instant::now() >= dl {
@@ -488,8 +498,10 @@ impl KernelShared {
                 let Some(pid) = next else { break };
                 self.dispatch(pid);
             }
+            self.profiler.record_phase(PHASE_EVALUATE, probe);
 
             // --- Phase 2: update ------------------------------------------
+            let probe = self.profiler.start();
             let updates = {
                 let mut g = self.lock();
                 std::mem::take(&mut g.update_requests)
@@ -497,8 +509,10 @@ impl KernelShared {
             for u in updates {
                 u(self);
             }
+            self.profiler.record_phase(PHASE_UPDATE, probe);
 
             // --- Phase 3: delta notification ------------------------------
+            let probe = self.profiler.start();
             let woke = {
                 let mut g = self.lock();
                 std::mem::swap(&mut g.delta_queue, &mut delta_scratch);
@@ -515,6 +529,7 @@ impl KernelShared {
                     true
                 }
             };
+            self.profiler.record_phase(PHASE_DELTA, probe);
             if woke {
                 continue;
             }
@@ -527,6 +542,9 @@ impl KernelShared {
             }
 
             // --- Phase 4: time advance ------------------------------------
+            // Early returns (starvation / time limit) skip the probe close;
+            // a final partial phase is noise for a profile anyway.
+            let probe = self.profiler.start();
             let mut g = self.lock();
             let target = loop {
                 match g.timed.peek() {
@@ -568,6 +586,7 @@ impl KernelShared {
                 }
             }
             drop(g);
+            self.profiler.record_phase(PHASE_ADVANCE, probe);
         }
     }
 
@@ -611,6 +630,7 @@ impl KernelShared {
                 }
             }
         };
+        let probe = self.profiler.start();
         match action {
             Action::Skip => {}
             Action::Thread {
@@ -648,6 +668,9 @@ impl KernelShared {
                     *slot = Some(f);
                 }
             }
+        }
+        if let Some(t0) = probe {
+            self.profiler.record_process(self.process_name(pid), t0.elapsed());
         }
     }
 

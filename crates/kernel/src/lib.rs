@@ -48,6 +48,7 @@ pub mod event;
 mod kernel;
 pub mod fifo;
 pub mod liveness;
+pub mod metrics;
 pub mod process;
 pub mod rng;
 pub mod signal;
@@ -66,6 +67,9 @@ pub mod prelude {
     pub use crate::event::Event;
     pub use crate::fifo::Fifo;
     pub use crate::liveness::{DeadlockReport, EndpointId, WaitForGraph};
+    pub use crate::metrics::{
+        csv_escape, HostProfile, MetricSeries, MetricsShared, MetricsSnapshot, SeriesData,
+    };
     pub use crate::process::ThreadCtx;
     pub use crate::signal::Signal;
     pub use crate::sim::{SimHandle, Simulation};

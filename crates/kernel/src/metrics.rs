@@ -1,0 +1,796 @@
+//! Time-resolved metrics registry and host-time profiler.
+//!
+//! The paper's design-flow argument is that a communication architecture is
+//! *chosen from observed communication behavior* — bus contention, wait
+//! cycles, utilization — across abstraction levels. End-of-run scalars
+//! ([`BusStats`-style](crate::stats) totals) say *how much*; this module says
+//! *when*: every instrumented resource becomes a **time series** bucketed by
+//! a fixed simulated-time window.
+//!
+//! Two independent, atomically-gated recorders live here:
+//!
+//! * [`MetricsShared`] — counters, gauges, busy-spans and power-of-two
+//!   histograms keyed by `(family, resource)`, sampled into sim-time
+//!   windows. Because windows are a pure function of *simulated* time, the
+//!   recorded series are bit-identical between serial and parallel sweeps.
+//! * [`HostProfiler`] — wall-clock attribution of kernel phases
+//!   (evaluate / update / delta-notify / time-advance) and per-process
+//!   dispatch time, exported as folded stacks for flamegraph rendering.
+//!
+//! Both follow the [`TxnShared`](crate::txn::TxnShared) discipline: when
+//! disabled (the default) every instrumented operation costs exactly one
+//! relaxed atomic load.
+//!
+//! Exports: [`MetricsSnapshot::to_prometheus`] (text exposition format),
+//! [`MetricsSnapshot::to_timeseries_csv`] (one row per window), and
+//! [`HostProfile::to_folded`] (Brendan Gregg's folded-stack format).
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::stats::Histogram;
+use crate::time::{SimDur, SimTime};
+
+/// Escapes one CSV field per RFC 4180: fields containing a comma, double
+/// quote, CR or LF are wrapped in double quotes with embedded quotes
+/// doubled. Plain fields are returned borrowed (no allocation).
+///
+/// ```
+/// use shiptlm_kernel::metrics::csv_escape;
+/// assert_eq!(csv_escape("plain"), "plain");
+/// assert_eq!(csv_escape("a,b"), "\"a,b\"");
+/// assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+/// ```
+pub fn csv_escape(field: &str) -> Cow<'_, str> {
+    if !field.contains([',', '"', '\n', '\r']) {
+        return Cow::Borrowed(field);
+    }
+    let mut out = String::with_capacity(field.len() + 2);
+    out.push('"');
+    for c in field.chars() {
+        if c == '"' {
+            out.push('"');
+        }
+        out.push(c);
+    }
+    out.push('"');
+    Cow::Owned(out)
+}
+
+/// Per-window aggregate of a gauge (sampled value, e.g. queue depth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeWindow {
+    /// Smallest sampled value in the window.
+    pub min: u64,
+    /// Largest sampled value in the window.
+    pub max: u64,
+    /// Last sampled value in the window (in record order).
+    pub last: u64,
+    /// Number of samples in the window.
+    pub samples: u64,
+}
+
+/// The samples of one `(family, resource)` series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeriesData {
+    /// A monotonically increasing count (messages, bytes, doorbells).
+    Counter {
+        /// Sum over the whole run.
+        total: u64,
+        /// Per-window increments, keyed by window index.
+        windows: BTreeMap<u64, u64>,
+    },
+    /// A sampled instantaneous value (queue depth, mailbox occupancy).
+    Gauge {
+        /// Per-window min/max/last, keyed by window index.
+        windows: BTreeMap<u64, GaugeWindow>,
+    },
+    /// Accumulated busy time (bus occupancy, blocked time), apportioned
+    /// across the windows a span overlaps.
+    Span {
+        /// Total busy time over the whole run.
+        total: SimDur,
+        /// Busy picoseconds per window, keyed by window index.
+        windows: BTreeMap<u64, u64>,
+    },
+    /// A power-of-two bucketed distribution (not windowed).
+    Histo(Box<Histogram>),
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    window_ps: u64,
+    series: BTreeMap<(&'static str, Arc<str>), SeriesData>,
+}
+
+/// The shared, atomically-gated metrics registry owned by the kernel.
+///
+/// Disabled by default; every `counter_add` / `gauge_set` / `span_record` /
+/// `observe` call first performs one relaxed atomic load and returns
+/// immediately when disabled.
+#[derive(Debug, Default)]
+pub struct MetricsShared {
+    enabled: AtomicBool,
+    inner: Mutex<MetricsInner>,
+}
+
+impl MetricsShared {
+    /// Creates a disabled registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables recording with the given sampling window, discarding any
+    /// previously recorded series. A zero window is clamped to one
+    /// picosecond.
+    pub fn enable(&self, window: SimDur) {
+        let mut g = self.lock();
+        g.window_ps = window.as_ps().max(1);
+        g.series.clear();
+        drop(g);
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Stops recording; already recorded series remain queryable.
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// One relaxed load: the instrumented-operation fast path.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Adds `value` to the counter series `family{resource}` in the window
+    /// containing `at`.
+    pub fn counter_add(&self, family: &'static str, resource: &Arc<str>, value: u64, at: SimTime) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut g = self.lock();
+        let idx = at.as_ps() / g.window_ps;
+        match g
+            .series
+            .entry((family, Arc::clone(resource)))
+            .or_insert_with(|| SeriesData::Counter {
+                total: 0,
+                windows: BTreeMap::new(),
+            }) {
+            SeriesData::Counter { total, windows } => {
+                *total += value;
+                *windows.entry(idx).or_insert(0) += value;
+            }
+            other => debug_assert!(false, "family {family:?} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Samples the gauge series `family{resource}` at `at`.
+    pub fn gauge_set(&self, family: &'static str, resource: &Arc<str>, value: u64, at: SimTime) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut g = self.lock();
+        let idx = at.as_ps() / g.window_ps;
+        match g
+            .series
+            .entry((family, Arc::clone(resource)))
+            .or_insert_with(|| SeriesData::Gauge {
+                windows: BTreeMap::new(),
+            }) {
+            SeriesData::Gauge { windows } => {
+                let w = windows.entry(idx).or_insert(GaugeWindow {
+                    min: value,
+                    max: value,
+                    last: value,
+                    samples: 0,
+                });
+                w.min = w.min.min(value);
+                w.max = w.max.max(value);
+                w.last = value;
+                w.samples += 1;
+            }
+            other => debug_assert!(false, "family {family:?} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Accumulates the busy span `[start, end)` into `family{resource}`,
+    /// apportioned by picosecond overlap across every window it crosses.
+    /// Zero-length spans are ignored.
+    pub fn span_record(
+        &self,
+        family: &'static str,
+        resource: &Arc<str>,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if !self.is_enabled() || end <= start {
+            return;
+        }
+        let mut g = self.lock();
+        let w = g.window_ps;
+        match g
+            .series
+            .entry((family, Arc::clone(resource)))
+            .or_insert_with(|| SeriesData::Span {
+                total: SimDur::ZERO,
+                windows: BTreeMap::new(),
+            }) {
+            SeriesData::Span { total, windows } => {
+                *total += end.since(start);
+                let end_ps = end.as_ps();
+                let mut t = start.as_ps();
+                while t < end_ps {
+                    let idx = t / w;
+                    let window_end = (idx + 1).saturating_mul(w);
+                    let seg = end_ps.min(window_end) - t;
+                    *windows.entry(idx).or_insert(0) += seg;
+                    t = window_end;
+                }
+            }
+            other => debug_assert!(false, "family {family:?} is not a span: {other:?}"),
+        }
+    }
+
+    /// Records one sample into the (un-windowed) histogram series
+    /// `family{resource}`.
+    pub fn observe(&self, family: &'static str, resource: &Arc<str>, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut g = self.lock();
+        match g
+            .series
+            .entry((family, Arc::clone(resource)))
+            .or_insert_with(|| SeriesData::Histo(Box::default())) {
+            SeriesData::Histo(h) => h.record(value),
+            other => debug_assert!(false, "family {family:?} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Clones the recorded series out, deterministically ordered by
+    /// `(family, resource)`.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let g = self.lock();
+        MetricsSnapshot {
+            window: SimDur::ps(g.window_ps.max(1)),
+            series: g
+                .series
+                .iter()
+                .map(|((family, resource), data)| MetricSeries {
+                    family,
+                    resource: Arc::clone(resource),
+                    data: data.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One `(family, resource)` time series in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSeries {
+    /// Metric family, e.g. `"bus.busy"` or `"ship.bytes"`.
+    pub family: &'static str,
+    /// The instrumented resource (channel, bus, adapter label).
+    pub resource: Arc<str>,
+    /// The recorded samples.
+    pub data: SeriesData,
+}
+
+/// A point-in-time copy of every recorded series, with exporters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// The sampling window all series were bucketed by.
+    pub window: SimDur,
+    /// All series, sorted by `(family, resource)`.
+    pub series: Vec<MetricSeries>,
+}
+
+/// Maps a metric family to a Prometheus metric name:
+/// `bus.busy` → `shiptlm_bus_busy`.
+fn prom_name(family: &str) -> String {
+    let mut out = String::with_capacity(family.len() + 8);
+    out.push_str("shiptlm_");
+    for c in family.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+fn prom_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Looks up one series by family and resource name.
+    pub fn find(&self, family: &str, resource: &str) -> Option<&MetricSeries> {
+        self.series
+            .iter()
+            .find(|s| s.family == family && &*s.resource == resource)
+    }
+
+    /// Total of a counter series, zero when absent.
+    pub fn counter_total(&self, family: &str, resource: &str) -> u64 {
+        match self.find(family, resource).map(|s| &s.data) {
+            Some(SeriesData::Counter { total, .. }) => *total,
+            _ => 0,
+        }
+    }
+
+    /// Per-window busy fraction (0.0..=1.0) of a span series, as
+    /// `(window_start, fraction)` pairs. Empty when the series is absent.
+    pub fn busy_fractions(&self, family: &str, resource: &str) -> Vec<(SimTime, f64)> {
+        let w = self.window.as_ps().max(1);
+        match self.find(family, resource).map(|s| &s.data) {
+            Some(SeriesData::Span { windows, .. }) => windows
+                .iter()
+                .map(|(idx, busy)| {
+                    (
+                        SimTime::from_ps(idx * w),
+                        *busy as f64 / w as f64,
+                    )
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): `# TYPE` headers, `_total` counters,
+    /// `_bucket{le=...}` / `_sum` / `_count` histograms.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_header = String::new();
+        for s in &self.series {
+            let base = prom_name(s.family);
+            let label = prom_label(&s.resource);
+            match &s.data {
+                SeriesData::Counter { total, .. } => {
+                    let name = format!("{base}_total");
+                    if last_header != name {
+                        let _ = writeln!(out, "# TYPE {name} counter");
+                        last_header = name.clone();
+                    }
+                    let _ = writeln!(out, "{name}{{resource=\"{label}\"}} {total}");
+                }
+                SeriesData::Gauge { windows } => {
+                    if last_header != base {
+                        let _ = writeln!(out, "# TYPE {base} gauge");
+                        last_header = base.clone();
+                    }
+                    let last = windows.values().next_back().map_or(0, |w| w.last);
+                    let _ = writeln!(out, "{base}{{resource=\"{label}\"}} {last}");
+                }
+                SeriesData::Span { total, .. } => {
+                    let name = format!("{base}_ps_total");
+                    if last_header != name {
+                        let _ = writeln!(out, "# TYPE {name} counter");
+                        last_header = name.clone();
+                    }
+                    let _ = writeln!(out, "{name}{{resource=\"{label}\"}} {}", total.as_ps());
+                }
+                SeriesData::Histo(h) => {
+                    if last_header != base {
+                        let _ = writeln!(out, "# TYPE {base} histogram");
+                        last_header = base.clone();
+                    }
+                    let mut cumulative = 0;
+                    for (lower, count) in h.iter() {
+                        cumulative += count;
+                        // Bucket k holds [2^k, 2^(k+1)); the inclusive upper
+                        // bound for `le` is 2^(k+1) - 1 (bucket 0 holds 0..=1).
+                        let le = if lower == 0 { 1 } else { lower * 2 - 1 };
+                        let _ = writeln!(
+                            out,
+                            "{base}_bucket{{resource=\"{label}\",le=\"{le}\"}} {cumulative}"
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{base}_bucket{{resource=\"{label}\",le=\"+Inf\"}} {}",
+                        h.count()
+                    );
+                    let _ = writeln!(out, "{base}_sum{{resource=\"{label}\"}} {}", h.sum());
+                    let _ = writeln!(out, "{base}_count{{resource=\"{label}\"}} {}", h.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders every windowed series as CSV, one row per window:
+    /// `family,resource,kind,window_start_ns,value,min,max,last`.
+    ///
+    /// Counters report the per-window increment in `value`; spans report
+    /// busy picoseconds; gauges report the sample count in `value` plus
+    /// min/max/last. Histograms are not windowed and are omitted (use
+    /// [`Self::to_prometheus`] for distributions).
+    pub fn to_timeseries_csv(&self) -> String {
+        let mut out = String::from("family,resource,kind,window_start_ns,value,min,max,last\n");
+        let w = self.window.as_ps().max(1);
+        let start_ns = |idx: u64| idx * w / 1_000;
+        for s in &self.series {
+            let fam = csv_escape(s.family);
+            let res = csv_escape(&s.resource);
+            match &s.data {
+                SeriesData::Counter { windows, .. } => {
+                    for (idx, v) in windows {
+                        let _ = writeln!(out, "{fam},{res},counter,{},{v},,,", start_ns(*idx));
+                    }
+                }
+                SeriesData::Span { windows, .. } => {
+                    for (idx, busy) in windows {
+                        let _ =
+                            writeln!(out, "{fam},{res},busy_ps,{},{busy},,,", start_ns(*idx));
+                    }
+                }
+                SeriesData::Gauge { windows } => {
+                    for (idx, gw) in windows {
+                        let _ = writeln!(
+                            out,
+                            "{fam},{res},gauge,{},{},{},{},{}",
+                            start_ns(*idx),
+                            gw.samples,
+                            gw.min,
+                            gw.max,
+                            gw.last
+                        );
+                    }
+                }
+                SeriesData::Histo(_) => {}
+            }
+        }
+        out
+    }
+}
+
+/// Accumulated wall-clock time and invocation count for one profiled frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameStat {
+    /// Total wall-clock nanoseconds.
+    pub nanos: u64,
+    /// Number of times the frame ran.
+    pub count: u64,
+}
+
+#[derive(Debug, Default)]
+struct ProfInner {
+    phases: BTreeMap<&'static str, FrameStat>,
+    processes: BTreeMap<Arc<str>, FrameStat>,
+}
+
+/// Kernel phase names used by the profiler; process dispatch time nests
+/// under [`PHASE_EVALUATE`] in the folded output.
+pub const PHASE_EVALUATE: &str = "evaluate";
+/// Update phase (channel `request_update` callbacks).
+pub const PHASE_UPDATE: &str = "update";
+/// Delta-notification promotion phase.
+pub const PHASE_DELTA: &str = "delta_notify";
+/// Timed-queue pop / time-advance phase.
+pub const PHASE_ADVANCE: &str = "time_advance";
+
+/// Atomically-gated wall-clock profiler attributing host time to kernel
+/// phases and process dispatches. Disabled: one relaxed load per probe.
+#[derive(Debug, Default)]
+pub struct HostProfiler {
+    enabled: AtomicBool,
+    inner: Mutex<ProfInner>,
+}
+
+impl HostProfiler {
+    /// Creates a disabled profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables profiling, discarding previously recorded frames.
+    pub fn enable(&self) {
+        let mut g = self.lock();
+        g.phases.clear();
+        g.processes.clear();
+        drop(g);
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Stops profiling; recorded frames remain queryable.
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// One relaxed load: the probe fast path.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Starts a timing probe; `None` when disabled (the only cost then is
+    /// the one relaxed load inside [`Self::is_enabled`]).
+    #[inline]
+    pub(crate) fn start(&self) -> Option<Instant> {
+        if self.is_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ProfInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Closes a phase probe opened by [`Self::start`].
+    pub(crate) fn record_phase(&self, phase: &'static str, probe: Option<Instant>) {
+        if let Some(t0) = probe {
+            let d = t0.elapsed();
+            let mut g = self.lock();
+            let s = g.phases.entry(phase).or_default();
+            s.nanos += d.as_nanos() as u64;
+            s.count += 1;
+        }
+    }
+
+    /// Attributes one process dispatch (nested inside the evaluate phase).
+    pub(crate) fn record_process(&self, name: Arc<str>, d: Duration) {
+        let mut g = self.lock();
+        let s = g.processes.entry(name).or_default();
+        s.nanos += d.as_nanos() as u64;
+        s.count += 1;
+    }
+
+    /// Copies the recorded frames out.
+    pub fn snapshot(&self) -> HostProfile {
+        let g = self.lock();
+        HostProfile {
+            phases: g.phases.iter().map(|(k, v)| (*k, *v)).collect(),
+            processes: g
+                .processes
+                .iter()
+                .map(|(k, v)| (Arc::clone(k), *v))
+                .collect(),
+        }
+    }
+}
+
+/// A copy of the profiler's frames, with the folded-stack exporter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostProfile {
+    /// Wall-clock time per kernel phase, sorted by phase name.
+    pub phases: Vec<(&'static str, FrameStat)>,
+    /// Wall-clock time per dispatched process, sorted by process name.
+    pub processes: Vec<(Arc<str>, FrameStat)>,
+}
+
+/// Folded-stack frames must not contain the separator characters.
+fn folded_frame(name: &str) -> String {
+    name.replace([';', ' '], "_")
+}
+
+impl HostProfile {
+    /// Total profiled wall-clock time across all phases.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.phases.iter().map(|(_, s)| s.nanos).sum())
+    }
+
+    /// Renders the profile as folded stacks (`frame;frame value` lines,
+    /// values in microseconds) for `flamegraph.pl` / speedscope. Process
+    /// dispatch time nests under `kernel;evaluate`; the evaluate line
+    /// itself carries only scheduler self-time.
+    pub fn to_folded(&self) -> String {
+        let proc_nanos: u64 = self.processes.iter().map(|(_, s)| s.nanos).sum();
+        let us = |nanos: u64| (nanos / 1_000).max(u64::from(nanos > 0));
+        let mut out = String::new();
+        for (phase, stat) in &self.phases {
+            let nanos = if *phase == PHASE_EVALUATE {
+                stat.nanos.saturating_sub(proc_nanos)
+            } else {
+                stat.nanos
+            };
+            if nanos > 0 {
+                let _ = writeln!(out, "kernel;{} {}", folded_frame(phase), us(nanos));
+            }
+        }
+        for (name, stat) in &self.processes {
+            if stat.nanos > 0 {
+                let _ = writeln!(
+                    out,
+                    "kernel;{PHASE_EVALUATE};{} {}",
+                    folded_frame(name),
+                    us(stat.nanos)
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(name: &str) -> Arc<str> {
+        Arc::from(name)
+    }
+
+    #[test]
+    fn csv_escape_rfc4180() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape(""), "");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("he said \"no\""), "\"he said \"\"no\"\"\"");
+        assert_eq!(csv_escape("line\nbreak"), "\"line\nbreak\"");
+        assert!(matches!(csv_escape("plain"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let m = MetricsShared::new();
+        m.counter_add("fam", &res("r"), 1, SimTime::ZERO);
+        m.gauge_set("fam.g", &res("r"), 7, SimTime::ZERO);
+        m.span_record("fam.s", &res("r"), SimTime::ZERO, SimTime::from_ps(10));
+        m.observe("fam.h", &res("r"), 42);
+        assert!(m.snapshot().is_empty());
+    }
+
+    #[test]
+    fn enable_resets_previous_series() {
+        let m = MetricsShared::new();
+        m.enable(SimDur::ns(1));
+        m.counter_add("fam", &res("r"), 3, SimTime::ZERO);
+        m.enable(SimDur::ns(1));
+        assert!(m.snapshot().is_empty());
+    }
+
+    #[test]
+    fn counter_windows_bucket_by_sim_time() {
+        let m = MetricsShared::new();
+        m.enable(SimDur::ns(10));
+        let r = res("chan");
+        m.counter_add("msgs", &r, 1, SimTime::from_ps(0));
+        m.counter_add("msgs", &r, 1, SimTime::from_ps(9_999));
+        m.counter_add("msgs", &r, 5, SimTime::from_ps(10_000));
+        let snap = m.snapshot();
+        assert_eq!(snap.counter_total("msgs", "chan"), 7);
+        match &snap.find("msgs", "chan").unwrap().data {
+            SeriesData::Counter { windows, .. } => {
+                assert_eq!(windows.get(&0), Some(&2));
+                assert_eq!(windows.get(&1), Some(&5));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn span_apportions_across_windows() {
+        let m = MetricsShared::new();
+        m.enable(SimDur::ps(100));
+        let r = res("bus0");
+        // 250 ps span from t=50: 50 in window 0, 100 in window 1, 100 in
+        // window 2.
+        m.span_record("busy", &r, SimTime::from_ps(50), SimTime::from_ps(300));
+        let snap = m.snapshot();
+        match &snap.find("busy", "bus0").unwrap().data {
+            SeriesData::Span { total, windows } => {
+                assert_eq!(*total, SimDur::ps(250));
+                assert_eq!(windows.get(&0), Some(&50));
+                assert_eq!(windows.get(&1), Some(&100));
+                assert_eq!(windows.get(&2), Some(&100));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let fr = snap.busy_fractions("busy", "bus0");
+        assert_eq!(fr.len(), 3);
+        assert!((fr[1].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_tracks_min_max_last() {
+        let m = MetricsShared::new();
+        m.enable(SimDur::ns(1));
+        let r = res("mbox");
+        for v in [3u64, 1, 2] {
+            m.gauge_set("depth", &r, v, SimTime::from_ps(10));
+        }
+        let snap = m.snapshot();
+        match &snap.find("depth", "mbox").unwrap().data {
+            SeriesData::Gauge { windows } => {
+                let w = windows.get(&0).unwrap();
+                assert_eq!((w.min, w.max, w.last, w.samples), (1, 3, 2, 3));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prometheus_export_shape() {
+        let m = MetricsShared::new();
+        m.enable(SimDur::ns(10));
+        let r = res("dma \"fast\",in");
+        m.counter_add("ship.messages", &r, 2, SimTime::ZERO);
+        m.span_record("bus.busy", &res("bus0"), SimTime::ZERO, SimTime::from_ps(500));
+        m.gauge_set("mbox.occupancy", &res("mb"), 4, SimTime::ZERO);
+        m.observe("bus.grant_wait_ns", &res("bus0"), 3);
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE shiptlm_ship_messages_total counter"));
+        assert!(text.contains("shiptlm_ship_messages_total{resource=\"dma \\\"fast\\\",in\"} 2"));
+        assert!(text.contains("# TYPE shiptlm_bus_busy_ps_total counter"));
+        assert!(text.contains("shiptlm_bus_busy_ps_total{resource=\"bus0\"} 500"));
+        assert!(text.contains("# TYPE shiptlm_mbox_occupancy gauge"));
+        assert!(text.contains("# TYPE shiptlm_bus_grant_wait_ns histogram"));
+        assert!(text.contains("shiptlm_bus_grant_wait_ns_bucket{resource=\"bus0\",le=\"3\"} 1"));
+        assert!(text.contains("shiptlm_bus_grant_wait_ns_bucket{resource=\"bus0\",le=\"+Inf\"} 1"));
+        assert!(text.contains("shiptlm_bus_grant_wait_ns_sum{resource=\"bus0\"} 3"));
+        assert!(text.contains("shiptlm_bus_grant_wait_ns_count{resource=\"bus0\"} 1"));
+    }
+
+    #[test]
+    fn timeseries_csv_escapes_resources() {
+        let m = MetricsShared::new();
+        m.enable(SimDur::ns(1));
+        m.counter_add("msgs", &res("a,b"), 1, SimTime::ZERO);
+        let csv = m.snapshot().to_timeseries_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some("family,resource,kind,window_start_ns,value,min,max,last")
+        );
+        assert_eq!(lines.next(), Some("msgs,\"a,b\",counter,0,1,,,"));
+    }
+
+    #[test]
+    fn profiler_folds_processes_under_evaluate() {
+        let p = HostProfiler::new();
+        assert!(p.start().is_none());
+        p.enable();
+        let probe = p.start();
+        assert!(probe.is_some());
+        p.record_phase(PHASE_EVALUATE, probe);
+        p.record_phase(PHASE_ADVANCE, p.start());
+        p.record_process(Arc::from("producer p0"), Duration::from_micros(5));
+        let prof = p.snapshot();
+        assert_eq!(prof.phases.len(), 2);
+        assert_eq!(prof.processes.len(), 1);
+        // Make the numbers deterministic for the assert: rebuild with known
+        // values.
+        let prof = HostProfile {
+            phases: vec![
+                (PHASE_ADVANCE, FrameStat { nanos: 2_000, count: 1 }),
+                (PHASE_EVALUATE, FrameStat { nanos: 9_000, count: 1 }),
+            ],
+            processes: vec![(
+                Arc::from("producer p0"),
+                FrameStat { nanos: 5_000, count: 1 },
+            )],
+        };
+        let folded = prof.to_folded();
+        assert!(folded.contains("kernel;time_advance 2\n"));
+        assert!(folded.contains("kernel;evaluate 4\n"));
+        assert!(folded.contains("kernel;evaluate;producer_p0 5\n"));
+        assert_eq!(prof.total(), Duration::from_nanos(11_000));
+        drop(prof);
+        let _ = p.snapshot();
+    }
+}

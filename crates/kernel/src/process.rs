@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use crate::event::Event;
 use crate::kernel::{EventId, KernelShared, KillToken, ProcessId, Resume, YieldMsg};
+use crate::metrics::MetricsShared;
 use crate::time::{SimDur, SimTime};
 use crate::txn::{TxnEvent, TxnOutcome, TxnSpan};
 
@@ -96,6 +97,21 @@ impl ThreadCtx {
                 TxnOutcome::Error
             },
         });
+    }
+
+    /// `true` when the time-resolved metrics registry is enabled
+    /// ([`Simulation::enable_metrics`](crate::sim::Simulation::enable_metrics)).
+    /// A single relaxed atomic load — the zero-overhead fast path for
+    /// instrumentation sites when metrics are off.
+    #[inline]
+    pub fn metrics_enabled(&self) -> bool {
+        self.kernel.metrics.is_enabled()
+    }
+
+    /// The kernel's metrics registry, for recording counters, gauges, busy
+    /// spans and histogram samples from instrumented channels.
+    pub fn metrics(&self) -> &MetricsShared {
+        &self.kernel.metrics
     }
 
     /// Suspends until `event` is notified.

@@ -9,6 +9,7 @@ use crate::event::Event;
 use crate::fifo::Fifo;
 use crate::kernel::{KernelShared, MethodApi, ProcessId, RunResult};
 use crate::liveness::{DeadlockReport, EndpointId};
+use crate::metrics::{HostProfile, MetricsShared, MetricsSnapshot};
 use crate::process::ThreadCtx;
 use crate::signal::{Signal, SignalValue};
 use crate::time::{SimDur, SimTime};
@@ -193,6 +194,36 @@ impl Simulation {
         self.kernel.txn.snapshot()
     }
 
+    /// Enables the time-resolved metrics registry with the given sim-time
+    /// sampling window (bus busy time, SHIP message/byte rates, mailbox
+    /// occupancy, … become per-window series). Calling again resets the
+    /// registry. When never called, instrumented operations pay only a
+    /// single relaxed atomic load.
+    pub fn enable_metrics(&self, window: SimDur) {
+        self.kernel.metrics.enable(window);
+    }
+
+    /// Snapshots every metric series recorded so far; empty when metrics
+    /// were never enabled. See
+    /// [`MetricsSnapshot::to_prometheus`] and
+    /// [`MetricsSnapshot::to_timeseries_csv`] for the exporters.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.kernel.metrics.snapshot()
+    }
+
+    /// Enables the host-time profiler: wall-clock time is attributed to
+    /// kernel phases and process dispatches. Calling again resets it.
+    pub fn enable_profiler(&self) {
+        self.kernel.profiler.enable();
+    }
+
+    /// Snapshots the host-time profile; render with
+    /// [`HostProfile::to_folded`] for flamegraph tooling. Empty when the
+    /// profiler was never enabled.
+    pub fn host_profile(&self) -> HostProfile {
+        self.kernel.profiler.snapshot()
+    }
+
     /// Snapshots every blocked process, builds the wait-for graph from
     /// channel-registered edge metadata and runs cycle detection.
     ///
@@ -341,6 +372,19 @@ impl SimHandle {
     /// See [`Simulation::txn_trace`].
     pub fn txn_trace(&self) -> TxnTrace {
         self.kernel.txn.snapshot()
+    }
+
+    /// `true` when the metrics registry is enabled. Instrumentation sites
+    /// check this before any series bookkeeping.
+    #[inline]
+    pub fn metrics_enabled(&self) -> bool {
+        self.kernel.metrics.is_enabled()
+    }
+
+    /// The kernel's metrics registry, for recording from instrumented
+    /// channels and adapters.
+    pub fn metrics(&self) -> &MetricsShared {
+        &self.kernel.metrics
     }
 }
 

@@ -187,6 +187,11 @@ impl Histogram {
         self.count
     }
 
+    /// Saturating sum of the recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Mean of the recorded samples (exact, from the running sum).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {

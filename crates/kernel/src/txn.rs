@@ -235,7 +235,12 @@ impl TxnTrace {
                 ev.outcome.as_str(),
             ));
         }
-        out.push_str("]}");
+        // Chrome's "JSON Object Format" metadata member: tools that know
+        // about it surface the eviction count; everyone else ignores it.
+        out.push_str(&format!(
+            "],\"otherData\":{{\"dropped\":{}}}}}",
+            self.dropped
+        ));
         out
     }
 
@@ -375,6 +380,16 @@ impl TxnShared {
             .or_default()
             .record(&ev);
         if g.buf.len() >= g.capacity {
+            if g.dropped == 0 {
+                // Warn once per enable: silent eviction makes a truncated
+                // trace look complete. The Chrome export also carries the
+                // final count in `otherData.dropped`.
+                eprintln!(
+                    "shiptlm-kernel: transaction ring full ({} events); evicting oldest \
+                     (raise the capacity passed to record_transactions to keep them)",
+                    g.capacity
+                );
+            }
             g.buf.pop_front();
             g.dropped += 1;
         }
@@ -460,7 +475,7 @@ mod tests {
         t.record(ev("recv", "consumer", 2_000_000, 3_000_000, 64));
         let json = t.snapshot().to_chrome_json();
         assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
-        assert!(json.ends_with("]}"));
+        assert!(json.ends_with("],\"otherData\":{\"dropped\":0}}"));
         assert!(json.contains("\"ph\":\"M\""));
         assert!(json.contains("\"name\":\"send\""));
         assert!(json.contains("\"cat\":\"ship\""));

@@ -82,7 +82,11 @@ impl OcpMasterPort {
         ctx: &mut ThreadCtx,
         req: OcpRequest,
     ) -> Result<OcpResponse, OcpError> {
-        if !ctx.txn_enabled() {
+        // Two relaxed loads on the fully-disabled fast path, one per
+        // recorder.
+        let txn = ctx.txn_enabled();
+        let metrics = ctx.metrics_enabled();
+        if !txn && !metrics {
             return self.target.transact(ctx, self.id, req);
         }
         let start = ctx.now();
@@ -92,15 +96,23 @@ impl OcpMasterPort {
         };
         let bytes = req.cmd.len();
         let result = self.target.transact(ctx, self.id, req);
-        ctx.txn_record(TxnSpan {
-            level: TxnLevel::Ocp,
-            op,
-            resource: &self.target_label,
-            start,
-            end: ctx.now(),
-            bytes,
-            ok: result.is_ok(),
-        });
+        if metrics {
+            let m = ctx.metrics();
+            let now = ctx.now();
+            m.counter_add("ocp.txns", &self.target_label, 1, now);
+            m.counter_add("ocp.bytes", &self.target_label, bytes as u64, now);
+        }
+        if txn {
+            ctx.txn_record(TxnSpan {
+                level: TxnLevel::Ocp,
+                op,
+                resource: &self.target_label,
+                start,
+                end: ctx.now(),
+                bytes,
+                ok: result.is_ok(),
+            });
+        }
         result
     }
 

@@ -652,6 +652,21 @@ impl ShipPort {
         });
     }
 
+    /// Records one completed call into the time-resolved metrics registry:
+    /// per-channel message/byte counters plus the time the caller spent
+    /// inside the call (blocked or transferring) as a busy span. One atomic
+    /// load when metrics are off.
+    fn metric(&self, ctx: &ThreadCtx, start: SimTime, bytes: usize) {
+        if !ctx.metrics_enabled() {
+            return;
+        }
+        let m = ctx.metrics();
+        let now = ctx.now();
+        m.counter_add("ship.messages", &self.channel, 1, now);
+        m.counter_add("ship.bytes", &self.channel, bytes as u64, now);
+        m.span_record("ship.blocked", &self.channel, start, now);
+    }
+
     fn record(&self, ctx: &ThreadCtx, op: ShipOp, bytes: &[u8], start: shiptlm_kernel::time::SimTime) {
         let g = self.recorder.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(log) = g.as_ref() {
@@ -681,6 +696,7 @@ impl ShipPort {
         // channel, not copied.
         let result = self.endpoint.send_bytes(ctx, bytes.clone());
         self.txn(ctx, "send", start, bytes.len(), result.is_ok());
+        self.metric(ctx, start, bytes.len());
         result?;
         self.record(ctx, ShipOp::Send, &bytes, start);
         Ok(())
@@ -702,6 +718,7 @@ impl ShipPort {
             result.as_ref().map_or(0, |b| b.len()),
             result.is_ok(),
         );
+        self.metric(ctx, start, result.as_ref().map_or(0, |b| b.len()));
         let bytes = result?;
         self.record(ctx, ShipOp::Recv, &bytes, start);
         Ok(from_wire(&bytes)?)
@@ -729,6 +746,11 @@ impl ShipPort {
             result.as_ref().map_or(req_len, |r| req_len + r.len()),
             result.is_ok(),
         );
+        self.metric(
+            ctx,
+            start,
+            result.as_ref().map_or(req_len, |r| req_len + r.len()),
+        );
         let reply = result?;
         self.record(ctx, ShipOp::Request, &reply, start);
         Ok(from_wire(&reply)?)
@@ -745,6 +767,7 @@ impl ShipPort {
         self.usage.count_reply();
         let result = self.endpoint.reply_bytes(ctx, bytes.clone());
         self.txn(ctx, "reply", start, bytes.len(), result.is_ok());
+        self.metric(ctx, start, bytes.len());
         result?;
         self.record(ctx, ShipOp::Reply, &bytes, start);
         Ok(())

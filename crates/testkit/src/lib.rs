@@ -26,7 +26,10 @@
 //!   deterministic per-case seeds and env-var overrides;
 //! * [`json`] / [`asserts`] — the dependency-free JSON parser and the
 //!   trace/export assertion helpers shared with the workspace's
-//!   integration suites.
+//!   integration suites;
+//! * [`prom`] — parsers for the Prometheus text exposition and folded
+//!   flamegraph stacks emitted by the kernel's metrics registry and host
+//!   profiler.
 //!
 //! ## Example
 //!
@@ -49,6 +52,7 @@ pub mod faults;
 pub mod harness;
 pub mod json;
 pub mod model;
+pub mod prom;
 pub mod shrink;
 
 /// One-stop imports for conformance tests.
@@ -65,5 +69,6 @@ pub mod prelude {
     };
     pub use crate::json::Json;
     pub use crate::model::{GenConfig, ModelSpec, Motif};
+    pub use crate::prom::{parse_folded, FoldedStack, PromKind, PromSample, PromText};
     pub use crate::shrink::{candidates, shrink, ShrinkConfig, ShrinkResult};
 }

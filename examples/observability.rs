@@ -1,0 +1,137 @@
+//! Observability demo: the time-resolved metrics registry and the
+//! host-time profiler, over (1) a 13-configuration architecture sweep with
+//! per-candidate windowed series and (2) a single profiled run.
+//!
+//! Run with `cargo run --release --example observability`. Optional env
+//! vars write the exports to disk:
+//!
+//! * `SHIPTLM_METRICS_OUT=m.prom` — Prometheus text exposition of the
+//!   profiled run's metric registry;
+//! * `SHIPTLM_TIMESERIES_OUT=ts.csv` — the sweep's per-candidate windowed
+//!   time series as CSV;
+//! * `SHIPTLM_FOLDED_OUT=p.folded` — folded profiler stacks (feed to
+//!   `flamegraph.pl` or <https://www.speedscope.app>).
+
+use shiptlm::prelude::*;
+
+/// 3 burst sizes × {PLB, PLB/round-robin, OPB, crossbar} + a TDMA PLB.
+fn candidates() -> Vec<ArchSpec> {
+    let mut v = Vec::new();
+    for burst in [16, 64, 256] {
+        v.push(ArchSpec::plb().with_burst(burst));
+        v.push(
+            ArchSpec::plb()
+                .with_arb(ArbPolicy::RoundRobin)
+                .with_burst(burst),
+        );
+        v.push(ArchSpec::opb().with_burst(burst));
+        v.push(ArchSpec::crossbar().with_burst(burst));
+    }
+    v.push(ArchSpec::plb().with_arb(ArbPolicy::Tdma {
+        slot: SimDur::us(2),
+        slots: 4,
+    }));
+    v
+}
+
+fn write_out(var: &str, what: &str, content: &str) {
+    if let Ok(path) = std::env::var(var) {
+        std::fs::write(&path, content).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {what} to {path}");
+    }
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
+
+    // ── 1. Sweep with the metrics registry on: bus utilization over time ──
+    let archs = candidates();
+    println!(
+        "sweeping {} configurations with a {} sampling window…\n",
+        archs.len(),
+        SimDur::us(5),
+    );
+    let report = Sweep::new(workload::parallel_streams(4, 24, 256))
+        .archs(archs)
+        .with_metrics(SimDur::us(5))
+        .run_parallel(threads)
+        .expect("role detection");
+
+    println!("bus utilization per 5 µs window (busy picoseconds / window);");
+    println!("crossbar rows aggregate all output ports, so they can exceed 100%:");
+    println!("{:<28} windows →", "config");
+    for r in report.rows() {
+        let Some(snap) = &r.metrics else { continue };
+        // Every interconnect the candidate elaborated contributes a
+        // `bus.busy` series; single-bus candidates have exactly one.
+        for s in snap.series.iter().filter(|s| s.family == "bus.busy") {
+            let fractions = snap.busy_fractions("bus.busy", &s.resource);
+            let cells: Vec<String> = fractions
+                .iter()
+                .take(10)
+                .map(|(_, f)| format!("{:>4.0}%", f * 100.0))
+                .collect();
+            let ellipsis = if fractions.len() > 10 { " …" } else { "" };
+            println!(
+                "{:<28} {}{}",
+                format!("{} [{}]", r.label, s.resource),
+                cells.join(" "),
+                ellipsis
+            );
+        }
+    }
+    println!();
+    write_out(
+        "SHIPTLM_TIMESERIES_OUT",
+        "per-candidate time series CSV",
+        &report.timeseries_csv(),
+    );
+
+    // ── 2. One profiled run: registry + host-time profiler ──
+    let sim = Simulation::new();
+    sim.enable_metrics(SimDur::us(1));
+    sim.enable_profiler();
+    let cfg = ShipConfig {
+        latency: SimDur::ns(200),
+        per_byte: SimDur::ps(500),
+        ..ShipConfig::default()
+    };
+    let channel = ShipChannel::new(&sim.handle(), "stream", cfg);
+    let (tx, rx) = channel.ports("producer", "consumer");
+    sim.spawn_thread("producer", move |ctx| {
+        for i in 0..512u32 {
+            let payload: Vec<u8> = (0..128).map(|b| (b as u32 ^ i) as u8).collect();
+            tx.send(ctx, &(i, payload)).unwrap();
+            ctx.wait_for(SimDur::ns(50));
+        }
+    });
+    sim.spawn_thread("consumer", move |ctx| {
+        for _ in 0..512u32 {
+            let (_, payload): (u32, Vec<u8>) = rx.recv(ctx).unwrap();
+            assert_eq!(payload.len(), 128);
+        }
+    });
+    sim.run();
+
+    let snap = sim.metrics_snapshot();
+    let profile = sim.host_profile();
+    println!(
+        "profiled run: {} messages, {} payload+header bytes on 'stream'",
+        snap.counter_total("ship.messages", "stream"),
+        snap.counter_total("ship.bytes", "stream"),
+    );
+    println!("host time by kernel phase ({:?} total):", profile.total());
+    for (phase, stat) in &profile.phases {
+        println!("  {:<14} {:>10} ns over {} frames", phase, stat.nanos, stat.count);
+    }
+    for (proc_name, stat) in &profile.processes {
+        println!("  evaluate/{:<12} {:>10} ns over {} dispatches", proc_name, stat.nanos, stat.count);
+    }
+
+    write_out(
+        "SHIPTLM_METRICS_OUT",
+        "Prometheus exposition",
+        &snap.to_prometheus(),
+    );
+    write_out("SHIPTLM_FOLDED_OUT", "folded profiler stacks", &profile.to_folded());
+}
