@@ -10,8 +10,8 @@
 //! Results are also written to `BENCH_exploration.json` at the workspace
 //! root for the CI artifact and EXPERIMENTS.md tables.
 
-use shiptlm_bench::minibench::{criterion_group, criterion_main, write_json, Criterion};
 use shiptlm::prelude::*;
+use shiptlm_bench::minibench::{criterion_group, criterion_main, write_json, Criterion};
 
 fn the_app() -> AppSpec {
     workload::parallel_streams(4, 24, 256)
@@ -42,12 +42,7 @@ fn bench_exploration(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(500));
     g.measurement_time(std::time::Duration::from_secs(2));
     g.bench_function("sweep_13_configs/serial", |b| {
-        b.iter(|| {
-            Sweep::new(the_app())
-                .archs(candidates())
-                .run()
-                .unwrap()
-        })
+        b.iter(|| Sweep::new(the_app()).archs(candidates()).run().unwrap())
     });
     for threads in [2usize, 4, 8] {
         let id = format!("sweep_13_configs/parallel_t{threads}");
@@ -63,6 +58,36 @@ fn bench_exploration(c: &mut Criterion) {
     g.bench_function("single_candidate", |b| {
         let roles = run_component_assembly(&the_app()).unwrap().roles;
         b.iter(|| run_mapped(&the_app(), &roles, &ArchSpec::plb()).unwrap())
+    });
+
+    // The ROADMAP-1 scale: ~1k candidates of a tiny workload, where
+    // per-candidate cost is milliseconds and scheduling overhead decides
+    // the outcome. This is the case the persistent pool + batched claiming
+    // were built for, and what the perf guard pins.
+    let tiny_app = || workload::parallel_streams(2, 6, 64);
+    let grid = || ArchGrid::exploration_default().generate_n(1024);
+    g.bench_function("sweep_1024/serial", |b| {
+        b.iter(|| Sweep::new(tiny_app()).archs(grid()).run().unwrap())
+    });
+    for threads in [2usize, 8] {
+        let id = format!("sweep_1024/parallel_t{threads}");
+        g.bench_function(id.as_str(), |b| {
+            b.iter(|| {
+                Sweep::new(tiny_app())
+                    .archs(grid())
+                    .run_parallel(threads)
+                    .unwrap()
+            })
+        });
+    }
+    g.bench_function("sweep_1024/pruned_t8", |b| {
+        b.iter(|| {
+            Sweep::new(tiny_app())
+                .archs(grid())
+                .with_pruning(PruneConfig::sim_time())
+                .run_parallel(8)
+                .unwrap()
+        })
     });
     g.finish();
 

@@ -24,6 +24,7 @@ use shiptlm_explore::mapper::{
     MappedRun, RunOptions,
 };
 use shiptlm_explore::metrics::{Report, RunMetrics};
+use shiptlm_explore::pool::WorkerPool;
 use shiptlm_ship::record::EquivalenceError;
 
 /// The three abstraction levels of the flow.
@@ -223,7 +224,56 @@ impl DesignFlow {
                 source,
             })?;
         let pin_accurate = if self.with_pin_level {
-            let pin = run_pin_accurate_with(&self.app, &ca.roles, &self.arch, &self.opts)?;
+            Some(run_pin_accurate_with(
+                &self.app, &ca.roles, &self.arch, &self.opts,
+            )?)
+        } else {
+            None
+        };
+        Self::check_and_assemble(ca, ccatb, pin_accurate)
+    }
+
+    /// Like [`DesignFlow::run`], but simulates the CCATB and pin-accurate
+    /// levels concurrently on `pool` (the same persistent worker pool sweeps
+    /// use — e.g. [`WorkerPool::global`]). The refined levels only depend on
+    /// the component-assembly reference, never on each other, so
+    /// overlapping them is free parallelism when the pin level is enabled;
+    /// without it this is equivalent to [`DesignFlow::run`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DesignFlow::run`]; on concurrent failures the CCATB level's
+    /// error wins, matching the serial order.
+    pub fn run_on(&self, pool: &WorkerPool) -> Result<FlowRun, FlowError> {
+        if !self.with_pin_level {
+            return self.run();
+        }
+        let ca = run_component_assembly_with(&self.app, &self.opts)?;
+        let mut runs = pool.run_fallible(2, 2, 1, |i| {
+            if i == 0 {
+                run_mapped_with(&self.app, &ca.roles, &self.arch, &self.opts)
+            } else {
+                run_pin_accurate_with(&self.app, &ca.roles, &self.arch, &self.opts)
+            }
+        })?;
+        let pin = runs.pop().expect("pin-accurate level ran");
+        let ccatb = runs.pop().expect("ccatb level ran");
+        Self::check_and_assemble(ca, ccatb, Some(pin))
+    }
+
+    fn check_and_assemble(
+        ca: CaRun,
+        ccatb: MappedRun,
+        pin_accurate: Option<MappedRun>,
+    ) -> Result<FlowRun, FlowError> {
+        ca.output
+            .log
+            .content_equivalent(&ccatb.output.log)
+            .map_err(|source| FlowError::Equivalence {
+                level: Level::Ccatb,
+                source,
+            })?;
+        if let Some(pin) = &pin_accurate {
             ca.output
                 .log
                 .content_equivalent(&pin.output.log)
@@ -231,10 +281,7 @@ impl DesignFlow {
                     level: Level::PinAccurate,
                     source,
                 })?;
-            Some(pin)
-        } else {
-            None
-        };
+        }
         Ok(FlowRun {
             component_assembly: ca,
             ccatb,

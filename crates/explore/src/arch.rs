@@ -91,9 +91,177 @@ impl ArchSpec {
         self
     }
 
-    /// A short label for report rows, e.g. `plb/priority/b64`.
+    /// Replaces the interconnect clock period (the preset stays when unset).
+    pub fn with_clock(mut self, clock: SimDur) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Replaces the per-channel mailbox depth.
+    pub fn with_rx_capacity(mut self, rx_capacity: usize) -> Self {
+        self.rx_capacity = rx_capacity;
+        self
+    }
+
+    /// Replaces the master-side status polling interval.
+    pub fn with_poll(mut self, poll_interval: SimDur) -> Self {
+        self.poll_interval = poll_interval;
+        self
+    }
+
+    /// A short label for report rows, e.g. `plb/priority/b64`. Non-default
+    /// clock, mailbox depth and polling interval are appended (e.g.
+    /// `plb/priority/b64/c20ns/rx8/p400ns`) so every point of a large design
+    /// grid gets a distinct row label.
     pub fn label(&self) -> String {
-        format!("{}/{}/b{}", self.bus, self.arb.label(), self.burst_bytes)
+        let mut label = format!("{}/{}/b{}", self.bus, self.arb.label(), self.burst_bytes);
+        if let Some(clock) = self.clock {
+            label.push_str(&format!("/c{clock}"));
+        }
+        if self.rx_capacity != 4 {
+            label.push_str(&format!("/rx{}", self.rx_capacity));
+        }
+        if self.poll_interval != SimDur::ns(100) {
+            label.push_str(&format!("/p{}", self.poll_interval));
+        }
+        label
+    }
+
+    /// The interconnect clock period this spec elaborates to: the explicit
+    /// [`clock`](Self::clock) override, or the topology preset
+    /// ([`BusConfig::plb`]/[`BusConfig::opb`]/[`CrossbarConfig::default_64bit`]).
+    pub fn effective_clock(&self) -> SimDur {
+        if let Some(clock) = self.clock {
+            return clock;
+        }
+        match self.bus {
+            BusKind::Plb => BusConfig::plb("probe").clock,
+            BusKind::Opb => BusConfig::opb("probe").clock,
+            BusKind::Crossbar => CrossbarConfig::default_64bit("probe").clock,
+        }
+    }
+
+    /// The data-path width in bytes this spec elaborates to (from the same
+    /// presets as [`effective_clock`](Self::effective_clock)).
+    pub fn link_width_bytes(&self) -> usize {
+        match self.bus {
+            BusKind::Plb => BusConfig::plb("probe").width_bytes,
+            BusKind::Opb => BusConfig::opb("probe").width_bytes,
+            BusKind::Crossbar => CrossbarConfig::default_64bit("probe").width_bytes,
+        }
+    }
+
+    /// A **lower bound** on the simulated time any run must spend moving
+    /// `bytes` across one link of this architecture: `ceil(bytes / width)`
+    /// data beats at one interconnect clock each. Real runs are strictly
+    /// slower (arbitration, wrapper protocol, polling), which is exactly
+    /// what makes this bound safe for Pareto-guided pruning — a candidate
+    /// whose *floor* is already beaten cannot win.
+    pub fn min_transfer_time(&self, bytes: u64) -> SimDur {
+        let width = self.link_width_bytes().max(1) as u64;
+        let beats = bytes.div_ceil(width);
+        self.effective_clock().saturating_mul(beats)
+    }
+}
+
+/// A full-factorial design grid over [`ArchSpec`] axes — the generator that
+/// scales exploration from a handful of hand-picked candidates to the
+/// 1k–10k-point spaces Pareto-guided pruning is built for.
+///
+/// Axis order in [`generate`](ArchGrid::generate) is deterministic
+/// (bus → arbitration → clock → burst → mailbox depth → poll interval), so
+/// a grid is a stable, reproducible candidate list.
+#[derive(Debug, Clone)]
+pub struct ArchGrid {
+    /// Interconnect topologies.
+    pub buses: Vec<BusKind>,
+    /// Arbitration policies.
+    pub arbs: Vec<ArbPolicy>,
+    /// Clock periods; `None` keeps the topology preset.
+    pub clocks: Vec<Option<SimDur>>,
+    /// Wrapper burst sizes in bytes.
+    pub bursts: Vec<usize>,
+    /// Mailbox depths per channel adapter.
+    pub rx_capacities: Vec<usize>,
+    /// Master-side polling intervals.
+    pub polls: Vec<SimDur>,
+}
+
+impl ArchGrid {
+    /// The default exploration grid: 3 topologies × 3 arbitration policies
+    /// × 4 clock ratios × 6 burst sizes × 3 mailbox depths × 2 polling
+    /// intervals = 1296 candidates.
+    pub fn exploration_default() -> Self {
+        ArchGrid {
+            buses: vec![BusKind::Plb, BusKind::Opb, BusKind::Crossbar],
+            arbs: vec![
+                ArbPolicy::FixedPriority,
+                ArbPolicy::RoundRobin,
+                ArbPolicy::Tdma {
+                    slot: SimDur::us(2),
+                    slots: 4,
+                },
+            ],
+            clocks: vec![
+                None,
+                Some(SimDur::ns(5)),
+                Some(SimDur::ns(20)),
+                Some(SimDur::ns(40)),
+            ],
+            bursts: vec![8, 16, 32, 64, 128, 256],
+            rx_capacities: vec![2, 4, 8],
+            polls: vec![SimDur::ns(100), SimDur::ns(400)],
+        }
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.buses.len()
+            * self.arbs.len()
+            * self.clocks.len()
+            * self.bursts.len()
+            * self.rx_capacities.len()
+            * self.polls.len()
+    }
+
+    /// `true` when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes every grid point, in deterministic axis order.
+    pub fn generate(&self) -> Vec<ArchSpec> {
+        let mut out = Vec::with_capacity(self.len());
+        for bus in &self.buses {
+            for arb in &self.arbs {
+                for clock in &self.clocks {
+                    for &burst in &self.bursts {
+                        for &rx in &self.rx_capacities {
+                            for &poll in &self.polls {
+                                out.push(ArchSpec {
+                                    bus: *bus,
+                                    arb: arb.clone(),
+                                    clock: *clock,
+                                    burst_bytes: burst,
+                                    rx_capacity: rx,
+                                    poll_interval: poll,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The first `n` grid points (deterministic prefix of
+    /// [`generate`](ArchGrid::generate)) — handy for sizing benches and
+    /// tests to an exact candidate count.
+    pub fn generate_n(&self, n: usize) -> Vec<ArchSpec> {
+        let mut v = self.generate();
+        v.truncate(n);
+        v
     }
 }
 

@@ -35,20 +35,22 @@ pub mod arch;
 pub mod mapper;
 pub mod metrics;
 pub mod pareto;
+pub mod pool;
 pub mod sweep;
 pub mod workload;
 
 /// Commonly used exploration items.
 pub mod prelude {
     pub use crate::app::{AppSpec, ChannelSpec, PeBehavior, PeSpec};
-    pub use crate::arch::{build_interconnect, ArchSpec, BusKind, Interconnect};
+    pub use crate::arch::{build_interconnect, ArchGrid, ArchSpec, BusKind, Interconnect};
     pub use crate::mapper::{
         explore_one, run_component_assembly, run_component_assembly_with, run_mapped,
         run_mapped_with, run_pin_accurate, run_pin_accurate_with, CaRun, MapError, MappedRun,
         PortHook, PortSite, RoleMap, RunOptions, RunOutput, MAP_BASE,
     };
     pub use crate::metrics::{Report, RunMetrics};
-    pub use crate::pareto::{dominates, pareto_front, report_front};
-    pub use crate::sweep::{sweep, verify_equivalence, Sweep};
+    pub use crate::pareto::{dominates, pareto_front, report_front, ParetoSet};
+    pub use crate::pool::WorkerPool;
+    pub use crate::sweep::{sweep, verify_equivalence, PruneConfig, PruneContext, Sweep};
     pub use crate::workload;
 }

@@ -18,12 +18,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use shiptlm_cam::wrapper::{map_channel, WrapperConfig, ADAPTER_SIZE};
-use shiptlm_kernel::{RunResult, StopReason};
 use shiptlm_kernel::liveness::DeadlockReport;
+use shiptlm_kernel::metrics::MetricsSnapshot;
 use shiptlm_kernel::sim::Simulation;
 use shiptlm_kernel::time::{SimDur, SimTime};
-use shiptlm_kernel::metrics::MetricsSnapshot;
 use shiptlm_kernel::txn::TxnTrace;
+use shiptlm_kernel::{RunResult, StopReason};
 use shiptlm_ocp::tl::MasterId;
 use shiptlm_ship::channel::{ShipChannel, ShipConfig, ShipPort};
 use shiptlm_ship::record::TransactionLog;
@@ -50,9 +50,11 @@ impl RoleMap {
     /// Returns [`MapError::Missing`] when the map does not cover `channel`
     /// (e.g. a hand-built map, or an app grown after role detection).
     pub fn master_pe(&self, channel: &str) -> Result<&String, MapError> {
-        self.master_of.get(channel).ok_or_else(|| MapError::Missing {
-            channel: channel.to_string(),
-        })
+        self.master_of
+            .get(channel)
+            .ok_or_else(|| MapError::Missing {
+                channel: channel.to_string(),
+            })
     }
 }
 
@@ -228,7 +230,14 @@ impl RunOptions {
     /// Applies the port hook (when set) to a PE-facing port.
     pub fn hook_port(&self, channel: &str, pe: &str, mapped: bool, port: ShipPort) -> ShipPort {
         match &self.port_hook {
-            Some(hook) => hook(PortSite { channel, pe, mapped }, port),
+            Some(hook) => hook(
+                PortSite {
+                    channel,
+                    pe,
+                    mapped,
+                },
+                port,
+            ),
             None => port,
         }
     }
@@ -444,7 +453,13 @@ pub fn run_mapped_with(
         } else {
             (c.b.as_str(), c.a.as_str())
         };
-        let pending = map_channel(&h, &c.name, base, wrapper_cfg.clone(), (master_label, slave_label));
+        let pending = map_channel(
+            &h,
+            &c.name,
+            base,
+            wrapper_cfg.clone(),
+            (master_label, slave_label),
+        );
         slaves.push((base..base + ADAPTER_SIZE, pending.adapter.clone() as _));
         pendings.push(pending);
     }
@@ -566,17 +581,19 @@ pub fn run_pin_accurate_with(
     let mut accessor_port_of: BTreeMap<String, shiptlm_ocp::tl::OcpMasterPort> = BTreeMap::new();
     for c in app.channels() {
         let master_pe = roles.master_of[&c.name].clone();
-        accessor_port_of.entry(master_pe.clone()).or_insert_with(|| {
-            let acc = shiptlm_cam::accessor::Accessor::attach(
-                &h,
-                &format!("{master_pe}.acc"),
-                &clk,
-                interconnect.as_target(),
-                master_id_of[master_pe.as_str()],
-                false,
-            );
-            acc.port().clone()
-        });
+        accessor_port_of
+            .entry(master_pe.clone())
+            .or_insert_with(|| {
+                let acc = shiptlm_cam::accessor::Accessor::attach(
+                    &h,
+                    &format!("{master_pe}.acc"),
+                    &clk,
+                    interconnect.as_target(),
+                    master_id_of[master_pe.as_str()],
+                    false,
+                );
+                acc.port().clone()
+            });
     }
 
     let mut pe_ports: BTreeMap<String, Vec<ShipPort>> = BTreeMap::new();

@@ -57,26 +57,30 @@ impl RunMetrics {
         let mut rpc_latency = RunningStats::new();
         let mut send_blocking = RunningStats::new();
         let mut channel_latency: BTreeMap<String, RunningStats> = BTreeMap::new();
-        for r in log.to_vec() {
-            channel_latency
-                .entry(r.channel.to_string())
-                .or_default()
-                .record(r.end.saturating_since(r.start).as_ps() as f64 / 1_000.0);
-            match r.op {
-                ShipOp::Recv => {
-                    messages += 1;
-                    bytes += r.len as u64;
+        // Visit the records in place: a 1k-candidate sweep builds 1k+ rows,
+        // and cloning every log (plus one String per record for the channel
+        // key) showed up as the dominant per-candidate allocation churn.
+        log.with_records(|records| {
+            for r in records {
+                let latency_ns = r.end.saturating_since(r.start).as_ps() as f64 / 1_000.0;
+                match channel_latency.get_mut(&*r.channel) {
+                    Some(stats) => stats.record(latency_ns),
+                    None => channel_latency
+                        .entry(r.channel.to_string())
+                        .or_default()
+                        .record(latency_ns),
                 }
-                ShipOp::Request => {
-                    rpc_latency.record(r.end.saturating_since(r.start).as_ps() as f64 / 1_000.0);
+                match r.op {
+                    ShipOp::Recv => {
+                        messages += 1;
+                        bytes += r.len as u64;
+                    }
+                    ShipOp::Request => rpc_latency.record(latency_ns),
+                    ShipOp::Send => send_blocking.record(latency_ns),
+                    ShipOp::Reply => {}
                 }
-                ShipOp::Send => {
-                    send_blocking
-                        .record(r.end.saturating_since(r.start).as_ps() as f64 / 1_000.0);
-                }
-                ShipOp::Reply => {}
             }
-        }
+        });
         RunMetrics {
             label: label.to_string(),
             sim_time,
@@ -137,6 +141,7 @@ impl fmt::Display for RunMetrics {
 #[derive(Debug, Clone, Default)]
 pub struct Report {
     rows: Vec<RunMetrics>,
+    pruned: Vec<String>,
 }
 
 impl Report {
@@ -153,6 +158,18 @@ impl Report {
     /// The collected rows.
     pub fn rows(&self) -> &[RunMetrics] {
         &self.rows
+    }
+
+    /// Records a candidate skipped by Pareto-guided pruning (see
+    /// [`Sweep::with_pruning`](crate::sweep::Sweep::with_pruning)).
+    pub fn note_pruned(&mut self, label: impl Into<String>) {
+        self.pruned.push(label.into());
+    }
+
+    /// Labels of candidates skipped by Pareto-guided pruning, in candidate
+    /// order. Empty unless the sweep ran with pruning enabled.
+    pub fn pruned(&self) -> &[String] {
+        &self.pruned
     }
 
     /// Renders a CSV representation.
@@ -249,6 +266,13 @@ impl fmt::Display for Report {
                     .as_ref()
                     .map(|b| format!("{:.1}", b.wait_cycles.mean()))
                     .unwrap_or_else(|| "-".into()),
+            )?;
+        }
+        if !self.pruned.is_empty() {
+            writeln!(
+                f,
+                "({} dominated candidates pruned before simulation)",
+                self.pruned.len()
             )?;
         }
         Ok(())

@@ -1,0 +1,496 @@
+//! Persistent worker pool for fanning out candidate simulations.
+//!
+//! The first parallel-sweep implementation spawned a fresh scoped thread per
+//! worker on every [`Sweep`](crate::sweep::Sweep) call. `BENCH_exploration.json`
+//! showed that losing to the serial sweep at 13 candidates: per-candidate
+//! simulations cost only milliseconds, so per-sweep thread spawn/teardown
+//! dominated (serial 248 ms vs 282 ms at 8 "worker" threads). The pool here
+//! fixes that structurally:
+//!
+//! * **Persistent, lazily-started workers.** Threads are spawned on first
+//!   demand and then parked on a condvar between jobs, so the second sweep
+//!   (and the thousandth) pays zero spawn cost. [`WorkerPool::global`] is
+//!   the process-wide instance shared by [`Sweep::run_parallel`] and
+//!   `DesignFlow::run_on`; independent pools can be created with
+//!   [`WorkerPool::new`] for isolation.
+//! * **Batched claiming.** A batch does not enqueue one job per candidate.
+//!   It enqueues one *claimer* per worker; claimers (and the calling thread,
+//!   which always participates) grab contiguous index chunks from a shared
+//!   atomic cursor. Queue and wake-up traffic is `O(threads)`, not
+//!   `O(candidates)`, and chunking amortizes the cursor bump at 1k–10k
+//!   candidates.
+//! * **Caller participation.** The submitting thread claims chunks like any
+//!   worker, so a batch always makes progress even when every pool worker is
+//!   busy with another sweep (no convoying, no deadlock on nested use).
+//! * **Cooperative cancellation.** [`WorkerPool::run_fallible`] tracks the
+//!   earliest failing index; chunks queued behind a failure are skipped
+//!   instead of simulated, while the returned error is still the earliest
+//!   failure in index order — exactly what a serial loop would report.
+//!
+//! [`Sweep::run_parallel`]: crate::sweep::Sweep::run_parallel
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Sentinel for "no candidate has failed".
+const NO_FAILURE: usize = usize::MAX;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    idle: usize,
+    shutdown: bool,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+impl PoolInner {
+    fn worker_loop(self: &Arc<Self>) {
+        loop {
+            let job = {
+                let mut st = lock(&self.state);
+                loop {
+                    if let Some(job) = st.queue.pop_front() {
+                        break job;
+                    }
+                    if st.shutdown {
+                        return;
+                    }
+                    st.idle += 1;
+                    st = self.work_ready.wait(st).unwrap_or_else(|e| e.into_inner());
+                    st.idle -= 1;
+                }
+            };
+            // A panicking job must not kill the worker: the batch records the
+            // payload and the submitting thread rethrows it.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+        }
+    }
+}
+
+/// A persistent pool of worker threads with batched index claiming.
+///
+/// Workers are spawned lazily (first batch that wants them) and live until
+/// the pool is dropped; [`WorkerPool::global`] never drops, so its workers
+/// are reused for the whole process lifetime.
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("spawned_workers", &self.spawned_workers())
+            .finish()
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool::new()
+    }
+}
+
+/// Per-batch shared state: an index cursor claimers pull chunks from, plus
+/// panic bookkeeping. Completion is tracked by a separate [`Latch`] so that
+/// helper claimers can drop their `Arc<Batch>` (and with it every borrow of
+/// caller state held by `task`) strictly *before* signalling completion.
+struct Batch {
+    next: AtomicUsize,
+    total: usize,
+    chunk: usize,
+    task: Box<dyn Fn(usize) + Send + Sync>,
+    /// First panic payload observed; rethrown on the calling thread.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Batch {
+    fn claim_chunks(&self) {
+        loop {
+            let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.total {
+                return;
+            }
+            let end = (start + self.chunk).min(self.total);
+            for i in start..end {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.task)(i))) {
+                    let mut slot = lock(&self.panic);
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                    // Park the cursor past the end so every claimer drains.
+                    self.next.store(self.total, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Completion latch for one batch. Owns nothing borrowed, so helper jobs may
+/// keep it alive past `run_indexed`'s return without touching caller state.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn retire(&self) {
+        let mut remaining = lock(&self.remaining);
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = lock(&self.remaining);
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl WorkerPool {
+    /// Creates an empty pool; workers are spawned lazily on first demand.
+    pub fn new() -> Self {
+        WorkerPool {
+            inner: Arc::new(PoolInner {
+                state: Mutex::new(PoolState {
+                    queue: VecDeque::new(),
+                    idle: 0,
+                    shutdown: false,
+                }),
+                work_ready: Condvar::new(),
+            }),
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The process-wide pool shared by [`Sweep::run_parallel`] and
+    /// `DesignFlow::run_on`. Never torn down; its workers persist across
+    /// sweeps for the process lifetime.
+    ///
+    /// [`Sweep::run_parallel`]: crate::sweep::Sweep::run_parallel
+    pub fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(WorkerPool::new)
+    }
+
+    /// Number of worker threads spawned so far (grows lazily, never
+    /// shrinks). A sweep at `threads` concurrency spawns at most
+    /// `threads - 1` workers — the calling thread is always the last runner.
+    pub fn spawned_workers(&self) -> usize {
+        lock(&self.workers).len()
+    }
+
+    fn ensure_workers(&self, wanted: usize) {
+        let mut workers = lock(&self.workers);
+        while workers.len() < wanted {
+            let inner = Arc::clone(&self.inner);
+            let name = format!("shiptlm-sweep-{}", workers.len());
+            let handle = std::thread::Builder::new()
+                .name(name)
+                .spawn(move || inner.worker_loop())
+                .expect("spawn sweep worker thread");
+            workers.push(handle);
+        }
+    }
+
+    /// Runs `task(i)` for every `i in 0..total` with up to `concurrency`
+    /// runners (pool workers plus the calling thread), claiming indices in
+    /// chunks of `chunk`. Blocks until every index has run. Panics from
+    /// `task` are rethrown here, on the calling thread.
+    pub fn run_indexed(
+        &self,
+        concurrency: usize,
+        total: usize,
+        chunk: usize,
+        task: Box<dyn Fn(usize) + Send + Sync>,
+    ) {
+        if total == 0 {
+            return;
+        }
+        let concurrency = concurrency.clamp(1, total);
+        let helpers = concurrency - 1;
+        let batch = Arc::new(Batch {
+            next: AtomicUsize::new(0),
+            total,
+            chunk: chunk.max(1),
+            task,
+            panic: Mutex::new(None),
+        });
+        let latch = Arc::new(Latch {
+            remaining: Mutex::new(helpers),
+            done: Condvar::new(),
+        });
+        if helpers > 0 {
+            self.ensure_workers(helpers);
+            {
+                let mut st = lock(&self.inner.state);
+                for _ in 0..helpers {
+                    let b = Arc::clone(&batch);
+                    let l = Arc::clone(&latch);
+                    st.queue.push_back(Box::new(move || {
+                        // claim_chunks contains all task panics itself; the
+                        // extra catch is a backstop so the latch always fires.
+                        let _ = catch_unwind(AssertUnwindSafe(|| b.claim_chunks()));
+                        // Drop the batch (and every borrow inside `task`)
+                        // BEFORE retiring: once the caller observes the latch
+                        // at zero, no helper can still reach caller state.
+                        drop(b);
+                        l.retire();
+                    }));
+                }
+            }
+            self.inner.work_ready.notify_all();
+        }
+        // The caller is a claimer too: progress is guaranteed even when all
+        // workers are busy with other batches, and `concurrency == 1` never
+        // touches the queue at all.
+        batch.claim_chunks();
+        latch.wait();
+        let payload = lock(&batch.panic).take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Fallible fan-out with cooperative cancellation, the engine behind
+    /// parallel sweeps.
+    ///
+    /// `task(i)` runs for every index unless an earlier (lower) index has
+    /// already failed, in which case queued higher indices are *skipped* —
+    /// their cost is never paid. Results come back in index order. On
+    /// failure the error of the earliest failing index is returned, which is
+    /// exactly the error a serial `for` loop over `0..total` would have
+    /// stopped at: every index below the earliest failure is guaranteed to
+    /// have run.
+    ///
+    /// # Errors
+    ///
+    /// Returns `E` of the earliest failing index when any `task` call fails.
+    pub fn run_fallible<T, E>(
+        &self,
+        concurrency: usize,
+        total: usize,
+        chunk: usize,
+        task: impl Fn(usize) -> Result<T, E> + Send + Sync,
+    ) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+    {
+        struct FallibleBatch<T, E, F> {
+            slots: Vec<Mutex<Option<Result<T, E>>>>,
+            first_fail: AtomicUsize,
+            task: F,
+        }
+        let shared = Arc::new(FallibleBatch {
+            slots: (0..total).map(|_| Mutex::new(None)).collect(),
+            first_fail: AtomicUsize::new(NO_FAILURE),
+            task,
+        });
+        {
+            let shared = Arc::clone(&shared);
+            // SAFETY-free lifetime note: `task` may borrow caller state, so
+            // the closure is scoped via Arc and fully drained before return —
+            // `run_indexed` blocks until every claimer has retired.
+            let boxed: Box<dyn Fn(usize) + Send + Sync + '_> = Box::new(move |i| {
+                // Cooperative cancel: work queued behind a failed candidate
+                // is dropped, not simulated. Indices *below* the failure
+                // still run — one of them could fail too, and the earliest
+                // failure is the one the serial path would report.
+                if i > shared.first_fail.load(Ordering::Relaxed) {
+                    return;
+                }
+                let result = (shared.task)(i);
+                if result.is_err() {
+                    shared.first_fail.fetch_min(i, Ordering::Relaxed);
+                }
+                *lock(&shared.slots[i]) = Some(result);
+            });
+            // SAFETY: the pool queue requires 'static jobs, but `run_indexed`
+            // joins the whole batch before returning, so the borrow of
+            // `task`/`shared` never outlives this call.
+            let boxed: Box<dyn Fn(usize) + Send + Sync + 'static> =
+                unsafe { std::mem::transmute(boxed) };
+            self.run_indexed(concurrency, total, chunk, boxed);
+        }
+        let shared = match Arc::try_unwrap(shared) {
+            Ok(s) => s,
+            Err(_) => unreachable!("all claimers retired before run_indexed returned"),
+        };
+        let mut rows = Vec::with_capacity(total);
+        for slot in shared.slots {
+            match lock(&slot).take() {
+                Some(Ok(row)) => rows.push(row),
+                Some(Err(e)) => return Err(e),
+                // Skipped by cancellation: unreachable before the earliest
+                // failure, and the failure returns above first.
+                None => unreachable!("slot skipped without an earlier failure"),
+            }
+        }
+        Ok(rows)
+    }
+
+    /// A sensible chunk size for `total` indices over `concurrency` runners:
+    /// small enough to balance uneven candidate costs, large enough to
+    /// amortize cursor traffic on 10k-candidate sweeps.
+    pub fn chunk_for(concurrency: usize, total: usize) -> usize {
+        (total / (concurrency.max(1) * 8)).clamp(1, 32)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        lock(&self.inner.state).shutdown = true;
+        self.inner.work_ready.notify_all();
+        for handle in lock(&self.workers).drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn run_indexed_covers_every_index_once() {
+        let pool = WorkerPool::new();
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let hits = Arc::new(hits);
+        let h = Arc::clone(&hits);
+        pool.run_indexed(
+            4,
+            100,
+            WorkerPool::chunk_for(4, 100),
+            Box::new(move |i| {
+                h[i].fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} hit count");
+        }
+        assert!(pool.spawned_workers() <= 3);
+    }
+
+    #[test]
+    fn workers_are_lazy_and_reused() {
+        let pool = WorkerPool::new();
+        assert_eq!(pool.spawned_workers(), 0, "no demand, no threads");
+        pool.run_indexed(1, 10, 1, Box::new(|_| {}));
+        assert_eq!(pool.spawned_workers(), 0, "serial batches never spawn");
+        for _ in 0..5 {
+            pool.run_indexed(4, 20, 1, Box::new(|_| {}));
+        }
+        assert_eq!(pool.spawned_workers(), 3, "pool reused, not regrown");
+        pool.run_indexed(6, 20, 1, Box::new(|_| {}));
+        assert_eq!(pool.spawned_workers(), 5, "grows on larger demand");
+    }
+
+    #[test]
+    fn run_fallible_returns_rows_in_index_order() {
+        let pool = WorkerPool::new();
+        let rows: Vec<usize> = pool
+            .run_fallible(4, 50, 2, |i| Ok::<_, ()>(i * 10))
+            .unwrap();
+        assert_eq!(rows, (0..50).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_fallible_reports_earliest_failure_and_skips_queued_work() {
+        let pool = WorkerPool::new();
+        let ran: Vec<AtomicBool> = (0..400).map(|_| AtomicBool::new(false)).collect();
+        // Index 7 fails (after a short delay so later chunks are queued
+        // behind it); everything behind the failure should be skipped.
+        let result: Result<Vec<usize>, String> = pool.run_fallible(2, 400, 4, |i| {
+            ran[i].store(true, Ordering::Relaxed);
+            if i == 7 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                Err(format!("candidate {i} failed"))
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                Ok(i)
+            }
+        });
+        assert_eq!(result.unwrap_err(), "candidate 7 failed");
+        let ran_count = ran.iter().filter(|r| r.load(Ordering::Relaxed)).count();
+        assert!(
+            ran_count < 400,
+            "cancel flag should skip queued candidates, but all {ran_count} ran"
+        );
+    }
+
+    #[test]
+    fn run_fallible_prefers_the_earliest_of_two_failures() {
+        // Indices 3 and 30 both fail; 30 likely fails first on the worker,
+        // but the reported error must be index 3's — the serial answer.
+        let pool = WorkerPool::new();
+        for _ in 0..20 {
+            let err = pool
+                .run_fallible(2, 60, 1, |i| {
+                    if i == 3 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        Err(3usize)
+                    } else if i == 30 {
+                        Err(30usize)
+                    } else {
+                        Ok(())
+                    }
+                })
+                .unwrap_err();
+            assert_eq!(err, 3, "earliest failing index wins");
+        }
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller_and_workers_survive() {
+        let pool = WorkerPool::new();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_indexed(
+                3,
+                10,
+                1,
+                Box::new(|i| {
+                    if i == 5 {
+                        panic!("boom at {i}");
+                    }
+                }),
+            );
+        }));
+        assert!(result.is_err(), "panic must reach the caller");
+        // The pool must still be usable afterwards.
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        pool.run_indexed(
+            3,
+            10,
+            1,
+            Box::new(move |_| {
+                c.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = WorkerPool::global() as *const _;
+        let b = WorkerPool::global() as *const _;
+        assert_eq!(a, b);
+    }
+}

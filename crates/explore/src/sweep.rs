@@ -2,16 +2,24 @@
 //! communication architecture exploration".
 //!
 //! Candidate simulations are fully independent [`Simulation`] instances, so
-//! a sweep can fan them out over a bounded pool of OS threads
-//! ([`Sweep::run_parallel`]). Role detection still runs exactly once and is
-//! shared immutably; results are collected in candidate order, so the
-//! [`Report`] is identical to a serial run regardless of thread count.
+//! a sweep fans them out over the persistent [`WorkerPool`]
+//! ([`Sweep::run_parallel`] uses [`WorkerPool::global`]; [`Sweep::run_on`]
+//! takes any pool). Role detection still runs exactly once and is shared
+//! immutably; results are collected in candidate order, so the [`Report`]
+//! is identical to a serial run regardless of thread count.
+//!
+//! For large design grids (see [`ArchGrid`](crate::arch::ArchGrid)) a sweep
+//! can additionally run in Pareto-guided pruning mode
+//! ([`Sweep::with_pruning`]): finished candidates stream their cost vectors
+//! into an incremental non-dominated archive, and queued candidates whose
+//! *lower bound* is already dominated are skipped without being simulated.
 
+use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use shiptlm_kernel::sim::Simulation;
+use shiptlm_ship::record::{Label, ShipOp, TransactionLog};
 
 use crate::app::AppSpec;
 use crate::arch::ArchSpec;
@@ -20,6 +28,8 @@ use crate::mapper::{
     MappedRun, RoleMap, RunOptions,
 };
 use crate::metrics::{Report, RunMetrics};
+use crate::pareto::ParetoSet;
+use crate::pool::WorkerPool;
 
 // Compile-time guarantee that sweep workers are safely isolated: every piece
 // of state a worker thread touches must be Send (and the shared inputs Sync).
@@ -39,7 +49,115 @@ const _: () = {
     assert_send::<shiptlm_kernel::txn::TxnTrace>();
     assert_send::<shiptlm_kernel::metrics::MetricsSnapshot>();
     assert_sync::<RunOptions>();
+    assert_sync::<WorkerPool>();
+    assert_sync::<PruneConfig>();
+    assert_send::<ParetoSet>();
 };
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Application facts extracted from the untimed reference run, available to
+/// pruning lower-bound estimators (see [`PruneConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruneContext {
+    /// Largest total payload delivered over any single channel, in bytes.
+    /// Those bytes cross one adapter of the candidate interconnect
+    /// *serially*, which makes
+    /// [`ArchSpec::min_transfer_time`] of this figure an admissible
+    /// simulated-time floor.
+    pub max_channel_bytes: u64,
+    /// Total payload bytes delivered across all channels.
+    pub total_bytes: u64,
+}
+
+impl PruneContext {
+    /// Extracts the context from the component-assembly run's log.
+    pub fn from_log(log: &TransactionLog) -> Self {
+        log.with_records(|records| {
+            let mut per_channel: BTreeMap<Label, u64> = BTreeMap::new();
+            let mut total = 0u64;
+            for r in records {
+                if r.op == ShipOp::Recv {
+                    *per_channel.entry(r.channel.clone()).or_default() += r.len as u64;
+                    total += r.len as u64;
+                }
+            }
+            PruneContext {
+                max_channel_bytes: per_channel.values().copied().max().unwrap_or(0),
+                total_bytes: total,
+            }
+        })
+    }
+}
+
+/// Configuration for Pareto-guided pruning: which cost vector a finished
+/// candidate contributes, and an **admissible lower bound** on that vector
+/// for a candidate that has not been simulated yet.
+///
+/// Soundness: the bound must satisfy `lower_bound(a, ctx) ≤ objectives(row)`
+/// component-wise for every candidate `a`. Then a candidate whose bound is
+/// already dominated by an achieved cost vector cannot itself be
+/// non-dominated, so skipping it never removes a point from the Pareto front
+/// *under these objectives* — the front of a pruned sweep equals the front
+/// of the full sweep. Fronts over other objectives (e.g.
+/// [`report_front`](crate::pareto::report_front)'s throughput axis) carry no
+/// such guarantee.
+#[derive(Clone)]
+pub struct PruneConfig {
+    objectives: Arc<ObjectiveFn>,
+    lower_bound: Arc<LowerBoundFn>,
+}
+
+/// Cost vector of a finished candidate (see [`PruneConfig`]).
+type ObjectiveFn = dyn Fn(&RunMetrics) -> Vec<f64> + Send + Sync;
+/// Admissible cost floor of an unsimulated candidate (see [`PruneConfig`]).
+type LowerBoundFn = dyn Fn(&ArchSpec, &PruneContext) -> Vec<f64> + Send + Sync;
+
+impl fmt::Debug for PruneConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PruneConfig").finish_non_exhaustive()
+    }
+}
+
+impl PruneConfig {
+    /// The built-in single-objective policy: minimize simulated time.
+    ///
+    /// The lower bound is pure link bandwidth — the busiest channel's bytes
+    /// at one data beat per interconnect clock
+    /// ([`ArchSpec::min_transfer_time`]). Every real run also pays
+    /// arbitration, wrapper protocol and polling, so the bound is always
+    /// admissible.
+    pub fn sim_time() -> Self {
+        PruneConfig {
+            objectives: Arc::new(|row| vec![row.sim_time.as_ps() as f64]),
+            lower_bound: Arc::new(|arch, ctx| {
+                vec![arch.min_transfer_time(ctx.max_channel_bytes).as_ps() as f64]
+            }),
+        }
+    }
+
+    /// A custom policy. The caller is responsible for admissibility of
+    /// `lower_bound` (see the type-level soundness note); an inadmissible
+    /// bound can prune candidates that would have been on the front.
+    pub fn custom(
+        objectives: impl Fn(&RunMetrics) -> Vec<f64> + Send + Sync + 'static,
+        lower_bound: impl Fn(&ArchSpec, &PruneContext) -> Vec<f64> + Send + Sync + 'static,
+    ) -> Self {
+        PruneConfig {
+            objectives: Arc::new(objectives),
+            lower_bound: Arc::new(lower_bound),
+        }
+    }
+}
+
+/// Live pruning state shared by all runners of one sweep.
+struct PruneState {
+    cfg: PruneConfig,
+    ctx: PruneContext,
+    front: Mutex<ParetoSet>,
+}
 
 /// Runs one application across many candidate architectures.
 #[derive(Debug)]
@@ -48,6 +166,7 @@ pub struct Sweep {
     archs: Vec<ArchSpec>,
     include_untimed: bool,
     opts: RunOptions,
+    prune: Option<PruneConfig>,
 }
 
 impl Sweep {
@@ -58,6 +177,7 @@ impl Sweep {
             archs: Vec::new(),
             include_untimed: false,
             opts: RunOptions::default(),
+            prune: None,
         }
     }
 
@@ -99,6 +219,21 @@ impl Sweep {
         self
     }
 
+    /// Enables Pareto-guided pruning: candidates whose cost lower bound is
+    /// already dominated by an achieved cost vector are skipped without
+    /// being simulated. Skipped candidates are listed in
+    /// [`Report::pruned`] instead of appearing as rows.
+    ///
+    /// In a serial sweep the pruned set is deterministic. In a parallel
+    /// sweep it depends on candidate completion order, but every reported
+    /// row is still bit-identical to its serial counterpart, every pruned
+    /// candidate is provably dominated, and the Pareto front under the
+    /// pruning objectives is preserved exactly (see [`PruneConfig`]).
+    pub fn with_pruning(mut self, cfg: PruneConfig) -> Self {
+        self.prune = Some(cfg);
+        self
+    }
+
     /// Executes the sweep serially.
     ///
     /// Role detection runs once (on the untimed model); every candidate is
@@ -108,27 +243,43 @@ impl Sweep {
     ///
     /// Returns a [`MapError`] when role detection fails.
     pub fn run(self) -> Result<Report, MapError> {
-        self.execute(1)
+        self.execute(WorkerPool::global(), 1)
     }
 
     /// Executes the sweep with up to `threads` candidates simulating
-    /// concurrently, each on its own OS thread.
+    /// concurrently on the process-wide [`WorkerPool::global`] pool.
     ///
     /// The report is identical to [`Sweep::run`] (rows in candidate order,
     /// same simulated times and metrics) — only host wall-clock differs.
     /// `threads` is clamped to at least 1; passing 1 is exactly the serial
-    /// path.
+    /// path. The calling thread always participates, so at most
+    /// `threads - 1` pool workers are used (and none are spawned for a
+    /// serial run).
     ///
     /// # Errors
     ///
     /// Returns a [`MapError`] when role detection or any candidate mapping
     /// fails. On a candidate failure the error of the earliest failing
-    /// candidate (in list order) is returned, matching the serial run.
+    /// candidate (in list order) is returned, matching the serial run;
+    /// candidates queued behind the failure are cancelled, not simulated.
     pub fn run_parallel(self, threads: usize) -> Result<Report, MapError> {
-        self.execute(threads.max(1))
+        self.execute(WorkerPool::global(), threads.max(1))
     }
 
-    fn execute(self, threads: usize) -> Result<Report, MapError> {
+    /// Like [`Sweep::run_parallel`], but on an explicit pool — for callers
+    /// that want worker isolation or share one pool across sweeps and
+    /// [`DesignFlow`] runs themselves.
+    ///
+    /// # Errors
+    ///
+    /// As [`Sweep::run_parallel`].
+    ///
+    /// [`DesignFlow`]: https://docs.rs/shiptlm "shiptlm::flow::DesignFlow"
+    pub fn run_on(self, pool: &WorkerPool, threads: usize) -> Result<Report, MapError> {
+        self.execute(pool, threads.max(1))
+    }
+
+    fn execute(self, pool: &WorkerPool, threads: usize) -> Result<Report, MapError> {
         let ca = run_component_assembly_with(&self.app, &self.opts)?;
         let mut report = Report::new();
         if self.include_untimed {
@@ -144,20 +295,67 @@ impl Sweep {
             row.metrics = ca.output.metrics;
             report.push(row);
         }
-        let rows = if threads <= 1 || self.archs.len() <= 1 {
-            let mut rows = Vec::with_capacity(self.archs.len());
+        let prune = self.prune.map(|cfg| PruneState {
+            ctx: PruneContext::from_log(&ca.output.log),
+            cfg,
+            front: Mutex::new(ParetoSet::new()),
+        });
+        let total = self.archs.len();
+        let outcomes = if threads <= 1 || total <= 1 {
+            let mut outcomes = Vec::with_capacity(total);
             for arch in &self.archs {
-                rows.push(candidate_row(&self.app, &ca.roles, arch, &self.opts)?);
+                outcomes.push(run_candidate(
+                    &self.app,
+                    &ca.roles,
+                    arch,
+                    &self.opts,
+                    prune.as_ref(),
+                )?);
             }
-            rows
+            outcomes
         } else {
-            candidate_rows_parallel(&self.app, &ca.roles, &self.archs, threads, &self.opts)?
+            pool.run_fallible(threads, total, WorkerPool::chunk_for(threads, total), |i| {
+                run_candidate(
+                    &self.app,
+                    &ca.roles,
+                    &self.archs[i],
+                    &self.opts,
+                    prune.as_ref(),
+                )
+            })?
         };
-        for row in rows {
-            report.push(row);
+        for (arch, outcome) in self.archs.iter().zip(outcomes) {
+            match outcome {
+                Some(row) => report.push(row),
+                None => report.note_pruned(arch.label()),
+            }
         }
         Ok(report)
     }
+}
+
+/// Runs one candidate through the optional pruning gate: bound-check, then
+/// map + simulate, then publish the achieved cost vector to the shared
+/// archive. `Ok(None)` means the candidate was pruned.
+fn run_candidate(
+    app: &AppSpec,
+    roles: &RoleMap,
+    arch: &ArchSpec,
+    opts: &RunOptions,
+    prune: Option<&PruneState>,
+) -> Result<Option<RunMetrics>, MapError> {
+    if let Some(p) = prune {
+        let bound = (p.cfg.lower_bound)(arch, &p.ctx);
+        if lock(&p.front).is_dominated(&bound) {
+            return Ok(None);
+        }
+    }
+    let row = candidate_row(app, roles, arch, opts)?;
+    if let Some(p) = prune {
+        let costs = (p.cfg.objectives)(&row);
+        lock(&p.front).insert(costs);
+    }
+    Ok(Some(row))
 }
 
 /// Maps and simulates one candidate, turning its artifacts into a report
@@ -180,43 +378,6 @@ fn candidate_row(
     row.txn = output.txn;
     row.metrics = output.metrics;
     Ok(row)
-}
-
-/// Work-stealing-free bounded pool: workers pull candidate indices from a
-/// shared counter and write results into per-candidate slots, so assembly
-/// order (and therefore the report) is deterministic.
-fn candidate_rows_parallel(
-    app: &AppSpec,
-    roles: &RoleMap,
-    archs: &[ArchSpec],
-    threads: usize,
-    opts: &RunOptions,
-) -> Result<Vec<RunMetrics>, MapError> {
-    let slots: Vec<Mutex<Option<Result<RunMetrics, MapError>>>> =
-        archs.iter().map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    let workers = threads.min(archs.len());
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= archs.len() {
-                    break;
-                }
-                let row = candidate_row(app, roles, &archs[i], opts);
-                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(row);
-            });
-        }
-    });
-    let mut rows = Vec::with_capacity(archs.len());
-    for slot in slots {
-        let row = slot
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner())
-            .expect("every candidate slot is filled once the scope joins");
-        rows.push(row?);
-    }
-    Ok(rows)
 }
 
 /// One-call exploration: sweep `app` over `archs` on up to `threads` worker

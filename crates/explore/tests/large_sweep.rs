@@ -1,0 +1,205 @@
+//! Large-grid sweep behaviour: 1k-candidate determinism across thread
+//! counts, worker-pool reuse across sweeps, and Pareto-guided pruning
+//! soundness.
+//!
+//! These are the correctness companions to the scaling work: the persistent
+//! pool and batched scheduling must never change *what* a sweep reports,
+//! only how fast it gets there, and pruning must only ever drop provably
+//! dominated candidates.
+
+use shiptlm_explore::prelude::*;
+
+/// A deliberately tiny workload so a 1k-candidate sweep stays cheap even in
+/// debug builds (~1.5 ms/candidate): the point here is candidate *count*,
+/// not per-candidate simulation depth.
+fn tiny_app() -> AppSpec {
+    workload::parallel_streams(2, 4, 64)
+}
+
+fn large_grid(n: usize) -> Vec<ArchSpec> {
+    let grid = ArchGrid::exploration_default();
+    assert!(grid.len() >= n, "default grid has {} points", grid.len());
+    grid.generate_n(n)
+}
+
+/// Deterministic fingerprint of a report row (everything except host
+/// wall-clock, which legitimately varies run to run).
+fn fingerprint(report: &Report) -> Vec<(String, String, u64, u64, u64)> {
+    report
+        .rows()
+        .iter()
+        .map(|r| {
+            (
+                r.label.clone(),
+                r.sim_time.to_string(),
+                r.messages,
+                r.bytes,
+                r.delta_cycles,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn grid_labels_are_unique() {
+    let archs = ArchGrid::exploration_default().generate();
+    assert_eq!(archs.len(), 1296);
+    let labels: std::collections::BTreeSet<String> = archs.iter().map(|a| a.label()).collect();
+    assert_eq!(labels.len(), archs.len(), "duplicate candidate labels");
+}
+
+#[test]
+fn thousand_candidate_reports_are_identical_across_thread_counts() {
+    let archs = large_grid(1024);
+    let serial = Sweep::new(tiny_app()).archs(archs.clone()).run().unwrap();
+    assert_eq!(serial.rows().len(), 1024);
+    for threads in [2, 8] {
+        let parallel = Sweep::new(tiny_app())
+            .archs(archs.clone())
+            .run_parallel(threads)
+            .unwrap();
+        assert_eq!(
+            fingerprint(&serial),
+            fingerprint(&parallel),
+            "report rows diverge at {threads} worker threads"
+        );
+        // The rendered table excludes wall-clock, so it must be
+        // byte-identical too.
+        assert_eq!(
+            serial.to_string(),
+            parallel.to_string(),
+            "rendered report diverges at {threads} worker threads"
+        );
+    }
+}
+
+#[test]
+fn pool_is_reused_across_sweeps() {
+    // A dedicated pool (not the global one, which other tests grow): the
+    // first parallel sweep spawns its helpers, later sweeps must reuse them.
+    let pool = WorkerPool::new();
+    let archs = large_grid(64);
+    assert_eq!(pool.spawned_workers(), 0, "pools start with no threads");
+    for round in 0..3 {
+        let report = Sweep::new(tiny_app())
+            .archs(archs.clone())
+            .run_on(&pool, 4)
+            .unwrap();
+        assert_eq!(report.rows().len(), 64, "round {round}");
+        assert_eq!(
+            pool.spawned_workers(),
+            3,
+            "round {round}: 4-way sweep needs exactly 3 helpers (caller runs too)"
+        );
+    }
+    // Serial sweeps on the same pool never touch its workers.
+    let report = Sweep::new(tiny_app())
+        .archs(large_grid(8))
+        .run_on(&pool, 1)
+        .unwrap();
+    assert_eq!(report.rows().len(), 8);
+    assert_eq!(
+        pool.spawned_workers(),
+        3,
+        "serial run must not grow the pool"
+    );
+}
+
+#[test]
+fn pruning_preserves_the_front_and_only_drops_dominated_candidates() {
+    let archs = large_grid(512);
+    let full = Sweep::new(tiny_app()).archs(archs.clone()).run().unwrap();
+    for threads in [1, 8] {
+        let pruned = Sweep::new(tiny_app())
+            .archs(archs.clone())
+            .with_pruning(PruneConfig::sim_time())
+            .run_parallel(threads)
+            .unwrap();
+        assert_eq!(
+            pruned.rows().len() + pruned.pruned().len(),
+            archs.len(),
+            "every candidate is either a row or pruned"
+        );
+        assert!(
+            !pruned.pruned().is_empty(),
+            "a 512-point grid should give the bound something to prune"
+        );
+
+        // Soundness: under the pruning objective (simulated time), the
+        // front survives pruning exactly. The full sweep's minimum must
+        // still be achieved, and by the same candidates.
+        let min_time = |r: &Report| r.rows().iter().map(|m| m.sim_time).min().unwrap();
+        let winners = |r: &Report| {
+            let best = min_time(r);
+            r.rows()
+                .iter()
+                .filter(|m| m.sim_time == best)
+                .map(|m| m.label.clone())
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        assert_eq!(
+            min_time(&full),
+            min_time(&pruned),
+            "{threads} threads: pruning lost the best simulated time"
+        );
+        assert_eq!(
+            winners(&full),
+            winners(&pruned),
+            "{threads} threads: pruning changed the set of front candidates"
+        );
+
+        // Every surviving row is bit-identical to its full-sweep
+        // counterpart: pruning skips candidates, it never alters them.
+        let full_rows: std::collections::BTreeMap<_, _> = fingerprint(&full)
+            .into_iter()
+            .map(|row| (row.0.clone(), row))
+            .collect();
+        for row in fingerprint(&pruned) {
+            assert_eq!(full_rows.get(&row.0), Some(&row), "row {} diverged", row.0);
+        }
+
+        // Pruned candidates really are dominated: their bandwidth floor
+        // alone exceeds the achieved optimum.
+        let pruned_set: std::collections::BTreeSet<_> = pruned.pruned().iter().cloned().collect();
+        for label in &pruned_set {
+            assert!(
+                !winners(&full).contains(label),
+                "{threads} threads: front candidate {label} was pruned"
+            );
+        }
+    }
+}
+
+#[test]
+fn pruning_is_deterministic_when_serial() {
+    let archs = large_grid(256);
+    let a = Sweep::new(tiny_app())
+        .archs(archs.clone())
+        .with_pruning(PruneConfig::sim_time())
+        .run()
+        .unwrap();
+    let b = Sweep::new(tiny_app())
+        .archs(archs)
+        .with_pruning(PruneConfig::sim_time())
+        .run()
+        .unwrap();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert_eq!(a.pruned(), b.pruned());
+}
+
+#[test]
+fn custom_pruning_policies_gate_on_their_own_objectives() {
+    // A zero lower bound is trivially admissible and never dominated by a
+    // positive cost, so nothing may be pruned.
+    let archs = large_grid(32);
+    let report = Sweep::new(tiny_app())
+        .archs(archs.clone())
+        .with_pruning(PruneConfig::custom(
+            |row| vec![row.sim_time.as_ps() as f64],
+            |_arch, _ctx| vec![0.0],
+        ))
+        .run()
+        .unwrap();
+    assert_eq!(report.rows().len(), archs.len());
+    assert!(report.pruned().is_empty(), "zero bound must never prune");
+}

@@ -103,10 +103,7 @@ impl TransactionLog {
 
     /// Number of records.
     pub fn len(&self) -> usize {
-        self.records
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .len()
+        self.records.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// `true` when nothing was recorded.
@@ -120,6 +117,14 @@ impl TransactionLog {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .clone()
+    }
+
+    /// Runs `f` over the recorded slice in place, without cloning it.
+    ///
+    /// The log lock is held for the duration of `f`; do not call back into
+    /// the same log from inside.
+    pub fn with_records<R>(&self, f: impl FnOnce(&[TxRecord]) -> R) -> R {
+        f(&self.records.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Timing-independent content comparison against another log.

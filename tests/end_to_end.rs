@@ -78,8 +78,16 @@ fn sensor_fusion_through_the_whole_flow() {
     for arch in [ArchSpec::plb(), ArchSpec::opb(), ArchSpec::crossbar()] {
         let (app, results) = sensor_fusion(samples);
         let mapped = run_mapped(&app, &ca.roles, &arch).unwrap();
-        assert_eq!(*results.lock().unwrap(), expected(samples), "{}", arch.label());
-        ca.output.log.content_equivalent(&mapped.output.log).unwrap();
+        assert_eq!(
+            *results.lock().unwrap(),
+            expected(samples),
+            "{}",
+            arch.label()
+        );
+        ca.output
+            .log
+            .content_equivalent(&mapped.output.log)
+            .unwrap();
     }
 
     // Pin-accurate prototype.
@@ -183,4 +191,25 @@ fn vcd_trace_of_a_pin_accurate_run() {
     // At least a few value-change timestamps.
     assert!(text.matches('#').count() > 10);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn design_flow_on_a_worker_pool_matches_the_serial_flow() {
+    // `DesignFlow::run_on` overlaps the CCATB and pin-accurate levels on the
+    // shared worker pool; the runs themselves must be indistinguishable from
+    // the serial `run()` path.
+    let app = workload::pipeline(3, 8, 128, SimDur::ZERO);
+    let flow = DesignFlow::new(app, ArchSpec::plb()).with_pin_level();
+    let serial = flow.run().unwrap();
+    let pooled = flow.run_on(WorkerPool::global()).unwrap();
+    assert_eq!(
+        serial.report().to_string(),
+        pooled.report().to_string(),
+        "pooled flow report diverges from serial"
+    );
+    assert_eq!(serial.ccatb.output.sim_time, pooled.ccatb.output.sim_time);
+    assert_eq!(
+        serial.pin_accurate.as_ref().unwrap().output.sim_time,
+        pooled.pin_accurate.as_ref().unwrap().output.sim_time
+    );
 }

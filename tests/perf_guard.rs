@@ -82,3 +82,62 @@ fn sweep_throughput_stays_interactive() {
         "8-candidate sweep took {elapsed:?} — exploration is no longer interactive"
     );
 }
+
+#[test]
+fn large_sweep_parallel_beats_serial() {
+    // The ROADMAP-1 scaling guard: on a 1k-candidate sweep the 8-thread
+    // persistent-pool path must beat the serial path by a margin that grows
+    // with the cores actually available. The margins are conservative
+    // (measured speedups are well above them) so scheduler noise on loaded
+    // CI runners does not flake the build; what they pin down is the *bug*
+    // this guard was written against — a parallel sweep that is SLOWER than
+    // serial because per-sweep thread churn dominates cheap candidates.
+    let archs = ArchGrid::exploration_default().generate_n(1024);
+    let app = || workload::parallel_streams(2, 4, 64);
+
+    // Warm up the global pool and the allocator so neither run pays
+    // first-use costs the other doesn't.
+    Sweep::new(app())
+        .archs(archs.iter().take(32).cloned().collect::<Vec<_>>())
+        .run_parallel(8)
+        .expect("warm-up sweep");
+
+    let t0 = std::time::Instant::now();
+    let serial = Sweep::new(app())
+        .archs(archs.clone())
+        .run()
+        .expect("serial");
+    let serial_time = t0.elapsed();
+
+    let t0 = std::time::Instant::now();
+    let parallel = Sweep::new(app())
+        .archs(archs)
+        .run_parallel(8)
+        .expect("parallel");
+    let parallel_time = t0.elapsed();
+
+    assert_eq!(serial.rows().len(), 1024);
+    assert_eq!(parallel.rows().len(), 1024);
+    assert_eq!(
+        serial.to_string(),
+        parallel.to_string(),
+        "parallel report must stay byte-identical to serial"
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Required speedup (serial_time / parallel_time), scaled to the host:
+    // ≥ 8 cores must show real scaling; a single-core host can only show
+    // that pool overhead is small, so the bound flips to "not much slower".
+    let min_speedup = match cores {
+        n if n >= 8 => 2.5,
+        n if n >= 4 => 1.8,
+        2 | 3 => 1.2,
+        _ => 1.0 / 1.35,
+    };
+    let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64();
+    assert!(
+        speedup >= min_speedup,
+        "1024-candidate sweep: serial {serial_time:?}, 8 threads {parallel_time:?} \
+         (speedup {speedup:.2}x, required {min_speedup:.2}x on {cores} cores)"
+    );
+}
