@@ -7,8 +7,8 @@
 //! prototype level. The expected shape: each refinement costs roughly an
 //! order of magnitude in host simulation speed (messages per host second).
 
-use shiptlm_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use shiptlm::prelude::*;
+use shiptlm_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const STAGES: usize = 6;
 const BLOCKS: u32 = 16;
@@ -51,15 +51,27 @@ fn bench_levels(c: &mut Criterion) {
     let roles = ca.roles.clone();
     let rows = [
         ("component-assembly", ca.output),
-        ("ccatb", run_mapped(&app(256), &roles, &ArchSpec::plb()).unwrap().output),
+        (
+            "ccatb",
+            run_mapped(&app(256), &roles, &ArchSpec::plb())
+                .unwrap()
+                .output,
+        ),
         (
             "pin-accurate",
-            run_pin_accurate(&app(256), &roles, &ArchSpec::plb()).unwrap().output,
+            run_pin_accurate(&app(256), &roles, &ArchSpec::plb())
+                .unwrap()
+                .output,
         ),
     ];
     let mut speeds = Vec::new();
     for (name, out) in rows {
-        let msgs = out.log.to_vec().iter().filter(|r| r.op == ShipOp::Recv).count();
+        let msgs = out
+            .log
+            .to_vec()
+            .iter()
+            .filter(|r| r.op == ShipOp::Recv)
+            .count();
         let speed = msgs as f64 / out.wall_seconds;
         println!(
             "{:<22} {:>12} {:>14} {:>16.0} {:>14}",

@@ -6,8 +6,8 @@
 //! starves the rest; round-robin evens mean waits out; TDMA bounds the
 //! worst case at the cost of idle slots (lower utilization, longer total).
 
-use shiptlm_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use shiptlm::prelude::*;
+use shiptlm_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn the_app() -> AppSpec {
     workload::hotspot(3, 8, 256)

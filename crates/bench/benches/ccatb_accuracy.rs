@@ -8,8 +8,8 @@
 //! grows with per-transaction pin overhead (small payloads) and shrinks for
 //! bulk transfers.
 
-use shiptlm_bench::minibench::{criterion_group, criterion_main, Criterion};
 use shiptlm::prelude::*;
+use shiptlm_bench::minibench::{criterion_group, criterion_main, Criterion};
 
 fn app(blocks: u32, bytes: usize) -> AppSpec {
     workload::pipeline(3, blocks, bytes, SimDur::ZERO)

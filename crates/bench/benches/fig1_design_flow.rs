@@ -5,8 +5,8 @@
 //! Measures the host cost of each flow stage and prints the per-level
 //! comparison table (the reproduction's rendition of Figure 1's flow).
 
-use shiptlm_bench::minibench::{criterion_group, criterion_main, Criterion};
 use shiptlm::prelude::*;
+use shiptlm_bench::minibench::{criterion_group, criterion_main, Criterion};
 
 fn the_app() -> AppSpec {
     workload::pipeline(4, 16, 256, SimDur::us(1))
@@ -45,7 +45,10 @@ fn bench_flow(c: &mut Criterion) {
         .unwrap();
     println!("\n=== F1: per-level summary (pipeline 4 stages, 16x256B) ===");
     println!("{}", run.report());
-    println!("detected roles: {:?}", run.component_assembly.roles.master_of);
+    println!(
+        "detected roles: {:?}",
+        run.component_assembly.roles.master_of
+    );
     println!("equivalence: all levels content-equivalent\n");
 }
 

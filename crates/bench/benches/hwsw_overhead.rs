@@ -7,8 +7,8 @@
 //! overhead per transaction of the HW/SW interface (driver + bus + mailbox +
 //! wakeup) against the HW↔HW wrapper path, plus host cost of each variant.
 
-use shiptlm_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use shiptlm::prelude::*;
+use shiptlm_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn the_app(payload: usize) -> AppSpec {
     workload::rpc(1, 8, payload, SimDur::ZERO)

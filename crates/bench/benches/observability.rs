@@ -7,9 +7,7 @@
 //! the headline number. Also prints the per-message cost breakdown.
 
 use shiptlm::prelude::*;
-use shiptlm_bench::minibench::{
-    criterion_group, criterion_main, write_json, Criterion,
-};
+use shiptlm_bench::minibench::{criterion_group, criterion_main, write_json, Criterion};
 
 fn the_app() -> AppSpec {
     workload::parallel_streams(4, 24, 256)
@@ -53,7 +51,10 @@ fn bench_observability(c: &mut Criterion) {
         snap.counter_total("bus.txns", "plb"),
     );
 
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_observability.json");
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_observability.json"
+    );
     write_json("observability", out).expect("write BENCH_observability.json");
 }
 

@@ -4,8 +4,8 @@
 //! Benchmarks role detection over apps of growing channel count and checks
 //! detection correctness against ground truth for every topology shape.
 
-use shiptlm_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use shiptlm::prelude::*;
+use shiptlm_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_detection(c: &mut Criterion) {
     let mut g = c.benchmark_group("role_detection");
@@ -24,11 +24,16 @@ fn bench_detection(c: &mut Criterion) {
         );
     }
     for &stages in &[4usize, 16] {
-        g.bench_with_input(BenchmarkId::new("pipeline", stages), &stages, |b, &stages| {
-            b.iter(|| {
-                run_component_assembly(&workload::pipeline(stages, 2, 16, SimDur::ZERO)).unwrap()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("pipeline", stages),
+            &stages,
+            |b, &stages| {
+                b.iter(|| {
+                    run_component_assembly(&workload::pipeline(stages, 2, 16, SimDur::ZERO))
+                        .unwrap()
+                })
+            },
+        );
     }
     g.finish();
 

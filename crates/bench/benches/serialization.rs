@@ -116,13 +116,17 @@ fn bench_serialization(c: &mut Criterion) {
         });
 
         let f = frame(size);
-        g.bench_with_input(BenchmarkId::new("serde_struct/encode", size), &size, |b, _| {
-            b.iter(|| to_bytes(&f).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("serde_struct/encode", size),
+            &size,
+            |b, _| b.iter(|| to_bytes(&f).unwrap()),
+        );
         let fe = to_bytes(&f).unwrap();
-        g.bench_with_input(BenchmarkId::new("serde_struct/decode", size), &size, |b, _| {
-            b.iter(|| from_bytes::<Frame>(&fe).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("serde_struct/decode", size),
+            &size,
+            |b, _| b.iter(|| from_bytes::<Frame>(&fe).unwrap()),
+        );
 
         let wrapped = Serde(f.clone());
         g.bench_with_input(
@@ -147,11 +151,9 @@ fn bench_serialization(c: &mut Criterion) {
     for &size in &[16usize, 256, 4096, 65536] {
         g.throughput(Throughput::Bytes(size as u64));
         let payload: Vec<u8> = (0..size).map(|i| i as u8).collect();
-        g.bench_with_input(
-            BenchmarkId::new("vec_clone", size),
-            &payload,
-            |b, p| b.iter(|| black_box(p.clone())),
-        );
+        g.bench_with_input(BenchmarkId::new("vec_clone", size), &payload, |b, p| {
+            b.iter(|| black_box(p.clone()))
+        });
         let shared = ShipBytes::from(payload.clone());
         g.bench_with_input(
             BenchmarkId::new("ship_bytes_clone", size),
@@ -172,7 +174,10 @@ fn bench_serialization(c: &mut Criterion) {
     }
     println!();
 
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serialization.json");
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_serialization.json"
+    );
     write_json("serialization", out).expect("write BENCH_serialization.json");
 }
 

@@ -393,7 +393,10 @@ mod tests {
         assert!(recorded.iter().any(|r| r.group == "t" && r.id == "sum"));
         let sum = recorded.iter().find(|r| r.id == "sum").unwrap();
         assert!(sum.mean_ns > 0.0 && sum.iters >= 1);
-        assert!(sum.throughput.is_some(), "Bytes throughput should derive MB/s");
+        assert!(
+            sum.throughput.is_some(),
+            "Bytes throughput should derive MB/s"
+        );
     }
 
     #[test]

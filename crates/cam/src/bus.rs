@@ -185,10 +185,7 @@ impl ArbGate {
         let (ticket, depth) = {
             let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
             g.seq += 1;
-            let t = Ticket {
-                master,
-                seq: g.seq,
-            };
+            let t = Ticket { master, seq: g.seq };
             g.pending.push(t);
             (t, g.pending.len())
         };

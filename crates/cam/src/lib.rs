@@ -44,8 +44,8 @@ pub mod accessor;
 pub mod arb;
 pub mod bridge;
 pub mod bus;
-pub mod dma;
 pub mod crossbar;
+pub mod dma;
 pub mod wrapper;
 
 /// Commonly used CAM items.

@@ -298,11 +298,9 @@ impl OcpTarget for ShipSlaveAdapter {
                 let g = self.lock();
                 let data = match addr {
                     regs::STATUS => g.status().to_le_bytes().to_vec(),
-                    regs::REPLY_LEN => {
-                        (g.reply.as_ref().map(|r| r.len() as u32).unwrap_or(0))
-                            .to_le_bytes()
-                            .to_vec()
-                    }
+                    regs::REPLY_LEN => (g.reply.as_ref().map(|r| r.len() as u32).unwrap_or(0))
+                        .to_le_bytes()
+                        .to_vec(),
                     regs::RX_LEN => (g.rx.front().map(|(_, b)| b.len() as u32).unwrap_or(0))
                         .to_le_bytes()
                         .to_vec(),
@@ -642,10 +640,7 @@ impl ShipBusMasterEndpoint {
             bus,
             base,
             cfg,
-            sideband: Some((
-                adapter.space_event().clone(),
-                adapter.reply_event().clone(),
-            )),
+            sideband: Some((adapter.space_event().clone(), adapter.reply_event().clone())),
             liveness: Some((adapter.sim.clone(), adapter.ep_master)),
             label: Arc::clone(&adapter.label),
         })
@@ -653,11 +648,7 @@ impl ShipBusMasterEndpoint {
 
     /// Builds the master-side [`ShipPort`] for PE code.
     pub fn master_port(self: &Arc<Self>, channel: &str, label: &str) -> ShipPort {
-        ShipPort::from_endpoint(
-            Arc::clone(self) as Arc<dyn ShipEndpoint>,
-            channel,
-            label,
-        )
+        ShipPort::from_endpoint(Arc::clone(self) as Arc<dyn ShipEndpoint>, channel, label)
     }
 
     fn bus_err(e: OcpError) -> ShipError {
@@ -689,10 +680,8 @@ impl ShipBusMasterEndpoint {
                     // mid-STATUS-read (sim time passes inside the bus call),
                     // so a missed pulse must degrade to a delayed re-check,
                     // never a deadlock.
-                    let guard = std::cmp::max(
-                        self.cfg.poll_interval.saturating_mul(16),
-                        SimDur::us(1),
-                    );
+                    let guard =
+                        std::cmp::max(self.cfg.poll_interval.saturating_mul(16), SimDur::us(1));
                     let _ = ctx.wait_any_for(&[ev], guard);
                 }
                 // CPU-style fallback: timed polling.
@@ -786,11 +775,7 @@ impl ShipEndpoint for ShipBusMasterEndpoint {
         ))
     }
 
-    fn request_bytes(
-        &self,
-        ctx: &mut ThreadCtx,
-        bytes: ShipBytes,
-    ) -> Result<ShipBytes, ShipError> {
+    fn request_bytes(&self, ctx: &mut ThreadCtx, bytes: ShipBytes) -> Result<ShipBytes, ShipError> {
         let start = ctx.now();
         let result = self.push_message(ctx, &bytes, DOORBELL_REQUEST);
         self.txn(ctx, "mbox.push", start, bytes.len(), result.is_ok());

@@ -49,7 +49,8 @@ fn message_roundtrip_via_registers_only() {
         assert_eq!(port.read_u32(ctx, regs::RX_KIND).unwrap(), 1); // data
         let got = port.read(ctx, regs::RX_WIN, msg.len()).unwrap();
         assert_eq!(got, msg);
-        port.write_u32(ctx, regs::DOORBELL, DOORBELL_RX_ACK).unwrap();
+        port.write_u32(ctx, regs::DOORBELL, DOORBELL_RX_ACK)
+            .unwrap();
         let s = port.read_u32(ctx, regs::STATUS).unwrap();
         assert_eq!(s & STATUS_RX_PENDING, 0);
     });
@@ -62,20 +63,24 @@ fn request_reply_via_registers() {
         // Request in.
         port.write_u32(ctx, regs::TX_LEN, 4).unwrap();
         port.write(ctx, regs::TX_WIN, vec![1, 2, 3, 4]).unwrap();
-        port.write_u32(ctx, regs::DOORBELL, DOORBELL_REQUEST).unwrap();
+        port.write_u32(ctx, regs::DOORBELL, DOORBELL_REQUEST)
+            .unwrap();
         assert_eq!(port.read_u32(ctx, regs::RX_KIND).unwrap(), 2); // request
-        // Pop it (this is what makes a reply owed).
-        port.write_u32(ctx, regs::DOORBELL, DOORBELL_RX_ACK).unwrap();
+                                                                   // Pop it (this is what makes a reply owed).
+        port.write_u32(ctx, regs::DOORBELL, DOORBELL_RX_ACK)
+            .unwrap();
         // Stage and publish the reply.
         port.write_u32(ctx, regs::SET_REPLY_LEN, 2).unwrap();
         port.write(ctx, regs::REPLY_WIN, vec![9, 8]).unwrap();
-        port.write_u32(ctx, regs::DOORBELL, DOORBELL_REPLY_SET).unwrap();
+        port.write_u32(ctx, regs::DOORBELL, DOORBELL_REPLY_SET)
+            .unwrap();
         // Read it back as the master would.
         let s = port.read_u32(ctx, regs::STATUS).unwrap();
         assert_ne!(s & STATUS_REPLY_READY, 0);
         assert_eq!(port.read_u32(ctx, regs::REPLY_LEN).unwrap(), 2);
         assert_eq!(port.read(ctx, regs::REPLY_WIN, 2).unwrap(), vec![9, 8]);
-        port.write_u32(ctx, regs::DOORBELL, DOORBELL_REPLY_ACK).unwrap();
+        port.write_u32(ctx, regs::DOORBELL, DOORBELL_REPLY_ACK)
+            .unwrap();
         let s = port.read_u32(ctx, regs::STATUS).unwrap();
         assert_eq!(s & STATUS_REPLY_READY, 0);
     });
@@ -135,7 +140,8 @@ fn mailbox_backpressure_clears_rx_space() {
         port.write(ctx, regs::TX_WIN, vec![8]).unwrap();
         expect_err(port.write_u32(ctx, regs::DOORBELL, DOORBELL_DATA));
         // Draining one restores space.
-        port.write_u32(ctx, regs::DOORBELL, DOORBELL_RX_ACK).unwrap();
+        port.write_u32(ctx, regs::DOORBELL, DOORBELL_RX_ACK)
+            .unwrap();
         let s = port.read_u32(ctx, regs::STATUS).unwrap();
         assert_ne!(s & STATUS_RX_SPACE, 0);
     });
@@ -158,7 +164,10 @@ fn sideband_tracks_pending_state() {
             let ev = irq_r.changed_event();
             for _ in 0..2 {
                 ctx.wait(&ev);
-                observed.lock().unwrap().push((ctx.now().as_ps(), irq_r.read()));
+                observed
+                    .lock()
+                    .unwrap()
+                    .push((ctx.now().as_ps(), irq_r.read()));
             }
         });
     }
@@ -168,7 +177,8 @@ fn sideband_tracks_pending_state() {
         port.write(ctx, regs::TX_WIN, vec![1]).unwrap();
         port.write_u32(ctx, regs::DOORBELL, DOORBELL_DATA).unwrap(); // irq rises
         ctx.wait_for(SimDur::ns(10));
-        port.write_u32(ctx, regs::DOORBELL, DOORBELL_RX_ACK).unwrap(); // irq falls
+        port.write_u32(ctx, regs::DOORBELL, DOORBELL_RX_ACK)
+            .unwrap(); // irq falls
     });
     sim.run();
     let obs = observed.lock().unwrap();

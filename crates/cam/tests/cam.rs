@@ -24,7 +24,9 @@ fn single_master_transaction_timing_is_cycle_accurate() {
     {
         let timing = Arc::clone(&timing);
         sim.spawn_thread("m", move |ctx| {
-            let r = port.transact(ctx, OcpRequest::write(0, vec![0; 32])).unwrap();
+            let r = port
+                .transact(ctx, OcpRequest::write(0, vec![0; 32]))
+                .unwrap();
             *timing.lock().unwrap() = r.timing;
         });
     }
@@ -43,7 +45,9 @@ fn contention_serializes_masters_and_charges_wait() {
         let port = bus.master_port(MasterId(m));
         let done = Arc::clone(&done);
         sim.spawn_thread(&format!("m{m}"), move |ctx| {
-            let r = port.transact(ctx, OcpRequest::write(0, vec![0; 64])).unwrap();
+            let r = port
+                .transact(ctx, OcpRequest::write(0, vec![0; 64]))
+                .unwrap();
             done.lock()
                 .unwrap()
                 .push((m, r.timing.wait_cycles, r.timing.total_cycles));
@@ -138,17 +142,17 @@ fn fixed_priority_starves_low_priority_under_load() {
     let finish = finish.lock().unwrap();
     let t0 = finish.iter().find(|(m, _)| *m == 0).unwrap().1;
     let t1 = finish.iter().find(|(m, _)| *m == 1).unwrap().1;
-    assert!(t0 < t1, "high priority must finish first (t0={t0}, t1={t1})");
+    assert!(
+        t0 < t1,
+        "high priority must finish first (t0={t0}, t1={t1})"
+    );
 }
 
 #[test]
 fn tdma_bounds_access_to_own_slot() {
     let sim = Simulation::new();
     let slot = SimDur::ns(200);
-    let bus = plb_with_ram(
-        &sim,
-        ArbPolicy::Tdma { slot, slots: 2 },
-    );
+    let bus = plb_with_ram(&sim, ArbPolicy::Tdma { slot, slots: 2 });
     // Only master 1 requests, at t=0 (slot 0 belongs to master 0): it must
     // wait for its slot at 200 ns.
     let port = bus.master_port(MasterId(1));
@@ -156,7 +160,9 @@ fn tdma_bounds_access_to_own_slot() {
     {
         let started = Arc::clone(&started);
         sim.spawn_thread("m1", move |ctx| {
-            let r = port.transact(ctx, OcpRequest::write(0, vec![0; 8])).unwrap();
+            let r = port
+                .transact(ctx, OcpRequest::write(0, vec![0; 8]))
+                .unwrap();
             *started.lock().unwrap() = r.timing.start + SimDur::ps(0);
             assert!(
                 r.timing.wait_cycles >= 20,
@@ -245,7 +251,9 @@ fn crossbar_serializes_same_target() {
         let port = xbar.master_port(MasterId(m));
         let waits = Arc::clone(&waits);
         sim.spawn_thread(&format!("m{m}"), move |ctx| {
-            let r = port.transact(ctx, OcpRequest::write(0, vec![0; 256])).unwrap();
+            let r = port
+                .transact(ctx, OcpRequest::write(0, vec![0; 256]))
+                .unwrap();
             waits.lock().unwrap().push(r.timing.wait_cycles);
         });
     }
@@ -259,14 +267,23 @@ fn bridge_adds_latency_and_routes_downstream() {
     let sim = Simulation::new();
     // OPB with a peripheral memory.
     let mut opb = CcatbBus::new(&sim.handle(), BusConfig::opb("opb"));
-    opb.map_slave(0x4000_0000..0x4000_1000, Arc::new(Memory::new("per", 0x1000)), true);
+    opb.map_slave(
+        0x4000_0000..0x4000_1000,
+        Arc::new(Memory::new("per", 0x1000)),
+        true,
+    );
     let opb = Arc::new(opb);
     // PLB with RAM and the bridge to OPB.
     let mut plb = CcatbBus::new(&sim.handle(), BusConfig::plb("plb"));
     plb.map_slave(0..0x1000, Arc::new(Memory::new("ram", 0x1000)), true);
     plb.map_slave(
         0x4000_0000..0x4000_1000,
-        Arc::new(Bridge::new("plb2opb", SimDur::ns(40), opb.clone(), MasterId(0))),
+        Arc::new(Bridge::new(
+            "plb2opb",
+            SimDur::ns(40),
+            opb.clone(),
+            MasterId(0),
+        )),
         false,
     );
     let plb = Arc::new(plb);
@@ -341,12 +358,13 @@ fn mapped_ship_channel_preserves_content() {
     assert_eq!(r.reason, StopReason::Starved);
     // Mapping must generate real bus traffic.
     let stats = bus.stats();
-    assert!(stats.transactions > 30, "got {} bus transactions", stats.transactions);
-    // Roles must come out master/slave.
-    assert_eq!(
-        pending.slave_port.observed_role(),
-        RoleObservation::Slave
+    assert!(
+        stats.transactions > 30,
+        "got {} bus transactions",
+        stats.transactions
     );
+    // Roles must come out master/slave.
+    assert_eq!(pending.slave_port.observed_role(), RoleObservation::Slave);
     assert_eq!(log.to_vec().len(), 23); // 10 send + 10 recv + 1 req + 1 recv + 1 reply
 }
 

@@ -138,10 +138,7 @@ fn tdma_grants_only_in_slot() {
         let pending = tickets(&masters);
         match policy.pick(&pending, None, now) {
             Some(w) => assert_eq!(w.master.0 % slots, owner, "case {case}"),
-            None => assert!(
-                masters.iter().all(|m| m % slots != owner),
-                "case {case}"
-            ),
+            None => assert!(masters.iter().all(|m| m % slots != owner), "case {case}"),
         }
     }
 }

@@ -165,12 +165,17 @@ pub struct DesignFlow {
 
 impl DesignFlow {
     /// Creates a flow for `app` targeting `arch`.
+    ///
+    /// The untimed role-detection run defaults to
+    /// [`Backend::Auto`](shiptlm_explore::mapper::Backend): direct execution
+    /// when the model qualifies, transparent DE fallback otherwise. Override
+    /// with [`with_options`](Self::with_options).
     pub fn new(app: AppSpec, arch: ArchSpec) -> Self {
         DesignFlow {
             app,
             arch,
             with_pin_level: false,
-            opts: RunOptions::default(),
+            opts: RunOptions::default().with_backend(shiptlm_explore::mapper::Backend::Auto),
         }
     }
 

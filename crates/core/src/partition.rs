@@ -222,13 +222,8 @@ pub fn run_partitioned_with(
         // Slave end.
         if partition.sw.contains(&slave_pe) {
             sw_bindings.entry(slave_pe.clone()).or_default().push(
-                SwChannelBinding::slave_polling(
-                    &c.name,
-                    &slave_pe,
-                    *base,
-                    partition.poll_interval,
-                )
-                .with_burst(arch.burst_bytes),
+                SwChannelBinding::slave_polling(&c.name, &slave_pe, *base, partition.poll_interval)
+                    .with_burst(arch.burst_bytes),
             );
         } else {
             let sport = pending.slave_port.clone();

@@ -104,7 +104,12 @@ fn mapping_failure_propagates() {
 fn faster_arch_finishes_sooner_through_the_flow() {
     let run_with = |arch: ArchSpec| {
         let app = workload::pipeline(3, 16, 256, SimDur::ZERO);
-        DesignFlow::new(app, arch).run().unwrap().ccatb.output.sim_time
+        DesignFlow::new(app, arch)
+            .run()
+            .unwrap()
+            .ccatb
+            .output
+            .sim_time
     };
     let plb = run_with(ArchSpec::plb());
     let opb = run_with(ArchSpec::opb());

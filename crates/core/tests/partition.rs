@@ -16,9 +16,16 @@ fn sw_partition_preserves_content_vs_hw_mapping() {
         &Partition::software(["client0"]),
     )
     .unwrap();
-    assert!(hw.output.log.content_equivalent(&sw.mapped.output.log).is_ok());
+    assert!(hw
+        .output
+        .log
+        .content_equivalent(&sw.mapped.output.log)
+        .is_ok());
     assert!(
-        ca.output.log.content_equivalent(&sw.mapped.output.log).is_ok(),
+        ca.output
+            .log
+            .content_equivalent(&sw.mapped.output.log)
+            .is_ok(),
         "eSW run must match the component-assembly reference"
     );
 }
@@ -57,7 +64,11 @@ fn sw_slave_partition_works() {
         &Partition::software(["server0"]),
     )
     .unwrap();
-    assert!(ca.output.log.content_equivalent(&sw.mapped.output.log).is_ok());
+    assert!(ca
+        .output
+        .log
+        .content_equivalent(&sw.mapped.output.log)
+        .is_ok());
 }
 
 #[test]
@@ -72,7 +83,11 @@ fn multiple_sw_tasks_share_the_cpu() {
         &Partition::software(["client0", "client1"]),
     )
     .unwrap();
-    assert!(ca.output.log.content_equivalent(&sw.mapped.output.log).is_ok());
+    assert!(ca
+        .output
+        .log
+        .content_equivalent(&sw.mapped.output.log)
+        .is_ok());
     assert!(sw.rtos.ctx_switches >= 2);
 }
 
@@ -104,7 +119,11 @@ fn pipeline_with_sw_middle_stage() {
         &Partition::software(["stage0"]),
     )
     .unwrap();
-    assert!(ca.output.log.content_equivalent(&sw.mapped.output.log).is_ok());
+    assert!(ca
+        .output
+        .log
+        .content_equivalent(&sw.mapped.output.log)
+        .is_ok());
 }
 
 #[test]
@@ -125,7 +144,10 @@ fn finer_polling_reduces_hwsw_latency() {
     };
     let coarse = run(SimDur::us(50));
     let fine = run(SimDur::us(1));
-    assert!(fine < coarse, "fine polling {fine} must beat coarse {coarse}");
+    assert!(
+        fine < coarse,
+        "fine polling {fine} must beat coarse {coarse}"
+    );
 }
 
 #[test]

@@ -45,8 +45,8 @@ pub mod prelude {
     pub use crate::arch::{build_interconnect, ArchGrid, ArchSpec, BusKind, Interconnect};
     pub use crate::mapper::{
         explore_one, run_component_assembly, run_component_assembly_with, run_mapped,
-        run_mapped_with, run_pin_accurate, run_pin_accurate_with, CaRun, MapError, MappedRun,
-        PortHook, PortSite, RoleMap, RunOptions, RunOutput, MAP_BASE,
+        run_mapped_with, run_pin_accurate, run_pin_accurate_with, Backend, BackendReport, CaRun,
+        MapError, MappedRun, PortHook, PortSite, RoleMap, RunOptions, RunOutput, MAP_BASE,
     };
     pub use crate::metrics::{Report, RunMetrics};
     pub use crate::pareto::{dominates, pareto_front, report_front, ParetoSet};

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use shiptlm_cam::wrapper::{map_channel, WrapperConfig, ADAPTER_SIZE};
+use shiptlm_kernel::direct::{DirectOutcome, DirectSim, Disqualified};
 use shiptlm_kernel::liveness::DeadlockReport;
 use shiptlm_kernel::metrics::MetricsSnapshot;
 use shiptlm_kernel::sim::Simulation;
@@ -26,6 +27,7 @@ use shiptlm_kernel::txn::TxnTrace;
 use shiptlm_kernel::{RunResult, StopReason};
 use shiptlm_ocp::tl::MasterId;
 use shiptlm_ship::channel::{ShipChannel, ShipConfig, ShipPort};
+use shiptlm_ship::direct::DirectChannel;
 use shiptlm_ship::record::TransactionLog;
 use shiptlm_ship::role::RoleObservation;
 
@@ -34,6 +36,53 @@ use crate::arch::{build_interconnect, ArchSpec};
 
 /// Base bus address of the first channel adapter.
 pub const MAP_BASE: u64 = 0x1000_0000;
+
+/// Which execution backend runs the untimed component-assembly level.
+///
+/// Mapped levels (CCATB, pin-accurate) always use the delta-cycle kernel —
+/// they model time, which the direct backend deliberately does not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The delta-cycle (discrete-event) kernel. The default.
+    #[default]
+    De,
+    /// Direct execution (see [`shiptlm_kernel::direct`]): free-running
+    /// threads with mutex/condvar rendezvous, no event queue. Models that
+    /// use a disqualifying construct fail with [`MapError::Backend`].
+    Direct,
+    /// Try direct execution; when the model disqualifies, transparently
+    /// re-elaborate and run on the DE kernel. The fallback reason lands in
+    /// [`BackendReport::fallback`].
+    ///
+    /// Behaviours must be elaboration-idempotent (the standing contract of
+    /// the multi-level design flow): a disqualified probe partially runs
+    /// the model before the DE retry.
+    Auto,
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Backend::De => "de",
+            Backend::Direct => "direct",
+            Backend::Auto => "auto",
+        })
+    }
+}
+
+/// How the component-assembly run was actually executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendReport {
+    /// The backend requested via [`RunOptions::with_backend`].
+    pub requested: Backend,
+    /// The backend that produced the output ([`Backend::De`] or
+    /// [`Backend::Direct`], never [`Backend::Auto`]).
+    pub used: Backend,
+    /// Why [`Backend::Auto`] fell back to the DE kernel, when it did —
+    /// log-friendly, e.g. `process 'dct' used timed wait (wait_for/
+    /// wait_any_for); model requires the DE kernel`.
+    pub fallback: Option<String>,
+}
 
 /// Which end of each channel initiates, as detected from usage.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -78,6 +127,12 @@ pub enum MapError {
         /// Channel in question.
         channel: String,
     },
+    /// The model cannot run on the requested execution backend
+    /// ([`Backend::Direct`] forced on a model that needs the DE kernel).
+    Backend {
+        /// Human-readable disqualification reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MapError {
@@ -93,6 +148,9 @@ impl fmt::Display for MapError {
             }
             MapError::Missing { channel } => {
                 write!(f, "role map misses channel '{channel}'")
+            }
+            MapError::Backend { reason } => {
+                write!(f, "model disqualified from direct execution: {reason}")
             }
         }
     }
@@ -151,6 +209,9 @@ pub struct RunOptions {
     /// sampling window; the resulting [`MetricsSnapshot`] lands in
     /// [`RunOutput::metrics`].
     pub metrics: Option<SimDur>,
+    /// Execution backend for the component-assembly level (mapped levels
+    /// always use the DE kernel).
+    pub backend: Backend,
 }
 
 impl fmt::Debug for RunOptions {
@@ -162,6 +223,7 @@ impl fmt::Debug for RunOptions {
             .field("watchdog", &self.watchdog)
             .field("port_hook", &self.port_hook.as_ref().map(|_| "<hook>"))
             .field("metrics", &self.metrics)
+            .field("backend", &self.backend)
             .finish()
     }
 }
@@ -203,6 +265,12 @@ impl RunOptions {
     /// sampling window.
     pub fn with_metrics(mut self, window: SimDur) -> Self {
         self.metrics = Some(window);
+        self
+    }
+
+    /// Selects the execution backend for the component-assembly level.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -303,6 +371,8 @@ pub struct CaRun {
     pub output: RunOutput,
     /// Detected master end per channel.
     pub roles: RoleMap,
+    /// Which execution backend produced this run.
+    pub backend: BackendReport,
 }
 
 /// Runs the untimed component-assembly model and detects roles.
@@ -316,13 +386,54 @@ pub fn run_component_assembly(app: &AppSpec) -> Result<CaRun, MapError> {
 }
 
 /// [`run_component_assembly`] with explicit [`RunOptions`] (e.g. the
-/// transaction recorder).
+/// transaction recorder or a non-default [`Backend`]).
 ///
 /// # Errors
 ///
 /// Returns a [`MapError`] when any channel's usage does not yield a unique
-/// master/slave split.
+/// master/slave split, or [`MapError::Backend`] when [`Backend::Direct`]
+/// was forced on a model that needs the DE kernel.
 pub fn run_component_assembly_with(app: &AppSpec, opts: &RunOptions) -> Result<CaRun, MapError> {
+    match opts.backend {
+        Backend::De => run_component_assembly_de(
+            app,
+            opts,
+            BackendReport {
+                requested: Backend::De,
+                used: Backend::De,
+                fallback: None,
+            },
+        ),
+        Backend::Direct => match run_component_assembly_direct(app, opts)? {
+            Ok(ca) => Ok(ca),
+            Err(disq) => Err(MapError::Backend {
+                reason: disq.to_string(),
+            }),
+        },
+        Backend::Auto => match run_component_assembly_direct(app, opts)? {
+            Ok(mut ca) => {
+                ca.backend.requested = Backend::Auto;
+                Ok(ca)
+            }
+            Err(disq) => run_component_assembly_de(
+                app,
+                opts,
+                BackendReport {
+                    requested: Backend::Auto,
+                    used: Backend::De,
+                    fallback: Some(disq.to_string()),
+                },
+            ),
+        },
+    }
+}
+
+/// The delta-cycle-kernel component-assembly runner.
+fn run_component_assembly_de(
+    app: &AppSpec,
+    opts: &RunOptions,
+    backend: BackendReport,
+) -> Result<CaRun, MapError> {
     let started = Instant::now();
     let sim = Simulation::new();
     opts.arm(&sim);
@@ -390,7 +501,148 @@ pub fn run_component_assembly_with(app: &AppSpec, opts: &RunOptions) -> Result<C
             diagnosis: RunOptions::diagnose_blocked(&sim),
         },
         roles,
+        backend,
     })
+}
+
+/// Spawn order for the direct backend: producers before consumers so the
+/// first scheduling pass already finds data flowing (Kahn's algorithm over
+/// the channel graph's `a → b` edges, declaration order as tie-break; any
+/// cyclic remainder is appended in declaration order).
+fn wake_order(app: &AppSpec) -> Vec<String> {
+    let pes = app.pes();
+    let index_of: BTreeMap<&str, usize> = pes
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.name.as_str(), i))
+        .collect();
+    let mut indegree = vec![0usize; pes.len()];
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); pes.len()];
+    for c in app.channels() {
+        if let (Some(&a), Some(&b)) = (index_of.get(c.a.as_str()), index_of.get(c.b.as_str())) {
+            if a != b {
+                edges[a].push(b);
+                indegree[b] += 1;
+            }
+        }
+    }
+    let mut order = Vec::with_capacity(pes.len());
+    let mut placed = vec![false; pes.len()];
+    while let Some(next) = (0..pes.len()).find(|&i| !placed[i] && indegree[i] == 0) {
+        placed[next] = true;
+        order.push(pes[next].name.clone());
+        for &succ in &edges[next] {
+            indegree[succ] -= 1;
+        }
+    }
+    // Cycles leave every member with indegree > 0; append them as declared.
+    for (i, pe) in pes.iter().enumerate() {
+        if !placed[i] {
+            order.push(pe.name.clone());
+        }
+    }
+    order
+}
+
+/// The direct-execution component-assembly runner.
+///
+/// `Ok(Err(d))` means the model disqualified — either at elaboration (a
+/// timed channel) or at runtime (a process touched a DE-only construct);
+/// the caller decides between falling back ([`Backend::Auto`]) and erroring
+/// ([`Backend::Direct`]). `Err` carries role-detection failures, which are
+/// properties of the model rather than the backend and thus never trigger a
+/// fallback.
+fn run_component_assembly_direct(
+    app: &AppSpec,
+    opts: &RunOptions,
+) -> Result<Result<CaRun, Disqualified>, MapError> {
+    let started = Instant::now();
+    let sim = DirectSim::new();
+    if let Some(cap) = opts.record_txns {
+        sim.record_transactions(cap);
+    }
+    if let Some(window) = opts.metrics {
+        sim.enable_metrics(window);
+    }
+    sim.set_watchdog(opts.watchdog);
+    let log = TransactionLog::new();
+
+    let config = ShipConfig {
+        timeout: opts.ship_timeout,
+        ..ShipConfig::default()
+    };
+    let mut channels = Vec::new();
+    let mut pe_ports: BTreeMap<String, Vec<ShipPort>> = BTreeMap::new();
+    for c in app.channels() {
+        let ch = match DirectChannel::new(sim.core(), &c.name, config.clone()) {
+            Ok(ch) => ch,
+            Err(d) => return Ok(Err(d)),
+        };
+        let (pa, pb) = ch.ports(&c.a, &c.b);
+        pa.attach_recorder(log.clone());
+        pb.attach_recorder(log.clone());
+        let pa = opts.hook_port(&c.name, &c.a, false, pa);
+        let pb = opts.hook_port(&c.name, &c.b, false, pb);
+        pe_ports.entry(c.a.clone()).or_default().push(pa);
+        pe_ports.entry(c.b.clone()).or_default().push(pb);
+        channels.push(ch);
+    }
+    for pe in wake_order(app) {
+        let ports = pe_ports.remove(&pe).unwrap_or_default();
+        let behavior = app.behavior(&pe);
+        sim.spawn_thread(&pe, move |ctx| behavior(ctx, ports));
+    }
+    // `time_limit` bounds *simulated* time, which the direct backend never
+    // advances — an untimed model under `run_until` behaves identically.
+    let (reason, diagnosis) = match sim.run() {
+        DirectOutcome::Completed => (StopReason::Starved, None),
+        DirectOutcome::Deadlock(report) => (StopReason::Starved, Some(report)),
+        DirectOutcome::Watchdog(report) => (StopReason::Watchdog, Some(report)),
+        DirectOutcome::Disqualified(d) => return Ok(Err(d)),
+    };
+
+    let mut roles = RoleMap::default();
+    for (ch, spec) in channels.iter().zip(app.channels()) {
+        let observed = ch.observed_roles();
+        match observed {
+            (RoleObservation::Master, RoleObservation::Slave) => {
+                roles.master_of.insert(spec.name.clone(), spec.a.clone());
+            }
+            (RoleObservation::Slave, RoleObservation::Master) => {
+                roles.master_of.insert(spec.name.clone(), spec.b.clone());
+            }
+            (RoleObservation::Unused, RoleObservation::Unused) => {
+                return Err(MapError::Unused {
+                    channel: spec.name.clone(),
+                })
+            }
+            _ => {
+                return Err(MapError::Inconsistent {
+                    channel: spec.name.clone(),
+                    observed,
+                })
+            }
+        }
+    }
+
+    Ok(Ok(CaRun {
+        output: RunOutput {
+            log,
+            sim_time: SimDur::ZERO,
+            delta_cycles: 0,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            txn: opts.record_txns.map(|_| sim.txn_trace()),
+            metrics: opts.metrics.map(|_| sim.metrics_snapshot()),
+            reason,
+            diagnosis,
+        },
+        roles,
+        backend: BackendReport {
+            requested: Backend::Direct,
+            used: Backend::Direct,
+            fallback: None,
+        },
+    }))
 }
 
 /// Output of a mapped (CCATB) run.

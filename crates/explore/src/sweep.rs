@@ -171,12 +171,17 @@ pub struct Sweep {
 
 impl Sweep {
     /// Creates a sweep over `app`.
+    ///
+    /// The untimed role-detection run defaults to
+    /// [`Backend::Auto`](crate::mapper::Backend): direct execution when the
+    /// model qualifies, transparent DE fallback otherwise. Override with
+    /// [`with_options`](Self::with_options).
     pub fn new(app: AppSpec) -> Self {
         Sweep {
             app,
             archs: Vec::new(),
             include_untimed: false,
-            opts: RunOptions::default(),
+            opts: RunOptions::default().with_backend(crate::mapper::Backend::Auto),
             prune: None,
         }
     }
@@ -216,6 +221,13 @@ impl Sweep {
     /// [`MetricsSnapshot`]: shiptlm_kernel::metrics::MetricsSnapshot
     pub fn with_metrics(mut self, window: shiptlm_kernel::time::SimDur) -> Self {
         self.opts.metrics = Some(window);
+        self
+    }
+
+    /// Replaces the run options wholesale (e.g. to force a specific
+    /// [`Backend`](crate::mapper::Backend) or arm a port hook).
+    pub fn with_options(mut self, opts: RunOptions) -> Self {
+        self.opts = opts;
         self
     }
 

@@ -91,7 +91,14 @@ fn report_csv_escaping_and_columns() {
     let log = TransactionLog::new();
     log.push(rec(ShipOp::Recv, 8, 0, 100));
     let mut report = Report::new();
-    report.push(RunMetrics::from_log("cfg-a", &log, SimDur::ns(1), None, 1, 0.1));
+    report.push(RunMetrics::from_log(
+        "cfg-a",
+        &log,
+        SimDur::ns(1),
+        None,
+        1,
+        0.1,
+    ));
     let csv = report.to_csv();
     let mut lines = csv.lines();
     let header = lines.next().unwrap();

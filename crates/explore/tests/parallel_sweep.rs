@@ -101,11 +101,8 @@ fn deadlock_diagnosis_works_inside_worker_threads() {
             .map(|i| {
                 s.spawn(move || {
                     let sim = Simulation::new();
-                    let ch = ShipChannel::new(
-                        &sim.handle(),
-                        &format!("dead{i}"),
-                        ShipConfig::default(),
-                    );
+                    let ch =
+                        ShipChannel::new(&sim.handle(), &format!("dead{i}"), ShipConfig::default());
                     let (pa, pb) = ch.ports("left", "right");
                     // Both sides recv: classic cross-wait, starves instantly.
                     sim.spawn_thread("left", move |ctx| {

@@ -14,8 +14,8 @@ use std::fmt;
 use std::sync::{Arc, OnceLock};
 
 use shiptlm_cam::wrapper::{
-    regs, DOORBELL_DATA, DOORBELL_REPLY_ACK, DOORBELL_REPLY_SET, DOORBELL_REQUEST,
-    DOORBELL_RX_ACK, STATUS_REPLY_READY, STATUS_RX_PENDING, STATUS_RX_SPACE,
+    regs, DOORBELL_DATA, DOORBELL_REPLY_ACK, DOORBELL_REPLY_SET, DOORBELL_REQUEST, DOORBELL_RX_ACK,
+    STATUS_REPLY_READY, STATUS_RX_PENDING, STATUS_RX_SPACE,
 };
 use shiptlm_kernel::liveness::EndpointId;
 use shiptlm_kernel::process::ThreadCtx;
@@ -102,7 +102,14 @@ struct DriverCore {
 }
 
 impl DriverCore {
-    fn new(rtos: &Rtos, task: TaskId, bus: OcpMasterPort, base: u64, cfg: DriverConfig, role: &'static str) -> Self {
+    fn new(
+        rtos: &Rtos,
+        task: TaskId,
+        bus: OcpMasterPort,
+        base: u64,
+        cfg: DriverConfig,
+        role: &'static str,
+    ) -> Self {
         DriverCore {
             rtos: rtos.clone(),
             task,
@@ -149,10 +156,7 @@ impl DriverCore {
     fn note_user(&self, ctx: &mut ThreadCtx) -> EndpointId {
         let sim = ctx.sim();
         let ep = *self.ep.get_or_init(|| {
-            sim.register_blocking_endpoint(
-                &format!("sw driver @ {:#x}", self.base),
-                self.role,
-            )
+            sim.register_blocking_endpoint(&format!("sw driver @ {:#x}", self.base), self.role)
         });
         sim.endpoint_user(ep, ctx.pid());
         ep
@@ -211,28 +215,16 @@ impl DriverCore {
         }
     }
 
-    fn write_window(
-        &self,
-        ctx: &mut ThreadCtx,
-        win: u64,
-        bytes: &[u8],
-    ) -> Result<(), ShipError> {
+    fn write_window(&self, ctx: &mut ThreadCtx, win: u64, bytes: &[u8]) -> Result<(), ShipError> {
         for (i, chunk) in bytes.chunks(self.cfg.burst_bytes).enumerate() {
             self.charge(ctx, self.cfg.per_chunk_overhead);
             let addr = self.base + win + (i * self.cfg.burst_bytes) as u64;
-            self.bus
-                .write(ctx, addr, chunk.to_vec())
-                .map_err(bus_err)?;
+            self.bus.write(ctx, addr, chunk.to_vec()).map_err(bus_err)?;
         }
         Ok(())
     }
 
-    fn read_window(
-        &self,
-        ctx: &mut ThreadCtx,
-        win: u64,
-        len: usize,
-    ) -> Result<Vec<u8>, ShipError> {
+    fn read_window(&self, ctx: &mut ThreadCtx, win: u64, len: usize) -> Result<Vec<u8>, ShipError> {
         let mut out = Vec::with_capacity(len);
         let mut off = 0;
         while off < len {
@@ -296,11 +288,7 @@ impl ShipEndpoint for SwShipMaster {
         ))
     }
 
-    fn request_bytes(
-        &self,
-        ctx: &mut ThreadCtx,
-        bytes: ShipBytes,
-    ) -> Result<ShipBytes, ShipError> {
+    fn request_bytes(&self, ctx: &mut ThreadCtx, bytes: ShipBytes) -> Result<ShipBytes, ShipError> {
         let start = ctx.now();
         let result = (|| {
             self.push(ctx, &bytes, DOORBELL_REQUEST)?;

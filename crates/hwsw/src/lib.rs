@@ -30,5 +30,7 @@ pub mod prelude {
     pub use crate::cpu::{Cpu, SwChannelBinding, SwRole};
     pub use crate::driver::{DriverConfig, NotifyMode, SwShipMaster, SwShipSlave};
     pub use crate::irq::IrqController;
-    pub use crate::rtos::{Rtos, RtosMailbox, RtosMutex, RtosSemaphore, RtosStats, TaskCtx, TaskId};
+    pub use crate::rtos::{
+        Rtos, RtosMailbox, RtosMutex, RtosSemaphore, RtosStats, TaskCtx, TaskId,
+    };
 }

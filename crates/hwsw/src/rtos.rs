@@ -181,12 +181,8 @@ impl Rtos {
         // Highest priority wins; FIFO among equals (the ready queue is in
         // arrival order), giving round-robin behaviour under `yield_now`.
         let max_prio = g.ready.iter().map(|t| g.tasks[t.0].prio).max();
-        let winner = max_prio.and_then(|p| {
-            g.ready
-                .iter()
-                .copied()
-                .find(|t| g.tasks[t.0].prio == p)
-        });
+        let winner =
+            max_prio.and_then(|p| g.ready.iter().copied().find(|t| g.tasks[t.0].prio == p));
         if let Some(w) = winner {
             g.ready.retain(|t| *t != w);
             g.tasks[w.0].state = TState::Running;
@@ -298,10 +294,7 @@ impl Rtos {
         let mut g = self.lock();
         g.tasks[task.0].prio = prio;
         if let Some(cur) = g.current {
-            if cur != task
-                && g.tasks[task.0].state == TState::Ready
-                && prio > g.tasks[cur.0].prio
-            {
+            if cur != task && g.tasks[task.0].state == TState::Ready && prio > g.tasks[cur.0].prio {
                 g.preemptions += 1;
                 let ev = g.tasks[cur.0].preempt.clone();
                 drop(g);

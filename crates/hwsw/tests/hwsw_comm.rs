@@ -33,7 +33,10 @@ fn accelerator_pe(ctx: &mut ThreadCtx, ports: Vec<ShipPort>) {
 }
 
 /// The control PE behaviour — also written once.
-fn control_pe(blocks: u32, results: Arc<Mutex<Vec<Vec<u8>>>>) -> impl FnOnce(&mut ThreadCtx, Vec<ShipPort>) + Send {
+fn control_pe(
+    blocks: u32,
+    results: Arc<Mutex<Vec<Vec<u8>>>>,
+) -> impl FnOnce(&mut ThreadCtx, Vec<ShipPort>) + Send {
     move |ctx, ports| {
         let port = &ports[0];
         for i in 0..blocks {
@@ -51,11 +54,21 @@ fn control_pe(blocks: u32, results: Arc<Mutex<Vec<Vec<u8>>>>) -> impl FnOnce(&mu
 fn build_hw_side(sim: &Simulation, sideband: Option<Signal<bool>>) -> (Arc<CcatbBus>, ShipPort) {
     let h = sim.handle();
     let mut bus = CcatbBus::new(&h, BusConfig::plb("plb"));
-    let pending = map_channel(&h, "ctl2acc", ACC_BASE, WrapperConfig::default(), ("ctl", "acc"));
+    let pending = map_channel(
+        &h,
+        "ctl2acc",
+        ACC_BASE,
+        WrapperConfig::default(),
+        ("ctl", "acc"),
+    );
     if let Some(sb) = sideband {
         pending.adapter.attach_sideband(sb);
     }
-    bus.map_slave(ACC_BASE..ACC_BASE + ADAPTER_SIZE, pending.adapter.clone(), true);
+    bus.map_slave(
+        ACC_BASE..ACC_BASE + ADAPTER_SIZE,
+        pending.adapter.clone(),
+        true,
+    );
     let bus = Arc::new(bus);
     (bus, pending.slave_port.clone())
 }
@@ -95,7 +108,10 @@ fn sw_master_to_hw_slave_polling() {
     let r = sim.run();
     assert_eq!(r.reason, StopReason::Starved);
     assert_eq!(*results.lock().unwrap(), reference_encryption(4));
-    assert!(bus.stats().transactions > 20, "driver must generate bus traffic");
+    assert!(
+        bus.stats().transactions > 20,
+        "driver must generate bus traffic"
+    );
 }
 
 #[test]
@@ -152,8 +168,7 @@ fn irq_driver_is_not_slower_than_coarse_polling() {
         let sim = Simulation::new();
         let h = sim.handle();
         let sideband = sim.signal("irq_line", false);
-        let (bus, acc_port) =
-            build_hw_side(&sim, wire_irq.then(|| sideband.clone()));
+        let (bus, acc_port) = build_hw_side(&sim, wire_irq.then(|| sideband.clone()));
         sim.spawn_thread("acc", move |ctx| slow_accelerator(ctx, acc_port));
         let mut cpu = Cpu::new(&h, "cpu0", bus.master_port(MasterId(0)));
         if wire_irq {
@@ -187,8 +202,18 @@ fn hw_master_to_sw_slave() {
     let sim = Simulation::new();
     let h = sim.handle();
     let mut bus = CcatbBus::new(&h, BusConfig::plb("plb"));
-    let pending = map_channel(&h, "hw2sw", ACC_BASE, WrapperConfig::default(), ("hwp", "swc"));
-    bus.map_slave(ACC_BASE..ACC_BASE + ADAPTER_SIZE, pending.adapter.clone(), true);
+    let pending = map_channel(
+        &h,
+        "hw2sw",
+        ACC_BASE,
+        WrapperConfig::default(),
+        ("hwp", "swc"),
+    );
+    bus.map_slave(
+        ACC_BASE..ACC_BASE + ADAPTER_SIZE,
+        pending.adapter.clone(),
+        true,
+    );
     let bus = Arc::new(bus);
 
     // HW producer drives the master wrapper over the bus.

@@ -7,7 +7,10 @@ use std::sync::{Arc, Mutex};
 use shiptlm_hwsw::prelude::*;
 use shiptlm_kernel::prelude::*;
 
-fn log() -> (Arc<Mutex<Vec<String>>>, impl Fn(&str) + Clone + Send + 'static) {
+fn log() -> (
+    Arc<Mutex<Vec<String>>>,
+    impl Fn(&str) + Clone + Send + 'static,
+) {
     let l = Arc::new(Mutex::new(Vec::new()));
     let c = Arc::clone(&l);
     (l, move |s: &str| c.lock().unwrap().push(s.to_string()))

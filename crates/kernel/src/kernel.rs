@@ -20,7 +20,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -180,6 +180,11 @@ pub(crate) struct KernelShared {
     pub(crate) metrics: MetricsShared,
     /// Host wall-clock profiler (disabled by default).
     pub(crate) profiler: HostProfiler,
+    /// Set when this kernel is the dormant companion of a direct-execution
+    /// run: constructs the direct backend cannot honour (timed
+    /// notifications, signal updates, dynamic processes) disqualify the
+    /// run instead of silently queueing into a kernel that never runs.
+    pub(crate) direct_guard: OnceLock<std::sync::Weak<crate::direct::DirectCore>>,
 }
 
 impl KernelShared {
@@ -204,7 +209,18 @@ impl KernelShared {
             txn: TxnShared::new(),
             metrics: MetricsShared::new(),
             profiler: HostProfiler::new(),
+            direct_guard: OnceLock::new(),
         })
+    }
+
+    /// Aborts the surrounding direct-execution run when this kernel is a
+    /// direct run's dormant companion (no-op otherwise).
+    fn disqualify_if_direct(&self, construct: crate::direct::Construct) {
+        if let Some(weak) = self.direct_guard.get() {
+            if let Some(core) = weak.upgrade() {
+                core.disqualify(construct);
+            }
+        }
     }
 
     pub(crate) fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -220,6 +236,7 @@ impl KernelShared {
     }
 
     pub(crate) fn request_stop(&self) {
+        self.disqualify_if_direct(crate::direct::Construct::ExplicitStop);
         self.lock().stop_requested = true;
     }
 
@@ -261,6 +278,7 @@ impl KernelShared {
             self.notify_delta(id);
             return;
         }
+        self.disqualify_if_direct(crate::direct::Construct::NotifyAfter);
         let mut g = self.lock();
         // Saturate instead of panicking: SimTime::MAX is the documented
         // "infinite horizon", so an overflowing notification simply lands
@@ -356,6 +374,7 @@ impl KernelShared {
     }
 
     pub(crate) fn request_update(&self, f: UpdateFn) {
+        self.disqualify_if_direct(crate::direct::Construct::SignalUpdate);
         self.lock().update_requests.push(f);
     }
 
@@ -364,6 +383,7 @@ impl KernelShared {
         name: &str,
         body: Box<dyn FnOnce(&mut crate::process::ThreadCtx) + Send>,
     ) -> ProcessId {
+        self.disqualify_if_direct(crate::direct::Construct::DynamicProcess);
         let (resume_tx, resume_rx) = sync_channel::<Resume>(1);
         let (yield_tx, yield_rx) = sync_channel::<YieldMsg>(1);
         let timer = self.new_event(&format!("{name}.timer"));
@@ -430,6 +450,7 @@ impl KernelShared {
         initialize: bool,
         f: MethodFn,
     ) -> ProcessId {
+        self.disqualify_if_direct(crate::direct::Construct::DynamicProcess);
         let timer = self.new_event(&format!("{name}.timer"));
         let mut g = self.lock();
         let pid = ProcessId(g.processes.len());
@@ -670,7 +691,8 @@ impl KernelShared {
             }
         }
         if let Some(t0) = probe {
-            self.profiler.record_process(self.process_name(pid), t0.elapsed());
+            self.profiler
+                .record_process(self.process_name(pid), t0.elapsed());
         }
     }
 
@@ -835,7 +857,7 @@ impl KernelShared {
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

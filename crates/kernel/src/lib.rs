@@ -44,9 +44,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod clock;
+pub mod direct;
 pub mod event;
-mod kernel;
 pub mod fifo;
+mod kernel;
 pub mod liveness;
 pub mod metrics;
 pub mod process;
@@ -64,6 +65,9 @@ pub use kernel::{EventId, MethodApi, ProcessId, RunResult, StopReason};
 /// Commonly used kernel items.
 pub mod prelude {
     pub use crate::clock::Clock;
+    pub use crate::direct::{
+        Construct, DirectCore, DirectOutcome, DirectSim, Disqualified, Gate, ParkInfo, ParkVerdict,
+    };
     pub use crate::event::Event;
     pub use crate::fifo::Fifo;
     pub use crate::liveness::{DeadlockReport, EndpointId, WaitForGraph};

@@ -250,7 +250,8 @@ impl MetricsShared {
         match g
             .series
             .entry((family, Arc::clone(resource)))
-            .or_insert_with(|| SeriesData::Histo(Box::default())) {
+            .or_insert_with(|| SeriesData::Histo(Box::default()))
+        {
             SeriesData::Histo(h) => h.record(value),
             other => debug_assert!(false, "family {family:?} is not a histogram: {other:?}"),
         }
@@ -348,12 +349,7 @@ impl MetricsSnapshot {
         match self.find(family, resource).map(|s| &s.data) {
             Some(SeriesData::Span { windows, .. }) => windows
                 .iter()
-                .map(|(idx, busy)| {
-                    (
-                        SimTime::from_ps(idx * w),
-                        *busy as f64 / w as f64,
-                    )
-                })
+                .map(|(idx, busy)| (SimTime::from_ps(idx * w), *busy as f64 / w as f64))
                 .collect(),
             _ => Vec::new(),
         }
@@ -444,8 +440,7 @@ impl MetricsSnapshot {
                 }
                 SeriesData::Span { windows, .. } => {
                     for (idx, busy) in windows {
-                        let _ =
-                            writeln!(out, "{fam},{res},busy_ps,{},{busy},,,", start_ns(*idx));
+                        let _ = writeln!(out, "{fam},{res},busy_ps,{},{busy},,,", start_ns(*idx));
                     }
                 }
                 SeriesData::Gauge { windows } => {
@@ -730,7 +725,12 @@ mod tests {
         m.enable(SimDur::ns(10));
         let r = res("dma \"fast\",in");
         m.counter_add("ship.messages", &r, 2, SimTime::ZERO);
-        m.span_record("bus.busy", &res("bus0"), SimTime::ZERO, SimTime::from_ps(500));
+        m.span_record(
+            "bus.busy",
+            &res("bus0"),
+            SimTime::ZERO,
+            SimTime::from_ps(500),
+        );
         m.gauge_set("mbox.occupancy", &res("mb"), 4, SimTime::ZERO);
         m.observe("bus.grant_wait_ns", &res("bus0"), 3);
         let text = m.snapshot().to_prometheus();
@@ -777,12 +777,27 @@ mod tests {
         // values.
         let prof = HostProfile {
             phases: vec![
-                (PHASE_ADVANCE, FrameStat { nanos: 2_000, count: 1 }),
-                (PHASE_EVALUATE, FrameStat { nanos: 9_000, count: 1 }),
+                (
+                    PHASE_ADVANCE,
+                    FrameStat {
+                        nanos: 2_000,
+                        count: 1,
+                    },
+                ),
+                (
+                    PHASE_EVALUATE,
+                    FrameStat {
+                        nanos: 9_000,
+                        count: 1,
+                    },
+                ),
             ],
             processes: vec![(
                 Arc::from("producer p0"),
-                FrameStat { nanos: 5_000, count: 1 },
+                FrameStat {
+                    nanos: 5_000,
+                    count: 1,
+                },
             )],
         };
         let folded = prof.to_folded();

@@ -3,13 +3,39 @@
 
 use std::fmt;
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use crate::direct::{Construct, DirectCore};
 use crate::event::Event;
 use crate::kernel::{EventId, KernelShared, KillToken, ProcessId, Resume, YieldMsg};
 use crate::metrics::MetricsShared;
 use crate::time::{SimDur, SimTime};
 use crate::txn::{TxnEvent, TxnOutcome, TxnSpan};
+
+/// Which execution backend is driving this process.
+enum CtxInner {
+    /// The delta-cycle kernel: blocking calls rendezvous with the
+    /// scheduler.
+    Kernel {
+        kernel: Arc<KernelShared>,
+        pid: ProcessId,
+        resume_rx: Receiver<Resume>,
+        yield_tx: SyncSender<YieldMsg>,
+    },
+    /// The direct backend (see [`crate::direct`]): the thread runs free,
+    /// time stands still at zero, and any construct needing the event
+    /// queue disqualifies the run.
+    Direct {
+        core: Arc<DirectCore>,
+        index: usize,
+        name: Arc<str>,
+        /// Lazily-built dormant kernel backing [`ThreadCtx::sim`]: objects
+        /// created through it (events, signals) work as long as they never
+        /// need the event queue; the first construct that does aborts the
+        /// direct run via the kernel's `direct_guard`.
+        sim: OnceLock<Arc<KernelShared>>,
+    },
+}
 
 /// Execution context of a thread process.
 ///
@@ -19,11 +45,14 @@ use crate::txn::{TxnEvent, TxnOutcome, TxnSpan};
 /// suspend the process and hand control back to the scheduler. Channel
 /// blocking operations (FIFO reads, SHIP calls, bus transactions) all take
 /// `&mut ThreadCtx` for the same reason.
+///
+/// The same type serves both backends: under the delta-cycle kernel the
+/// blocking calls rendezvous with the scheduler; under the direct backend
+/// ([`DirectSim`](crate::direct::DirectSim)) the process is a free-running
+/// OS thread and kernel-only constructs abort the run with a
+/// [`Disqualified`](crate::direct::Disqualified) verdict instead.
 pub struct ThreadCtx {
-    kernel: Arc<KernelShared>,
-    pid: ProcessId,
-    resume_rx: Receiver<Resume>,
-    yield_tx: SyncSender<YieldMsg>,
+    inner: CtxInner,
 }
 
 impl ThreadCtx {
@@ -34,38 +63,91 @@ impl ThreadCtx {
         yield_tx: SyncSender<YieldMsg>,
     ) -> Self {
         ThreadCtx {
-            kernel,
-            pid,
-            resume_rx,
-            yield_tx,
+            inner: CtxInner::Kernel {
+                kernel,
+                pid,
+                resume_rx,
+                yield_tx,
+            },
         }
     }
 
-    /// Current simulated time.
+    pub(crate) fn direct(core: Arc<DirectCore>, index: usize, name: Arc<str>) -> Self {
+        ThreadCtx {
+            inner: CtxInner::Direct {
+                core,
+                index,
+                name,
+                sim: OnceLock::new(),
+            },
+        }
+    }
+
+    /// When this process runs on the direct backend, its core and thread
+    /// index — the hook direct channels use to park against the right
+    /// stall domain. `None` under the delta-cycle kernel.
+    pub fn direct_backend(&self) -> Option<(&Arc<DirectCore>, usize)> {
+        match &self.inner {
+            CtxInner::Kernel { .. } => None,
+            CtxInner::Direct { core, index, .. } => Some((core, *index)),
+        }
+    }
+
+    /// Current simulated time. Always [`SimTime::ZERO`] on the direct
+    /// backend — a model that qualifies for it never observes time advance
+    /// under the delta-cycle kernel either.
     pub fn now(&self) -> SimTime {
-        self.kernel.now()
+        match &self.inner {
+            CtxInner::Kernel { kernel, .. } => kernel.now(),
+            CtxInner::Direct { .. } => SimTime::ZERO,
+        }
     }
 
     /// The id of this process.
     pub fn pid(&self) -> ProcessId {
-        self.pid
+        match &self.inner {
+            CtxInner::Kernel { pid, .. } => *pid,
+            CtxInner::Direct { index, .. } => ProcessId(*index),
+        }
     }
 
     /// The name this process was spawned with (an interned label; cloning
     /// it is cheap).
-    pub fn name(&self) -> std::sync::Arc<str> {
-        self.kernel.process_name(self.pid)
+    pub fn name(&self) -> Arc<str> {
+        match &self.inner {
+            CtxInner::Kernel { kernel, pid, .. } => kernel.process_name(*pid),
+            CtxInner::Direct { name, .. } => Arc::clone(name),
+        }
     }
 
     /// A handle for creating events / spawning processes from inside a
     /// running process.
+    ///
+    /// On the direct backend this hands out a *dormant* kernel: creating
+    /// objects through it succeeds, but the first operation that needs the
+    /// event queue (a timed notification, a signal update, a dynamic
+    /// process) disqualifies the direct run.
     pub fn sim(&self) -> crate::sim::SimHandle {
-        crate::sim::SimHandle::new(Arc::clone(&self.kernel))
+        let kernel = match &self.inner {
+            CtxInner::Kernel { kernel, .. } => Arc::clone(kernel),
+            CtxInner::Direct { core, sim, .. } => {
+                let k = sim.get_or_init(|| {
+                    let k = KernelShared::new();
+                    let _ = k.direct_guard.set(Arc::downgrade(core));
+                    k
+                });
+                Arc::clone(k)
+            }
+        };
+        crate::sim::SimHandle::new(kernel)
     }
 
     /// Requests the simulation to stop at the end of the current delta.
     pub fn stop(&self) {
-        self.kernel.request_stop();
+        match &self.inner {
+            CtxInner::Kernel { kernel, .. } => kernel.request_stop(),
+            CtxInner::Direct { core, .. } => core.disqualify(Construct::ExplicitStop),
+        }
     }
 
     /// `true` when the transaction recorder is enabled
@@ -74,20 +156,27 @@ impl ThreadCtx {
     /// zero-overhead fast path when recording is off.
     #[inline]
     pub fn txn_enabled(&self) -> bool {
-        self.kernel.txn.is_enabled()
+        match &self.inner {
+            CtxInner::Kernel { kernel, .. } => kernel.txn.is_enabled(),
+            CtxInner::Direct { core, .. } => core.txn.is_enabled(),
+        }
     }
 
     /// Records a completed transaction span, stamping it with this process's
     /// name. No-op when the recorder is disabled.
     pub fn txn_record(&self, span: TxnSpan<'_>) {
-        if !self.kernel.txn.is_enabled() {
+        if !self.txn_enabled() {
             return;
         }
-        self.kernel.txn.record(TxnEvent {
+        let (txn, process) = match &self.inner {
+            CtxInner::Kernel { kernel, pid, .. } => (&kernel.txn, kernel.process_name(*pid)),
+            CtxInner::Direct { core, index, .. } => (&core.txn, core.process_name(*index)),
+        };
+        txn.record(TxnEvent {
             level: span.level,
             op: span.op,
             resource: Arc::clone(span.resource),
-            process: self.kernel.process_name(self.pid),
+            process,
             start: span.start,
             end: span.end,
             bytes: span.bytes,
@@ -105,19 +194,30 @@ impl ThreadCtx {
     /// instrumentation sites when metrics are off.
     #[inline]
     pub fn metrics_enabled(&self) -> bool {
-        self.kernel.metrics.is_enabled()
+        match &self.inner {
+            CtxInner::Kernel { kernel, .. } => kernel.metrics.is_enabled(),
+            CtxInner::Direct { core, .. } => core.metrics.is_enabled(),
+        }
     }
 
     /// The kernel's metrics registry, for recording counters, gauges, busy
     /// spans and histogram samples from instrumented channels.
     pub fn metrics(&self) -> &MetricsShared {
-        &self.kernel.metrics
+        match &self.inner {
+            CtxInner::Kernel { kernel, .. } => &kernel.metrics,
+            CtxInner::Direct { core, .. } => &core.metrics,
+        }
     }
 
     /// Suspends until `event` is notified.
     pub fn wait(&mut self, event: &Event) {
-        self.kernel.register_wait(self.pid, &[event.id]);
-        let _ = self.yield_now();
+        match &mut self.inner {
+            CtxInner::Kernel { kernel, pid, .. } => {
+                kernel.register_wait(*pid, &[event.id]);
+                let _ = self.yield_now();
+            }
+            CtxInner::Direct { core, .. } => core.disqualify(Construct::EventWait),
+        }
     }
 
     /// Suspends until any of `events` fires; returns the index of the one
@@ -129,7 +229,12 @@ impl ThreadCtx {
     pub fn wait_any(&mut self, events: &[&Event]) -> usize {
         assert!(!events.is_empty(), "wait_any on an empty event set");
         let ids: Vec<EventId> = events.iter().map(|e| e.id).collect();
-        self.kernel.register_wait(self.pid, &ids);
+        match &mut self.inner {
+            CtxInner::Kernel { kernel, pid, .. } => {
+                kernel.register_wait(*pid, &ids);
+            }
+            CtxInner::Direct { core, .. } => core.disqualify(Construct::EventWait),
+        }
         let cause = self.yield_now();
         match cause {
             Some(c) => ids
@@ -150,18 +255,28 @@ impl ThreadCtx {
     pub fn wait_any_for(&mut self, events: &[&Event], timeout: SimDur) -> Option<usize> {
         assert!(!events.is_empty(), "wait_any_for on an empty event set");
         assert!(!timeout.is_zero(), "wait_any_for with a zero timeout");
-        let timer = self.kernel.process_timer(self.pid);
-        self.kernel.notify_after(timer, timeout);
-        let mut ids: Vec<EventId> = events.iter().map(|e| e.id).collect();
+        let (timer, mut ids) = match &mut self.inner {
+            CtxInner::Kernel { kernel, pid, .. } => {
+                let timer = kernel.process_timer(*pid);
+                kernel.notify_after(timer, timeout);
+                let ids: Vec<EventId> = events.iter().map(|e| e.id).collect();
+                (timer, ids)
+            }
+            CtxInner::Direct { core, .. } => core.disqualify(Construct::TimedWait),
+        };
         ids.push(timer);
-        self.kernel.register_wait(self.pid, &ids);
+        if let CtxInner::Kernel { kernel, pid, .. } = &self.inner {
+            kernel.register_wait(*pid, &ids);
+        }
         let cause = self.yield_now();
         match cause {
             Some(c) if c == timer => None,
             Some(c) => {
                 // Cancel the pending timeout so it cannot spuriously wake a
                 // later wait on the same private timer.
-                self.kernel.cancel(timer);
+                if let CtxInner::Kernel { kernel, .. } = &self.inner {
+                    kernel.cancel(timer);
+                }
                 Some(
                     ids.iter()
                         .position(|i| *i == c)
@@ -178,29 +293,53 @@ impl ThreadCtx {
             self.wait_delta();
             return;
         }
-        let timer = self.kernel.process_timer(self.pid);
-        self.kernel.notify_after(timer, d);
-        self.kernel.register_wait(self.pid, &[timer]);
-        let _ = self.yield_now();
+        match &mut self.inner {
+            CtxInner::Kernel { kernel, pid, .. } => {
+                let timer = kernel.process_timer(*pid);
+                kernel.notify_after(timer, d);
+                kernel.register_wait(*pid, &[timer]);
+                let _ = self.yield_now();
+            }
+            CtxInner::Direct { core, .. } => core.disqualify(Construct::TimedWait),
+        }
     }
 
-    /// Suspends for one delta cycle.
+    /// Suspends for one delta cycle. On the direct backend this is a plain
+    /// scheduling hint (plus an abort check): qualifying models only use it
+    /// for fairness, never for ordering.
     pub fn wait_delta(&mut self) {
-        let timer = self.kernel.process_timer(self.pid);
-        self.kernel.notify_delta(timer);
-        self.kernel.register_wait(self.pid, &[timer]);
-        let _ = self.yield_now();
+        match &mut self.inner {
+            CtxInner::Kernel { kernel, pid, .. } => {
+                let timer = kernel.process_timer(*pid);
+                kernel.notify_delta(timer);
+                kernel.register_wait(*pid, &[timer]);
+                let _ = self.yield_now();
+            }
+            CtxInner::Direct { core, .. } => {
+                core.check_abort();
+                std::thread::yield_now();
+            }
+        }
     }
 
     /// Hands control to the scheduler and blocks until resumed.
     ///
     /// The caller must have registered a wait beforehand, otherwise the
-    /// process never wakes.
+    /// process never wakes. Kernel backend only; direct-backend blocking is
+    /// handled in the channels via [`DirectCore::park`](crate::direct::DirectCore::park).
     fn yield_now(&mut self) -> Option<EventId> {
-        self.yield_tx
+        let CtxInner::Kernel {
+            resume_rx,
+            yield_tx,
+            ..
+        } = &mut self.inner
+        else {
+            unreachable!("yield_now is only reachable from the kernel backend")
+        };
+        yield_tx
             .send(YieldMsg::Yielded)
             .expect("kernel disappeared while yielding");
-        match self.resume_rx.recv() {
+        match resume_rx.recv() {
             Ok(Resume::Go(cause)) => cause,
             Ok(Resume::Kill) | Err(_) => {
                 // Unwind through the process body; caught by the wrapper.
@@ -214,7 +353,7 @@ impl ThreadCtx {
 impl fmt::Debug for ThreadCtx {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ThreadCtx")
-            .field("pid", &self.pid.0)
+            .field("pid", &self.pid().0)
             .field("name", &self.name())
             .field("now", &self.now())
             .finish()

@@ -390,6 +390,8 @@ impl SimHandle {
 
 impl fmt::Debug for SimHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SimHandle").field("now", &self.now()).finish()
+        f.debug_struct("SimHandle")
+            .field("now", &self.now())
+            .finish()
     }
 }

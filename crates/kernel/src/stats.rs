@@ -176,7 +176,11 @@ impl Histogram {
 
     /// Records a sample.
     pub fn record(&mut self, x: u64) {
-        let bucket = if x < 2 { 0 } else { 63 - x.leading_zeros() as usize };
+        let bucket = if x < 2 {
+            0
+        } else {
+            63 - x.leading_zeros() as usize
+        };
         self.buckets[bucket] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(x);

@@ -52,7 +52,12 @@ pub struct TraceError {
 
 impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "vcd trace error on {}: {}", self.path.display(), self.source)
+        write!(
+            f,
+            "vcd trace error on {}: {}",
+            self.path.display(),
+            self.source
+        )
     }
 }
 

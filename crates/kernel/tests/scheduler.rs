@@ -6,7 +6,10 @@ use std::sync::{Arc, Mutex};
 
 use shiptlm_kernel::prelude::*;
 
-fn shared_log() -> (Arc<Mutex<Vec<String>>>, impl Fn(&str) + Clone + Send + 'static) {
+fn shared_log() -> (
+    Arc<Mutex<Vec<String>>>,
+    impl Fn(&str) + Clone + Send + 'static,
+) {
     let log = Arc::new(Mutex::new(Vec::new()));
     let l = Arc::clone(&log);
     (log, move |s: &str| l.lock().unwrap().push(s.to_string()))
@@ -647,8 +650,13 @@ fn flush_trace_surfaces_io_errors() {
     sig.trace("top.data");
     sim.run();
     std::fs::remove_dir_all(&dir).unwrap();
-    let err = sim.flush_trace().expect_err("flush into a removed directory");
-    assert!(err.to_string().contains("wave.vcd"), "error names the path: {err}");
+    let err = sim
+        .flush_trace()
+        .expect_err("flush into a removed directory");
+    assert!(
+        err.to_string().contains("wave.vcd"),
+        "error names the path: {err}"
+    );
 }
 
 #[test]

@@ -45,6 +45,8 @@ pub mod prelude {
     pub use crate::payload::{
         BurstSeq, MCmd, OcpCommand, OcpRequest, OcpResponse, SResp, TxTiming,
     };
-    pub use crate::pin::{OcpMonitor, OcpPins, PinOcpMaster, PinOcpSlave, ViolationLog, WORD_BYTES};
+    pub use crate::pin::{
+        OcpMonitor, OcpPins, PinOcpMaster, PinOcpSlave, ViolationLog, WORD_BYTES,
+    };
     pub use crate::tl::{MasterId, OcpMasterPort, OcpTarget};
 }

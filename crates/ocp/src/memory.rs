@@ -263,9 +263,7 @@ mod tests {
     #[test]
     fn memory_latency_consumes_time() {
         let sim = Simulation::new();
-        let mem = Arc::new(
-            Memory::new("ram", 1024).with_latency(SimDur::ns(10), SimDur::ns(2)),
-        );
+        let mem = Arc::new(Memory::new("ram", 1024).with_latency(SimDur::ns(10), SimDur::ns(2)));
         let port = OcpMasterPort::bind(MasterId(0), mem);
         let end = Arc::new(Mutex::new(SimTime::ZERO));
         {

@@ -285,7 +285,9 @@ mod tests {
 
     #[test]
     fn command_metadata() {
-        let w = OcpCommand::Write { data: vec![1, 2, 3] };
+        let w = OcpCommand::Write {
+            data: vec![1, 2, 3],
+        };
         assert_eq!(w.mcmd(), MCmd::Write);
         assert_eq!(w.len(), 3);
         assert!(!w.is_empty());

@@ -22,8 +22,8 @@ use shiptlm_kernel::clock::Clock;
 use shiptlm_kernel::event::Event;
 use shiptlm_kernel::fifo::Fifo;
 use shiptlm_kernel::process::ThreadCtx;
-use shiptlm_kernel::sim::SimHandle;
 use shiptlm_kernel::signal::Signal;
+use shiptlm_kernel::sim::SimHandle;
 use shiptlm_kernel::time::SimDur;
 
 use crate::error::OcpError;
@@ -173,7 +173,8 @@ fn master_fsm(
             pins.mburst_len.write((beats - accepted) as u32);
             pins.mbyte_cnt.write(total_len as u32);
             if !is_read {
-                pins.mdata.write(wdata.get(accepted as usize).copied().unwrap_or(0));
+                pins.mdata
+                    .write(wdata.get(accepted as usize).copied().unwrap_or(0));
             }
             ctx.wait(&posedge);
             // Sample pre-edge values: did the beat transfer on this edge?
@@ -244,7 +245,9 @@ impl OcpTarget for PinOcpMaster {
 
 impl fmt::Debug for PinOcpMaster {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("PinOcpMaster").field("name", &self.name).finish()
+        f.debug_struct("PinOcpMaster")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -297,7 +300,11 @@ fn slave_fsm(
             let max = burst * WORD_BYTES as u64;
             // Defensive clamp: a missing/oversized count degrades to whole
             // words, never out-of-burst accesses.
-            if raw == 0 || raw > max { max } else { raw }
+            if raw == 0 || raw > max {
+                max
+            } else {
+                raw
+            }
         } as usize;
 
         // Collect all beats of the burst.

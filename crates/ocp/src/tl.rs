@@ -77,11 +77,7 @@ impl OcpMasterPort {
     /// # Errors
     ///
     /// Propagates the target's [`OcpError`].
-    pub fn transact(
-        &self,
-        ctx: &mut ThreadCtx,
-        req: OcpRequest,
-    ) -> Result<OcpResponse, OcpError> {
+    pub fn transact(&self, ctx: &mut ThreadCtx, req: OcpRequest) -> Result<OcpResponse, OcpError> {
         // Two relaxed loads on the fully-disabled fast path, one per
         // recorder.
         let txn = ctx.txn_enabled();

@@ -20,7 +20,15 @@ fn bench(wait_states: u64) -> Bench {
     let pins = OcpPins::new(&h, "ocp");
     let mem = Arc::new(Memory::new("ram", 4096));
     let master = PinOcpMaster::new(&h, "m0", pins.clone(), &clk);
-    PinOcpSlave::spawn(&h, "s0", pins.clone(), &clk, mem.clone(), wait_states, MasterId(0));
+    PinOcpSlave::spawn(
+        &h,
+        "s0",
+        pins.clone(),
+        &clk,
+        mem.clone(),
+        wait_states,
+        MasterId(0),
+    );
     let monitor = OcpMonitor::spawn(&h, "mon", pins, &clk);
     let port = OcpMasterPort::bind(MasterId(0), master);
     Bench {
@@ -43,10 +51,7 @@ fn single_word_write_and_read() {
         ctx.stop();
     });
     b.sim.run();
-    assert_eq!(
-        b.mem.peek(0x100, 4).unwrap(),
-        vec![0xDE, 0xAD, 0xBE, 0xEF]
-    );
+    assert_eq!(b.mem.peek(0x100, 4).unwrap(), vec![0xDE, 0xAD, 0xBE, 0xEF]);
     assert!(b.monitor.is_empty(), "violations: {:?}", b.monitor.to_vec());
 }
 
@@ -72,7 +77,10 @@ fn partial_trailing_word_is_preserved() {
     b.sim.spawn_thread("pe", move |ctx| {
         // 11 bytes: one full word plus a 3-byte tail.
         port.write(ctx, 8, (1..=11u8).collect()).unwrap();
-        assert_eq!(port.read(ctx, 8, 11).unwrap(), (1..=11).collect::<Vec<u8>>());
+        assert_eq!(
+            port.read(ctx, 8, 11).unwrap(),
+            (1..=11).collect::<Vec<u8>>()
+        );
         ctx.stop();
     });
     b.sim.run();
@@ -116,9 +124,7 @@ fn timing_annotation_reports_cycles() {
     {
         let timing = Arc::clone(&timing);
         b.sim.spawn_thread("pe", move |ctx| {
-            let resp = port
-                .transact(ctx, OcpRequest::read(0, 32))
-                .unwrap();
+            let resp = port.transact(ctx, OcpRequest::read(0, 32)).unwrap();
             *timing.lock().unwrap() = resp.timing;
             ctx.stop();
         });

@@ -39,8 +39,7 @@ fn memory_matches_reference_model() {
                     }
                     if *is_write {
                         port.write(ctx, *addr, data[..len].to_vec()).unwrap();
-                        model[*addr as usize..*addr as usize + len]
-                            .copy_from_slice(&data[..len]);
+                        model[*addr as usize..*addr as usize + len].copy_from_slice(&data[..len]);
                     } else {
                         let got = port.read(ctx, *addr, len).unwrap();
                         let want = &model[*addr as usize..*addr as usize + len];

@@ -153,7 +153,10 @@ pub struct ShipChannel {
 impl ShipChannel {
     /// Creates a channel on the given simulation.
     pub fn new(sim: &SimHandle, name: &str, config: ShipConfig) -> Self {
-        assert!(config.capacity > 0, "ship channel capacity must be non-zero");
+        assert!(
+            config.capacity > 0,
+            "ship channel capacity must be non-zero"
+        );
         let ev = |suffix: &str| sim.event(&format!("{name}.{suffix}"));
         let msg_written = [ev("a2b.written"), ev("b2a.written")];
         let msg_read = [ev("a2b.read"), ev("b2a.read")];
@@ -318,8 +321,7 @@ pub trait ShipEndpoint: Send + Sync {
     /// # Errors
     ///
     /// Returns a [`ShipError`] on protocol violations.
-    fn request_bytes(&self, ctx: &mut ThreadCtx, bytes: ShipBytes)
-        -> Result<ShipBytes, ShipError>;
+    fn request_bytes(&self, ctx: &mut ThreadCtx, bytes: ShipBytes) -> Result<ShipBytes, ShipError>;
 
     /// Replies to the oldest outstanding request received on this end.
     ///
@@ -361,13 +363,20 @@ impl ChannelEndpoint {
     /// configured. Taken at call entry, so transport delay counts against
     /// the budget.
     fn deadline(&self, ctx: &ThreadCtx) -> Option<SimTime> {
-        self.shared.config.timeout.and_then(|t| ctx.now().checked_add(t))
+        self.shared
+            .config
+            .timeout
+            .and_then(|t| ctx.now().checked_add(t))
     }
 
     /// Queue-state snapshot embedded in timeout errors and endpoint notes.
     fn snapshot(&self) -> String {
-        let d0 = self.shared.dirs[0].lock().unwrap_or_else(|e| e.into_inner());
-        let d1 = self.shared.dirs[1].lock().unwrap_or_else(|e| e.into_inner());
+        let d0 = self.shared.dirs[0]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let d1 = self.shared.dirs[1]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         format!(
             "a2b {} queued / {} owed replies, b2a {} queued / {} owed replies",
             d0.messages.len(),
@@ -437,9 +446,12 @@ impl ChannelEndpoint {
         let mut msg = Some(msg);
         loop {
             {
-                let mut q = self.shared.dirs[dir].lock().unwrap_or_else(|e| e.into_inner());
+                let mut q = self.shared.dirs[dir]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
                 if q.messages.len() < self.shared.config.capacity {
-                    q.messages.push_back(msg.take().expect("message consumed twice"));
+                    q.messages
+                        .push_back(msg.take().expect("message consumed twice"));
                     break;
                 }
             }
@@ -458,7 +470,9 @@ impl ChannelEndpoint {
         let dir = self.in_dir();
         loop {
             {
-                let mut q = self.shared.dirs[dir].lock().unwrap_or_else(|e| e.into_inner());
+                let mut q = self.shared.dirs[dir]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
                 if let Some(m) = q.messages.pop_front() {
                     let mut owed = None;
                     if m.kind == MsgKind::Request {
@@ -500,11 +514,7 @@ impl ShipEndpoint for ChannelEndpoint {
         Ok(self.pop_message(ctx, "recv", deadline)?.bytes)
     }
 
-    fn request_bytes(
-        &self,
-        ctx: &mut ThreadCtx,
-        bytes: ShipBytes,
-    ) -> Result<ShipBytes, ShipError> {
+    fn request_bytes(&self, ctx: &mut ThreadCtx, bytes: ShipBytes) -> Result<ShipBytes, ShipError> {
         self.note_user(ctx);
         let deadline = self.deadline(ctx);
         self.transport_delay(ctx, bytes.len());
@@ -578,11 +588,7 @@ pub struct ShipPort {
 impl ShipPort {
     /// Builds a port around a custom [`ShipEndpoint`] backend (used by bus
     /// wrappers and the eSW communication library).
-    pub fn from_endpoint(
-        endpoint: Arc<dyn ShipEndpoint>,
-        channel: &str,
-        label: &str,
-    ) -> ShipPort {
+    pub fn from_endpoint(endpoint: Arc<dyn ShipEndpoint>, channel: &str, label: &str) -> ShipPort {
         ShipPort {
             endpoint,
             usage: Arc::new(Usage::new()),
@@ -595,6 +601,23 @@ impl ShipPort {
     /// The channel name this port belongs to.
     pub fn channel_name(&self) -> &str {
         &self.channel
+    }
+
+    /// Builds a port that shares `usage` with its channel — the direct
+    /// backend uses this so role observation sees the typed-call counters.
+    pub(crate) fn with_usage(
+        endpoint: Arc<dyn ShipEndpoint>,
+        usage: Arc<Usage>,
+        channel: Arc<str>,
+        label: &str,
+    ) -> ShipPort {
+        ShipPort {
+            endpoint,
+            usage,
+            channel,
+            label: Arc::from(label),
+            recorder: Arc::new(Mutex::new(None)),
+        }
     }
 
     /// Rebuilds this port around a wrapped endpoint, keeping the channel
@@ -667,7 +690,13 @@ impl ShipPort {
         m.span_record("ship.blocked", &self.channel, start, now);
     }
 
-    fn record(&self, ctx: &ThreadCtx, op: ShipOp, bytes: &[u8], start: shiptlm_kernel::time::SimTime) {
+    fn record(
+        &self,
+        ctx: &ThreadCtx,
+        op: ShipOp,
+        bytes: &[u8],
+        start: shiptlm_kernel::time::SimTime,
+    ) {
         let g = self.recorder.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(log) = g.as_ref() {
             log.push(TxRecord {

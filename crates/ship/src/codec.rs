@@ -87,8 +87,9 @@ impl<T> From<T> for Serde<T> {
 
 impl<T: ShipSerialize> ShipSerialize for Serde<T> {
     fn serialize(&self, w: &mut ByteWriter) {
-        let bytes = to_wire(&self.0);
-        w.put_len_prefixed(&bytes);
+        // Stream the payload straight into the output buffer and backpatch
+        // the length prefix — no per-message temporary allocation.
+        w.put_len_prefixed_with(|w| self.0.serialize(w));
     }
     fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
         let bytes = r.get_len_prefixed()?;

@@ -45,6 +45,7 @@
 pub mod bytes;
 pub mod channel;
 pub mod codec;
+pub mod direct;
 pub mod error;
 pub mod record;
 pub mod role;
@@ -56,9 +57,10 @@ pub mod prelude {
     pub use crate::bytes::ShipBytes;
     pub use crate::channel::{ShipChannel, ShipConfig, ShipEndpoint, ShipPort, Side};
     pub use crate::codec::Serde;
+    pub use crate::direct::DirectChannel;
     pub use crate::error::ShipError;
     pub use crate::record::{Label, ShipOp, TransactionLog, TxRecord};
     pub use crate::role::{Role, RoleObservation, Usage, UsageSnapshot};
-    pub use crate::serialize::{from_wire, to_wire, ShipSerialize};
+    pub use crate::serialize::{from_wire, serialize_into, to_wire, ShipSerialize};
     pub use crate::wire::{ByteReader, ByteWriter, WireError};
 }

@@ -53,6 +53,18 @@ pub fn to_wire<T: ShipSerialize>(value: &T) -> Vec<u8> {
     w.into_bytes()
 }
 
+/// Serializes `value` into `buf`, reusing its allocation.
+///
+/// The buffer is cleared first; after a warm-up message, encode loops run
+/// allocation-free as long as payload sizes stay within the buffer's
+/// high-water mark. Produces bytes identical to [`to_wire`].
+pub fn serialize_into<T: ShipSerialize>(value: &T, buf: &mut Vec<u8>) {
+    buf.clear();
+    let mut w = ByteWriter::from(std::mem::take(buf));
+    value.serialize(&mut w);
+    *buf = w.into_bytes();
+}
+
 /// Deserializes a `T` from `bytes`, requiring the stream to be fully
 /// consumed.
 ///
@@ -243,6 +255,21 @@ mod tests {
         roundtrip(vec![vec![1u8], vec![], vec![2, 3]]);
         roundtrip([7u32; 4]);
         roundtrip((1u8, String::from("x"), vec![9u64]));
+    }
+
+    #[test]
+    fn serialize_into_matches_to_wire_and_reuses_capacity() {
+        let v = (42u32, String::from("reuse"), vec![1u8, 2, 3]);
+        let mut buf = Vec::new();
+        serialize_into(&v, &mut buf);
+        assert_eq!(buf, to_wire(&v));
+        // A second, smaller message reuses the allocation.
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        serialize_into(&7u16, &mut buf);
+        assert_eq!(buf, to_wire(&7u16));
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf.as_ptr(), ptr);
     }
 
     #[test]

@@ -158,6 +158,30 @@ impl ByteWriter {
         self.put_u64(bytes.len() as u64);
         self.put_bytes(bytes);
     }
+
+    /// Length-prefixes whatever `body` writes, without materializing it in
+    /// a separate buffer first: reserves the 8-byte prefix, runs `body`
+    /// against this writer, then backpatches the prefix with the number of
+    /// bytes produced. Wire-identical to encoding the body separately and
+    /// calling [`put_len_prefixed`](Self::put_len_prefixed).
+    pub fn put_len_prefixed_with(&mut self, body: impl FnOnce(&mut ByteWriter)) {
+        let prefix_at = self.buf.len();
+        self.put_u64(0);
+        let start = self.buf.len();
+        body(self);
+        let len = (self.buf.len() - start) as u64;
+        self.buf[prefix_at..start].copy_from_slice(&len.to_le_bytes());
+    }
+}
+
+impl From<Vec<u8>> for ByteWriter {
+    /// Wraps an existing buffer, appending after its current contents.
+    /// [`into_bytes`](ByteWriter::into_bytes) returns the same allocation,
+    /// so encode loops can reuse one buffer across messages
+    /// (see [`serialize_into`](crate::serialize::serialize_into)).
+    fn from(buf: Vec<u8>) -> Self {
+        ByteWriter { buf }
+    }
 }
 
 /// Deserializes values from a byte slice.
@@ -319,6 +343,48 @@ mod tests {
     fn strict_bool_rejects_garbage() {
         let mut r = ByteReader::new(&[7]);
         assert!(matches!(r.get_bool(), Err(WireError::InvalidValue(_))));
+    }
+
+    #[test]
+    fn len_prefixed_with_matches_two_pass_encoding() {
+        let mut by_copy = ByteWriter::new();
+        let mut body = ByteWriter::new();
+        body.put_u32(0xDEAD);
+        body.put_len_prefixed(b"inner");
+        by_copy.put_u16(7);
+        by_copy.put_len_prefixed(body.as_bytes());
+
+        let mut streamed = ByteWriter::new();
+        streamed.put_u16(7);
+        streamed.put_len_prefixed_with(|w| {
+            w.put_u32(0xDEAD);
+            w.put_len_prefixed(b"inner");
+        });
+        assert_eq!(streamed.as_bytes(), by_copy.as_bytes());
+    }
+
+    #[test]
+    fn len_prefixed_with_nests() {
+        let mut w = ByteWriter::new();
+        w.put_len_prefixed_with(|w| {
+            w.put_len_prefixed_with(|w| w.put_u8(9));
+        });
+        let mut r = ByteReader::new(w.as_bytes());
+        let outer = r.get_len_prefixed().unwrap();
+        let mut r2 = ByteReader::new(outer);
+        assert_eq!(r2.get_len_prefixed().unwrap(), &[9]);
+    }
+
+    #[test]
+    fn writer_from_vec_appends_and_returns_same_allocation() {
+        let mut buf = Vec::with_capacity(64);
+        buf.push(0xEE);
+        let ptr = buf.as_ptr();
+        let mut w = ByteWriter::from(buf);
+        w.put_u8(0xFF);
+        let out = w.into_bytes();
+        assert_eq!(out, vec![0xEE, 0xFF]);
+        assert_eq!(out.as_ptr(), ptr);
     }
 
     #[test]

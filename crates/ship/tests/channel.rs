@@ -146,7 +146,10 @@ fn unused_channel_roles() {
     let ch = channel(&sim, "idle");
     let (_a, _b) = ch.ports("a", "b");
     sim.run();
-    assert_eq!(ch.observed_roles(), (RoleObservation::Unused, RoleObservation::Unused));
+    assert_eq!(
+        ch.observed_roles(),
+        (RoleObservation::Unused, RoleObservation::Unused)
+    );
 }
 
 #[test]

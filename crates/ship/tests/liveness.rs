@@ -30,9 +30,15 @@ fn deadlocked_two_pe_example_is_diagnosed() {
     let text = report.to_string();
     assert!(text.contains("producer"), "missing process name:\n{text}");
     assert!(text.contains("consumer"), "missing process name:\n{text}");
-    assert!(text.contains("ship channel 'link'"), "missing channel:\n{text}");
+    assert!(
+        text.contains("ship channel 'link'"),
+        "missing channel:\n{text}"
+    );
     assert!(text.contains("recv"), "missing blocking call:\n{text}");
-    assert!(text.contains("DEADLOCK cycle"), "missing cycle line:\n{text}");
+    assert!(
+        text.contains("DEADLOCK cycle"),
+        "missing cycle line:\n{text}"
+    );
 }
 
 /// A request cycle across two channels: each PE serves the other but both

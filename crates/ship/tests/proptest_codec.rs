@@ -101,7 +101,9 @@ fn gen_op(rng: &mut Rng) -> Op {
 fn gen_record(rng: &mut Rng) -> Record {
     Record {
         id: rng.next_u32(),
-        ops: (0..rng.gen_range_usize(0, 8)).map(|_| gen_op(rng)).collect(),
+        ops: (0..rng.gen_range_usize(0, 8))
+            .map(|_| gen_op(rng))
+            .collect(),
         note: if rng.gen_bool() {
             let len = rng.gen_range_usize(0, 20);
             Some(rng.alnum_string(len))
@@ -189,7 +191,11 @@ fn encoding_is_deterministic() {
     for case in 0..CASES {
         let mut rng = Rng::seed_from_u64(0x5e12_5000 + case);
         let rec = gen_record(&mut rng);
-        assert_eq!(to_bytes(&rec).unwrap(), to_bytes(&rec).unwrap(), "case {case}");
+        assert_eq!(
+            to_bytes(&rec).unwrap(),
+            to_bytes(&rec).unwrap(),
+            "case {case}"
+        );
     }
 }
 

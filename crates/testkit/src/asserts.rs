@@ -129,8 +129,8 @@ pub fn assert_jsonl_export(trace: &TxnTrace) {
     let lines: Vec<&str> = jsonl.lines().collect();
     assert_eq!(lines.len(), trace.events().len());
     for (i, line) in lines.iter().enumerate() {
-        let obj = Json::parse(line)
-            .unwrap_or_else(|e| panic!("JSONL line {i} must parse: {e}\n{line}"));
+        let obj =
+            Json::parse(line).unwrap_or_else(|e| panic!("JSONL line {i} must parse: {e}\n{line}"));
         for key in ["level", "op", "resource", "process", "outcome"] {
             assert!(
                 obj.get(key).and_then(Json::as_str).is_some(),

@@ -26,7 +26,8 @@ use std::panic::{self, AssertUnwindSafe};
 use shiptlm::partition::{run_partitioned_with, Partition};
 use shiptlm_explore::arch::ArchSpec;
 use shiptlm_explore::mapper::{
-    run_component_assembly_with, run_mapped_with, run_pin_accurate_with, RunOptions, RunOutput,
+    run_component_assembly_with, run_mapped_with, run_pin_accurate_with, Backend, RunOptions,
+    RunOutput,
 };
 use shiptlm_kernel::time::SimDur;
 use shiptlm_kernel::StopReason;
@@ -35,6 +36,37 @@ use shiptlm_ship::record::TransactionLog;
 use crate::faults::FaultPlan;
 use crate::model::ModelSpec;
 
+/// One execution target of the differential checker, in refinement order.
+/// [`Failure::level`] and [`PassReport::times`] use these targets' labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// The untimed component-assembly reference on the DE kernel.
+    ComponentAssembly,
+    /// The untimed model (compute delays stripped) on the direct-execution
+    /// backend — same abstraction level as the reference, different
+    /// scheduler, so its content streams must match exactly.
+    DirectCA,
+    /// The CCATB mapped level.
+    Ccatb,
+    /// The pin-accurate prototype level.
+    PinAccurate,
+    /// The HW/SW-partitioned target.
+    Partitioned,
+}
+
+impl Target {
+    /// The level label used in failures and pass reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Target::ComponentAssembly => "component-assembly",
+            Target::DirectCA => "direct-ca",
+            Target::Ccatb => "ccatb",
+            Target::PinAccurate => "pin-accurate",
+            Target::Partitioned => "partitioned",
+        }
+    }
+}
+
 /// How to run one conformance check.
 #[derive(Debug, Clone)]
 pub struct CheckConfig {
@@ -42,6 +74,12 @@ pub struct CheckConfig {
     pub arch: ArchSpec,
     /// Also run the pin-accurate prototype level.
     pub pin_level: bool,
+    /// Also run the untimed model on the direct-execution backend
+    /// ([`Target::DirectCA`]) and require content equivalence with the DE
+    /// reference. Uses [`Backend::Auto`]: a model a fault hook re-timed
+    /// falls back to the DE kernel instead of failing spuriously;
+    /// [`PassReport::direct_used`] records whether direct actually ran.
+    pub direct_ca: bool,
     /// Also run a HW/SW-partitioned target (one master PE per motif moved
     /// to software).
     pub partition: bool,
@@ -68,6 +106,7 @@ impl CheckConfig {
         CheckConfig {
             arch,
             pin_level: true,
+            direct_ca: true,
             partition: false,
             fault: None,
             ship_timeout: SimDur::ms(10),
@@ -139,6 +178,9 @@ pub struct PassReport {
     pub levels: usize,
     /// Simulated times per level, in refinement order.
     pub times: Vec<(&'static str, SimDur)>,
+    /// `true` when the [`Target::DirectCA`] leg ran on the direct backend
+    /// (rather than being disabled or falling back to the DE kernel).
+    pub direct_used: bool,
 }
 
 fn classify_panic(level: &'static str, payload: Box<dyn std::any::Any + Send>) -> Failure {
@@ -203,13 +245,11 @@ fn check_equivalence(
     reference: &TransactionLog,
     refined: &TransactionLog,
 ) -> Result<(), Failure> {
-    refined
-        .content_equivalent(reference)
-        .map_err(|e| Failure {
-            kind: FailureKind::Divergence,
-            level,
-            detail: e.to_string(),
-        })
+    refined.content_equivalent(reference).map_err(|e| Failure {
+        kind: FailureKind::Divergence,
+        level,
+        detail: e.to_string(),
+    })
 }
 
 /// Runs `spec` through every configured target and checks conformance.
@@ -226,17 +266,44 @@ pub fn check_model(spec: &ModelSpec, cfg: &CheckConfig) -> Result<PassReport, Fa
 
     // Reference: untimed component assembly, also yields channel roles.
     let app = spec.to_app();
-    let ca = panic::catch_unwind(AssertUnwindSafe(|| run_component_assembly_with(&app, &opts)))
-        .map_err(|p| classify_panic("component-assembly", p))?
-        .map_err(|e| Failure {
-            kind: FailureKind::Map,
-            level: "component-assembly",
-            detail: e.to_string(),
-        })?;
+    let ca = panic::catch_unwind(AssertUnwindSafe(|| {
+        run_component_assembly_with(&app, &opts)
+    }))
+    .map_err(|p| classify_panic("component-assembly", p))?
+    .map_err(|e| Failure {
+        kind: FailureKind::Map,
+        level: "component-assembly",
+        detail: e.to_string(),
+    })?;
     check_liveness("component-assembly", &ca.output, &pe_names)?;
 
     let mut times = vec![("component-assembly", ca.output.sim_time)];
     let mut levels = 1;
+
+    // Direct-execution differential: the same untimed level, scheduled by
+    // free-running threads instead of the delta-cycle event queue, must
+    // deliver the exact same per-(channel, port) streams.
+    let mut direct_used = false;
+    if cfg.direct_ca {
+        let level = Target::DirectCA.label();
+        let untimed = spec.untimed();
+        let app = untimed.to_app();
+        let opts = cfg.options().with_backend(Backend::Auto);
+        let dca = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_component_assembly_with(&app, &opts)
+        }))
+        .map_err(|p| classify_panic(level, p))?
+        .map_err(|e| Failure {
+            kind: FailureKind::Map,
+            level,
+            detail: e.to_string(),
+        })?;
+        check_liveness(level, &dca.output, &pe_names)?;
+        check_equivalence(level, &ca.output.log, &dca.output.log)?;
+        direct_used = dca.backend.used == Backend::Direct;
+        times.push((level, dca.output.sim_time));
+        levels += 1;
+    }
 
     // CCATB.
     let app = spec.to_app();
@@ -331,5 +398,6 @@ pub fn check_model(spec: &ModelSpec, cfg: &CheckConfig) -> Result<PassReport, Fa
         ship_ops: ca.output.log.len(),
         levels,
         times,
+        direct_used,
     })
 }

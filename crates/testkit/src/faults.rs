@@ -192,7 +192,11 @@ impl FaultPlan {
             Some("all") => FaultSite::All,
             other => return Err(format!("unknown fault site {other:?}")),
         };
-        Ok(FaultPlan { channel, kind, site })
+        Ok(FaultPlan {
+            channel,
+            kind,
+            site,
+        })
     }
 }
 
@@ -247,11 +251,7 @@ impl ShipEndpoint for FaultyEndpoint {
         self.inner.recv_bytes(ctx)
     }
 
-    fn request_bytes(
-        &self,
-        ctx: &mut ThreadCtx,
-        bytes: ShipBytes,
-    ) -> Result<ShipBytes, ShipError> {
+    fn request_bytes(&self, ctx: &mut ThreadCtx, bytes: ShipBytes) -> Result<ShipBytes, ShipError> {
         self.inner.request_bytes(ctx, bytes)
     }
 

@@ -105,6 +105,9 @@ pub struct HarnessReport {
     pub passed: usize,
     /// Cases that additionally ran the HW/SW-partitioned target.
     pub partitioned_runs: usize,
+    /// Passing cases whose `Target::DirectCA` leg actually executed on the
+    /// direct backend (with no fault hooks, this should equal `passed`).
+    pub direct_runs: usize,
     /// SHIP operations observed at the reference level, summed over
     /// passing cases.
     pub ship_ops: usize,
@@ -149,9 +152,11 @@ pub fn shrink_failure(
     budget: &ShrinkConfig,
 ) -> (ShrinkResult, CorpusCase) {
     let kind = original.kind;
-    let result = shrink(spec, budget, |cand| {
-        matches!(check_model(cand, cfg), Err(f) if f.kind == kind)
-    });
+    let result = shrink(
+        spec,
+        budget,
+        |cand| matches!(check_model(cand, cfg), Err(f) if f.kind == kind),
+    );
     let case = CorpusCase {
         spec: result.minimal.clone(),
         arch: cfg.arch.clone(),
@@ -167,6 +172,7 @@ pub fn run_conformance(cfg: &HarnessConfig) -> HarnessReport {
         cases: cfg.cases,
         passed: 0,
         partitioned_runs: 0,
+        direct_runs: 0,
         ship_ops: 0,
         failures: Vec::new(),
     };
@@ -184,6 +190,9 @@ pub fn run_conformance(cfg: &HarnessConfig) -> HarnessReport {
                 report.ship_ops += pass.ship_ops;
                 if check.partition {
                     report.partitioned_runs += 1;
+                }
+                if pass.direct_used {
+                    report.direct_runs += 1;
                 }
             }
             Err(failure) => {

@@ -62,7 +62,7 @@ pub mod prelude {
         ChromeShape,
     };
     pub use crate::corpus::{CorpusCase, Expectation};
-    pub use crate::diff::{check_model, CheckConfig, Failure, FailureKind, PassReport};
+    pub use crate::diff::{check_model, CheckConfig, Failure, FailureKind, PassReport, Target};
     pub use crate::faults::{FaultKind, FaultPlan, FaultSite};
     pub use crate::harness::{
         run_conformance, shrink_failure, CaseFailure, HarnessConfig, HarnessReport,

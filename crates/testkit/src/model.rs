@@ -102,7 +102,9 @@ impl Motif {
             Motif::Stream { sizes } => sizes.len() as u64,
             Motif::Rpc { requests, .. } => 2 * u64::from(*requests),
             Motif::FanOut { sinks, blocks, .. } => *sinks as u64 * u64::from(*blocks),
-            Motif::FanIn { sources, blocks, .. } => *sources as u64 * u64::from(*blocks),
+            Motif::FanIn {
+                sources, blocks, ..
+            } => *sources as u64 * u64::from(*blocks),
         }
     }
 
@@ -287,7 +289,8 @@ impl ModelSpec {
         let n_motifs = rng.gen_range_usize(cfg.motifs.0, cfg.motifs.1 + 1);
         let mut motifs = Vec::with_capacity(n_motifs);
         for _ in 0..n_motifs {
-            let blocks = rng.gen_range_u64(u64::from(cfg.blocks.0), u64::from(cfg.blocks.1) + 1) as u32;
+            let blocks =
+                rng.gen_range_u64(u64::from(cfg.blocks.0), u64::from(cfg.blocks.1) + 1) as u32;
             let bytes = rng.gen_range_usize(cfg.bytes.0, cfg.bytes.1 + 1);
             let compute_ns = if cfg.max_compute_ns == 0 {
                 0
@@ -362,6 +365,24 @@ impl ModelSpec {
         arch.burst_bytes = [16, 32, 64, 128][rng.gen_range_usize(0, 4)];
         arch.rx_capacity = [1, 2, 4, 8][rng.gen_range_usize(0, 4)];
         arch
+    }
+
+    /// The same model with every compute delay stripped. Compute delays
+    /// are timing-only — per-(channel, port) content streams at the
+    /// untimed level do not depend on them — so the stripped model is the
+    /// natural input for the direct-execution differential target, which
+    /// rejects timed waits.
+    pub fn untimed(&self) -> ModelSpec {
+        let mut spec = self.clone();
+        for motif in &mut spec.motifs {
+            match motif {
+                Motif::Pipeline { compute_ns, .. } | Motif::Rpc { compute_ns, .. } => {
+                    *compute_ns = 0;
+                }
+                Motif::Stream { .. } | Motif::FanOut { .. } | Motif::FanIn { .. } => {}
+            }
+        }
+        spec
     }
 
     /// Total PE count of the elaborated model.
@@ -530,7 +551,11 @@ impl ModelSpec {
                             }
                         })
                     });
-                    app.connect(&format!("m{i}.ch0"), &format!("m{i}.prod"), &format!("m{i}.cons"));
+                    app.connect(
+                        &format!("m{i}.ch0"),
+                        &format!("m{i}.prod"),
+                        &format!("m{i}.cons"),
+                    );
                 }
                 Motif::Rpc {
                     requests,
@@ -543,8 +568,7 @@ impl ModelSpec {
                                 let data = payload(seed, i, 0, b, bytes);
                                 let reply: Vec<u8> = ports[0].request(ctx, &data).unwrap();
                                 if checks {
-                                    let expected: Vec<u8> =
-                                        data.iter().map(|x| x ^ 0x5A).collect();
+                                    let expected: Vec<u8> = data.iter().map(|x| x ^ 0x5A).collect();
                                     assert_eq!(reply, expected, "rpc m{i} bad reply {b}");
                                 }
                             }
@@ -692,10 +716,7 @@ impl ModelSpec {
                 .iter()
                 .map(Motif::from_json)
                 .collect::<Result<Vec<_>, _>>()?,
-            app_checks: v
-                .get("app_checks")
-                .and_then(Json::as_bool)
-                .unwrap_or(true),
+            app_checks: v.get("app_checks").and_then(Json::as_bool).unwrap_or(true),
         })
     }
 }

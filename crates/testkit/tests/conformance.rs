@@ -47,6 +47,11 @@ fn generated_models_conform_across_all_levels() {
         report.partitioned_runs >= 1,
         "at least one case must run the HW/SW-partitioned target"
     );
+    assert_eq!(
+        report.direct_runs, report.passed,
+        "every passing case must exercise the direct-execution backend \
+         (Target::DirectCA), not fall back to the DE kernel"
+    );
     assert!(report.ship_ops > 0);
 }
 
@@ -236,5 +241,6 @@ fn zero_length_payloads_conform_including_partitioned() {
     let mut cfg = CheckConfig::new(ArchSpec::opb());
     cfg.partition = true;
     let report = check_model(&spec, &cfg).expect("zero-length payloads must conform");
-    assert_eq!(report.levels, 4);
+    assert_eq!(report.levels, 5); // reference, direct-ca, ccatb, pin, partitioned
+    assert!(report.direct_used, "a pure stream model must run direct");
 }

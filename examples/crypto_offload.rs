@@ -47,7 +47,9 @@ fn build_app() -> AppSpec {
             for _ in 0..BLOCKS {
                 let (i, plain): (u32, Vec<u8>) = ports[0].recv(ctx).unwrap();
                 ctx.wait_for(SimDur::us(3)); // pipeline latency
-                ports[0].reply(ctx, &cipher(&plain, 0xC0FF_EE00 | i)).unwrap();
+                ports[0]
+                    .reply(ctx, &cipher(&plain, 0xC0FF_EE00 | i))
+                    .unwrap();
             }
         })
     });
@@ -72,7 +74,10 @@ fn main() {
     let partition = Partition::software(["control"]).with_poll_interval(SimDur::ns(500));
     let sw = run_partitioned(&app, &ca.roles, &arch, &partition).expect("partition");
 
-    println!("{:<28} {:>14} {:>12} {:>12}", "configuration", "sim time", "bus txns", "ctx sw");
+    println!(
+        "{:<28} {:>14} {:>12} {:>12}",
+        "configuration", "sim time", "bus txns", "ctx sw"
+    );
     println!("{}", "-".repeat(70));
     println!(
         "{:<28} {:>14} {:>12} {:>12}",

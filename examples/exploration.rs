@@ -69,7 +69,10 @@ fn main() {
             "rpc offload (2 clients, 16×128B)",
             workload::rpc(2, 16, 128, SimDur::us(2)),
         ),
-        ("hotspot (3 asymmetric producers)", workload::hotspot(3, 8, 256)),
+        (
+            "hotspot (3 asymmetric producers)",
+            workload::hotspot(3, 8, 256),
+        ),
     ];
 
     let n_archs = candidates().len();

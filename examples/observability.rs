@@ -122,10 +122,16 @@ fn main() {
     );
     println!("host time by kernel phase ({:?} total):", profile.total());
     for (phase, stat) in &profile.phases {
-        println!("  {:<14} {:>10} ns over {} frames", phase, stat.nanos, stat.count);
+        println!(
+            "  {:<14} {:>10} ns over {} frames",
+            phase, stat.nanos, stat.count
+        );
     }
     for (proc_name, stat) in &profile.processes {
-        println!("  evaluate/{:<12} {:>10} ns over {} dispatches", proc_name, stat.nanos, stat.count);
+        println!(
+            "  evaluate/{:<12} {:>10} ns over {} dispatches",
+            proc_name, stat.nanos, stat.count
+        );
     }
 
     write_out(
@@ -133,5 +139,9 @@ fn main() {
         "Prometheus exposition",
         &snap.to_prometheus(),
     );
-    write_out("SHIPTLM_FOLDED_OUT", "folded profiler stacks", &profile.to_folded());
+    write_out(
+        "SHIPTLM_FOLDED_OUT",
+        "folded profiler stacks",
+        &profile.to_folded(),
+    );
 }

@@ -38,7 +38,10 @@ fn main() -> Result<(), FlowError> {
         .run()?;
 
     // 3. Inspect what the flow derived and measured.
-    println!("detected roles: {:?}", run.component_assembly.roles.master_of);
+    println!(
+        "detected roles: {:?}",
+        run.component_assembly.roles.master_of
+    );
     println!();
     println!("{}", run.report());
     println!(
@@ -59,12 +62,7 @@ fn main() -> Result<(), FlowError> {
     println!("all levels content-equivalent ✓");
 
     // 4. Per-channel blocking latency and the transaction-level trace.
-    let trace = run
-        .ccatb
-        .output
-        .txn
-        .as_ref()
-        .expect("recorder was enabled");
+    let trace = run.ccatb.output.txn.as_ref().expect("recorder was enabled");
     println!();
     println!("ccatb transaction trace: {trace}");
     for ((level, resource), s) in trace.stats() {

@@ -34,7 +34,11 @@ fn bridged_two_bus_system_with_mapped_channels() {
 
     // --- PLB with RAM, the fast channel adapter and the bridge ------------
     let mut plb = CcatbBus::new(&h, BusConfig::plb("plb"));
-    plb.map_slave(RAM_BASE..0x1_0000, Arc::new(Memory::new("ram", 0x1_0000)), true);
+    plb.map_slave(
+        RAM_BASE..0x1_0000,
+        Arc::new(Memory::new("ram", 0x1_0000)),
+        true,
+    );
     let fast_pending = map_channel(
         &h,
         "ecu2gw",
@@ -49,7 +53,12 @@ fn bridged_two_bus_system_with_mapped_channels() {
     );
     plb.map_slave(
         SLOW_CH_BASE..SLOW_CH_BASE + ADAPTER_SIZE,
-        Arc::new(Bridge::new("plb2opb", SimDur::ns(60), opb.clone(), MasterId(0))),
+        Arc::new(Bridge::new(
+            "plb2opb",
+            SimDur::ns(60),
+            opb.clone(),
+            MasterId(0),
+        )),
         false,
     );
     let plb = Arc::new(plb);
@@ -146,11 +155,20 @@ fn dma_offload_next_to_mapped_channels() {
 
     sim.spawn_thread("cpu", move |ctx| {
         // Kick the DMA.
-        cpu.write(ctx, 0x5000_0000 + dma_regs::SRC, 0x100u64.to_le_bytes().to_vec())
+        cpu.write(
+            ctx,
+            0x5000_0000 + dma_regs::SRC,
+            0x100u64.to_le_bytes().to_vec(),
+        )
+        .unwrap();
+        cpu.write(
+            ctx,
+            0x5000_0000 + dma_regs::DST,
+            0x4000u64.to_le_bytes().to_vec(),
+        )
+        .unwrap();
+        cpu.write_u32(ctx, 0x5000_0000 + dma_regs::LEN, 1024)
             .unwrap();
-        cpu.write(ctx, 0x5000_0000 + dma_regs::DST, 0x4000u64.to_le_bytes().to_vec())
-            .unwrap();
-        cpu.write_u32(ctx, 0x5000_0000 + dma_regs::LEN, 1024).unwrap();
         cpu.write_u32(ctx, 0x5000_0000 + dma_regs::CTRL, DMA_CTRL_START)
             .unwrap();
         // Message the peer while the DMA runs.

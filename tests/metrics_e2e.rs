@@ -88,7 +88,14 @@ fn metrics_cover_ship_bus_and_ocp_layers() {
     }
 
     // Pin-accurate runs instrument the same families through the accessors.
-    let pin = run.pin_accurate.as_ref().unwrap().output.metrics.as_ref().unwrap();
+    let pin = run
+        .pin_accurate
+        .as_ref()
+        .unwrap()
+        .output
+        .metrics
+        .as_ref()
+        .unwrap();
     assert!(pin.counter_total("bus.txns", "plb") > 0);
 }
 
@@ -282,7 +289,10 @@ fn enabling_observability_does_not_perturb_the_simulation() {
         .unwrap();
 
     for (plain, instrumented) in [
-        (&base.component_assembly.output, &observed.component_assembly.output),
+        (
+            &base.component_assembly.output,
+            &observed.component_assembly.output,
+        ),
         (&base.ccatb.output, &observed.ccatb.output),
     ] {
         plain
@@ -292,6 +302,70 @@ fn enabling_observability_does_not_perturb_the_simulation() {
         assert_eq!(plain.sim_time, instrumented.sim_time);
         assert_eq!(plain.delta_cycles, instrumented.delta_cycles);
     }
+}
+
+#[test]
+fn direct_backend_fires_trace_and_metrics_like_de() {
+    // The direct backend must drive the same instrumentation as the DE
+    // kernel: identical SHIP counter totals and transaction-span counts.
+    let run = |backend| {
+        run_component_assembly_with(
+            &quickstart_app(16),
+            &RunOptions::with_recorder(65_536)
+                .with_metrics(SimDur::us(1))
+                .with_backend(backend),
+        )
+        .unwrap()
+    };
+    let de = run(Backend::De);
+    let fast = run(Backend::Direct);
+    assert_eq!(fast.backend.used, Backend::Direct);
+
+    let (dm, fm) = (
+        de.output.metrics.as_ref().unwrap(),
+        fast.output.metrics.as_ref().unwrap(),
+    );
+    for family in ["ship.messages", "ship.bytes"] {
+        assert_eq!(
+            dm.counter_total(family, "stream"),
+            fm.counter_total(family, "stream"),
+            "{family} totals diverge between backends"
+        );
+    }
+    assert_eq!(fm.counter_total("ship.messages", "stream"), 32);
+
+    let (dt, ft) = (
+        de.output.txn.as_ref().unwrap(),
+        fast.output.txn.as_ref().unwrap(),
+    );
+    let (ds, fs) = (
+        dt.resource_stats(TxnLevel::Ship, "stream").unwrap(),
+        ft.resource_stats(TxnLevel::Ship, "stream").unwrap(),
+    );
+    assert_eq!(ds.count, fs.count, "span counts diverge between backends");
+    assert_eq!(ds.errors, fs.errors);
+    assert_eq!(ft.dropped(), 0);
+}
+
+#[test]
+fn direct_backend_observability_is_inert() {
+    // Recorder + metrics on or off, the direct path must deliver the same
+    // payload streams and detect the same roles.
+    let run = |opts: &RunOptions| run_component_assembly_with(&quickstart_app(16), opts).unwrap();
+    let plain = run(&RunOptions::default().with_backend(Backend::Direct));
+    let observed = run(&RunOptions::with_recorder(65_536)
+        .with_metrics(SimDur::us(1))
+        .with_backend(Backend::Direct));
+    assert_eq!(plain.backend.used, Backend::Direct);
+    assert_eq!(observed.backend.used, Backend::Direct);
+    plain
+        .output
+        .log
+        .content_equivalent(&observed.output.log)
+        .expect("same payload streams");
+    assert_eq!(plain.roles, observed.roles);
+    assert!(plain.output.txn.is_none());
+    assert!(observed.output.txn.is_some());
 }
 
 // ---------------------------------------------------------------------------

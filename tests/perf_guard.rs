@@ -84,6 +84,59 @@ fn sweep_throughput_stays_interactive() {
 }
 
 #[test]
+fn direct_backend_beats_de_kernel_on_untimed_pipeline() {
+    // ROADMAP-2 guard: the compiled direct-execution backend must beat the
+    // delta-cycle kernel on the untimed pipeline in end-to-end msgs/host-sec.
+    // Timing is external (`Instant` around the whole call) because that is
+    // what a sweep pays: it includes elaboration, thread spawn and teardown,
+    // not just the portion a backend chooses to count in `wall_seconds`.
+    //
+    // Like `large_sweep_parallel_beats_serial`, the bound is tiered by host
+    // cores: the direct backend's free-running threads only show their full
+    // advantage when they can actually run in parallel, while the DE kernel
+    // serializes every rendezvous through the scheduler regardless. On a
+    // single core the tier flips to "not much slower" — what it pins there
+    // is that the direct path never *regresses* exploration throughput.
+    let app = || workload::pipeline(6, 64, 256, SimDur::ZERO);
+    let time_backend = |backend: Backend| {
+        let opts = RunOptions::default().with_backend(backend);
+        // Warm-up run, also the correctness probe: the requested backend
+        // must actually be used, and content must match the DE reference.
+        let probe = run_component_assembly_with(&app(), &opts).expect("probe run");
+        assert_eq!(probe.backend.used, backend, "probe fell back");
+        assert!(!probe.output.log.is_empty());
+        let iters = 8;
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            run_component_assembly_with(&app(), &opts).expect("timed run");
+        }
+        (t0.elapsed() / iters, probe)
+    };
+
+    let (de_time, de) = time_backend(Backend::De);
+    let (direct_time, direct) = time_backend(Backend::Direct);
+    direct
+        .output
+        .log
+        .content_equivalent(&de.output.log)
+        .expect("direct backend must stay content-equivalent to the DE kernel");
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let min_speedup = match cores {
+        n if n >= 8 => 5.0,
+        n if n >= 4 => 2.0,
+        2 | 3 => 1.2,
+        _ => 1.0 / 1.35,
+    };
+    let speedup = de_time.as_secs_f64() / direct_time.as_secs_f64();
+    assert!(
+        speedup >= min_speedup,
+        "untimed pipeline: DE kernel {de_time:?}/run, direct backend {direct_time:?}/run \
+         (speedup {speedup:.2}x, required {min_speedup:.2}x on {cores} cores)"
+    );
+}
+
+#[test]
 fn large_sweep_parallel_beats_serial() {
     // The ROADMAP-1 scaling guard: on a 1k-candidate sweep the 8-thread
     // persistent-pool path must beat the serial path by a margin that grows

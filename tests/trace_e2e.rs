@@ -65,7 +65,14 @@ fn recorder_covers_ship_bus_and_ocp_layers() {
     assert!(ca.resource_stats(TxnLevel::Ship, "stream").is_some());
     // The pin level initiates through pin accessors, so its OCP resource is
     // the accessor, not the bus — any OCP-level stream will do.
-    let pin = run.pin_accurate.as_ref().unwrap().output.txn.as_ref().unwrap();
+    let pin = run
+        .pin_accurate
+        .as_ref()
+        .unwrap()
+        .output
+        .txn
+        .as_ref()
+        .unwrap();
     assert!(pin.stats().keys().any(|(level, _)| *level == TxnLevel::Ocp));
 
     // Per-channel aggregates line up with the event stream.
@@ -130,7 +137,10 @@ fn partitioned_run_records_driver_level_events() {
         .filter(|e| e.level == TxnLevel::Driver)
         .map(|e| e.op)
         .collect();
-    assert!(drv_ops.contains(&"drv.send"), "no doorbell sends: {drv_ops:?}");
+    assert!(
+        drv_ops.contains(&"drv.send"),
+        "no doorbell sends: {drv_ops:?}"
+    );
 }
 
 #[test]
