@@ -33,7 +33,7 @@ impl fmt::Display for BusKind {
 }
 
 /// One candidate architecture configuration for exploration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArchSpec {
     /// Topology.
     pub bus: BusKind,

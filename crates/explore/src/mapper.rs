@@ -133,6 +133,10 @@ pub enum MapError {
         /// Human-readable disqualification reason.
         reason: String,
     },
+    /// The sweep was cancelled before this candidate was simulated (see
+    /// [`CancelToken`](crate::pool::CancelToken)); candidates already
+    /// finished are discarded with the run.
+    Cancelled,
 }
 
 impl fmt::Display for MapError {
@@ -152,6 +156,7 @@ impl fmt::Display for MapError {
             MapError::Backend { reason } => {
                 write!(f, "model disqualified from direct execution: {reason}")
             }
+            MapError::Cancelled => write!(f, "sweep cancelled before completion"),
         }
     }
 }

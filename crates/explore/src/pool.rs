@@ -31,8 +31,39 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// A cheaply-cloneable cancellation flag shared between a sweep and the
+/// code that may want to abandon it (the gateway cancels in-flight jobs
+/// whose client has disconnected or whose server is force-stopping).
+///
+/// Cancellation is *cooperative*: a cancelled sweep stops launching new
+/// candidate simulations and returns
+/// [`MapError::Cancelled`](crate::mapper::MapError); a candidate already
+/// simulating runs to completion (candidate simulations are milliseconds,
+/// and tearing a DE kernel down mid-delta is not worth the complexity).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; idempotent, visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`cancel`](Self::cancel) has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -111,8 +142,12 @@ struct Batch {
     total: usize,
     chunk: usize,
     task: Box<dyn Fn(usize) + Send + Sync>,
-    /// First panic payload observed; rethrown on the calling thread.
-    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Earliest-index panic observed; rethrown on the calling thread. The
+    /// index matters: when claimers on different chunks panic concurrently,
+    /// the one a serial loop would have hit first must win, and
+    /// [`WorkerPool::run_fallible`] compares it against the earliest
+    /// recorded `Err` to preserve its serial-equivalence contract.
+    panic: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>>,
 }
 
 impl Batch {
@@ -126,8 +161,8 @@ impl Batch {
             for i in start..end {
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.task)(i))) {
                     let mut slot = lock(&self.panic);
-                    if slot.is_none() {
-                        *slot = Some(payload);
+                    if slot.as_ref().is_none_or(|(at, _)| i < *at) {
+                        *slot = Some((i, payload));
                     }
                     // Park the cursor past the end so every claimer drains.
                     self.next.store(self.total, Ordering::Relaxed);
@@ -219,8 +254,23 @@ impl WorkerPool {
         chunk: usize,
         task: Box<dyn Fn(usize) + Send + Sync>,
     ) {
+        if let Some((_, payload)) = self.run_indexed_raw(concurrency, total, chunk, task) {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Like [`run_indexed`](Self::run_indexed), but hands a captured panic
+    /// back as `(index, payload)` instead of rethrowing, so fallible batches
+    /// can decide whether an earlier recorded error takes precedence.
+    fn run_indexed_raw(
+        &self,
+        concurrency: usize,
+        total: usize,
+        chunk: usize,
+        task: Box<dyn Fn(usize) + Send + Sync>,
+    ) -> Option<(usize, Box<dyn std::any::Any + Send>)> {
         if total == 0 {
-            return;
+            return None;
         }
         let concurrency = concurrency.clamp(1, total);
         let helpers = concurrency - 1;
@@ -261,10 +311,8 @@ impl WorkerPool {
         // touches the queue at all.
         batch.claim_chunks();
         latch.wait();
-        let payload = lock(&batch.panic).take();
-        if let Some(payload) = payload {
-            resume_unwind(payload);
-        }
+        let panic = lock(&batch.panic).take();
+        panic
     }
 
     /// Fallible fan-out with cooperative cancellation, the engine behind
@@ -281,6 +329,15 @@ impl WorkerPool {
     /// # Errors
     ///
     /// Returns `E` of the earliest failing index when any `task` call fails.
+    ///
+    /// # Panics
+    ///
+    /// A panicking `task` is rethrown here, on the calling thread — unless
+    /// an `Err` was recorded at a *lower* index, in which case that error is
+    /// returned instead (a serial loop would have stopped there and never
+    /// executed the panicking index). Of several concurrent panics, the one
+    /// at the lowest index wins. The pool's workers survive either way and
+    /// the pool stays usable for subsequent batches.
     pub fn run_fallible<T, E>(
         &self,
         concurrency: usize,
@@ -302,7 +359,7 @@ impl WorkerPool {
             first_fail: AtomicUsize::new(NO_FAILURE),
             task,
         });
-        {
+        let panic = {
             let shared = Arc::clone(&shared);
             // SAFETY-free lifetime note: `task` may borrow caller state, so
             // the closure is scoped via Arc and fully drained before return —
@@ -326,12 +383,31 @@ impl WorkerPool {
             // `task`/`shared` never outlives this call.
             let boxed: Box<dyn Fn(usize) + Send + Sync + 'static> =
                 unsafe { std::mem::transmute(boxed) };
-            self.run_indexed(concurrency, total, chunk, boxed);
-        }
+            self.run_indexed_raw(concurrency, total, chunk, boxed)
+        };
         let shared = match Arc::try_unwrap(shared) {
             Ok(s) => s,
             Err(_) => unreachable!("all claimers retired before run_indexed returned"),
         };
+        if let Some((at, payload)) = panic {
+            // Serial equivalence under panics: a serial loop reaches the
+            // panicking index only if every lower index succeeded. When an
+            // `Err` was recorded at a lower index, that error is the serial
+            // outcome and the panic (which the serial run would never have
+            // executed) is discarded. A panic parks the batch cursor, so
+            // slots below a *later* recorded error may be unfilled — return
+            // the recorded error directly instead of scanning.
+            let first_fail = shared.first_fail.load(Ordering::Relaxed);
+            if first_fail < at {
+                match lock(&shared.slots[first_fail]).take() {
+                    Some(Err(e)) => return Err(e),
+                    // The failing claimer records `first_fail` before
+                    // filling its slot and both precede the batch join.
+                    _ => unreachable!("first_fail slot missing its error"),
+                }
+            }
+            resume_unwind(payload);
+        }
         let mut rows = Vec::with_capacity(total);
         for slot in shared.slots {
             match lock(&slot).take() {
@@ -485,6 +561,91 @@ mod tests {
             }),
         );
         assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn run_fallible_prefers_a_lower_index_error_over_a_panic() {
+        // Index 2 fails with Err, index 40 panics. The serial loop stops at
+        // index 2 and never reaches 40, so the parallel run must return the
+        // error, not rethrow the panic.
+        let pool = WorkerPool::new();
+        for _ in 0..20 {
+            let result: Result<Vec<()>, String> = pool.run_fallible(2, 80, 1, |i| {
+                if i == 2 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    Err(format!("candidate {i} failed"))
+                } else if i == 40 {
+                    panic!("boom at {i}");
+                } else {
+                    Ok(())
+                }
+            });
+            assert_eq!(result.unwrap_err(), "candidate 2 failed");
+        }
+    }
+
+    #[test]
+    fn run_fallible_rethrows_a_panic_below_the_earliest_error() {
+        // Index 1 panics, index 50 fails with Err: serial order hits the
+        // panic first, so the panic must win.
+        let pool = WorkerPool::new();
+        for _ in 0..20 {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                let _: Result<Vec<()>, String> = pool.run_fallible(2, 80, 1, |i| {
+                    if i == 1 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        panic!("boom at {i}");
+                    } else if i == 50 {
+                        Err(format!("candidate {i} failed"))
+                    } else {
+                        Ok(())
+                    }
+                });
+            }));
+            let payload = caught.unwrap_err();
+            let msg = payload.downcast_ref::<String>().expect("panic message");
+            assert_eq!(msg, "boom at 1");
+        }
+    }
+
+    #[test]
+    fn earliest_index_panic_wins_among_concurrent_panics() {
+        let pool = WorkerPool::new();
+        for _ in 0..20 {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                pool.run_indexed(
+                    3,
+                    90,
+                    1,
+                    Box::new(|i| {
+                        if i == 4 {
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                            panic!("boom at {i}");
+                        } else if i == 60 {
+                            panic!("boom at {i}");
+                        }
+                    }),
+                );
+            }));
+            let payload = caught.unwrap_err();
+            let msg = payload.downcast_ref::<String>().expect("panic message");
+            assert_eq!(msg, "boom at 4", "lowest panicking index wins");
+        }
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_fallible_batch() {
+        let pool = WorkerPool::new();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _: Result<Vec<()>, ()> =
+                pool.run_fallible(4, 40, 1, |i| if i == 9 { panic!("boom") } else { Ok(()) });
+        }));
+        assert!(caught.is_err());
+        // The same pool (same parked workers) must run the next batch clean.
+        let rows: Vec<usize> = pool
+            .run_fallible(4, 40, 1, Ok::<_, ()>)
+            .unwrap();
+        assert_eq!(rows, (0..40).collect::<Vec<_>>());
     }
 
     #[test]

@@ -29,7 +29,7 @@ use crate::mapper::{
 };
 use crate::metrics::{Report, RunMetrics};
 use crate::pareto::ParetoSet;
-use crate::pool::WorkerPool;
+use crate::pool::{CancelToken, WorkerPool};
 
 // Compile-time guarantee that sweep workers are safely isolated: every piece
 // of state a worker thread touches must be Send (and the shared inputs Sync).
@@ -167,6 +167,7 @@ pub struct Sweep {
     include_untimed: bool,
     opts: RunOptions,
     prune: Option<PruneConfig>,
+    cancel: Option<CancelToken>,
 }
 
 impl Sweep {
@@ -183,6 +184,7 @@ impl Sweep {
             include_untimed: false,
             opts: RunOptions::default().with_backend(crate::mapper::Backend::Auto),
             prune: None,
+            cancel: None,
         }
     }
 
@@ -246,6 +248,15 @@ impl Sweep {
         self
     }
 
+    /// Arms cooperative cancellation: once `token` is cancelled, candidates
+    /// not yet simulating are skipped and the sweep returns
+    /// [`MapError::Cancelled`]. Candidates already mid-simulation finish
+    /// (they are milliseconds each); their rows are discarded with the run.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Executes the sweep serially.
     ///
     /// Role detection runs once (on the untimed model); every candidate is
@@ -292,6 +303,9 @@ impl Sweep {
     }
 
     fn execute(self, pool: &WorkerPool, threads: usize) -> Result<Report, MapError> {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Err(MapError::Cancelled);
+        }
         let ca = run_component_assembly_with(&self.app, &self.opts)?;
         let mut report = Report::new();
         if self.include_untimed {
@@ -313,6 +327,7 @@ impl Sweep {
             front: Mutex::new(ParetoSet::new()),
         });
         let total = self.archs.len();
+        let cancel = self.cancel.as_ref();
         let outcomes = if threads <= 1 || total <= 1 {
             let mut outcomes = Vec::with_capacity(total);
             for arch in &self.archs {
@@ -322,6 +337,7 @@ impl Sweep {
                     arch,
                     &self.opts,
                     prune.as_ref(),
+                    cancel,
                 )?);
             }
             outcomes
@@ -333,6 +349,7 @@ impl Sweep {
                     &self.archs[i],
                     &self.opts,
                     prune.as_ref(),
+                    cancel,
                 )
             })?
         };
@@ -355,7 +372,11 @@ fn run_candidate(
     arch: &ArchSpec,
     opts: &RunOptions,
     prune: Option<&PruneState>,
+    cancel: Option<&CancelToken>,
 ) -> Result<Option<RunMetrics>, MapError> {
+    if cancel.is_some_and(|c| c.is_cancelled()) {
+        return Err(MapError::Cancelled);
+    }
     if let Some(p) = prune {
         let bound = (p.cfg.lower_bound)(arch, &p.ctx);
         if lock(&p.front).is_dominated(&bound) {

@@ -95,6 +95,80 @@ fn parallel_sweep_propagates_earliest_error() {
 }
 
 #[test]
+fn panicking_candidate_does_not_poison_the_global_pool() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    // The producer panics on every elaboration after the first, so the
+    // untimed role-detection run (on the calling thread) succeeds and the
+    // mapped candidates (fanned out over `WorkerPool::global()`) panic
+    // mid-simulation on worker threads.
+    let elaborations = Arc::new(AtomicUsize::new(0));
+    let mut app = AppSpec::new("panicky");
+    {
+        let elaborations = Arc::clone(&elaborations);
+        app.add_pe("tx", move || {
+            let nth = elaborations.fetch_add(1, Ordering::SeqCst);
+            Box::new(move |ctx, ports: Vec<ShipPort>| {
+                for i in 0..4u32 {
+                    if nth > 0 && i == 2 {
+                        panic!("injected candidate panic");
+                    }
+                    ports[0].send(ctx, &i).unwrap();
+                }
+            })
+        });
+    }
+    app.add_pe("rx", || {
+        Box::new(|ctx, ports: Vec<ShipPort>| {
+            for _ in 0..4 {
+                let _ = ports[0].recv::<u32>(ctx);
+            }
+        })
+    });
+    app.connect("c", "tx", "rx");
+
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        // Force the DE backend so the role-detection run elaborates exactly
+        // once (Auto could re-elaborate and hit the panic on this thread).
+        Sweep::new(app)
+            .with_options(RunOptions::default())
+            .archs(candidates())
+            .run_parallel(4)
+    }));
+    assert!(caught.is_err(), "candidate panic must reach the caller");
+
+    // The global pool (same parked workers) must run the next sweep clean.
+    let report = Sweep::new(the_app())
+        .archs(candidates())
+        .run_parallel(4)
+        .unwrap();
+    assert_eq!(report.rows().len(), candidates().len());
+}
+
+#[test]
+fn cancelled_sweep_returns_cancelled_not_rows() {
+    let token = CancelToken::new();
+    token.cancel();
+    let err = Sweep::new(the_app())
+        .archs(candidates())
+        .with_cancel(token.clone())
+        .run_parallel(2)
+        .unwrap_err();
+    assert_eq!(err, MapError::Cancelled);
+    assert!(token.is_cancelled());
+
+    // An un-cancelled token leaves the sweep untouched.
+    let report = Sweep::new(the_app())
+        .archs(candidates())
+        .with_cancel(CancelToken::new())
+        .run_parallel(2)
+        .unwrap();
+    assert_eq!(report.rows().len(), candidates().len());
+}
+
+#[test]
 fn deadlock_diagnosis_works_inside_worker_threads() {
     let reports: Vec<_> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..4)

@@ -1,0 +1,48 @@
+//! `gatewayd` — run a simulation-as-a-service gateway in the foreground.
+//!
+//! ```text
+//! gatewayd [JOB_ADDR] [METRICS_ADDR]
+//! ```
+//!
+//! Defaults: jobs on `127.0.0.1:7465`, metrics on `127.0.0.1:7466`.
+//! Environment overrides: `GATEWAY_QUEUE_CAPACITY`, `GATEWAY_EXECUTORS`,
+//! `GATEWAY_THREADS_PER_JOB`. The process serves until killed.
+
+use shiptlm_gateway::prelude::{Gateway, GatewayConfig};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cfg = GatewayConfig {
+        addr: args.next().unwrap_or_else(|| "127.0.0.1:7465".into()),
+        metrics_addr: Some(args.next().unwrap_or_else(|| "127.0.0.1:7466".into())),
+        queue_capacity: env_usize("GATEWAY_QUEUE_CAPACITY", 64),
+        executors: env_usize("GATEWAY_EXECUTORS", 2),
+        threads_per_job: env_usize("GATEWAY_THREADS_PER_JOB", 2),
+        ..GatewayConfig::default()
+    };
+    let gateway = match Gateway::start(cfg) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("gatewayd: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "gatewayd: jobs on {}, metrics on {}",
+        gateway.addr(),
+        gateway
+            .metrics_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|| "<disabled>".into())
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,197 @@
+//! Content-addressed, single-flight result cache.
+//!
+//! Jobs are keyed by [`JobRequest::cache_key`] — the canonical binary
+//! encoding of everything that determines the result. The cache is
+//! *single-flight*: when two executors pick up the same job concurrently,
+//! the first computes and the second blocks on the slot's condvar instead
+//! of duplicating the sweep. Failures are cached exactly like successes
+//! (the sweep is deterministic, so a failed mapping fails identically on
+//! every retry — recomputing it would only burn pool time).
+//!
+//! [`JobRequest::cache_key`]: crate::proto::JobRequest::cache_key
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::lock;
+use crate::proto::ReportRow;
+
+/// The materialized output of one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutput {
+    /// Deterministic report rows, one per candidate architecture.
+    pub rows: Vec<ReportRow>,
+    /// Per-channel latency trace (CSV bytes); empty unless the job asked
+    /// for a trace.
+    pub trace: Vec<u8>,
+}
+
+/// What a job resolves to: output, or a deterministic failure message.
+pub type JobResult = Result<JobOutput, String>;
+
+#[derive(Debug)]
+enum SlotState {
+    /// An executor is computing this entry; waiters park on the condvar.
+    Pending,
+    /// The entry is filled.
+    Ready(JobResult),
+}
+
+#[derive(Debug)]
+struct Slot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+/// The gateway's result cache. Cheap to share behind an [`Arc`].
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    slots: Mutex<HashMap<Vec<u8>, Arc<Slot>>>,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    /// Number of entries (both pending and ready).
+    pub fn len(&self) -> usize {
+        lock(&self.slots).len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up `key`; on a miss, runs `compute` and fills the entry.
+    ///
+    /// Returns the result plus whether it was served from the cache
+    /// (`true` for both ready hits and waits on an in-flight computation —
+    /// either way, this call did not run the sweep).
+    ///
+    /// `compute` must not panic: the executor converts job panics into
+    /// `Err` before they reach the cache, so a pending slot is always
+    /// eventually filled and waiters cannot deadlock.
+    pub fn get_or_compute(
+        &self,
+        key: Vec<u8>,
+        compute: impl FnOnce() -> JobResult,
+    ) -> (JobResult, bool) {
+        let (slot, owner) = {
+            let mut map = lock(&self.slots);
+            match map.get(&key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Arc::new(Slot {
+                        state: Mutex::new(SlotState::Pending),
+                        ready: Condvar::new(),
+                    });
+                    map.insert(key, Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        if owner {
+            let result = compute();
+            let mut state = lock(&slot.state);
+            *state = SlotState::Ready(result.clone());
+            slot.ready.notify_all();
+            (result, false)
+        } else {
+            let mut state = lock(&slot.state);
+            while matches!(*state, SlotState::Pending) {
+                state = slot
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+            match &*state {
+                SlotState::Ready(result) => (result.clone(), true),
+                SlotState::Pending => unreachable!("woken while still pending"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn output(n: u64) -> JobOutput {
+        JobOutput {
+            rows: vec![ReportRow {
+                label: format!("row{n}"),
+                sim_time_ps: n,
+                messages: n,
+                bytes: n,
+                delta_cycles: n,
+            }],
+            trace: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_and_does_not_recompute() {
+        let cache = ResultCache::new();
+        let computed = AtomicUsize::new(0);
+        let run = || {
+            cache.get_or_compute(b"k".to_vec(), || {
+                computed.fetch_add(1, Ordering::SeqCst);
+                Ok(output(1))
+            })
+        };
+        let (first, hit_a) = run();
+        let (second, hit_b) = run();
+        assert_eq!(first, second);
+        assert!(!hit_a && hit_b);
+        assert_eq!(computed.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_cached_like_successes() {
+        let cache = ResultCache::new();
+        let computed = AtomicUsize::new(0);
+        for round in 0..3 {
+            let (result, hit) = cache.get_or_compute(b"bad".to_vec(), || {
+                computed.fetch_add(1, Ordering::SeqCst);
+                Err("deterministic failure".into())
+            });
+            assert_eq!(result, Err("deterministic failure".to_string()));
+            assert_eq!(hit, round > 0);
+        }
+        assert_eq!(computed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_same_key_is_single_flight() {
+        let cache = Arc::new(ResultCache::new());
+        let computed = Arc::new(AtomicUsize::new(0));
+        let hits = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let computed = Arc::clone(&computed);
+                let hits = Arc::clone(&hits);
+                s.spawn(move || {
+                    let (result, hit) = cache.get_or_compute(b"shared".to_vec(), || {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        // Hold the slot pending long enough for the other
+                        // threads to pile onto the condvar.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        Ok(output(42))
+                    });
+                    assert_eq!(result.unwrap(), output(42));
+                    if hit {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "exactly one compute");
+        assert_eq!(hits.load(Ordering::SeqCst), 7, "everyone else hit");
+    }
+}

@@ -1,0 +1,192 @@
+//! A small synchronous gateway client, used by the soak test, the smoke
+//! example, and anyone driving the gateway from Rust.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::codec::WireCodec;
+use crate::proto::{
+    read_frame, read_handshake, write_frame, write_handshake, GatewayError, JobRequest, Reply,
+    ReportRow, DEFAULT_MAX_FRAME,
+};
+
+/// How one submitted job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The job ran (or was served from cache) to completion.
+    Done {
+        /// Whether the server answered from its result cache.
+        cached: bool,
+    },
+    /// Admission control bounced the job; retry after the hint.
+    Rejected {
+        /// Server-suggested backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The server reported a failure for this job.
+    Failed {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+/// Everything a job streamed back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutcome {
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Decoded report rows, in arrival order.
+    pub rows: Vec<ReportRow>,
+    /// Raw encoded `Row` reply bodies as received — for byte-identity
+    /// checks across clients and codecs.
+    pub raw_rows: Vec<Vec<u8>>,
+    /// Concatenated trace chunks (CSV bytes).
+    pub trace: Vec<u8>,
+}
+
+impl JobOutcome {
+    /// Whether the job completed (from cache or fresh).
+    pub fn is_done(&self) -> bool {
+        matches!(self.status, JobStatus::Done { .. })
+    }
+}
+
+/// One gateway connection speaking a fixed codec.
+#[derive(Debug)]
+pub struct GatewayClient {
+    stream: TcpStream,
+    codec: &'static dyn WireCodec,
+    max_frame: u64,
+}
+
+impl GatewayClient {
+    /// Connects and performs the handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::Io`] on connection failure;
+    /// [`GatewayError::Handshake`] when the server does not echo the
+    /// requested codec.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        codec: &'static dyn WireCodec,
+    ) -> Result<GatewayClient, GatewayError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        write_handshake(&mut stream, codec.tag())?;
+        let echoed = read_handshake(&mut stream)?;
+        if echoed != codec.tag() {
+            return Err(GatewayError::Handshake(format!(
+                "server rejected codec '{}' (echoed tag {echoed:#x})",
+                codec.name()
+            )));
+        }
+        Ok(GatewayClient {
+            stream,
+            codec,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Submits one job and reads replies until it terminates.
+    ///
+    /// # Errors
+    ///
+    /// Transport or codec failures, or a reply carrying the wrong job id
+    /// ([`GatewayError::Protocol`]). Job-level failures are *not* errors —
+    /// they land in [`JobStatus`].
+    pub fn run_job(&mut self, req: &JobRequest) -> Result<JobOutcome, GatewayError> {
+        let body = self.codec.encode_request(req)?;
+        write_frame(&mut self.stream, &body)?;
+
+        let mut rows = Vec::new();
+        let mut raw_rows = Vec::new();
+        let mut trace = Vec::new();
+        let mut accepted = false;
+        loop {
+            let Some(frame) = read_frame(&mut self.stream, self.max_frame)? else {
+                return Err(GatewayError::Protocol(
+                    "connection closed before the job terminated".into(),
+                ));
+            };
+            let reply = self.codec.decode_reply(&frame)?;
+            if reply.id() != req.id {
+                return Err(GatewayError::Protocol(format!(
+                    "reply for job {} while waiting on job {}",
+                    reply.id(),
+                    req.id
+                )));
+            }
+            match reply {
+                Reply::Accepted { .. } => accepted = true,
+                Reply::Rejected { retry_after_ms, .. } => {
+                    return Ok(JobOutcome {
+                        status: JobStatus::Rejected { retry_after_ms },
+                        rows,
+                        raw_rows,
+                        trace,
+                    })
+                }
+                Reply::Row { row, .. } => {
+                    rows.push(row);
+                    raw_rows.push(frame);
+                }
+                Reply::TraceChunk { data, .. } => trace.extend_from_slice(&data),
+                Reply::Done { cached, rows: n, .. } => {
+                    if !accepted {
+                        return Err(GatewayError::Protocol("Done before Accepted".into()));
+                    }
+                    if n != rows.len() as u64 {
+                        return Err(GatewayError::Protocol(format!(
+                            "server announced {n} rows but streamed {}",
+                            rows.len()
+                        )));
+                    }
+                    return Ok(JobOutcome {
+                        status: JobStatus::Done { cached },
+                        rows,
+                        raw_rows,
+                        trace,
+                    });
+                }
+                Reply::Error { message, .. } => {
+                    return Ok(JobOutcome {
+                        status: JobStatus::Failed { message },
+                        rows,
+                        raw_rows,
+                        trace,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Submits with bounded retries on [`JobStatus::Rejected`], sleeping
+    /// the server's backoff hint between attempts.
+    ///
+    /// # Errors
+    ///
+    /// As [`GatewayClient::run_job`], plus [`GatewayError::Protocol`]
+    /// when every attempt was rejected.
+    pub fn run_job_with_retry(
+        &mut self,
+        req: &JobRequest,
+        max_attempts: usize,
+    ) -> Result<JobOutcome, GatewayError> {
+        let mut rejections = 0;
+        for _ in 0..max_attempts.max(1) {
+            let outcome = self.run_job(req)?;
+            match outcome.status {
+                JobStatus::Rejected { retry_after_ms } => {
+                    rejections += 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.min(1000)));
+                }
+                _ => return Ok(outcome),
+            }
+        }
+        Err(GatewayError::Protocol(format!(
+            "job {} rejected {rejections} times",
+            req.id
+        )))
+    }
+}

@@ -1,0 +1,366 @@
+//! Pluggable frame-body codecs.
+//!
+//! The gateway negotiates one codec per connection in the handshake. Two
+//! are built in:
+//!
+//! * [`BinCodec`] (tag 0) — the compact canonical binary encoding on
+//!   `ship::wire`, shared with [`JobRequest::cache_key`];
+//! * [`JsonCodec`] (tag 1) — self-describing text reusing the testkit
+//!   corpus format for models and architectures, for hand-written clients
+//!   and debugging with standard tools.
+//!
+//! Both sides of a connection must agree on the codec; the server echoes
+//! the client's handshake so a mismatch is caught before any frame flows.
+
+use std::fmt;
+
+use shiptlm_ship::prelude::{from_wire, to_wire};
+use shiptlm_testkit::corpus::{arch_from_json, arch_to_json};
+use shiptlm_testkit::json::Json;
+use shiptlm_testkit::model::ModelSpec;
+
+use crate::proto::{BackendChoice, GatewayError, JobRequest, Reply, ReportRow};
+
+/// One frame-body encoding, negotiated per connection.
+pub trait WireCodec: Send + Sync + fmt::Debug {
+    /// Stable one-byte handshake tag.
+    fn tag(&self) -> u8;
+    /// Human-readable name (shows up in errors and metrics).
+    fn name(&self) -> &'static str;
+    /// Encodes a request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GatewayError::Codec`] when the request cannot be
+    /// represented (e.g. non-UTF-8 where the encoding requires text).
+    fn encode_request(&self, req: &JobRequest) -> Result<Vec<u8>, GatewayError>;
+    /// Decodes a request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a classified [`GatewayError`] on malformed input; never
+    /// panics on untrusted bytes.
+    fn decode_request(&self, body: &[u8]) -> Result<JobRequest, GatewayError>;
+    /// Encodes a reply body.
+    ///
+    /// # Errors
+    ///
+    /// As [`WireCodec::encode_request`].
+    fn encode_reply(&self, reply: &Reply) -> Result<Vec<u8>, GatewayError>;
+    /// Decodes a reply body.
+    ///
+    /// # Errors
+    ///
+    /// As [`WireCodec::decode_request`].
+    fn decode_reply(&self, body: &[u8]) -> Result<Reply, GatewayError>;
+}
+
+/// Compact canonical binary codec (handshake tag 0).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinCodec;
+
+/// Self-describing JSON codec (handshake tag 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonCodec;
+
+/// The binary codec singleton.
+pub static BIN: BinCodec = BinCodec;
+
+/// The JSON codec singleton.
+pub static JSON: JsonCodec = JsonCodec;
+
+/// Resolves a handshake tag to its codec.
+pub fn codec_for(tag: u8) -> Option<&'static dyn WireCodec> {
+    match tag {
+        0 => Some(&BIN),
+        1 => Some(&JSON),
+        _ => None,
+    }
+}
+
+impl WireCodec for BinCodec {
+    fn tag(&self) -> u8 {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "bin"
+    }
+
+    fn encode_request(&self, req: &JobRequest) -> Result<Vec<u8>, GatewayError> {
+        Ok(to_wire(req))
+    }
+
+    fn decode_request(&self, body: &[u8]) -> Result<JobRequest, GatewayError> {
+        Ok(from_wire(body)?)
+    }
+
+    fn encode_reply(&self, reply: &Reply) -> Result<Vec<u8>, GatewayError> {
+        Ok(to_wire(reply))
+    }
+
+    fn decode_reply(&self, body: &[u8]) -> Result<Reply, GatewayError> {
+        Ok(from_wire(body)?)
+    }
+}
+
+fn row_to_json(row: &ReportRow) -> Json {
+    Json::obj(vec![
+        ("label", Json::str(&row.label)),
+        ("sim_time_ps", Json::u64_str(row.sim_time_ps)),
+        ("messages", Json::u64_str(row.messages)),
+        ("bytes", Json::u64_str(row.bytes)),
+        ("delta_cycles", Json::u64_str(row.delta_cycles)),
+    ])
+}
+
+fn get_str(v: &Json, key: &str) -> Result<String, GatewayError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| GatewayError::Codec(format!("missing or non-string '{key}'")))
+}
+
+fn get_u64(v: &Json, key: &str) -> Result<u64, GatewayError> {
+    v.get(key)
+        .and_then(Json::as_u64_str)
+        .ok_or_else(|| GatewayError::Codec(format!("missing or non-u64 '{key}'")))
+}
+
+fn get_bool(v: &Json, key: &str) -> Result<bool, GatewayError> {
+    v.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| GatewayError::Codec(format!("missing or non-bool '{key}'")))
+}
+
+fn row_from_json(v: &Json) -> Result<ReportRow, GatewayError> {
+    Ok(ReportRow {
+        label: get_str(v, "label")?,
+        sim_time_ps: get_u64(v, "sim_time_ps")?,
+        messages: get_u64(v, "messages")?,
+        bytes: get_u64(v, "bytes")?,
+        delta_cycles: get_u64(v, "delta_cycles")?,
+    })
+}
+
+fn parse(body: &[u8]) -> Result<Json, GatewayError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|e| GatewayError::Codec(format!("body is not UTF-8: {e}")))?;
+    Json::parse(text).map_err(GatewayError::Codec)
+}
+
+impl WireCodec for JsonCodec {
+    fn tag(&self) -> u8 {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "json"
+    }
+
+    fn encode_request(&self, req: &JobRequest) -> Result<Vec<u8>, GatewayError> {
+        let archs: Vec<Json> = req.archs.iter().map(arch_to_json).collect();
+        let v = Json::obj(vec![
+            ("kind", Json::str("job")),
+            ("id", Json::u64_str(req.id)),
+            ("model", req.spec.to_json()),
+            ("archs", Json::Arr(archs)),
+            ("backend", Json::str(req.backend.name())),
+            ("want_trace", Json::Bool(req.want_trace)),
+        ]);
+        Ok(v.to_string().into_bytes())
+    }
+
+    fn decode_request(&self, body: &[u8]) -> Result<JobRequest, GatewayError> {
+        let v = parse(body)?;
+        if get_str(&v, "kind")? != "job" {
+            return Err(GatewayError::Codec("expected kind 'job'".into()));
+        }
+        let model = v
+            .get("model")
+            .ok_or_else(|| GatewayError::Codec("missing 'model'".into()))?;
+        let spec = ModelSpec::from_json(model).map_err(GatewayError::Codec)?;
+        let archs = v
+            .get("archs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| GatewayError::Codec("missing or non-array 'archs'".into()))?
+            .iter()
+            .map(|a| arch_from_json(a).map_err(GatewayError::Codec))
+            .collect::<Result<Vec<_>, _>>()?;
+        let backend =
+            BackendChoice::from_name(&get_str(&v, "backend")?).map_err(GatewayError::Codec)?;
+        Ok(JobRequest {
+            id: get_u64(&v, "id")?,
+            spec,
+            archs,
+            backend,
+            want_trace: get_bool(&v, "want_trace")?,
+        })
+    }
+
+    fn encode_reply(&self, reply: &Reply) -> Result<Vec<u8>, GatewayError> {
+        let v = match reply {
+            Reply::Accepted { id } => Json::obj(vec![
+                ("kind", Json::str("accepted")),
+                ("id", Json::u64_str(*id)),
+            ]),
+            Reply::Rejected { id, retry_after_ms } => Json::obj(vec![
+                ("kind", Json::str("rejected")),
+                ("id", Json::u64_str(*id)),
+                ("retry_after_ms", Json::u64_str(*retry_after_ms)),
+            ]),
+            Reply::Row { id, row } => Json::obj(vec![
+                ("kind", Json::str("row")),
+                ("id", Json::u64_str(*id)),
+                ("row", row_to_json(row)),
+            ]),
+            Reply::TraceChunk { id, data } => {
+                let text = std::str::from_utf8(data).map_err(|e| {
+                    GatewayError::Codec(format!("trace chunk is not UTF-8: {e}"))
+                })?;
+                Json::obj(vec![
+                    ("kind", Json::str("trace")),
+                    ("id", Json::u64_str(*id)),
+                    ("data", Json::str(text)),
+                ])
+            }
+            Reply::Done { id, rows, cached } => Json::obj(vec![
+                ("kind", Json::str("done")),
+                ("id", Json::u64_str(*id)),
+                ("rows", Json::u64_str(*rows)),
+                ("cached", Json::Bool(*cached)),
+            ]),
+            Reply::Error { id, message } => Json::obj(vec![
+                ("kind", Json::str("error")),
+                ("id", Json::u64_str(*id)),
+                ("message", Json::str(message)),
+            ]),
+        };
+        Ok(v.to_string().into_bytes())
+    }
+
+    fn decode_reply(&self, body: &[u8]) -> Result<Reply, GatewayError> {
+        let v = parse(body)?;
+        let id = get_u64(&v, "id")?;
+        match get_str(&v, "kind")?.as_str() {
+            "accepted" => Ok(Reply::Accepted { id }),
+            "rejected" => Ok(Reply::Rejected {
+                id,
+                retry_after_ms: get_u64(&v, "retry_after_ms")?,
+            }),
+            "row" => {
+                let row = v
+                    .get("row")
+                    .ok_or_else(|| GatewayError::Codec("missing 'row'".into()))?;
+                Ok(Reply::Row {
+                    id,
+                    row: row_from_json(row)?,
+                })
+            }
+            "trace" => Ok(Reply::TraceChunk {
+                id,
+                data: get_str(&v, "data")?.into_bytes(),
+            }),
+            "done" => Ok(Reply::Done {
+                id,
+                rows: get_u64(&v, "rows")?,
+                cached: get_bool(&v, "cached")?,
+            }),
+            "error" => Ok(Reply::Error {
+                id,
+                message: get_str(&v, "message")?,
+            }),
+            other => Err(GatewayError::Codec(format!("unknown reply kind '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shiptlm_explore::prelude::ArchSpec;
+    use shiptlm_testkit::model::GenConfig;
+
+    fn a_request() -> JobRequest {
+        JobRequest {
+            id: 11,
+            spec: ModelSpec::random(7, &GenConfig::default()),
+            archs: vec![ArchSpec::opb().with_burst(16), ArchSpec::crossbar()],
+            backend: BackendChoice::De,
+            want_trace: false,
+        }
+    }
+
+    #[test]
+    fn both_codecs_round_trip_requests() {
+        let req = a_request();
+        for codec in [&BIN as &dyn WireCodec, &JSON as &dyn WireCodec] {
+            let body = codec.encode_request(&req).unwrap();
+            let back = codec.decode_request(&body).unwrap();
+            assert_eq!(back, req, "codec {}", codec.name());
+        }
+    }
+
+    #[test]
+    fn both_codecs_round_trip_replies() {
+        let replies = vec![
+            Reply::Accepted { id: 1 },
+            Reply::Rejected {
+                id: 2,
+                retry_after_ms: 25,
+            },
+            Reply::Row {
+                id: 3,
+                row: ReportRow {
+                    label: "plb/rr/b16".into(),
+                    sim_time_ps: 1,
+                    messages: 2,
+                    bytes: 3,
+                    delta_cycles: 4,
+                },
+            },
+            Reply::TraceChunk {
+                id: 4,
+                data: b"channel,mean_ns\nc0,12.5\n".to_vec(),
+            },
+            Reply::Done {
+                id: 5,
+                rows: 9,
+                cached: false,
+            },
+            Reply::Error {
+                id: 6,
+                message: "bad \"model\"\nline two".into(),
+            },
+        ];
+        for codec in [&BIN as &dyn WireCodec, &JSON as &dyn WireCodec] {
+            for r in &replies {
+                let body = codec.encode_reply(r).unwrap();
+                let back = codec.decode_reply(&body).unwrap();
+                assert_eq!(&back, r, "codec {}", codec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_bodies_are_classified_not_panics() {
+        let garbage: &[&[u8]] = &[b"", b"\xff\xfe\x00", b"{", b"{\"kind\":42}", b"[1,2,3]"];
+        for codec in [&BIN as &dyn WireCodec, &JSON as &dyn WireCodec] {
+            for g in garbage {
+                assert!(
+                    codec.decode_request(g).is_err(),
+                    "codec {} accepted garbage {:?}",
+                    codec.name(),
+                    g
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn codec_tags_resolve() {
+        assert_eq!(codec_for(0).unwrap().name(), "bin");
+        assert_eq!(codec_for(1).unwrap().name(), "json");
+        assert!(codec_for(7).is_none());
+    }
+}

@@ -1,0 +1,350 @@
+//! Gateway-local metrics and the `/metrics` Prometheus endpoint.
+//!
+//! Rendering goes through [`shiptlm_kernel::metrics::prom_name`] and
+//! [`prom_label`] so the gateway's exposition is character-for-character
+//! consistent with the kernel exporter — including label-value escaping,
+//! which matters here because one label (`model`) carries *user-supplied*
+//! model names straight off the wire.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use shiptlm_kernel::metrics::{prom_label, prom_name};
+
+use crate::lock;
+
+/// Number of power-of-two latency buckets before `+Inf`
+/// (`le="1"` … `le="1024"` milliseconds).
+const HOST_BUCKETS: usize = 11;
+
+/// Counters and gauges for one gateway instance. Cheap to share behind an
+/// [`Arc`]; every field is updated lock-free except the per-model map.
+#[derive(Debug, Default)]
+pub struct GatewayMetrics {
+    /// Jobs currently queued for admission (gauge).
+    queue_depth: AtomicU64,
+    /// Jobs currently executing on the pool (gauge).
+    jobs_inflight: AtomicU64,
+    /// Jobs answered from the content-addressed cache.
+    cache_hits: AtomicU64,
+    /// Jobs that ran a sweep.
+    cache_misses: AtomicU64,
+    /// Jobs bounced by admission control.
+    rejected: AtomicU64,
+    /// Request frames that failed to decode.
+    decode_errors: AtomicU64,
+    /// Host-time histogram of completed jobs, in milliseconds
+    /// (power-of-two buckets, non-cumulative internally).
+    host_ms: [AtomicU64; HOST_BUCKETS + 1],
+    /// Sum of observed job host times, for `_sum`.
+    host_ms_sum: AtomicU64,
+    /// Completed-job counts keyed by (untrusted) model name.
+    per_model: Mutex<BTreeMap<String, u64>>,
+}
+
+impl GatewayMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        GatewayMetrics::default()
+    }
+
+    /// Records a job entering the admission queue.
+    pub fn queue_push(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a job leaving the admission queue.
+    pub fn queue_pop(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Records a job starting execution.
+    pub fn job_started(&self) {
+        self.jobs_inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a job finishing execution (cached or not), with its host
+    /// time and the model name it carried.
+    pub fn job_finished(&self, model: &str, host: Duration, cached: bool) {
+        self.jobs_inflight.fetch_sub(1, Ordering::Relaxed);
+        if cached {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let ms = host.as_millis() as u64;
+        self.host_ms[host_bucket(ms)].fetch_add(1, Ordering::Relaxed);
+        self.host_ms_sum.fetch_add(ms, Ordering::Relaxed);
+        *lock(&self.per_model).entry(model.to_string()).or_insert(0) += 1;
+    }
+
+    /// Records an admission rejection.
+    pub fn job_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request frame that failed to decode.
+    pub fn decode_error(&self) {
+        self.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Jobs currently executing.
+    pub fn jobs_inflight(&self) -> u64 {
+        self.jobs_inflight.load(Ordering::Relaxed)
+    }
+
+    /// Total cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total cache misses so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Total admission rejections so far.
+    pub fn rejections(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Renders the Prometheus text 0.0.4 exposition.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let gauge = |out: &mut String, family: &str, v: u64| {
+            let name = prom_name(family);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        };
+        let counter = |out: &mut String, family: &str, v: u64| {
+            let name = prom_name(family);
+            out.push_str(&format!("# TYPE {name} counter\n{name}_total {v}\n"));
+        };
+        gauge(&mut out, "gateway.queue_depth", self.queue_depth());
+        gauge(
+            &mut out,
+            "gateway.jobs_inflight",
+            self.jobs_inflight.load(Ordering::Relaxed),
+        );
+        counter(&mut out, "gateway.cache_hits", self.cache_hits());
+        counter(&mut out, "gateway.cache_misses", self.cache_misses());
+        counter(&mut out, "gateway.jobs_rejected", self.rejections());
+        counter(
+            &mut out,
+            "gateway.decode_errors",
+            self.decode_errors.load(Ordering::Relaxed),
+        );
+
+        let hist = prom_name("gateway.job_host_ms");
+        out.push_str(&format!("# TYPE {hist} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.host_ms.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if i < HOST_BUCKETS {
+                out.push_str(&format!(
+                    "{hist}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    1u64 << i
+                ));
+            } else {
+                out.push_str(&format!("{hist}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "{hist}_sum {}\n{hist}_count {cumulative}\n",
+            self.host_ms_sum.load(Ordering::Relaxed)
+        ));
+
+        let jobs = prom_name("gateway.jobs");
+        out.push_str(&format!("# TYPE {jobs} counter\n"));
+        for (model, count) in lock(&self.per_model).iter() {
+            out.push_str(&format!(
+                "{jobs}_total{{model=\"{}\"}} {count}\n",
+                prom_label(model)
+            ));
+        }
+        out
+    }
+}
+
+/// Index of the power-of-two bucket covering `ms`: the smallest `i` with
+/// `ms <= 1 << i`, clamped to the `+Inf` bucket.
+fn host_bucket(ms: u64) -> usize {
+    if ms <= 1 {
+        0
+    } else {
+        ((u64::BITS - (ms - 1).leading_zeros()) as usize).min(HOST_BUCKETS)
+    }
+}
+
+/// Serves `GET /metrics` over plain HTTP/1.0 until `shutdown` is set.
+///
+/// Returns the join handle; the listener must already be bound and in
+/// non-blocking mode is *not* required — this function sets it.
+///
+/// # Errors
+///
+/// Propagates the `set_nonblocking` failure, the only fallible setup step.
+pub(crate) fn spawn_metrics_server(
+    listener: TcpListener,
+    metrics: Arc<GatewayMetrics>,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<JoinHandle<()>> {
+    listener.set_nonblocking(true)?;
+    Ok(std::thread::spawn(move || loop {
+        match listener.accept() {
+            Ok((stream, _)) => serve_one(stream, &metrics),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+        }
+    }))
+}
+
+fn serve_one(mut stream: std::net::TcpStream, metrics: &GatewayMetrics) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut buf = [0u8; 1024];
+    let n = stream.read(&mut buf).unwrap_or(0);
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let response = if path == "/metrics" {
+        let body = metrics.to_prometheus();
+        format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+    } else {
+        "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n".to_string()
+    };
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Fetches `path` from an HTTP/1.0 server at `addr` and returns the body.
+///
+/// A test/client convenience kept next to the server so the soak test and
+/// the smoke example scrape `/metrics` without an HTTP dependency.
+///
+/// # Errors
+///
+/// Returns a description of connection, read, or status-line failures.
+pub fn http_get(addr: SocketAddr, path: &str) -> Result<String, String> {
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nHost: gateway\r\n\r\n").as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(|e| e.to_string())?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "malformed HTTP response".to_string())?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(format!("unexpected status line '{status}'"));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shiptlm_testkit::prom::{PromKind, PromText};
+
+    #[test]
+    fn exposition_parses_and_counts_match() {
+        let m = GatewayMetrics::new();
+        m.queue_push();
+        m.queue_push();
+        m.queue_pop();
+        m.job_started();
+        m.job_finished("alpha", Duration::from_millis(3), false);
+        m.job_started();
+        m.job_finished("alpha", Duration::from_millis(700), true);
+        m.job_rejected();
+        let text = m.to_prometheus();
+        let parsed = PromText::parse(&text).unwrap();
+        assert_eq!(
+            parsed.types.get("shiptlm_gateway_job_host_ms"),
+            Some(&PromKind::Histogram)
+        );
+        let depth = parsed
+            .samples
+            .iter()
+            .find(|s| s.name == "shiptlm_gateway_queue_depth")
+            .unwrap();
+        assert_eq!(depth.value, 1.0);
+        let hits = parsed
+            .samples
+            .iter()
+            .find(|s| s.name == "shiptlm_gateway_cache_hits_total")
+            .unwrap();
+        assert_eq!(hits.value, 1.0);
+        let alpha = parsed
+            .sample("shiptlm_gateway_jobs_total", "model", "alpha")
+            .unwrap();
+        assert_eq!(alpha.value, 2.0);
+        // Histogram buckets are cumulative and the count covers both jobs.
+        let count = parsed
+            .samples
+            .iter()
+            .find(|s| s.name == "shiptlm_gateway_job_host_ms_count")
+            .unwrap();
+        assert_eq!(count.value, 2.0);
+    }
+
+    #[test]
+    fn hostile_model_names_render_and_round_trip() {
+        let m = GatewayMetrics::new();
+        let nasty = "mo\"del\\with}newline\nand,comma";
+        m.job_started();
+        m.job_finished(nasty, Duration::from_millis(1), false);
+        let text = m.to_prometheus();
+        let parsed = PromText::parse(&text).unwrap();
+        let sample = parsed
+            .sample("shiptlm_gateway_jobs_total", "model", nasty)
+            .expect("escaped label value must round-trip through the parser");
+        assert_eq!(sample.value, 1.0);
+    }
+
+    #[test]
+    fn http_endpoint_serves_metrics() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let metrics = Arc::new(GatewayMetrics::new());
+        metrics.job_rejected();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handle =
+            spawn_metrics_server(listener, Arc::clone(&metrics), Arc::clone(&shutdown)).unwrap();
+        let body = http_get(addr, "/metrics").unwrap();
+        let parsed = PromText::parse(&body).unwrap();
+        let rejected = parsed
+            .samples
+            .iter()
+            .find(|s| s.name == "shiptlm_gateway_jobs_rejected_total")
+            .unwrap();
+        assert_eq!(rejected.value, 1.0);
+        assert!(http_get(addr, "/nope").is_err());
+        shutdown.store(true, Ordering::Release);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,574 @@
+//! Gateway wire protocol: handshake, length-prefixed frames, and the
+//! job/reply vocabulary shared by server and client.
+//!
+//! The framing layer is deliberately tiny: after a 6-byte handshake
+//! (magic + version + codec tag), every message in either direction is a
+//! `u64` little-endian length prefix followed by that many bytes of
+//! codec-encoded body. The body encoding is pluggable (see
+//! [`crate::codec`]); the frame layer itself never trusts the prefix —
+//! lengths above the negotiated cap are rejected before any allocation.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use shiptlm_explore::prelude::{ArchSpec, Backend, RunMetrics};
+use shiptlm_ship::prelude::*;
+use shiptlm_testkit::model::ModelSpec;
+use shiptlm_testkit::wirecase::{get_archs, put_archs};
+
+/// Handshake magic: the first four bytes of every gateway connection.
+pub const MAGIC: [u8; 4] = *b"SHTG";
+
+/// Protocol version carried in the handshake.
+pub const VERSION: u8 = 1;
+
+/// Default cap on a single frame body, in bytes.
+pub const DEFAULT_MAX_FRAME: u64 = 16 * 1024 * 1024;
+
+/// Everything that can go wrong between a gateway client and server.
+#[derive(Debug)]
+pub enum GatewayError {
+    /// Transport-level I/O failure.
+    Io(io::Error),
+    /// Structurally invalid binary body (classified by `ship::wire`).
+    Wire(WireError),
+    /// The body decoded as bytes but not as a protocol message.
+    Codec(String),
+    /// Frame-layer violation: oversized prefix, truncated prefix, or a
+    /// connection cut mid-body.
+    Frame(String),
+    /// Bad magic, unsupported version, or unknown codec tag.
+    Handshake(String),
+    /// A well-formed message that violates the request/reply state
+    /// machine (e.g. a reply for a different job id).
+    Protocol(String),
+}
+
+impl fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatewayError::Io(e) => write!(f, "i/o error: {e}"),
+            GatewayError::Wire(e) => write!(f, "wire decode error: {e}"),
+            GatewayError::Codec(m) => write!(f, "codec error: {m}"),
+            GatewayError::Frame(m) => write!(f, "frame error: {m}"),
+            GatewayError::Handshake(m) => write!(f, "handshake error: {m}"),
+            GatewayError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+impl From<io::Error> for GatewayError {
+    fn from(e: io::Error) -> Self {
+        GatewayError::Io(e)
+    }
+}
+
+impl From<WireError> for GatewayError {
+    fn from(e: WireError) -> Self {
+        GatewayError::Wire(e)
+    }
+}
+
+/// Which execution backend the client wants for the job.
+///
+/// Mirrors [`Backend`] but lives in the protocol so the wire encoding is
+/// stable even if the exploration enum grows variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// The delta-cycle kernel (deterministic default).
+    #[default]
+    De,
+    /// Direct execution; fails if the model disqualifies.
+    Direct,
+    /// Direct execution with transparent DE fallback.
+    Auto,
+}
+
+impl BackendChoice {
+    /// Stable one-byte wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            BackendChoice::De => 0,
+            BackendChoice::Direct => 1,
+            BackendChoice::Auto => 2,
+        }
+    }
+
+    /// Decodes a wire tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::InvalidValue`] for unknown tags.
+    pub fn from_tag(tag: u8) -> Result<Self, WireError> {
+        match tag {
+            0 => Ok(BackendChoice::De),
+            1 => Ok(BackendChoice::Direct),
+            2 => Ok(BackendChoice::Auto),
+            t => Err(WireError::InvalidValue(format!("unknown backend tag {t}"))),
+        }
+    }
+
+    /// Stable textual name (used by the JSON codec).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendChoice::De => "de",
+            BackendChoice::Direct => "direct",
+            BackendChoice::Auto => "auto",
+        }
+    }
+
+    /// Parses the textual name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the unknown name.
+    pub fn from_name(name: &str) -> Result<Self, String> {
+        match name {
+            "de" => Ok(BackendChoice::De),
+            "direct" => Ok(BackendChoice::Direct),
+            "auto" => Ok(BackendChoice::Auto),
+            other => Err(format!("unknown backend '{other}'")),
+        }
+    }
+
+    /// The exploration backend this choice selects.
+    pub fn to_backend(self) -> Backend {
+        match self {
+            BackendChoice::De => Backend::De,
+            BackendChoice::Direct => Backend::Direct,
+            BackendChoice::Auto => Backend::Auto,
+        }
+    }
+}
+
+/// One sweep job: a model, the candidate architectures to map it onto,
+/// and execution knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRequest {
+    /// Client-chosen correlation id, echoed on every reply.
+    pub id: u64,
+    /// The model to elaborate (testkit corpus format).
+    pub spec: ModelSpec,
+    /// Candidate architectures to sweep.
+    pub archs: Vec<ArchSpec>,
+    /// Execution backend for the component-assembly level.
+    pub backend: BackendChoice,
+    /// Stream the per-channel latency trace back in chunks.
+    pub want_trace: bool,
+}
+
+impl JobRequest {
+    /// Content address of this job: the canonical binary encoding of
+    /// everything that determines the result — model, architectures,
+    /// backend and trace flag, but *not* the correlation id, so identical
+    /// work from different clients shares one cache entry.
+    pub fn cache_key(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.spec.serialize(&mut w);
+        put_archs(&mut w, &self.archs);
+        w.put_u8(self.backend.tag());
+        w.put_bool(self.want_trace);
+        w.into_bytes()
+    }
+}
+
+/// One deterministic report row, the streamed unit of a job result.
+///
+/// Host wall-clock is deliberately excluded: two runs of the same job must
+/// produce byte-identical rows so the content-addressed cache and the
+/// soak test's cross-client comparisons hold exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportRow {
+    /// Architecture label (see `ArchSpec::label`).
+    pub label: String,
+    /// Total simulated time in picoseconds.
+    pub sim_time_ps: u64,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Payload bytes delivered.
+    pub bytes: u64,
+    /// Kernel delta cycles.
+    pub delta_cycles: u64,
+}
+
+impl ReportRow {
+    /// Projects the deterministic subset of a sweep row.
+    pub fn from_metrics(m: &RunMetrics) -> ReportRow {
+        ReportRow {
+            label: m.label.clone(),
+            sim_time_ps: m.sim_time.as_ps(),
+            messages: m.messages,
+            bytes: m.bytes,
+            delta_cycles: m.delta_cycles,
+        }
+    }
+}
+
+impl ShipSerialize for ReportRow {
+    fn serialize(&self, w: &mut ByteWriter) {
+        self.label.serialize(w);
+        w.put_u64(self.sim_time_ps);
+        w.put_u64(self.messages);
+        w.put_u64(self.bytes);
+        w.put_u64(self.delta_cycles);
+    }
+
+    fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(ReportRow {
+            label: String::deserialize(r)?,
+            sim_time_ps: r.get_u64()?,
+            messages: r.get_u64()?,
+            bytes: r.get_u64()?,
+            delta_cycles: r.get_u64()?,
+        })
+    }
+}
+
+/// Server-to-client messages. Every variant echoes the job id it answers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// The job passed admission and is queued.
+    Accepted {
+        /// Echoed correlation id.
+        id: u64,
+    },
+    /// The admission queue is full; retry after the given backoff.
+    Rejected {
+        /// Echoed correlation id.
+        id: u64,
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// One report row of the running (or cached) job.
+    Row {
+        /// Echoed correlation id.
+        id: u64,
+        /// The row.
+        row: ReportRow,
+    },
+    /// One chunk of the per-channel latency trace (CSV bytes).
+    TraceChunk {
+        /// Echoed correlation id.
+        id: u64,
+        /// Raw CSV bytes; concatenate chunks in arrival order.
+        data: Vec<u8>,
+    },
+    /// The job finished; no more replies will arrive for this id.
+    Done {
+        /// Echoed correlation id.
+        id: u64,
+        /// Number of `Row` replies that were streamed.
+        rows: u64,
+        /// Whether the result came from the content-addressed cache.
+        cached: bool,
+    },
+    /// The job failed (mapping error, model panic, or decode failure).
+    Error {
+        /// Echoed correlation id (0 when the request never decoded).
+        id: u64,
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+impl Reply {
+    /// The job id this reply answers.
+    pub fn id(&self) -> u64 {
+        match self {
+            Reply::Accepted { id }
+            | Reply::Rejected { id, .. }
+            | Reply::Row { id, .. }
+            | Reply::TraceChunk { id, .. }
+            | Reply::Done { id, .. }
+            | Reply::Error { id, .. } => *id,
+        }
+    }
+}
+
+// Binary bodies for the request/reply vocabulary. These are the canonical
+// encodings (the JSON codec is the self-describing alternative); they are
+// defined here so `JobRequest::cache_key` and `codec::BinCodec` cannot
+// drift apart.
+
+impl ShipSerialize for JobRequest {
+    fn serialize(&self, w: &mut ByteWriter) {
+        w.put_u64(self.id);
+        self.spec.serialize(w);
+        put_archs(w, &self.archs);
+        w.put_u8(self.backend.tag());
+        w.put_bool(self.want_trace);
+    }
+
+    fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(JobRequest {
+            id: r.get_u64()?,
+            spec: ModelSpec::deserialize(r)?,
+            archs: get_archs(r)?,
+            backend: BackendChoice::from_tag(r.get_u8()?)?,
+            want_trace: r.get_bool()?,
+        })
+    }
+}
+
+impl ShipSerialize for Reply {
+    fn serialize(&self, w: &mut ByteWriter) {
+        match self {
+            Reply::Accepted { id } => {
+                w.put_u8(0);
+                w.put_u64(*id);
+            }
+            Reply::Rejected { id, retry_after_ms } => {
+                w.put_u8(1);
+                w.put_u64(*id);
+                w.put_u64(*retry_after_ms);
+            }
+            Reply::Row { id, row } => {
+                w.put_u8(2);
+                w.put_u64(*id);
+                row.serialize(w);
+            }
+            Reply::TraceChunk { id, data } => {
+                w.put_u8(3);
+                w.put_u64(*id);
+                data.serialize(w);
+            }
+            Reply::Done { id, rows, cached } => {
+                w.put_u8(4);
+                w.put_u64(*id);
+                w.put_u64(*rows);
+                w.put_bool(*cached);
+            }
+            Reply::Error { id, message } => {
+                w.put_u8(5);
+                w.put_u64(*id);
+                message.serialize(w);
+            }
+        }
+    }
+
+    fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(Reply::Accepted { id: r.get_u64()? }),
+            1 => Ok(Reply::Rejected {
+                id: r.get_u64()?,
+                retry_after_ms: r.get_u64()?,
+            }),
+            2 => Ok(Reply::Row {
+                id: r.get_u64()?,
+                row: ReportRow::deserialize(r)?,
+            }),
+            3 => Ok(Reply::TraceChunk {
+                id: r.get_u64()?,
+                data: Vec::<u8>::deserialize(r)?,
+            }),
+            4 => Ok(Reply::Done {
+                id: r.get_u64()?,
+                rows: r.get_u64()?,
+                cached: r.get_bool()?,
+            }),
+            5 => Ok(Reply::Error {
+                id: r.get_u64()?,
+                message: String::deserialize(r)?,
+            }),
+            t => Err(WireError::InvalidValue(format!("unknown reply tag {t}"))),
+        }
+    }
+}
+
+/// Writes one frame: `u64` LE length prefix + body.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    w.write_all(&(body.len() as u64).to_le_bytes())?;
+    w.write_all(body)
+}
+
+/// Reads one frame, enforcing `max_frame` *before* allocating the body.
+///
+/// Returns `Ok(None)` on a clean end-of-stream at a frame boundary (the
+/// peer closed between frames), which is how connection teardown is
+/// distinguished from corruption.
+///
+/// # Errors
+///
+/// [`GatewayError::Frame`] when the stream ends mid-prefix or the prefix
+/// exceeds `max_frame`; [`GatewayError::Io`] on transport failures
+/// (including a stream cut mid-body).
+pub fn read_frame(r: &mut impl Read, max_frame: u64) -> Result<Option<Vec<u8>>, GatewayError> {
+    let mut prefix = [0u8; 8];
+    let mut got = 0;
+    while got < prefix.len() {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(GatewayError::Frame(format!(
+                    "connection closed mid-prefix ({got}/8 bytes)"
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(GatewayError::Io(e)),
+        }
+    }
+    let len = u64::from_le_bytes(prefix);
+    if len > max_frame {
+        return Err(GatewayError::Frame(format!(
+            "frame of {len} bytes exceeds the {max_frame}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// Writes the 6-byte handshake (magic, version, codec tag).
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_handshake(w: &mut impl Write, codec_tag: u8) -> io::Result<()> {
+    let mut buf = [0u8; 6];
+    buf[..4].copy_from_slice(&MAGIC);
+    buf[4] = VERSION;
+    buf[5] = codec_tag;
+    w.write_all(&buf)
+}
+
+/// Reads and validates the handshake, returning the codec tag.
+///
+/// # Errors
+///
+/// [`GatewayError::Handshake`] on bad magic or version;
+/// [`GatewayError::Io`] when the stream ends early.
+pub fn read_handshake(r: &mut impl Read) -> Result<u8, GatewayError> {
+    let mut buf = [0u8; 6];
+    r.read_exact(&mut buf)?;
+    if buf[..4] != MAGIC {
+        return Err(GatewayError::Handshake(format!(
+            "bad magic {:02x?} (expected {:02x?})",
+            &buf[..4],
+            MAGIC
+        )));
+    }
+    if buf[4] != VERSION {
+        return Err(GatewayError::Handshake(format!(
+            "unsupported protocol version {} (this build speaks {VERSION})",
+            buf[4]
+        )));
+    }
+    Ok(buf[5])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shiptlm_explore::prelude::ArchSpec;
+    use shiptlm_testkit::model::GenConfig;
+
+    fn a_request() -> JobRequest {
+        JobRequest {
+            id: 7,
+            spec: ModelSpec::random(42, &GenConfig::default()),
+            archs: vec![ArchSpec::plb(), ArchSpec::crossbar().with_burst(16)],
+            backend: BackendChoice::Auto,
+            want_trace: true,
+        }
+    }
+
+    #[test]
+    fn request_round_trips_in_binary() {
+        let req = a_request();
+        let back: JobRequest = from_wire(&to_wire(&req)).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn cache_key_ignores_the_correlation_id() {
+        let a = a_request();
+        let mut b = a.clone();
+        b.id = 99;
+        assert_eq!(a.cache_key(), b.cache_key());
+        let mut c = a.clone();
+        c.want_trace = false;
+        assert_ne!(a.cache_key(), c.cache_key());
+    }
+
+    #[test]
+    fn replies_round_trip_in_binary() {
+        let replies = vec![
+            Reply::Accepted { id: 1 },
+            Reply::Rejected {
+                id: 2,
+                retry_after_ms: 50,
+            },
+            Reply::Row {
+                id: 3,
+                row: ReportRow {
+                    label: "plb/fixed/b64".into(),
+                    sim_time_ps: 123_456,
+                    messages: 9,
+                    bytes: 4096,
+                    delta_cycles: 77,
+                },
+            },
+            Reply::TraceChunk {
+                id: 4,
+                data: b"chan,count\n".to_vec(),
+            },
+            Reply::Done {
+                id: 5,
+                rows: 2,
+                cached: true,
+            },
+            Reply::Error {
+                id: 6,
+                message: "boom".into(),
+            },
+        ];
+        for r in replies {
+            let back: Reply = from_wire(&to_wire(&r)).unwrap();
+            assert_eq!(back, r);
+            assert_eq!(back.id(), r.id());
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_and_eof_is_clean_at_boundaries() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_frame(&mut &buf[..], 1024).unwrap_err();
+        assert!(matches!(err, GatewayError::Frame(_)), "got {err}");
+    }
+
+    #[test]
+    fn truncated_prefix_is_a_frame_error() {
+        let buf = [1u8, 2, 3];
+        let err = read_frame(&mut &buf[..], 1024).unwrap_err();
+        assert!(matches!(err, GatewayError::Frame(_)), "got {err}");
+    }
+
+    #[test]
+    fn handshake_round_trips_and_rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_handshake(&mut buf, 1).unwrap();
+        assert_eq!(read_handshake(&mut &buf[..]).unwrap(), 1);
+        buf[0] = b'X';
+        let err = read_handshake(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, GatewayError::Handshake(_)), "got {err}");
+    }
+}

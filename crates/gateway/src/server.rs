@@ -1,0 +1,503 @@
+//! The gateway server: accept loop, per-connection readers, bounded
+//! admission queue, and executor threads driving sweeps on the shared
+//! worker pool.
+//!
+//! ## Threading model
+//!
+//! * one **accept** thread (non-blocking, polls the shutdown flag);
+//! * one **reader** thread per connection: handshake, then decode frames
+//!   and push jobs through admission;
+//! * `executors` **executor** threads: pop jobs, consult the
+//!   content-addressed cache, run sweeps via
+//!   [`Sweep::run_on`]`(`[`WorkerPool::global()`]`, threads_per_job)`,
+//!   stream replies back;
+//! * optionally one **metrics** thread serving `GET /metrics`.
+//!
+//! Replies for one connection are serialized through a mutex around the
+//! write half, so rows from an executor never interleave mid-frame with
+//! an `Accepted` from the reader.
+//!
+//! ## Admission and shutdown
+//!
+//! The queue is bounded: a submission finding it full is answered with
+//! [`Reply::Rejected`] and a retry hint — the gateway sheds load instead
+//! of buffering unboundedly. Shutdown is drain-based: stop accepting,
+//! unblock the readers, join them (no new jobs can arrive), then let the
+//! executors drain what was admitted before joining them — every job that
+//! got an `Accepted` gets its rows and `Done` before the sockets close.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use shiptlm_explore::prelude::{RunOptions, Sweep, WorkerPool};
+
+use crate::cache::{JobOutput, JobResult, ResultCache};
+use crate::codec::{codec_for, WireCodec};
+use crate::lock;
+use crate::metrics::{spawn_metrics_server, GatewayMetrics};
+use crate::proto::{
+    read_frame, read_handshake, write_frame, write_handshake, GatewayError, JobRequest, Reply,
+    ReportRow, DEFAULT_MAX_FRAME,
+};
+
+/// Trace CSV is streamed in chunks of this many bytes.
+const TRACE_CHUNK_BYTES: usize = 64 * 1024;
+
+/// Tuning knobs for one gateway instance.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Job-socket bind address (use port 0 for an ephemeral port).
+    pub addr: String,
+    /// Optional `/metrics` bind address.
+    pub metrics_addr: Option<String>,
+    /// Admission-queue bound; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Executor threads (jobs running concurrently).
+    pub executors: usize,
+    /// Worker-pool threads each job's sweep fans out over.
+    pub threads_per_job: usize,
+    /// Backoff hint carried by [`Reply::Rejected`].
+    pub retry_after_ms: u64,
+    /// Per-frame size cap, enforced before allocation.
+    pub max_frame_bytes: u64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            metrics_addr: None,
+            queue_capacity: 64,
+            executors: 2,
+            threads_per_job: 2,
+            retry_after_ms: 50,
+            max_frame_bytes: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// One admitted job waiting for an executor.
+struct QueuedJob {
+    req: JobRequest,
+    writer: Arc<Mutex<TcpStream>>,
+    codec: &'static dyn WireCodec,
+}
+
+/// State shared by every gateway thread.
+struct Shared {
+    cfg: GatewayConfig,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    queue_ready: Condvar,
+    shutdown: AtomicBool,
+    /// Read-half clones of live connections, so shutdown can unblock
+    /// readers parked in `read_frame`.
+    conns: Mutex<Vec<TcpStream>>,
+    metrics: Arc<GatewayMetrics>,
+    cache: ResultCache,
+}
+
+/// A running gateway. Dropping it without calling [`Gateway::shutdown`]
+/// leaks the service threads; shut it down explicitly.
+pub struct Gateway {
+    addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
+    shared: Arc<Shared>,
+    accept_thread: JoinHandle<Vec<JoinHandle<()>>>,
+    executor_threads: Vec<JoinHandle<()>>,
+    metrics_thread: Option<(JoinHandle<()>, Arc<AtomicBool>)>,
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("addr", &self.addr)
+            .field("metrics_addr", &self.metrics_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Gateway {
+    /// Binds the sockets and spawns the service threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/configuration failures.
+    pub fn start(cfg: GatewayConfig) -> io::Result<Gateway> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let metrics = Arc::new(GatewayMetrics::new());
+        let mut metrics_addr = None;
+        let mut metrics_listener = None;
+        if let Some(maddr) = &cfg.metrics_addr {
+            let l = TcpListener::bind(maddr)?;
+            metrics_addr = Some(l.local_addr()?);
+            metrics_listener = Some(l);
+        }
+
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::with_capacity(cfg.queue_capacity)),
+            queue_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            metrics: Arc::clone(&metrics),
+            cache: ResultCache::new(),
+            cfg,
+        });
+
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+
+        let executor_threads = (0..shared.cfg.executors.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || executor_loop(&shared))
+            })
+            .collect();
+
+        let metrics_thread = match metrics_listener {
+            Some(l) => {
+                let flag = Arc::new(AtomicBool::new(false));
+                let handle = spawn_metrics_server(l, metrics, Arc::clone(&flag))?;
+                Some((handle, flag))
+            }
+            None => None,
+        };
+
+        Ok(Gateway {
+            addr,
+            metrics_addr,
+            shared,
+            accept_thread,
+            executor_threads,
+            metrics_thread,
+        })
+    }
+
+    /// The bound job-socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound `/metrics` address, when configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// This gateway's metrics (shared with the `/metrics` endpoint).
+    pub fn metrics(&self) -> Arc<GatewayMetrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Number of distinct results in the content-addressed cache.
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.len()
+    }
+
+    /// Drain-based shutdown: stop accepting, let readers finish, drain
+    /// every admitted job (each gets its replies), then tear down.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+
+        // Unblock readers parked in `read_frame`; they exit after
+        // processing whatever was already submitted.
+        for conn in lock(&self.shared.conns).iter() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        let readers = self.accept_thread.join().unwrap_or_default();
+        for reader in readers {
+            let _ = reader.join();
+        }
+
+        // No new jobs can arrive now; wake the executors so they drain the
+        // queue and exit when it is empty.
+        self.shared.queue_ready.notify_all();
+        for executor in self.executor_threads {
+            let _ = executor.join();
+        }
+
+        if let Some((handle, flag)) = self.metrics_thread {
+            flag.store(true, Ordering::Release);
+            let _ = handle.join();
+        }
+        // Write halves close when the last Arc<Mutex<TcpStream>> drops.
+        lock(&self.shared.conns).clear();
+    }
+}
+
+/// Accepts connections until shutdown; returns the reader handles so the
+/// shutdown path can join them.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) -> Vec<JoinHandle<()>> {
+    let mut readers = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Replies are many small frames; Nagle + delayed ACK adds
+                // ~40ms per job round-trip without this.
+                stream.set_nodelay(true).ok();
+                if let Ok(read_clone) = stream.try_clone() {
+                    lock(&shared.conns).push(read_clone);
+                }
+                let shared = Arc::clone(shared);
+                readers.push(std::thread::spawn(move || reader_loop(stream, &shared)));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return readers;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return readers;
+                }
+            }
+        }
+    }
+}
+
+/// Serializes one reply onto the shared write half.
+fn send_reply(
+    writer: &Mutex<TcpStream>,
+    codec: &'static dyn WireCodec,
+    reply: &Reply,
+) -> Result<(), GatewayError> {
+    let body = codec.encode_reply(reply)?;
+    let mut stream = lock(writer);
+    write_frame(&mut *stream, &body)?;
+    Ok(())
+}
+
+/// Per-connection reader: handshake, then frames until EOF or a fatal
+/// frame error.
+fn reader_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let tag = match read_handshake(&mut stream) {
+        Ok(tag) => tag,
+        Err(_) => return,
+    };
+    let Some(codec) = codec_for(tag) else {
+        // Unknown codec: echo back tag 0xFF so the client can tell the
+        // negotiation failed, then drop the connection.
+        let _ = write_handshake(&mut stream, 0xFF);
+        return;
+    };
+    // Echo the handshake: the client knows the codec is agreed.
+    if write_handshake(&mut stream, tag).is_err() {
+        return;
+    }
+
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+
+    loop {
+        match read_frame(&mut stream, shared.cfg.max_frame_bytes) {
+            Ok(Some(body)) => match codec.decode_request(&body) {
+                Ok(req) => submit(req, &writer, codec, shared),
+                Err(e) => {
+                    // The frame layer is still in sync (the length prefix
+                    // was honoured), so report and keep the connection.
+                    shared.metrics.decode_error();
+                    let _ = send_reply(
+                        &writer,
+                        codec,
+                        &Reply::Error {
+                            id: 0,
+                            message: format!("request decode failed: {e}"),
+                        },
+                    );
+                }
+            },
+            // Clean EOF at a frame boundary: the client is done.
+            Ok(None) => return,
+            Err(e) => {
+                // Frame-layer corruption: the stream position is unknown,
+                // so report once and drop the connection.
+                let _ = send_reply(
+                    &writer,
+                    codec,
+                    &Reply::Error {
+                        id: 0,
+                        message: format!("connection dropped: {e}"),
+                    },
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Admission control: reject when the queue is at capacity, otherwise
+/// acknowledge and enqueue.
+fn submit(
+    req: JobRequest,
+    writer: &Arc<Mutex<TcpStream>>,
+    codec: &'static dyn WireCodec,
+    shared: &Arc<Shared>,
+) {
+    let id = req.id;
+    let mut queue = lock(&shared.queue);
+    if queue.len() >= shared.cfg.queue_capacity {
+        drop(queue);
+        shared.metrics.job_rejected();
+        let _ = send_reply(
+            writer,
+            codec,
+            &Reply::Rejected {
+                id,
+                retry_after_ms: shared.cfg.retry_after_ms,
+            },
+        );
+        return;
+    }
+    // Acknowledge while holding the queue lock so the Accepted frame is
+    // on the wire before any executor can race a Row for the same job.
+    if send_reply(writer, codec, &Reply::Accepted { id }).is_err() {
+        return;
+    }
+    queue.push_back(QueuedJob {
+        req,
+        writer: Arc::clone(writer),
+        codec,
+    });
+    shared.metrics.queue_push();
+    drop(queue);
+    shared.queue_ready.notify_one();
+}
+
+/// Executor: pop, run (through the cache), stream replies.
+fn executor_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    shared.metrics.queue_pop();
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = shared
+                    .queue_ready
+                    .wait(queue)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        };
+        let Some(job) = job else { return };
+
+        shared.metrics.job_started();
+        let start = Instant::now();
+        let key = job.req.cache_key();
+        let (result, cached) = shared
+            .cache
+            .get_or_compute(key, || run_job(&job.req, shared.cfg.threads_per_job));
+        shared
+            .metrics
+            .job_finished(&job.req.spec.name, start.elapsed(), cached);
+        stream_result(&job, &result, cached);
+    }
+}
+
+/// Runs one sweep on the shared worker pool, converting mapping errors
+/// *and panics* into deterministic failure strings. A panicking model
+/// must not take the executor thread (or the pool) down with it.
+fn run_job(req: &JobRequest, threads_per_job: usize) -> JobResult {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        Sweep::new(req.spec.to_app())
+            .archs(req.archs.iter().cloned())
+            .with_options(RunOptions::default().with_backend(req.backend.to_backend()))
+            .run_on(WorkerPool::global(), threads_per_job.max(1))
+    }));
+    match outcome {
+        Ok(Ok(report)) => {
+            let rows = report.rows().iter().map(ReportRow::from_metrics).collect();
+            let trace = if req.want_trace {
+                report.channel_latency_csv().into_bytes()
+            } else {
+                Vec::new()
+            };
+            Ok(JobOutput { rows, trace })
+        }
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(payload) => Err(format!("job panicked: {}", panic_message(&payload))),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Streams a finished job back to its client: rows, trace chunks, `Done`
+/// (or a single `Error`). Write failures mean the client went away; the
+/// result stays cached either way.
+fn stream_result(job: &QueuedJob, result: &JobResult, cached: bool) {
+    let id = job.req.id;
+    match result {
+        Ok(output) => {
+            for row in &output.rows {
+                if send_reply(
+                    &job.writer,
+                    job.codec,
+                    &Reply::Row {
+                        id,
+                        row: row.clone(),
+                    },
+                )
+                .is_err()
+                {
+                    return;
+                }
+            }
+            for chunk in output.trace.chunks(TRACE_CHUNK_BYTES) {
+                if send_reply(
+                    &job.writer,
+                    job.codec,
+                    &Reply::TraceChunk {
+                        id,
+                        data: chunk.to_vec(),
+                    },
+                )
+                .is_err()
+                {
+                    return;
+                }
+            }
+            let _ = send_reply(
+                &job.writer,
+                job.codec,
+                &Reply::Done {
+                    id,
+                    rows: output.rows.len() as u64,
+                    cached,
+                },
+            );
+        }
+        Err(message) => {
+            let _ = send_reply(
+                &job.writer,
+                job.codec,
+                &Reply::Error {
+                    id,
+                    message: message.clone(),
+                },
+            );
+        }
+    }
+}

@@ -298,7 +298,10 @@ pub struct MetricsSnapshot {
 
 /// Maps a metric family to a Prometheus metric name:
 /// `bus.busy` → `shiptlm_bus_busy`.
-fn prom_name(family: &str) -> String {
+///
+/// Public so out-of-kernel exporters (e.g. the gateway's `/metrics`
+/// endpoint) render names identically to [`MetricsSnapshot::to_prometheus`].
+pub fn prom_name(family: &str) -> String {
     let mut out = String::with_capacity(family.len() + 8);
     out.push_str("shiptlm_");
     for c in family.chars() {
@@ -307,8 +310,14 @@ fn prom_name(family: &str) -> String {
     out
 }
 
-/// Escapes a Prometheus label value (backslash, quote, newline).
-fn prom_label(value: &str) -> String {
+/// Escapes a Prometheus label value per the text 0.0.4 exposition format:
+/// backslash → `\\`, double quote → `\"`, newline → `\n`.
+///
+/// Label values are otherwise emitted verbatim — including `}`, which is
+/// legal inside a quoted value. Public so exporters that surface
+/// *untrusted* label values (the gateway exposes user-supplied model names)
+/// share one escaping implementation.
+pub fn prom_label(value: &str) -> String {
     let mut out = String::with_capacity(value.len());
     for c in value.chars() {
         match c {

@@ -185,7 +185,13 @@ impl<T: ShipSerialize> ShipSerialize for Vec<T> {
         if n > r.remaining() as u64 && std::mem::size_of::<T>() != 0 {
             return Err(WireError::BadLength(n));
         }
-        let mut out = Vec::with_capacity(n.min(1 << 20) as usize);
+        // Pre-allocation stays proportional to the *input* that backs it:
+        // `n` elements need at least `n` wire bytes, so a malformed stream
+        // can never make us reserve more element slots than it has bytes
+        // (in-memory elements may be much wider than their encoding, e.g.
+        // `Vec<Vec<u8>>` at 24 bytes per 8-byte wire element).
+        let cap = n.min(r.remaining() as u64).min(1 << 20) as usize;
+        let mut out = Vec::with_capacity(cap);
         for _ in 0..n {
             out.push(T::deserialize(r)?);
         }

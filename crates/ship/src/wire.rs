@@ -291,6 +291,22 @@ impl<'a> ByteReader<'a> {
         }
         self.take(n as usize)
     }
+
+    /// Reads a `u64` length prefix and returns a child reader over exactly
+    /// that many bytes, advancing this reader past them.
+    ///
+    /// Decoding a nested [`put_len_prefixed_with`](ByteWriter::put_len_prefixed_with)
+    /// envelope through a child reader bounds every inner read by the
+    /// envelope body: an inner prefix that overruns the outer body fails
+    /// with a classified [`WireError`] instead of silently consuming the
+    /// parent stream's bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadLength`] when the prefix exceeds the stream.
+    pub fn sub_reader(&mut self) -> Result<ByteReader<'a>, WireError> {
+        Ok(ByteReader::new(self.get_len_prefixed()?))
+    }
 }
 
 #[cfg(test)]

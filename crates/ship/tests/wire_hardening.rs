@@ -1,0 +1,187 @@
+//! Decode hardening of the SHIP wire format against untrusted input.
+//!
+//! The gateway feeds bytes straight off a TCP socket into these decoders,
+//! so every malformed stream — truncated mid-length-prefix, corrupted by
+//! bit flips, or carrying a nested envelope whose inner prefix overruns the
+//! outer body — must come back as a classified [`WireError`], never a panic
+//! and never an allocation disproportionate to the input.
+
+use shiptlm_ship::codec::Serde;
+use shiptlm_ship::serialize::{from_wire, to_wire, ShipSerialize};
+use shiptlm_ship::wire::{ByteReader, ByteWriter, WireError};
+
+/// A representative nested message: strings, vectors, options, envelopes.
+#[derive(Debug, PartialEq, Clone)]
+struct JobLike {
+    name: String,
+    seeds: Vec<u64>,
+    payloads: Vec<Vec<u8>>,
+    note: Option<String>,
+}
+
+impl ShipSerialize for JobLike {
+    fn serialize(&self, w: &mut ByteWriter) {
+        self.name.serialize(w);
+        self.seeds.serialize(w);
+        self.payloads.serialize(w);
+        self.note.serialize(w);
+    }
+    fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(JobLike {
+            name: String::deserialize(r)?,
+            seeds: Vec::deserialize(r)?,
+            payloads: Vec::deserialize(r)?,
+            note: Option::deserialize(r)?,
+        })
+    }
+}
+
+fn sample() -> JobLike {
+    JobLike {
+        name: "fft-radix4".into(),
+        seeds: vec![1, u64::MAX, 0x0054_171A_B1E5],
+        payloads: vec![vec![0xAB; 300], Vec::new(), (0..=255).collect()],
+        note: Some("grüße".into()),
+    }
+}
+
+/// Deterministic xorshift for corruption patterns — no external RNG crates.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+#[test]
+fn every_truncation_point_returns_a_classified_error() {
+    let bytes = to_wire(&Serde(sample()));
+    for cut in 0..bytes.len() {
+        let err = from_wire::<Serde<JobLike>>(&bytes[..cut])
+            .expect_err("truncated stream must not decode");
+        assert!(
+            matches!(
+                err,
+                WireError::UnexpectedEnd { .. }
+                    | WireError::BadLength(_)
+                    | WireError::InvalidValue(_)
+            ),
+            "cut at {cut}: unclassified error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn random_byte_corruption_never_panics() {
+    let clean = to_wire(&Serde(sample()));
+    let mut rng = Rng(0x5EED_CAFE_F00D_0001);
+    for _ in 0..2000 {
+        let mut bytes = clean.clone();
+        // Flip 1–4 random bytes anywhere in the stream (length prefixes,
+        // tags and payload alike).
+        let flips = 1 + (rng.next() % 4) as usize;
+        for _ in 0..flips {
+            let at = (rng.next() % bytes.len() as u64) as usize;
+            bytes[at] ^= (rng.next() % 255 + 1) as u8;
+        }
+        // Either a clean decode of a different value or a classified error;
+        // a panic or runaway allocation fails (or wedges) the test.
+        let _ = from_wire::<Serde<JobLike>>(&bytes);
+    }
+}
+
+#[test]
+fn random_garbage_streams_never_panic() {
+    let mut rng = Rng(0xBAD5_EED5_0000_0002);
+    for round in 0..2000 {
+        let len = (rng.next() % 96) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+        let _ = from_wire::<Serde<JobLike>>(&bytes);
+        let _ = from_wire::<JobLike>(&bytes);
+        let _ = from_wire::<Vec<Vec<u8>>>(&bytes);
+        let _ = from_wire::<String>(&bytes);
+        assert!(round < 2000);
+    }
+}
+
+#[test]
+fn truncation_mid_length_prefix_is_unexpected_end() {
+    let mut w = ByteWriter::new();
+    w.put_len_prefixed(b"hello world");
+    let bytes = w.into_bytes();
+    // Keep only 3 of the 8 prefix bytes.
+    let mut r = ByteReader::new(&bytes[..3]);
+    assert_eq!(
+        r.get_len_prefixed(),
+        Err(WireError::UnexpectedEnd {
+            needed: 8,
+            remaining: 3
+        })
+    );
+}
+
+#[test]
+fn inner_envelope_overrunning_outer_body_is_rejected() {
+    // Outer envelope: 16-byte body. Inner envelope claims 1 GiB.
+    let mut w = ByteWriter::new();
+    w.put_len_prefixed_with(|w| {
+        w.put_u64(1 << 30); // forged inner length prefix
+        w.put_u64(0xDEAD_BEEF); // 8 bytes of actual body
+    });
+    // ... followed by plenty of trailing bytes that the inner prefix must
+    // NOT be allowed to reach through the envelope boundary.
+    w.put_bytes(&[0u8; 4096]);
+    let bytes = w.into_bytes();
+
+    let mut outer = ByteReader::new(&bytes);
+    let mut inner = outer.sub_reader().expect("outer envelope is well-formed");
+    assert!(
+        matches!(inner.get_len_prefixed(), Err(WireError::BadLength(_))),
+        "inner prefix bounded by the envelope, not the parent stream"
+    );
+    // The parent reader sits exactly past the outer envelope.
+    assert_eq!(outer.remaining(), 4096);
+}
+
+#[test]
+fn nested_vec_length_bomb_allocates_proportionally_to_input() {
+    // Claims 2^20 - 1 inner vectors but carries only 64 bytes: the decode
+    // must fail with a classified error after a small, input-bounded
+    // allocation (the capacity hint is capped by the remaining bytes).
+    let mut w = ByteWriter::new();
+    w.put_u64((1 << 20) - 1);
+    w.put_bytes(&[0xFF; 64]);
+    let bytes = w.into_bytes();
+    let err = from_wire::<Vec<Vec<u64>>>(&bytes).unwrap_err();
+    assert!(
+        matches!(err, WireError::BadLength(_) | WireError::UnexpectedEnd { .. }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn huge_string_prefix_is_bad_length() {
+    let mut w = ByteWriter::new();
+    w.put_u64(u64::MAX / 2);
+    w.put_bytes(b"short");
+    assert!(matches!(
+        from_wire::<String>(&w.into_bytes()),
+        Err(WireError::BadLength(_))
+    ));
+}
+
+#[test]
+fn trailing_bytes_after_valid_envelope_are_rejected() {
+    let mut bytes = to_wire(&Serde(sample()));
+    bytes.extend_from_slice(&[1, 2, 3]);
+    assert_eq!(
+        from_wire::<Serde<JobLike>>(&bytes),
+        Err(WireError::TrailingBytes(3))
+    );
+}

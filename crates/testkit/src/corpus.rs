@@ -62,7 +62,10 @@ fn failure_kind_from_label(s: &str) -> Result<FailureKind, String> {
     })
 }
 
-fn arch_to_json(a: &ArchSpec) -> Json {
+/// Serializes an [`ArchSpec`] to the corpus JSON object — shared with the
+/// gateway's self-describing JSON codec so job documents and replayable
+/// corpus cases stay one format.
+pub fn arch_to_json(a: &ArchSpec) -> Json {
     let mut fields = vec![
         (
             "bus",
@@ -76,6 +79,9 @@ fn arch_to_json(a: &ArchSpec) -> Json {
         ("rx_capacity", Json::num(a.rx_capacity as f64)),
         ("poll_interval_ps", Json::u64_str(a.poll_interval.as_ps())),
     ];
+    if let Some(c) = a.clock {
+        fields.push(("clock_ps", Json::u64_str(c.as_ps())));
+    }
     match a.arb {
         ArbPolicy::FixedPriority => fields.push(("arb", Json::str("priority"))),
         ArbPolicy::RoundRobin => fields.push(("arb", Json::str("round-robin"))),
@@ -88,7 +94,13 @@ fn arch_to_json(a: &ArchSpec) -> Json {
     Json::obj(fields)
 }
 
-fn arch_from_json(v: &Json) -> Result<ArchSpec, String> {
+/// Parses an [`ArchSpec`] from its corpus JSON object (see
+/// [`arch_to_json`]).
+///
+/// # Errors
+///
+/// Returns a description of the first missing or malformed field.
+pub fn arch_from_json(v: &Json) -> Result<ArchSpec, String> {
     let mut arch = match v.get("bus").and_then(Json::as_str) {
         Some("plb") => ArchSpec::plb(),
         Some("opb") => ArchSpec::opb(),
@@ -119,6 +131,9 @@ fn arch_from_json(v: &Json) -> Result<ArchSpec, String> {
     }
     if let Some(p) = v.get("poll_interval_ps").and_then(Json::as_u64_str) {
         arch.poll_interval = SimDur::ps(p);
+    }
+    if let Some(c) = v.get("clock_ps").and_then(Json::as_u64_str) {
+        arch.clock = Some(SimDur::ps(c));
     }
     Ok(arch)
 }

@@ -54,6 +54,7 @@ pub mod json;
 pub mod model;
 pub mod prom;
 pub mod shrink;
+pub mod wirecase;
 
 /// One-stop imports for conformance tests.
 pub mod prelude {

@@ -177,8 +177,7 @@ fn parse_sample(line: &str, lineno: usize) -> Result<PromSample, PromError> {
     }
     let mut labels = Vec::new();
     let rest = if line[name_end..].starts_with('{') {
-        let close = line[name_end..]
-            .find('}')
+        let close = find_label_close(&line[name_end..])
             .ok_or_else(|| err(lineno, "unterminated label set"))?
             + name_end;
         parse_labels(&line[name_end + 1..close], lineno, &mut labels)?;
@@ -212,6 +211,30 @@ fn parse_sample(line: &str, lineno: usize) -> Result<PromSample, PromError> {
         labels,
         value,
     })
+}
+
+/// Byte offset of the `}` closing a label set, honouring quoted values and
+/// backslash escapes: a `}` *inside* a quoted label value is legal in the
+/// 0.0.4 format (only `\`, `"` and newline are escaped) and must not
+/// terminate the set. The naive `find('}')` this replaces split sample
+/// lines like `m{model="a}b"} 1` in the middle of the value — reachable
+/// since the gateway exposes user-supplied model names as label values.
+fn find_label_close(s: &str) -> Option<usize> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (idx, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '}' if !in_quotes => return Some(idx),
+            _ => {}
+        }
+    }
+    None
 }
 
 fn parse_labels(
@@ -368,6 +391,43 @@ mod tests {
         let text = "# TYPE m gauge\nm{resource=\"a\\\"b\\\\c\\nd\"} 1\n";
         let p = PromText::parse(text).unwrap();
         assert_eq!(p.samples[0].label("resource"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn brace_inside_quoted_label_value_parses() {
+        // `}` is legal inside a quoted value; the label set must close at
+        // the *unquoted* brace.
+        let text = "# TYPE m gauge\nm{model=\"a}b\",other=\"{x}\"} 7\n";
+        let p = PromText::parse(text).unwrap();
+        assert_eq!(p.samples[0].label("model"), Some("a}b"));
+        assert_eq!(p.samples[0].label("other"), Some("{x}"));
+        assert_eq!(p.samples[0].value, 7.0);
+    }
+
+    #[test]
+    fn kernel_escaping_round_trips_through_the_parser() {
+        // The gateway renders user-supplied model names with the kernel's
+        // `prom_label`; whatever it emits must come back verbatim.
+        use shiptlm_kernel::metrics::prom_label;
+        let nasty = [
+            "back\\slash",
+            "quo\"te",
+            "new\nline",
+            "bra}ce{open",
+            "all of \\ \" \n } , = at once",
+        ];
+        for original in nasty {
+            let text = format!(
+                "# TYPE m gauge\nm{{model=\"{}\"}} 1\n",
+                prom_label(original)
+            );
+            let p = PromText::parse(&text).unwrap();
+            assert_eq!(
+                p.samples[0].label("model"),
+                Some(original),
+                "escaping of {original:?}"
+            );
+        }
     }
 
     #[test]
