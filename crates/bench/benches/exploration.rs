@@ -89,6 +89,18 @@ fn bench_exploration(c: &mut Criterion) {
                 .unwrap()
         })
     });
+
+    // Mesh-NoC scaling: one uniform-traffic candidate per mesh size, so
+    // the table shows how host cost grows with the node count (the 16×16
+    // point is the 256-PE scale the NoC CAM is specified to reach).
+    for n in [4usize, 8, 16] {
+        let id = format!("noc_mesh/{n}x{n}");
+        let app = || workload::uniform_traffic(8, 6, 64, 0xE2);
+        let roles = run_component_assembly(&app()).unwrap().roles;
+        g.bench_function(id.as_str(), |b| {
+            b.iter(|| run_mapped(&app(), &roles, &ArchSpec::noc(n as u8, n as u8)).unwrap())
+        });
+    }
     g.finish();
 
     println!("\n=== E2: architecture exploration table (4 parallel streams, 24x256B) ===");

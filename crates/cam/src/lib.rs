@@ -7,6 +7,10 @@
 //! * [`bus::CcatbBus`] — a shared bus with cycle-count-accurate boundary
 //!   timing; [`bus::BusConfig::plb`] and [`bus::BusConfig::opb`] provide
 //!   CoreConnect-style presets.
+//! * [`ahb::AhbBus`] — an AMBA AHB-style bus with SPLIT/RETRY arbitration,
+//!   pipelined address/data phases and SINGLE/INCR/WRAP burst accounting.
+//! * [`noc::MeshNoc`] — a 2D-mesh NoC with XY routing and per-link
+//!   arbitration, scaling to 16×16 (256 PEs) and beyond.
 //! * [`crossbar::Crossbar`] — parallel transfers, per-output arbitration.
 //! * [`bridge::Bridge`] — PLB↔OPB-style bus coupling.
 //! * [`arb::ArbPolicy`] — fixed priority, round-robin, TDMA.
@@ -41,20 +45,24 @@
 #![warn(missing_debug_implementations)]
 
 pub mod accessor;
+pub mod ahb;
 pub mod arb;
 pub mod bridge;
 pub mod bus;
 pub mod crossbar;
+pub mod noc;
 pub mod dma;
 pub mod wrapper;
 
 /// Commonly used CAM items.
 pub mod prelude {
     pub use crate::accessor::Accessor;
+    pub use crate::ahb::{burst_kind, wrap_addresses, AhbBurst, AhbBus, AhbConfig, AhbStats};
     pub use crate::arb::{ArbPolicy, Ticket};
     pub use crate::bridge::Bridge;
     pub use crate::bus::{BusConfig, BusStats, CcatbBus, MasterStats};
     pub use crate::crossbar::{Crossbar, CrossbarConfig};
+    pub use crate::noc::{MeshNoc, NocConfig, NocStats};
     pub use crate::dma::{
         dma_regs, DmaEngine, DMA_CTRL_CLEAR, DMA_CTRL_START, DMA_STATUS_BUSY, DMA_STATUS_DONE,
         DMA_STATUS_ERROR,

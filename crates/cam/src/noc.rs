@@ -1,0 +1,513 @@
+//! A 2D-mesh network-on-chip CAM with deterministic XY routing.
+//!
+//! [`MeshNoc`] models a `cols × rows` mesh of routers at CCATB granularity.
+//! A transaction is flitized (one head flit plus payload flits of
+//! [`NocConfig::flit_bytes`] each), routed **X-first then Y** from the
+//! master's node to the slave's node, and charged per hop: every directed
+//! link is an arbitration gate, and forwarding a packet over a link costs
+//! `router_cycles + flits × cycles_per_flit` link-clock cycles
+//! (store-and-forward). The ejection port at the destination node is a gate
+//! of its own and is held across the slave access, which is exactly where
+//! hotspot traffic piles up.
+//!
+//! **Deadlock freedom:** a packet releases the gate for hop *i* before
+//! requesting the gate for hop *i + 1*, so a thread inside the NoC holds at
+//! most one link gate at any time — the hold-and-wait condition for a
+//! routing deadlock cannot arise, for any mesh size or traffic pattern.
+//! (XY routing would also be cycle-free under wormhole rules; the
+//! store-and-forward discipline makes the argument independent of the
+//! turn model.)
+//!
+//! Placement is deterministic: master `m` injects at node `m % nodes`, and
+//! [`map_slave`](MeshNoc::map_slave) ejects slave `k` at node `k % nodes`
+//! (override with [`map_slave_at`](MeshNoc::map_slave_at)).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
+
+use shiptlm_kernel::process::ThreadCtx;
+use shiptlm_kernel::sim::SimHandle;
+use shiptlm_kernel::stats::RunningStats;
+use shiptlm_kernel::time::{SimDur, SimTime};
+use shiptlm_kernel::txn::{TxnLevel, TxnSpan};
+use shiptlm_ocp::error::OcpError;
+use shiptlm_ocp::payload::{OcpCommand, OcpRequest, OcpResponse, TxTiming};
+use shiptlm_ocp::tl::{MasterId, OcpMasterPort, OcpTarget};
+
+use crate::arb::ArbPolicy;
+use crate::bus::{ArbGate, BusStats};
+
+/// Static parameters of a 2D-mesh NoC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NocConfig {
+    /// NoC name (reports, trace).
+    pub name: String,
+    /// Mesh width in nodes.
+    pub cols: usize,
+    /// Mesh height in nodes.
+    pub rows: usize,
+    /// Link clock period.
+    pub clock: SimDur,
+    /// Flit payload width in bytes.
+    pub flit_bytes: usize,
+    /// Link cycles per flit.
+    pub cycles_per_flit: u64,
+    /// Per-hop router pipeline latency in cycles (route compute + switch).
+    pub router_cycles: u64,
+    /// Per-link arbitration policy.
+    pub arb: ArbPolicy,
+}
+
+impl NocConfig {
+    /// A `cols × rows` mesh with 200 MHz links, 4-byte flits, single-cycle
+    /// link traversal, one router pipeline cycle and round-robin link
+    /// arbitration.
+    pub fn mesh(name: &str, cols: usize, rows: usize) -> Self {
+        NocConfig {
+            name: name.to_string(),
+            cols,
+            rows,
+            clock: SimDur::ns(5),
+            flit_bytes: 4,
+            cycles_per_flit: 1,
+            router_cycles: 1,
+            arb: ArbPolicy::RoundRobin,
+        }
+    }
+
+    /// Replaces the per-link arbitration policy.
+    pub fn with_arb(mut self, arb: ArbPolicy) -> Self {
+        self.arb = arb;
+        self
+    }
+
+    /// Replaces the link clock period.
+    pub fn with_clock(mut self, clock: SimDur) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> usize {
+        self.cols * self.rows
+    }
+}
+
+/// NoC-specific accounting on top of the common [`BusStats`].
+#[derive(Debug, Clone, Default)]
+pub struct NocStats {
+    /// Total flits moved over links (head + payload, request and response).
+    pub flits: u64,
+    /// Per-transaction hop count on the request path (links traversed plus
+    /// the ejection port).
+    pub hops: RunningStats,
+}
+
+struct NocOutput {
+    range: Range<u64>,
+    target: Arc<dyn OcpTarget>,
+    relative: bool,
+    node: usize,
+}
+
+/// A 2D-mesh NoC CAM: XY routing, per-link arbitration, store-and-forward
+/// flit accounting.
+///
+/// ```
+/// use std::sync::Arc;
+/// use shiptlm_kernel::prelude::*;
+/// use shiptlm_ocp::prelude::*;
+/// use shiptlm_cam::noc::{MeshNoc, NocConfig};
+///
+/// let sim = Simulation::new();
+/// let mut noc = MeshNoc::new(&sim.handle(), NocConfig::mesh("mesh0", 4, 4));
+/// noc.map_slave(0x0000..0x1000, Arc::new(Memory::new("ram", 0x1000)), true);
+/// let noc = Arc::new(noc);
+/// let port = noc.master_port(MasterId(5));
+/// sim.spawn_thread("pe5", move |ctx| {
+///     port.write(ctx, 0x10, vec![1, 2, 3, 4]).unwrap();
+/// });
+/// sim.run();
+/// assert_eq!(noc.stats().transactions, 1);
+/// ```
+pub struct MeshNoc {
+    cfg: NocConfig,
+    outputs: Vec<NocOutput>,
+    /// Directed link gates: key `(a, b)` is the link from node `a` to its
+    /// mesh neighbour `b`; key `(n, n)` is node `n`'s ejection port.
+    links: Vec<ArbGate>,
+    link_of: BTreeMap<(usize, usize), usize>,
+    stats: Mutex<BusStats>,
+    noc: Mutex<NocStats>,
+    /// Interned NoC name for the metrics registry.
+    label: Arc<str>,
+}
+
+impl MeshNoc {
+    /// Creates the mesh and all its directed link gates; attach slaves with
+    /// [`map_slave`](Self::map_slave) before sharing.
+    pub fn new(sim: &SimHandle, cfg: NocConfig) -> Self {
+        assert!(cfg.cols > 0 && cfg.rows > 0, "mesh dimensions must be non-zero");
+        assert!(cfg.flit_bytes > 0, "flit width must be non-zero");
+        assert!(!cfg.clock.is_zero(), "link clock must be non-zero");
+        let mut links = Vec::new();
+        let mut link_of = BTreeMap::new();
+        let mut add = |from: usize, to: usize, links: &mut Vec<ArbGate>| {
+            let name = if from == to {
+                format!("{}.n{from}.eject", cfg.name)
+            } else {
+                format!("{}.l{from}-{to}", cfg.name)
+            };
+            link_of.insert((from, to), links.len());
+            links.push(ArbGate::new(sim, &name, cfg.arb.clone()));
+        };
+        for y in 0..cfg.rows {
+            for x in 0..cfg.cols {
+                let n = y * cfg.cols + x;
+                add(n, n, &mut links);
+                if x > 0 {
+                    add(n, n - 1, &mut links);
+                }
+                if x + 1 < cfg.cols {
+                    add(n, n + 1, &mut links);
+                }
+                if y > 0 {
+                    add(n, n - cfg.cols, &mut links);
+                }
+                if y + 1 < cfg.rows {
+                    add(n, n + cfg.cols, &mut links);
+                }
+            }
+        }
+        MeshNoc {
+            outputs: Vec::new(),
+            links,
+            link_of,
+            stats: Mutex::new(BusStats::default()),
+            noc: Mutex::new(NocStats::default()),
+            label: Arc::from(cfg.name.as_str()),
+            cfg,
+        }
+    }
+
+    /// Maps a slave at the next node in round-robin placement
+    /// (`index % nodes`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on overlapping ranges.
+    pub fn map_slave(&mut self, range: Range<u64>, target: Arc<dyn OcpTarget>, relative: bool) {
+        let node = self.outputs.len() % self.cfg.nodes();
+        self.map_slave_at(range, target, relative, node);
+    }
+
+    /// Maps a slave at an explicit mesh node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overlapping ranges or an out-of-mesh node.
+    pub fn map_slave_at(
+        &mut self,
+        range: Range<u64>,
+        target: Arc<dyn OcpTarget>,
+        relative: bool,
+        node: usize,
+    ) {
+        assert!(range.start < range.end, "empty address range");
+        assert!(node < self.cfg.nodes(), "node {node} outside the mesh");
+        for o in &self.outputs {
+            assert!(
+                range.end <= o.range.start || range.start >= o.range.end,
+                "NoC range overlap"
+            );
+        }
+        self.outputs.push(NocOutput {
+            range,
+            target,
+            relative,
+            node,
+        });
+    }
+
+    /// The NoC configuration.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// A master port bound to this NoC; master `m` injects at node
+    /// `m % nodes`.
+    pub fn master_port(self: &Arc<Self>, id: MasterId) -> OcpMasterPort {
+        OcpMasterPort::bind(id, Arc::<MeshNoc>::clone(self))
+    }
+
+    /// A snapshot of the common interconnect statistics.
+    pub fn stats(&self) -> BusStats {
+        self.stats.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// A snapshot of the NoC-specific statistics (flits, hop counts).
+    pub fn noc_stats(&self) -> NocStats {
+        self.noc.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// The XY route from `src` to `dst` as an inclusive node sequence:
+    /// X-first, then Y.
+    pub fn route(&self, src: usize, dst: usize) -> Vec<usize> {
+        let cols = self.cfg.cols;
+        let (mut x, mut y) = (src % cols, src / cols);
+        let (dx, dy) = (dst % cols, dst / cols);
+        let mut path = vec![src];
+        while x != dx {
+            x = if x < dx { x + 1 } else { x - 1 };
+            path.push(y * cols + x);
+        }
+        while y != dy {
+            y = if y < dy { y + 1 } else { y - 1 };
+            path.push(y * cols + x);
+        }
+        path
+    }
+
+    fn gate(&self, from: usize, to: usize) -> &ArbGate {
+        &self.links[self.link_of[&(from, to)]]
+    }
+
+    fn cycles(&self, n: u64) -> SimDur {
+        self.cfg.clock.saturating_mul(n)
+    }
+
+    /// Forwards `flits` flits over the directed link `from → to`, charging
+    /// arbitration + store-and-forward latency. Returns
+    /// `(granted_at, held_for)`.
+    fn hop(
+        &self,
+        ctx: &mut ThreadCtx,
+        master: MasterId,
+        from: usize,
+        to: usize,
+        flits: u64,
+    ) -> (SimTime, SimDur) {
+        let gate = self.gate(from, to);
+        let (granted_at, _b2b, _depth) = gate.acquire(ctx, master);
+        ctx.wait_for(self.cycles(
+            self.cfg.router_cycles + flits * self.cfg.cycles_per_flit,
+        ));
+        let now = ctx.now();
+        gate.release(now);
+        (granted_at, now.since(granted_at))
+    }
+}
+
+impl OcpTarget for MeshNoc {
+    fn transact(
+        &self,
+        ctx: &mut ThreadCtx,
+        master: MasterId,
+        mut req: OcpRequest,
+    ) -> Result<OcpResponse, OcpError> {
+        let t_req = ctx.now();
+        let is_read = matches!(req.cmd, OcpCommand::Read { .. });
+        let len = req.cmd.len();
+        let out = self
+            .outputs
+            .iter()
+            .find(|o| o.range.contains(&req.addr))
+            .ok_or(OcpError::AddressDecode { addr: req.addr })?;
+        if req.addr + len as u64 > out.range.end {
+            return Err(OcpError::BadRequest(format!(
+                "burst at {:#x} crosses output boundary {:#x}",
+                req.addr, out.range.end
+            )));
+        }
+        if out.relative {
+            req.addr -= out.range.start;
+        }
+
+        let nodes = self.cfg.nodes();
+        let src = master.0 % nodes;
+        let dst = out.node;
+        let payload_flits = len.div_ceil(self.cfg.flit_bytes) as u64;
+        // Writes carry their payload out; reads carry it back. The reverse
+        // direction is a single head/ack flit.
+        let req_flits = 1 + if is_read { 0 } else { payload_flits };
+        let resp_flits = 1 + if is_read { payload_flits } else { 0 };
+
+        let mut first_grant: Option<SimTime> = None;
+        let mut busy = SimDur::ZERO;
+        let mut hops = 0u64;
+        let path = self.route(src, dst);
+        for w in path.windows(2) {
+            let (granted, held) = self.hop(ctx, master, w[0], w[1], req_flits);
+            first_grant.get_or_insert(granted);
+            busy += held;
+            hops += 1;
+        }
+
+        // Ejection into the destination's local port, held across the slave
+        // access: competing masters aimed at a hot node serialize here.
+        let eject = self.gate(dst, dst);
+        let (granted, _b2b, queue_depth) = eject.acquire(ctx, master);
+        first_grant.get_or_insert(granted);
+        hops += 1;
+        ctx.wait_for(self.cycles(
+            self.cfg.router_cycles + req_flits * self.cfg.cycles_per_flit,
+        ));
+        let result = out.target.transact(ctx, master, req);
+        let now = ctx.now();
+        busy += now.since(granted);
+        eject.release(now);
+
+        // Response path back to the source (only a completed access
+        // generates response flits).
+        if result.is_ok() {
+            for w in self.route(dst, src).windows(2) {
+                let (_granted, held) = self.hop(ctx, master, w[0], w[1], resp_flits);
+                busy += held;
+            }
+        }
+        let end = ctx.now();
+        let granted_at = first_grant.unwrap_or(t_req);
+
+        let wait_cycles = granted_at.since(t_req) / self.cfg.clock;
+        let total_cycles = end.since(t_req) / self.cfg.clock;
+        {
+            let mut s = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+            match &result {
+                Ok(_) => {
+                    s.transactions += 1;
+                    if is_read {
+                        s.reads += 1;
+                    }
+                    s.bytes += len as u64;
+                    s.latency_cycles.record(total_cycles as f64);
+                    s.wait_cycles.record(wait_cycles);
+                    s.busy += busy;
+                    let m = s.per_master.entry(master.0).or_default();
+                    m.transactions += 1;
+                    m.bytes += len as u64;
+                    m.wait_cycles.record(wait_cycles as f64);
+                }
+                Err(_) => s.errors += 1,
+            }
+        }
+        {
+            let mut n = self.noc.lock().unwrap_or_else(|e| e.into_inner());
+            n.flits += req_flits * hops
+                + if result.is_ok() {
+                    resp_flits * (hops - 1)
+                } else {
+                    0
+                };
+            n.hops.record(hops as f64);
+        }
+
+        if ctx.metrics_enabled() {
+            let m = ctx.metrics();
+            m.counter_add("bus.txns", &self.label, 1, end);
+            m.counter_add("bus.bytes", &self.label, len as u64, end);
+            m.span_record("bus.busy", &self.label, granted_at, end);
+            m.gauge_set("bus.queue_depth", &self.label, queue_depth as u64, t_req);
+            m.observe(
+                "bus.grant_wait_ns",
+                &self.label,
+                granted_at.since(t_req).as_ns(),
+            );
+            m.counter_add("noc.flits", &self.label, req_flits + resp_flits, end);
+        }
+
+        if ctx.txn_enabled() {
+            ctx.txn_record(TxnSpan {
+                level: TxnLevel::Bus,
+                op: "grant",
+                resource: &self.label,
+                start: t_req,
+                end: granted_at,
+                bytes: 0,
+                ok: true,
+            });
+            ctx.txn_record(TxnSpan {
+                level: TxnLevel::Bus,
+                op: if is_read { "read" } else { "write" },
+                resource: &self.label,
+                start: granted_at,
+                end,
+                bytes: len,
+                ok: result.is_ok(),
+            });
+        }
+
+        result.map(|mut resp| {
+            resp.timing = TxTiming {
+                start: t_req,
+                end,
+                total_cycles,
+                wait_cycles,
+            };
+            resp
+        })
+    }
+
+    fn target_name(&self) -> String {
+        self.cfg.name.clone()
+    }
+}
+
+impl fmt::Debug for MeshNoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MeshNoc")
+            .field("name", &self.cfg.name)
+            .field("mesh", &format_args!("{}x{}", self.cfg.cols, self.cfg.rows))
+            .field("outputs", &self.outputs.len())
+            .field("links", &self.links.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shiptlm_kernel::sim::Simulation;
+
+    fn mesh(cols: usize, rows: usize) -> MeshNoc {
+        let sim = Simulation::new();
+        MeshNoc::new(&sim.handle(), NocConfig::mesh("m", cols, rows))
+    }
+
+    #[test]
+    fn xy_route_goes_x_first_then_y() {
+        let m = mesh(4, 4);
+        // Node layout: n = y*4 + x. From (1,0)=1 to (3,2)=11.
+        assert_eq!(m.route(1, 11), vec![1, 2, 3, 7, 11]);
+        // Westward + northward.
+        assert_eq!(m.route(11, 1), vec![11, 10, 9, 5, 1]);
+        // Same node: no link hops.
+        assert_eq!(m.route(6, 6), vec![6]);
+        // Same column: Y only.
+        assert_eq!(m.route(2, 14), vec![2, 6, 10, 14]);
+    }
+
+    #[test]
+    fn route_length_is_manhattan_distance() {
+        let m = mesh(5, 3);
+        for src in 0..15usize {
+            for dst in 0..15usize {
+                let (sx, sy) = (src % 5, src / 5);
+                let (dx, dy) = (dst % 5, dst / 5);
+                let manhattan = sx.abs_diff(dx) + sy.abs_diff(dy);
+                assert_eq!(m.route(src, dst).len(), manhattan + 1, "{src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_builds_all_directed_links() {
+        // 4x4: 2*(4*3)*2 = 48 directed mesh links + 16 ejection ports.
+        let m = mesh(4, 4);
+        assert_eq!(m.links.len(), 48 + 16);
+        // 16x16 (the 256-PE configuration) elaborates fine.
+        let m = mesh(16, 16);
+        assert_eq!(m.links.len(), 2 * (16 * 15) * 2 + 256);
+    }
+}

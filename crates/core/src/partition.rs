@@ -175,7 +175,7 @@ pub fn run_partitioned_with(
         pendings.push(pending);
         bases.push(base);
     }
-    let interconnect = build_interconnect(&h, arch, slaves);
+    let interconnect = build_interconnect(&h, arch, slaves)?;
 
     // The CPU is one more bus master, after all HW PEs.
     let cpu = Cpu::new(

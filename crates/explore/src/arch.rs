@@ -4,12 +4,16 @@ use std::fmt;
 use std::ops::Range;
 use std::sync::Arc;
 
+use shiptlm_cam::ahb::{AhbBus, AhbConfig};
 use shiptlm_cam::arb::ArbPolicy;
 use shiptlm_cam::bus::{BusConfig, BusStats, CcatbBus};
 use shiptlm_cam::crossbar::{Crossbar, CrossbarConfig};
+use shiptlm_cam::noc::{MeshNoc, NocConfig};
 use shiptlm_kernel::sim::SimHandle;
 use shiptlm_kernel::time::SimDur;
 use shiptlm_ocp::tl::{MasterId, OcpMasterPort, OcpTarget};
+
+use crate::mapper::MapError;
 
 /// Which interconnect topology to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -20,15 +24,34 @@ pub enum BusKind {
     Opb,
     /// Full crossbar.
     Crossbar,
+    /// AMBA AHB-like shared bus with SPLIT/RETRY arbitration.
+    Ahb,
+    /// 2D-mesh NoC with XY routing.
+    Noc {
+        /// Mesh width in nodes.
+        cols: u8,
+        /// Mesh height in nodes.
+        rows: u8,
+    },
+}
+
+impl BusKind {
+    /// `true` for topologies where the split-capable-slaves axis
+    /// ([`ArchSpec::split_slaves`]) changes the built interconnect.
+    pub fn supports_split(self) -> bool {
+        matches!(self, BusKind::Ahb)
+    }
 }
 
 impl fmt::Display for BusKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            BusKind::Plb => "plb",
-            BusKind::Opb => "opb",
-            BusKind::Crossbar => "xbar",
-        })
+        match self {
+            BusKind::Plb => f.write_str("plb"),
+            BusKind::Opb => f.write_str("opb"),
+            BusKind::Crossbar => f.write_str("xbar"),
+            BusKind::Ahb => f.write_str("ahb"),
+            BusKind::Noc { cols, rows } => write!(f, "noc{cols}x{rows}"),
+        }
     }
 }
 
@@ -47,6 +70,10 @@ pub struct ArchSpec {
     pub rx_capacity: usize,
     /// Master-side status polling interval.
     pub poll_interval: SimDur,
+    /// Treat slaves as SPLIT-capable (only meaningful for
+    /// [`BusKind::Ahb`]: each transfer releases the bus during the slave
+    /// access and is re-granted for the data phase).
+    pub split_slaves: bool,
 }
 
 impl ArchSpec {
@@ -59,6 +86,7 @@ impl ArchSpec {
             burst_bytes: 64,
             rx_capacity: 4,
             poll_interval: SimDur::ns(100),
+            split_slaves: false,
         }
     }
 
@@ -74,6 +102,24 @@ impl ArchSpec {
     pub fn crossbar() -> Self {
         ArchSpec {
             bus: BusKind::Crossbar,
+            arb: ArbPolicy::RoundRobin,
+            ..ArchSpec::plb()
+        }
+    }
+
+    /// An AHB architecture with default wrapper settings (SPLIT off; enable
+    /// with [`with_split`](Self::with_split)).
+    pub fn ahb() -> Self {
+        ArchSpec {
+            bus: BusKind::Ahb,
+            ..ArchSpec::plb()
+        }
+    }
+
+    /// A `cols × rows` mesh-NoC architecture with default wrapper settings.
+    pub fn noc(cols: u8, rows: u8) -> Self {
+        ArchSpec {
+            bus: BusKind::Noc { cols, rows },
             arb: ArbPolicy::RoundRobin,
             ..ArchSpec::plb()
         }
@@ -109,6 +155,12 @@ impl ArchSpec {
         self
     }
 
+    /// Marks slaves as SPLIT-capable (meaningful for [`BusKind::Ahb`]).
+    pub fn with_split(mut self, split_slaves: bool) -> Self {
+        self.split_slaves = split_slaves;
+        self
+    }
+
     /// A short label for report rows, e.g. `plb/priority/b64`. Non-default
     /// clock, mailbox depth and polling interval are appended (e.g.
     /// `plb/priority/b64/c20ns/rx8/p400ns`) so every point of a large design
@@ -124,6 +176,9 @@ impl ArchSpec {
         if self.poll_interval != SimDur::ns(100) {
             label.push_str(&format!("/p{}", self.poll_interval));
         }
+        if self.split_slaves {
+            label.push_str("/split");
+        }
         label
     }
 
@@ -138,6 +193,8 @@ impl ArchSpec {
             BusKind::Plb => BusConfig::plb("probe").clock,
             BusKind::Opb => BusConfig::opb("probe").clock,
             BusKind::Crossbar => CrossbarConfig::default_64bit("probe").clock,
+            BusKind::Ahb => AhbConfig::ahb("probe").clock,
+            BusKind::Noc { .. } => NocConfig::mesh("probe", 1, 1).clock,
         }
     }
 
@@ -148,15 +205,19 @@ impl ArchSpec {
             BusKind::Plb => BusConfig::plb("probe").width_bytes,
             BusKind::Opb => BusConfig::opb("probe").width_bytes,
             BusKind::Crossbar => CrossbarConfig::default_64bit("probe").width_bytes,
+            BusKind::Ahb => AhbConfig::ahb("probe").width_bytes,
+            BusKind::Noc { .. } => NocConfig::mesh("probe", 1, 1).flit_bytes,
         }
     }
 
     /// A **lower bound** on the simulated time any run must spend moving
     /// `bytes` across one link of this architecture: `ceil(bytes / width)`
     /// data beats at one interconnect clock each. Real runs are strictly
-    /// slower (arbitration, wrapper protocol, polling), which is exactly
-    /// what makes this bound safe for Pareto-guided pruning — a candidate
-    /// whose *floor* is already beaten cannot win.
+    /// slower (arbitration, wrapper protocol, polling — and, on the new
+    /// families, AHB split/re-grant latency and NoC head-flit + per-hop
+    /// router cycles), which is exactly what makes this bound safe for
+    /// Pareto-guided pruning — a candidate whose *floor* is already beaten
+    /// cannot win.
     pub fn min_transfer_time(&self, bytes: u64) -> SimDur {
         let width = self.link_width_bytes().max(1) as u64;
         let beats = bytes.div_ceil(width);
@@ -169,8 +230,8 @@ impl ArchSpec {
 /// 1k–10k-point spaces Pareto-guided pruning is built for.
 ///
 /// Axis order in [`generate`](ArchGrid::generate) is deterministic
-/// (bus → arbitration → clock → burst → mailbox depth → poll interval), so
-/// a grid is a stable, reproducible candidate list.
+/// (bus → split → arbitration → clock → burst → mailbox depth →
+/// poll interval), so a grid is a stable, reproducible candidate list.
 #[derive(Debug, Clone)]
 pub struct ArchGrid {
     /// Interconnect topologies.
@@ -185,6 +246,10 @@ pub struct ArchGrid {
     pub rx_capacities: Vec<usize>,
     /// Master-side polling intervals.
     pub polls: Vec<SimDur>,
+    /// Split-capable-slave settings; only multiplies the grid for
+    /// topologies where it matters ([`BusKind::supports_split`]), so
+    /// `vec![false, true]` does not duplicate PLB/NoC labels.
+    pub splits: Vec<bool>,
 }
 
 impl ArchGrid {
@@ -211,12 +276,48 @@ impl ArchGrid {
             bursts: vec![8, 16, 32, 64, 128, 256],
             rx_capacities: vec![2, 4, 8],
             polls: vec![SimDur::ns(100), SimDur::ns(400)],
+            splits: vec![false],
+        }
+    }
+
+    /// The full interconnect-family grid: the [`exploration_default`]
+    /// (ArchGrid::exploration_default) axes over all five topology families
+    /// — PLB, OPB, crossbar, AHB (with and without SPLIT-capable slaves)
+    /// and 4×4 / 8×8 meshes. 7 topology points × 3 arbitration × 4 clocks
+    /// × 6 bursts × 3 depths × 2 polls = 3024 candidates.
+    pub fn interconnect_families() -> Self {
+        ArchGrid {
+            buses: vec![
+                BusKind::Plb,
+                BusKind::Opb,
+                BusKind::Crossbar,
+                BusKind::Ahb,
+                BusKind::Noc { cols: 4, rows: 4 },
+                BusKind::Noc { cols: 8, rows: 8 },
+            ],
+            splits: vec![false, true],
+            ..ArchGrid::exploration_default()
+        }
+    }
+
+    /// The split settings that actually apply to `bus` (a single `false`
+    /// for topologies without SPLIT support).
+    fn splits_for(&self, bus: BusKind) -> &[bool] {
+        if bus.supports_split() && !self.splits.is_empty() {
+            &self.splits
+        } else {
+            &[false]
         }
     }
 
     /// Number of grid points.
     pub fn len(&self) -> usize {
-        self.buses.len()
+        let per_bus: usize = self
+            .buses
+            .iter()
+            .map(|&bus| self.splits_for(bus).len())
+            .sum();
+        per_bus
             * self.arbs.len()
             * self.clocks.len()
             * self.bursts.len()
@@ -232,20 +333,23 @@ impl ArchGrid {
     /// Materializes every grid point, in deterministic axis order.
     pub fn generate(&self) -> Vec<ArchSpec> {
         let mut out = Vec::with_capacity(self.len());
-        for bus in &self.buses {
-            for arb in &self.arbs {
-                for clock in &self.clocks {
-                    for &burst in &self.bursts {
-                        for &rx in &self.rx_capacities {
-                            for &poll in &self.polls {
-                                out.push(ArchSpec {
-                                    bus: *bus,
-                                    arb: arb.clone(),
-                                    clock: *clock,
-                                    burst_bytes: burst,
-                                    rx_capacity: rx,
-                                    poll_interval: poll,
-                                });
+        for &bus in &self.buses {
+            for &split in self.splits_for(bus) {
+                for arb in &self.arbs {
+                    for clock in &self.clocks {
+                        for &burst in &self.bursts {
+                            for &rx in &self.rx_capacities {
+                                for &poll in &self.polls {
+                                    out.push(ArchSpec {
+                                        bus,
+                                        arb: arb.clone(),
+                                        clock: *clock,
+                                        burst_bytes: burst,
+                                        rx_capacity: rx,
+                                        poll_interval: poll,
+                                        split_slaves: split,
+                                    });
+                                }
                             }
                         }
                     }
@@ -272,6 +376,10 @@ pub enum Interconnect {
     Bus(Arc<CcatbBus>),
     /// A crossbar switch.
     Crossbar(Arc<Crossbar>),
+    /// An AHB-style SPLIT/RETRY bus.
+    Ahb(Arc<AhbBus>),
+    /// A 2D-mesh NoC.
+    Noc(Arc<MeshNoc>),
 }
 
 impl Interconnect {
@@ -280,6 +388,8 @@ impl Interconnect {
         match self {
             Interconnect::Bus(b) => b.master_port(id),
             Interconnect::Crossbar(x) => x.master_port(id),
+            Interconnect::Ahb(a) => a.master_port(id),
+            Interconnect::Noc(n) => n.master_port(id),
         }
     }
 
@@ -288,6 +398,8 @@ impl Interconnect {
         match self {
             Interconnect::Bus(b) => b.stats(),
             Interconnect::Crossbar(x) => x.stats(),
+            Interconnect::Ahb(a) => a.stats(),
+            Interconnect::Noc(n) => n.stats(),
         }
     }
 
@@ -296,6 +408,8 @@ impl Interconnect {
         match self {
             Interconnect::Bus(b) => Arc::clone(b) as Arc<dyn OcpTarget>,
             Interconnect::Crossbar(x) => Arc::clone(x) as Arc<dyn OcpTarget>,
+            Interconnect::Ahb(a) => Arc::clone(a) as Arc<dyn OcpTarget>,
+            Interconnect::Noc(n) => Arc::clone(n) as Arc<dyn OcpTarget>,
         }
     }
 
@@ -304,6 +418,8 @@ impl Interconnect {
         match self {
             Interconnect::Bus(b) => b.config().clock,
             Interconnect::Crossbar(x) => x.config().clock,
+            Interconnect::Ahb(a) => a.config().clock,
+            Interconnect::Noc(n) => n.config().clock,
         }
     }
 }
@@ -315,23 +431,30 @@ impl fmt::Debug for Interconnect {
             Interconnect::Crossbar(x) => {
                 write!(f, "Interconnect::Crossbar({})", x.config().name)
             }
+            Interconnect::Ahb(a) => write!(f, "Interconnect::Ahb({})", a.config().name),
+            Interconnect::Noc(n) => write!(f, "Interconnect::Noc({})", n.config().name),
         }
     }
 }
 
 /// Builds the interconnect of `spec`, mapping each `(range, target)` pair as
 /// a slave.
+///
+/// A spec that cannot be elaborated (e.g. a zero-sized or oversized NoC
+/// mesh drawn by a random generator) returns [`MapError::Arch`] so callers
+/// — in particular the conformance harness — classify it instead of
+/// aborting.
 pub fn build_interconnect(
     sim: &SimHandle,
     spec: &ArchSpec,
     slaves: Vec<(Range<u64>, Arc<dyn OcpTarget>)>,
-) -> Interconnect {
-    match spec.bus {
+) -> Result<Interconnect, MapError> {
+    Ok(match spec.bus {
         BusKind::Plb | BusKind::Opb => {
-            let mut cfg = match spec.bus {
-                BusKind::Plb => BusConfig::plb("plb"),
-                BusKind::Opb => BusConfig::opb("opb"),
-                BusKind::Crossbar => unreachable!(),
+            let mut cfg = if spec.bus == BusKind::Plb {
+                BusConfig::plb("plb")
+            } else {
+                BusConfig::opb("opb")
             };
             cfg = cfg.with_arb(spec.arb.clone());
             if let Some(c) = spec.clock {
@@ -355,5 +478,44 @@ pub fn build_interconnect(
             }
             Interconnect::Crossbar(Arc::new(xbar))
         }
-    }
+        BusKind::Ahb => {
+            let mut cfg = AhbConfig::ahb("ahb")
+                .with_arb(spec.arb.clone())
+                .with_split(spec.split_slaves);
+            if let Some(c) = spec.clock {
+                cfg = cfg.with_clock(c);
+            }
+            let mut bus = AhbBus::new(sim, cfg);
+            for (range, target) in slaves {
+                bus.map_slave(range, target, true);
+            }
+            Interconnect::Ahb(Arc::new(bus))
+        }
+        BusKind::Noc { cols, rows } => {
+            if cols == 0 || rows == 0 {
+                return Err(MapError::Arch {
+                    detail: format!("NoC mesh dimensions must be non-zero, got {cols}x{rows}"),
+                });
+            }
+            let nodes = cols as usize * rows as usize;
+            if nodes > 1024 {
+                return Err(MapError::Arch {
+                    detail: format!(
+                        "NoC mesh {cols}x{rows} ({nodes} nodes) exceeds the 1024-node \
+                         elaboration cap"
+                    ),
+                });
+            }
+            let mut cfg =
+                NocConfig::mesh("noc", cols as usize, rows as usize).with_arb(spec.arb.clone());
+            if let Some(c) = spec.clock {
+                cfg = cfg.with_clock(c);
+            }
+            let mut noc = MeshNoc::new(sim, cfg);
+            for (range, target) in slaves {
+                noc.map_slave(range, target, true);
+            }
+            Interconnect::Noc(Arc::new(noc))
+        }
+    })
 }

@@ -133,6 +133,12 @@ pub enum MapError {
         /// Human-readable disqualification reason.
         reason: String,
     },
+    /// The architecture spec cannot be elaborated into an interconnect
+    /// (e.g. a zero-sized NoC mesh drawn by a random spec generator).
+    Arch {
+        /// Human-readable reason.
+        detail: String,
+    },
     /// The sweep was cancelled before this candidate was simulated (see
     /// [`CancelToken`](crate::pool::CancelToken)); candidates already
     /// finished are discarded with the run.
@@ -155,6 +161,9 @@ impl fmt::Display for MapError {
             }
             MapError::Backend { reason } => {
                 write!(f, "model disqualified from direct execution: {reason}")
+            }
+            MapError::Arch { detail } => {
+                write!(f, "invalid architecture: {detail}")
             }
             MapError::Cancelled => write!(f, "sweep cancelled before completion"),
         }
@@ -720,7 +729,7 @@ pub fn run_mapped_with(
         slaves.push((base..base + ADAPTER_SIZE, pending.adapter.clone() as _));
         pendings.push(pending);
     }
-    let interconnect = build_interconnect(&h, arch, slaves);
+    let interconnect = build_interconnect(&h, arch, slaves)?;
 
     // Distribute ports per PE, master ends bound through the PE's bus port.
     let mut pe_ports: BTreeMap<String, Vec<ShipPort>> = BTreeMap::new();
@@ -825,7 +834,7 @@ pub fn run_pin_accurate_with(
         slaves.push((base..base + ADAPTER_SIZE, pending.adapter.clone() as _));
         pendings.push(pending);
     }
-    let interconnect = build_interconnect(&h, arch, slaves);
+    let interconnect = build_interconnect(&h, arch, slaves)?;
     let clk = sim.clock("clk", interconnect.clock_period());
 
     // One pin-level accessor per master PE.

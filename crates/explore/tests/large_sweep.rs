@@ -49,6 +49,20 @@ fn grid_labels_are_unique() {
 }
 
 #[test]
+fn interconnect_families_grid_labels_are_unique() {
+    let grid = ArchGrid::interconnect_families();
+    let archs = grid.generate();
+    assert_eq!(archs.len(), grid.len());
+    let labels: std::collections::BTreeSet<String> = archs.iter().map(|a| a.label()).collect();
+    assert_eq!(labels.len(), archs.len(), "duplicate candidate labels");
+    // Every family is actually present, including the SPLIT-enabled AHB.
+    assert!(archs.iter().any(|a| a.bus == BusKind::Ahb && a.split_slaves));
+    assert!(archs
+        .iter()
+        .any(|a| matches!(a.bus, BusKind::Noc { cols: 8, rows: 8 })));
+}
+
+#[test]
 fn thousand_candidate_reports_are_identical_across_thread_counts() {
     let archs = large_grid(1024);
     let serial = Sweep::new(tiny_app()).archs(archs.clone()).run().unwrap();

@@ -73,12 +73,22 @@ pub fn arch_to_json(a: &ArchSpec) -> Json {
                 BusKind::Plb => "plb",
                 BusKind::Opb => "opb",
                 BusKind::Crossbar => "crossbar",
+                BusKind::Ahb => "ahb",
+                BusKind::Noc { .. } => "noc",
             }),
         ),
         ("burst_bytes", Json::num(a.burst_bytes as f64)),
         ("rx_capacity", Json::num(a.rx_capacity as f64)),
         ("poll_interval_ps", Json::u64_str(a.poll_interval.as_ps())),
     ];
+    if let BusKind::Noc { cols, rows } = a.bus {
+        fields.push(("cols", Json::num(cols as f64)));
+        fields.push(("rows", Json::num(rows as f64)));
+    }
+    // Emitted only when set, so pre-AHB corpus documents stay byte-stable.
+    if a.split_slaves {
+        fields.push(("split", Json::Bool(true)));
+    }
     if let Some(c) = a.clock {
         fields.push(("clock_ps", Json::u64_str(c.as_ps())));
     }
@@ -105,8 +115,23 @@ pub fn arch_from_json(v: &Json) -> Result<ArchSpec, String> {
         Some("plb") => ArchSpec::plb(),
         Some("opb") => ArchSpec::opb(),
         Some("crossbar") => ArchSpec::crossbar(),
+        Some("ahb") => ArchSpec::ahb(),
+        Some("noc") => {
+            let cols = v
+                .get("cols")
+                .and_then(Json::as_num)
+                .ok_or("noc arch missing 'cols'")? as u8;
+            let rows = v
+                .get("rows")
+                .and_then(Json::as_num)
+                .ok_or("noc arch missing 'rows'")? as u8;
+            ArchSpec::noc(cols, rows)
+        }
         other => return Err(format!("unknown bus kind {other:?}")),
     };
+    if let Some(s) = v.get("split").and_then(Json::as_bool) {
+        arch.split_slaves = s;
+    }
     arch.arb = match v.get("arb").and_then(Json::as_str) {
         Some("priority") => ArbPolicy::FixedPriority,
         Some("round-robin") => ArbPolicy::RoundRobin,
@@ -242,5 +267,22 @@ mod tests {
         assert_eq!(back.expect, case.expect);
         assert_eq!(back.arch.label(), case.arch.label());
         assert_eq!(back.arch.rx_capacity, case.arch.rx_capacity);
+    }
+
+    #[test]
+    fn new_family_archs_roundtrip_through_json() {
+        for arch in [
+            ArchSpec::ahb(),
+            ArchSpec::ahb().with_split(true),
+            ArchSpec::noc(4, 4),
+            ArchSpec::noc(16, 16),
+        ] {
+            let text = arch_to_json(&arch).to_string();
+            let back = arch_from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, arch, "{text}");
+        }
+        // A noc document without mesh dimensions is malformed, not a panic.
+        assert!(arch_from_json(&Json::parse(r#"{"bus":"noc","arb":"round-robin"}"#).unwrap())
+            .is_err());
     }
 }

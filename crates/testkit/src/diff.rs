@@ -1,8 +1,11 @@
 //! The cross-level differential conformance check.
 //!
-//! One [`ModelSpec`] is elaborated and run at up to four targets — the
-//! untimed component-assembly reference, the CCATB model, the pin-accurate
-//! prototype, and a HW/SW-partitioned run — and the checker asserts:
+//! One [`ModelSpec`] is elaborated and run at up to seven targets — the
+//! untimed component-assembly reference, the same untimed model on the
+//! direct-execution backend, CCATB runs on an AHB SPLIT/RETRY bus and a
+//! 4×4 mesh NoC, the CCATB model on the configured architecture, the
+//! pin-accurate prototype, and a HW/SW-partitioned run — and the checker
+//! asserts:
 //!
 //! 1. **Content equivalence**: every refined level's per-(channel, port)
 //!    stream of `(op, len, digest)` triples equals the reference's
@@ -24,7 +27,7 @@
 use std::panic::{self, AssertUnwindSafe};
 
 use shiptlm::partition::{run_partitioned_with, Partition};
-use shiptlm_explore::arch::ArchSpec;
+use shiptlm_explore::arch::{ArchSpec, BusKind};
 use shiptlm_explore::mapper::{
     run_component_assembly_with, run_mapped_with, run_pin_accurate_with, Backend, RunOptions,
     RunOutput,
@@ -46,6 +49,12 @@ pub enum Target {
     /// backend — same abstraction level as the reference, different
     /// scheduler, so its content streams must match exactly.
     DirectCA,
+    /// The model mapped onto an AHB bus with SPLIT-capable slaves
+    /// (CCATB granularity), exercising bus-release/re-grant arbitration.
+    AhbCA,
+    /// The model mapped onto a 4×4 mesh NoC (CCATB granularity),
+    /// exercising XY routing and per-link arbitration.
+    NocCA,
     /// The CCATB mapped level.
     Ccatb,
     /// The pin-accurate prototype level.
@@ -60,6 +69,8 @@ impl Target {
         match self {
             Target::ComponentAssembly => "component-assembly",
             Target::DirectCA => "direct-ca",
+            Target::AhbCA => "ahb-ca",
+            Target::NocCA => "noc-ca",
             Target::Ccatb => "ccatb",
             Target::PinAccurate => "pin-accurate",
             Target::Partitioned => "partitioned",
@@ -80,6 +91,15 @@ pub struct CheckConfig {
     /// falls back to the DE kernel instead of failing spuriously;
     /// [`PassReport::direct_used`] records whether direct actually ran.
     pub direct_ca: bool,
+    /// Also run the model mapped onto an AHB bus with SPLIT-capable slaves
+    /// ([`Target::AhbCA`]). The leg reuses this config's wrapper knobs
+    /// (burst, mailbox depth, polling, arbitration) so a corpus case tunes
+    /// its replay cost, but pins the topology to
+    /// [`BusKind::Ahb`] + split.
+    pub ahb_ca: bool,
+    /// Also run the model mapped onto a 4×4 mesh NoC ([`Target::NocCA`]);
+    /// wrapper knobs are reused the same way as for the AHB leg.
+    pub noc_ca: bool,
     /// Also run a HW/SW-partitioned target (one master PE per motif moved
     /// to software).
     pub partition: bool,
@@ -107,6 +127,8 @@ impl CheckConfig {
             arch,
             pin_level: true,
             direct_ca: true,
+            ahb_ca: true,
+            noc_ca: true,
             partition: false,
             fault: None,
             ship_timeout: SimDur::ms(10),
@@ -126,6 +148,27 @@ impl CheckConfig {
             opts = opts.with_port_hook(fault.hook());
         }
         opts
+    }
+
+    /// The architecture the [`Target::AhbCA`] leg maps onto: this config's
+    /// wrapper knobs on an AHB bus with SPLIT-capable slaves and the preset
+    /// clock.
+    pub fn ahb_leg_arch(&self) -> ArchSpec {
+        let mut arch = self.arch.clone();
+        arch.bus = BusKind::Ahb;
+        arch.split_slaves = true;
+        arch.clock = None;
+        arch
+    }
+
+    /// The architecture the [`Target::NocCA`] leg maps onto: this config's
+    /// wrapper knobs on a 4×4 mesh NoC with the preset link clock.
+    pub fn noc_leg_arch(&self) -> ArchSpec {
+        let mut arch = self.arch.clone();
+        arch.bus = BusKind::Noc { cols: 4, rows: 4 };
+        arch.split_slaves = false;
+        arch.clock = None;
+        arch
     }
 }
 
@@ -305,6 +348,38 @@ pub fn check_model(spec: &ModelSpec, cfg: &CheckConfig) -> Result<PassReport, Fa
         levels += 1;
     }
 
+    // New-interconnect differential legs: the same model at CCATB
+    // granularity, mapped once onto an AHB bus with SPLIT-capable slaves
+    // and once onto a 4×4 mesh NoC. These run *before* the configured-arch
+    // CCATB leg so a fault at the mapped site classifies at the first
+    // refined level that sees it.
+    let mut family_times: Vec<(&'static str, SimDur)> = Vec::new();
+    for (enabled, target, arch) in [
+        (cfg.ahb_ca, Target::AhbCA, cfg.ahb_leg_arch()),
+        (cfg.noc_ca, Target::NocCA, cfg.noc_leg_arch()),
+    ] {
+        if !enabled {
+            continue;
+        }
+        let level = target.label();
+        let app = spec.to_app();
+        let opts = cfg.options();
+        let run = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_mapped_with(&app, &ca.roles, &arch, &opts)
+        }))
+        .map_err(|p| classify_panic(level, p))?
+        .map_err(|e| Failure {
+            kind: FailureKind::Map,
+            level,
+            detail: e.to_string(),
+        })?;
+        check_liveness(level, &run.output, &pe_names)?;
+        check_equivalence(level, &ca.output.log, &run.output.log)?;
+        times.push((level, run.output.sim_time));
+        family_times.push((level, run.output.sim_time));
+        levels += 1;
+    }
+
     // CCATB.
     let app = spec.to_app();
     let opts = cfg.options();
@@ -376,6 +451,22 @@ pub fn check_model(spec: &ModelSpec, cfg: &CheckConfig) -> Result<PassReport, Fa
                     ccatb.output.sim_time, ca.output.sim_time
                 ),
             });
+        }
+        // The interconnect-family legs are timed models too: each must be
+        // at least as slow as the untimed reference. (Like CCATB vs pin,
+        // the families are not ordered against *each other* — an AHB split
+        // bus and a mesh have incomparable schedules.)
+        for (level, t) in &family_times {
+            if *t < ca.output.sim_time {
+                return Err(Failure {
+                    kind: FailureKind::LatencyOrder,
+                    level,
+                    detail: format!(
+                        "{level} finished at {t} before the untimed reference's {}",
+                        ca.output.sim_time
+                    ),
+                });
+            }
         }
         // CCATB and pin-accurate are deliberately *not* ordered against
         // each other: CCATB's burst-granular bus estimate may land on

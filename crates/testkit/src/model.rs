@@ -349,10 +349,19 @@ impl ModelSpec {
     /// architecture).
     pub fn random_arch(seed: u64) -> ArchSpec {
         let mut rng = Rng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
-        let mut arch = match rng.gen_range_usize(0, 3) {
+        let mut arch = match rng.gen_range_usize(0, 5) {
             0 => ArchSpec::plb(),
             1 => ArchSpec::opb(),
-            _ => ArchSpec::crossbar(),
+            2 => ArchSpec::crossbar(),
+            // SPLIT on half the AHB draws, so both the parked-master path
+            // and the plain pipelined path see random models.
+            3 => ArchSpec::ahb().with_split(rng.gen_range_usize(0, 2) == 1),
+            // Meshes stay small (2..=4 per side) to keep the 50-case
+            // harness interactive; the dedicated stress suite covers 16×16.
+            _ => ArchSpec::noc(
+                rng.gen_range_usize(2, 5) as u8,
+                rng.gen_range_usize(2, 5) as u8,
+            ),
         };
         arch.arb = match rng.gen_range_usize(0, 3) {
             0 => ArbPolicy::FixedPriority,

@@ -126,11 +126,17 @@ impl ShipSerialize for ModelSpec {
 /// Appends `arch`'s wire representation to `w` (free function because both
 /// [`ShipSerialize`] and [`ArchSpec`] are foreign to this crate).
 pub fn put_arch(w: &mut ByteWriter, arch: &ArchSpec) {
-    w.put_u8(match arch.bus {
-        BusKind::Plb => 0,
-        BusKind::Opb => 1,
-        BusKind::Crossbar => 2,
-    });
+    match arch.bus {
+        BusKind::Plb => w.put_u8(0),
+        BusKind::Opb => w.put_u8(1),
+        BusKind::Crossbar => w.put_u8(2),
+        BusKind::Ahb => w.put_u8(3),
+        BusKind::Noc { cols, rows } => {
+            w.put_u8(4);
+            w.put_u8(cols);
+            w.put_u8(rows);
+        }
+    }
     match arch.arb {
         ArbPolicy::FixedPriority => w.put_u8(0),
         ArbPolicy::RoundRobin => w.put_u8(1),
@@ -144,6 +150,7 @@ pub fn put_arch(w: &mut ByteWriter, arch: &ArchSpec) {
     arch.burst_bytes.serialize(w);
     arch.rx_capacity.serialize(w);
     w.put_u64(arch.poll_interval.as_ps());
+    arch.split_slaves.serialize(w);
 }
 
 /// Decodes an [`ArchSpec`] previously written by [`put_arch`].
@@ -156,6 +163,12 @@ pub fn get_arch(r: &mut ByteReader<'_>) -> Result<ArchSpec, WireError> {
         0 => ArchSpec::plb(),
         1 => ArchSpec::opb(),
         2 => ArchSpec::crossbar(),
+        3 => ArchSpec::ahb(),
+        4 => {
+            let cols = r.get_u8()?;
+            let rows = r.get_u8()?;
+            ArchSpec::noc(cols, rows)
+        }
         t => return Err(WireError::InvalidValue(format!("bus tag {t:#x}"))),
     };
     arch.arb = match r.get_u8()? {
@@ -171,6 +184,7 @@ pub fn get_arch(r: &mut ByteReader<'_>) -> Result<ArchSpec, WireError> {
     arch.burst_bytes = usize::deserialize(r)?;
     arch.rx_capacity = usize::deserialize(r)?;
     arch.poll_interval = SimDur::ps(r.get_u64()?);
+    arch.split_slaves = bool::deserialize(r)?;
     Ok(arch)
 }
 
@@ -234,6 +248,14 @@ mod tests {
             slot: SimDur::us(1),
             slots: 4,
         }));
+        arch_roundtrip(ArchSpec::ahb());
+        arch_roundtrip(ArchSpec::ahb().with_split(true).with_burst(128));
+        arch_roundtrip(ArchSpec::noc(4, 4));
+        arch_roundtrip(
+            ArchSpec::noc(16, 16)
+                .with_arb(ArbPolicy::FixedPriority)
+                .with_clock(SimDur::ns(2)),
+        );
     }
 
     #[test]

@@ -94,7 +94,9 @@ fn seeded_divergence_is_caught_and_shrunk_to_minimal_repro() {
 
     let failure = check_model(&spec, &cfg).expect_err("corruption must not pass");
     assert_eq!(failure.kind, FailureKind::Divergence, "{failure}");
-    assert_eq!(failure.level, "ccatb", "{failure}");
+    // The AHB differential leg is the first mapped level to run, so a
+    // mapped-site fault classifies there.
+    assert_eq!(failure.level, "ahb-ca", "{failure}");
     assert!(
         failure.detail.contains("m0.ch0"),
         "divergence must name the corrupted channel: {failure}"
@@ -139,8 +141,8 @@ fn dropped_send_surfaces_as_timeout_at_untimed_level() {
 }
 
 /// The same drop at the mapped levels only — the reference stays clean —
-/// is bounded by the simulated-time limit and reported as a hang at CCATB,
-/// never a silent pass.
+/// is bounded by the simulated-time limit and reported as a hang at the
+/// first mapped level (the AHB differential leg), never a silent pass.
 #[test]
 fn dropped_send_at_mapped_level_is_reported_as_hang() {
     let spec = stream_spec(vec![16], true);
@@ -153,7 +155,58 @@ fn dropped_send_at_mapped_level_is_reported_as_hang() {
     });
     let failure = check_model(&spec, &cfg).expect_err("dropped message must not pass");
     assert_eq!(failure.kind, FailureKind::Hang, "{failure}");
-    assert_eq!(failure.level, "ccatb");
+    assert_eq!(failure.level, "ahb-ca");
+}
+
+/// The acceptance scenario for the SPLIT path: a message dropped below the
+/// recorder while the model runs on an AHB bus with SPLIT-capable slaves
+/// hangs at the AHB leg, shrinks while preserving the failure kind, and
+/// the shrunk case replays from its serialized corpus form.
+#[test]
+fn split_drop_fault_shrinks_to_replayable_corpus_case() {
+    let spec = ModelSpec {
+        name: "split-drop".into(),
+        seed: 0xAB5,
+        motifs: vec![
+            // A single message on the faulted channel: the drop leaves the
+            // consumer blocked (a hang), not mid-stream on shifted content.
+            Motif::Stream { sizes: vec![32] },
+            Motif::FanIn {
+                sources: 2,
+                blocks: 1,
+                bytes: 16,
+            },
+        ],
+        app_checks: true,
+    };
+    let mut cfg = CheckConfig::new(ArchSpec::ahb().with_split(true));
+    cfg.time_limit = SimDur::ms(1); // bound the hang tightly
+    cfg.fault = Some(FaultPlan {
+        channel: "m0.ch0".into(),
+        kind: FaultKind::DropSend { nth: 0 },
+        site: FaultSite::Mapped,
+    });
+
+    let failure = check_model(&spec, &cfg).expect_err("split-drop must not pass");
+    assert_eq!(failure.kind, FailureKind::Hang, "{failure}");
+    assert_eq!(failure.level, "ahb-ca", "{failure}");
+
+    let (shrunk, case) = shrink_failure(&spec, &cfg, &failure, &ShrinkConfig::default());
+    assert!(
+        shrunk.minimal.motifs.len() <= spec.motifs.len(),
+        "shrinking must not grow the model"
+    );
+    assert_eq!(case.expect, Expectation::Fail(FailureKind::Hang));
+
+    // Roundtrip through JSON — the on-disk corpus format — and replay.
+    let text = case.to_json().to_string();
+    let back = CorpusCase::from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert!(back.arch.split_slaves, "split flag must survive the corpus form");
+    let mut replay = CheckConfig::new(back.arch);
+    replay.time_limit = SimDur::ms(1);
+    replay.fault = back.fault;
+    let replayed = check_model(&back.spec, &replay).expect_err("repro must still fail");
+    assert_eq!(Expectation::Fail(replayed.kind), back.expect);
 }
 
 /// A duplicated message shifts the receiver's stream; with in-app checks
@@ -241,6 +294,7 @@ fn zero_length_payloads_conform_including_partitioned() {
     let mut cfg = CheckConfig::new(ArchSpec::opb());
     cfg.partition = true;
     let report = check_model(&spec, &cfg).expect("zero-length payloads must conform");
-    assert_eq!(report.levels, 5); // reference, direct-ca, ccatb, pin, partitioned
+    // reference, direct-ca, ahb-ca, noc-ca, ccatb, pin, partitioned
+    assert_eq!(report.levels, 7);
     assert!(report.direct_used, "a pure stream model must run direct");
 }

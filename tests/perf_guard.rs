@@ -57,6 +57,27 @@ fn abstraction_ladder_keeps_its_cost_ordering() {
 }
 
 #[test]
+fn ahb_model_keeps_untimed_far_cheaper_than_ccatb() {
+    // Same E1 ordering for the AHB family: SPLIT/RETRY add arbitration
+    // round trips on top of the plain shared bus, so the untimed model
+    // must stay far cheaper than the AHB CCATB — and content-identical.
+    let app = workload::uniform_traffic(6, 8, 128, 0xE1);
+    let ca = run_component_assembly(&app).expect("untimed run");
+    let ahb = run_mapped(&app, &ca.roles, &ArchSpec::ahb().with_split(true)).expect("ahb run");
+
+    let ca_deltas = ca.output.delta_cycles;
+    let ahb_deltas = ahb.output.delta_cycles;
+    assert!(
+        ahb_deltas > ca_deltas.max(1) * 2,
+        "AHB CCATB ({ahb_deltas} deltas) should cost well over the untimed model ({ca_deltas})"
+    );
+    ca.output
+        .log
+        .content_equivalent(&ahb.output.log)
+        .expect("AHB CCATB content-equivalent to untimed");
+}
+
+#[test]
 fn sweep_throughput_stays_interactive() {
     // A whole 8-candidate sweep of a small workload must stay interactive
     // (E2: "fast ... exploration"). The bound is enormous relative to the
