@@ -6,6 +6,7 @@
 //! instrumented operation, so `baseline` vs the instrumented variants is
 //! the headline number. Also prints the per-message cost breakdown.
 
+use shiptlm::kernel::causal::{SpanSink, TraceCtx};
 use shiptlm::prelude::*;
 use shiptlm_bench::minibench::{criterion_group, criterion_main, write_json, Criterion};
 
@@ -32,6 +33,39 @@ fn bench_observability(c: &mut Criterion) {
     g.bench_function("metrics", |b| b.iter(|| run(&metrics)));
     g.bench_function("recorder", |b| b.iter(|| run(&recorder)));
     g.bench_function("metrics+recorder", |b| b.iter(|| run(&both)));
+
+    // Causal tracing across a whole sweep. The untraced variant goes
+    // through every span decision point with tracing disabled — that path
+    // is one relaxed atomic load / `Option` branch per decision, so
+    // `sweep-untraced` vs the plain per-run baseline above is the
+    // disabled-cost number, and `sweep-traced` is the armed cost
+    // (span construction + sink pushes + txn stitching).
+    let the_archs = || vec![ArchSpec::plb(), ArchSpec::opb().with_burst(16)];
+    g.bench_function("sweep-untraced", |b| {
+        b.iter(|| {
+            Sweep::new(the_app())
+                .archs(the_archs())
+                .run()
+                .unwrap()
+        })
+    });
+    g.bench_function("sweep-traced", |b| {
+        b.iter(|| {
+            let sink = SpanSink::new();
+            let ctx = TraceCtx {
+                trace_id: 0x0b5e,
+                parent_span: 0,
+            };
+            Sweep::new(the_app())
+                .archs(the_archs())
+                .with_recorder(1 << 16)
+                .with_causal(ctx, sink.clone())
+                .run()
+                .unwrap();
+            assert!(!sink.is_empty());
+            sink.take()
+        })
+    });
     g.finish();
 
     // Sanity: instrumentation must not change the simulation.

@@ -50,7 +50,9 @@ pub mod prelude {
     };
     pub use crate::metrics::{Report, RunMetrics};
     pub use crate::pareto::{dominates, pareto_front, report_front, ParetoSet};
-    pub use crate::pool::{CancelToken, WorkerPool};
-    pub use crate::sweep::{sweep, verify_equivalence, PruneConfig, PruneContext, Sweep};
+    pub use crate::pool::{CancelToken, ChunkDone, WorkerPool};
+    pub use crate::sweep::{
+        sweep, verify_equivalence, PruneConfig, PruneContext, Sweep, SweepProgress,
+    };
     pub use crate::workload;
 }

@@ -67,6 +67,22 @@ impl CancelToken {
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// One claimed-and-completed index chunk of a batch, reported to the
+/// observer of [`WorkerPool::run_fallible_observed`]. `elapsed` is the wall
+/// time the claimer spent running `start..end` (including skipped indices —
+/// a cancelled chunk reports a near-zero duration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkDone {
+    /// First index of the chunk (inclusive).
+    pub start: usize,
+    /// One past the last index of the chunk.
+    pub end: usize,
+    /// Wall-clock time the claimer spent on the chunk.
+    pub elapsed: std::time::Duration,
+}
+
+type ChunkObserver = Box<dyn Fn(ChunkDone) + Send + Sync>;
+
 /// Sentinel for "no candidate has failed".
 const NO_FAILURE: usize = usize::MAX;
 
@@ -148,6 +164,9 @@ struct Batch {
     /// [`WorkerPool::run_fallible`] compares it against the earliest
     /// recorded `Err` to preserve its serial-equivalence contract.
     panic: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>>,
+    /// Called once per completed chunk (timed); `None` costs one branch per
+    /// chunk — the observability fast-path discipline.
+    on_chunk: Option<ChunkObserver>,
 }
 
 impl Batch {
@@ -158,6 +177,7 @@ impl Batch {
                 return;
             }
             let end = (start + self.chunk).min(self.total);
+            let t0 = self.on_chunk.as_ref().map(|_| std::time::Instant::now());
             for i in start..end {
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.task)(i))) {
                     let mut slot = lock(&self.panic);
@@ -168,6 +188,13 @@ impl Batch {
                     self.next.store(self.total, Ordering::Relaxed);
                     return;
                 }
+            }
+            if let (Some(cb), Some(t0)) = (self.on_chunk.as_ref(), t0) {
+                cb(ChunkDone {
+                    start,
+                    end,
+                    elapsed: t0.elapsed(),
+                });
             }
         }
     }
@@ -254,7 +281,7 @@ impl WorkerPool {
         chunk: usize,
         task: Box<dyn Fn(usize) + Send + Sync>,
     ) {
-        if let Some((_, payload)) = self.run_indexed_raw(concurrency, total, chunk, task) {
+        if let Some((_, payload)) = self.run_indexed_raw(concurrency, total, chunk, task, None) {
             resume_unwind(payload);
         }
     }
@@ -268,6 +295,7 @@ impl WorkerPool {
         total: usize,
         chunk: usize,
         task: Box<dyn Fn(usize) + Send + Sync>,
+        on_chunk: Option<ChunkObserver>,
     ) -> Option<(usize, Box<dyn std::any::Any + Send>)> {
         if total == 0 {
             return None;
@@ -280,6 +308,7 @@ impl WorkerPool {
             chunk: chunk.max(1),
             task,
             panic: Mutex::new(None),
+            on_chunk,
         });
         let latch = Arc::new(Latch {
             remaining: Mutex::new(helpers),
@@ -349,6 +378,30 @@ impl WorkerPool {
         T: Send,
         E: Send,
     {
+        self.run_fallible_observed(concurrency, total, chunk, task, None)
+    }
+
+    /// [`run_fallible`](Self::run_fallible) with an optional chunk observer:
+    /// `on_chunk` fires once per completed index chunk with its bounds and
+    /// wall time, from whichever thread claimed the chunk. This is how
+    /// sweeps surface live progress and per-chunk causal spans without any
+    /// cost on the unobserved path (one branch per chunk when `None`).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_fallible`](Self::run_fallible).
+    pub fn run_fallible_observed<T, E>(
+        &self,
+        concurrency: usize,
+        total: usize,
+        chunk: usize,
+        task: impl Fn(usize) -> Result<T, E> + Send + Sync,
+        on_chunk: Option<&(dyn Fn(ChunkDone) + Send + Sync)>,
+    ) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+    {
         struct FallibleBatch<T, E, F> {
             slots: Vec<Mutex<Option<Result<T, E>>>>,
             first_fail: AtomicUsize,
@@ -383,7 +436,15 @@ impl WorkerPool {
             // `task`/`shared` never outlives this call.
             let boxed: Box<dyn Fn(usize) + Send + Sync + 'static> =
                 unsafe { std::mem::transmute(boxed) };
-            self.run_indexed_raw(concurrency, total, chunk, boxed)
+            let observer: Option<ChunkObserver> = on_chunk.map(|cb| {
+                let boxed: Box<dyn Fn(ChunkDone) + Send + Sync + '_> = Box::new(cb);
+                // SAFETY: same argument as `task` above — every claimer
+                // holding this observer retires before `run_indexed_raw`
+                // returns, so the borrow of `cb` never escapes this call.
+                let boxed: ChunkObserver = unsafe { std::mem::transmute(boxed) };
+                boxed
+            });
+            self.run_indexed_raw(concurrency, total, chunk, boxed, observer)
         };
         let shared = match Arc::try_unwrap(shared) {
             Ok(s) => s,
@@ -646,6 +707,25 @@ mod tests {
             .run_fallible(4, 40, 1, Ok::<_, ()>)
             .unwrap();
         assert_eq!(rows, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunk_observer_covers_every_index_exactly_once() {
+        let pool = WorkerPool::new();
+        let seen = Mutex::new(vec![0usize; 64]);
+        let observer = |c: ChunkDone| {
+            assert!(c.start < c.end && c.end <= 64);
+            let mut g = lock(&seen);
+            for i in c.start..c.end {
+                g[i] += 1;
+            }
+        };
+        let rows: Vec<usize> = pool
+            .run_fallible_observed(4, 64, 4, Ok::<_, ()>, Some(&observer))
+            .unwrap();
+        assert_eq!(rows, (0..64).collect::<Vec<_>>());
+        let g = lock(&seen);
+        assert!(g.iter().all(|&n| n == 1), "chunk coverage: {g:?}");
     }
 
     #[test]

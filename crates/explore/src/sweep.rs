@@ -16,8 +16,13 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
+use shiptlm_kernel::causal::{
+    spans_from_txn, track_for_candidate, CausalSpan, SpanSink, TraceCtx, TRACK_HOST,
+};
 use shiptlm_kernel::sim::Simulation;
 use shiptlm_ship::record::{Label, ShipOp, TransactionLog};
 
@@ -159,6 +164,92 @@ struct PruneState {
     front: Mutex<ParetoSet>,
 }
 
+/// A live progress sample of a running sweep, handed to the callback armed
+/// with [`Sweep::with_progress`].
+///
+/// Every field is a pure function of the *set of candidates completed so
+/// far*: a serial sweep therefore emits a byte-deterministic progress
+/// sequence run-to-run, and a parallel sweep's samples differ only in
+/// which prefix of candidates they summarize (pacing and interleaving are
+/// excluded from the determinism contract; the final sample always reports
+/// the full sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepProgress {
+    /// Candidates simulated to completion so far.
+    pub done: usize,
+    /// Total candidates in the sweep.
+    pub total: usize,
+    /// Candidates skipped by Pareto pruning so far.
+    pub pruned: usize,
+    /// Estimated *simulated* picoseconds still to run: the mean simulated
+    /// time of completed candidates times the number of remaining ones.
+    /// Zero until the first candidate completes. Deliberately a simulated-
+    /// time figure, not wall clock, so the hint itself stays deterministic.
+    pub eta_hint_ps: u64,
+}
+
+type ProgressFn = dyn Fn(SweepProgress) + Send + Sync;
+
+/// Debug-opaque wrapper so `Sweep` can keep deriving `Debug`.
+#[derive(Clone)]
+struct ProgressHook(Arc<ProgressFn>);
+
+impl fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProgressHook").finish_non_exhaustive()
+    }
+}
+
+/// Shared progress counters, updated by every runner and summarized at
+/// emission points (after each candidate serially; at chunk boundaries in
+/// parallel).
+struct ProgressState {
+    done: AtomicUsize,
+    pruned: AtomicUsize,
+    sim_ps: AtomicU64,
+    total: usize,
+    cb: ProgressHook,
+}
+
+impl ProgressState {
+    fn sample(&self) -> SweepProgress {
+        let done = self.done.load(Ordering::Relaxed);
+        let pruned = self.pruned.load(Ordering::Relaxed);
+        let sim_ps = self.sim_ps.load(Ordering::Relaxed);
+        let remaining = self.total.saturating_sub(done + pruned) as u64;
+        let eta_hint_ps = if done == 0 {
+            0
+        } else {
+            (sim_ps / done as u64).saturating_mul(remaining)
+        };
+        SweepProgress {
+            done,
+            total: self.total,
+            pruned,
+            eta_hint_ps,
+        }
+    }
+
+    fn emit(&self) {
+        (self.cb.0)(self.sample());
+    }
+}
+
+/// Shared causal-tracing state of one sweep: the context spans attach
+/// under, the sink they land in, and the wall-clock epoch host spans are
+/// timed against.
+struct CausalState {
+    ctx: TraceCtx,
+    sink: SpanSink,
+    epoch: Instant,
+}
+
+impl CausalState {
+    fn ns_since_epoch(&self, at: Instant) -> u64 {
+        at.duration_since(self.epoch).as_nanos() as u64
+    }
+}
+
 /// Runs one application across many candidate architectures.
 #[derive(Debug)]
 pub struct Sweep {
@@ -168,6 +259,8 @@ pub struct Sweep {
     opts: RunOptions,
     prune: Option<PruneConfig>,
     cancel: Option<CancelToken>,
+    progress: Option<ProgressHook>,
+    causal: Option<(TraceCtx, SpanSink)>,
 }
 
 impl Sweep {
@@ -185,6 +278,8 @@ impl Sweep {
             opts: RunOptions::default().with_backend(crate::mapper::Backend::Auto),
             prune: None,
             cancel: None,
+            progress: None,
+            causal: None,
         }
     }
 
@@ -257,6 +352,29 @@ impl Sweep {
         self
     }
 
+    /// Arms a live progress callback: `cb` fires with a [`SweepProgress`]
+    /// sample after every candidate (serial sweep) or at every completed
+    /// worker chunk (parallel sweep), from whichever thread finished the
+    /// work. See [`SweepProgress`] for the determinism contract.
+    pub fn with_progress(mut self, cb: impl Fn(SweepProgress) + Send + Sync + 'static) -> Self {
+        self.progress = Some(ProgressHook(Arc::new(cb)));
+        self
+    }
+
+    /// Arms request-scoped causal tracing: the sweep records role-detection
+    /// (with the Auto backend probe/fallback decision), worker-pool chunk,
+    /// per-candidate and pruned-candidate spans into `sink`, parented under
+    /// `ctx.parent_span` within `ctx.trace_id`. When the transaction
+    /// recorder is also enabled ([`with_recorder`](Self::with_recorder)),
+    /// each candidate's kernel txn events are stitched in as child spans on
+    /// that candidate's simulated-time track — the full client-to-kernel
+    /// causality chain. Costs nothing when not armed (one `Option` check
+    /// per decision point).
+    pub fn with_causal(mut self, ctx: TraceCtx, sink: SpanSink) -> Self {
+        self.causal = Some((ctx, sink));
+        self
+    }
+
     /// Executes the sweep serially.
     ///
     /// Role detection runs once (on the untimed model); every candidate is
@@ -306,7 +424,28 @@ impl Sweep {
         if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
             return Err(MapError::Cancelled);
         }
+        let causal = self.causal.as_ref().map(|(ctx, sink)| CausalState {
+            ctx: *ctx,
+            sink: sink.clone(),
+            epoch: Instant::now(),
+        });
+        let detect_t0 = Instant::now();
         let ca = run_component_assembly_with(&self.app, &self.opts)?;
+        if let Some(c) = &causal {
+            // Role detection runs once per sweep; its span carries the Auto
+            // backend probe/fallback decision.
+            let mut span = CausalSpan::new(c.ctx, "role-detect", self.app.name(), TRACK_HOST)
+                .at(
+                    c.ns_since_epoch(detect_t0),
+                    detect_t0.elapsed().as_nanos() as u64,
+                )
+                .arg("backend_requested", format!("{:?}", ca.backend.requested))
+                .arg("backend_used", format!("{:?}", ca.backend.used));
+            if let Some(reason) = &ca.backend.fallback {
+                span = span.arg("backend_fallback", reason.clone());
+            }
+            c.sink.push(span);
+        }
         let mut report = Report::new();
         if self.include_untimed {
             let mut row = RunMetrics::from_log(
@@ -328,9 +467,18 @@ impl Sweep {
         });
         let total = self.archs.len();
         let cancel = self.cancel.as_ref();
+        let progress = self.progress.as_ref().map(|cb| ProgressState {
+            done: AtomicUsize::new(0),
+            pruned: AtomicUsize::new(0),
+            sim_ps: AtomicU64::new(0),
+            total,
+            cb: cb.clone(),
+        });
+        let causal_ref = causal.as_ref();
+        let progress_ref = progress.as_ref();
         let outcomes = if threads <= 1 || total <= 1 {
             let mut outcomes = Vec::with_capacity(total);
-            for arch in &self.archs {
+            for (i, arch) in self.archs.iter().enumerate() {
                 outcomes.push(run_candidate(
                     &self.app,
                     &ca.roles,
@@ -338,20 +486,60 @@ impl Sweep {
                     &self.opts,
                     prune.as_ref(),
                     cancel,
+                    i,
+                    causal_ref,
+                    progress_ref,
                 )?);
+                if let Some(p) = progress_ref {
+                    p.emit();
+                }
             }
             outcomes
         } else {
-            pool.run_fallible(threads, total, WorkerPool::chunk_for(threads, total), |i| {
-                run_candidate(
-                    &self.app,
-                    &ca.roles,
-                    &self.archs[i],
-                    &self.opts,
-                    prune.as_ref(),
-                    cancel,
-                )
-            })?
+            let observer = |done: crate::pool::ChunkDone| {
+                if let Some(c) = causal_ref {
+                    let ts = c
+                        .ns_since_epoch(Instant::now())
+                        .saturating_sub(done.elapsed.as_nanos() as u64);
+                    c.sink.push(
+                        CausalSpan::new(
+                            c.ctx,
+                            "chunk",
+                            format!("{}..{}", done.start, done.end),
+                            TRACK_HOST,
+                        )
+                        .at(ts, done.elapsed.as_nanos() as u64),
+                    );
+                }
+                if let Some(p) = progress_ref {
+                    p.emit();
+                }
+            };
+            let on_chunk: Option<&(dyn Fn(crate::pool::ChunkDone) + Send + Sync)> =
+                if causal.is_some() || progress.is_some() {
+                    Some(&observer)
+                } else {
+                    None
+                };
+            pool.run_fallible_observed(
+                threads,
+                total,
+                WorkerPool::chunk_for(threads, total),
+                |i| {
+                    run_candidate(
+                        &self.app,
+                        &ca.roles,
+                        &self.archs[i],
+                        &self.opts,
+                        prune.as_ref(),
+                        cancel,
+                        i,
+                        causal_ref,
+                        progress_ref,
+                    )
+                },
+                on_chunk,
+            )?
         };
         for (arch, outcome) in self.archs.iter().zip(outcomes) {
             match outcome {
@@ -366,6 +554,12 @@ impl Sweep {
 /// Runs one candidate through the optional pruning gate: bound-check, then
 /// map + simulate, then publish the achieved cost vector to the shared
 /// archive. `Ok(None)` means the candidate was pruned.
+///
+/// Observability side channels, both optional and branch-free when absent:
+/// `causal` records a `candidate` span (zero-duration with `pruned=true`
+/// for skipped candidates) and stitches the run's txn events underneath;
+/// `progress` keeps the shared done/pruned/sim-time counters current.
+#[allow(clippy::too_many_arguments)]
 fn run_candidate(
     app: &AppSpec,
     roles: &RoleMap,
@@ -373,6 +567,9 @@ fn run_candidate(
     opts: &RunOptions,
     prune: Option<&PruneState>,
     cancel: Option<&CancelToken>,
+    index: usize,
+    causal: Option<&CausalState>,
+    progress: Option<&ProgressState>,
 ) -> Result<Option<RunMetrics>, MapError> {
     if cancel.is_some_and(|c| c.is_cancelled()) {
         return Err(MapError::Cancelled);
@@ -380,13 +577,41 @@ fn run_candidate(
     if let Some(p) = prune {
         let bound = (p.cfg.lower_bound)(arch, &p.ctx);
         if lock(&p.front).is_dominated(&bound) {
+            if let Some(c) = causal {
+                c.sink.push(
+                    CausalSpan::new(c.ctx, "candidate", arch.label(), TRACK_HOST)
+                        .at(c.ns_since_epoch(Instant::now()), 0)
+                        .arg("index", index.to_string())
+                        .arg("pruned", "true"),
+                );
+            }
+            if let Some(p) = progress {
+                p.pruned.fetch_add(1, Ordering::Relaxed);
+            }
             return Ok(None);
         }
     }
+    let t0 = Instant::now();
     let row = candidate_row(app, roles, arch, opts)?;
     if let Some(p) = prune {
         let costs = (p.cfg.objectives)(&row);
         lock(&p.front).insert(costs);
+    }
+    if let Some(c) = causal {
+        let span = CausalSpan::new(c.ctx, "candidate", arch.label(), TRACK_HOST)
+            .at(c.ns_since_epoch(t0), t0.elapsed().as_nanos() as u64)
+            .arg("index", index.to_string())
+            .arg("sim_time_ps", row.sim_time.as_ps().to_string());
+        let child_ctx = c.ctx.child(span.span_id);
+        c.sink.push(span);
+        if let Some(txn) = &row.txn {
+            c.sink
+                .extend(spans_from_txn(txn, child_ctx, track_for_candidate(index)));
+        }
+    }
+    if let Some(p) = progress {
+        p.done.fetch_add(1, Ordering::Relaxed);
+        p.sim_ps.fetch_add(row.sim_time.as_ps(), Ordering::Relaxed);
     }
     Ok(Some(row))
 }

@@ -39,6 +39,8 @@ fn main() {
         archs: archs.clone(),
         backend: BackendChoice::De,
         want_trace: true,
+        trace: None,
+        want_progress: false,
     };
 
     // Same job over both codecs: the binary client computes it, the JSON
@@ -77,6 +79,8 @@ fn main() {
             archs: vec![ArchSpec::plb(), ArchSpec::crossbar()],
             backend: BackendChoice::De,
             want_trace: false,
+            trace: None,
+            want_progress: false,
         };
         let out = bin_client.run_job_with_retry(&req, 20).expect("batch job");
         assert!(out.is_done(), "batch job {i} failed: {:?}", out.status);
@@ -90,6 +94,8 @@ fn main() {
             archs: vec![ArchSpec::plb(), ArchSpec::crossbar()],
             backend: BackendChoice::De,
             want_trace: false,
+            trace: None,
+            want_progress: false,
         };
         let out = bin_client.run_job_with_retry(&req, 20).expect("cached job");
         assert_eq!(out.status, JobStatus::Done { cached: true });

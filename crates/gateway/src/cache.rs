@@ -1,4 +1,4 @@
-//! Content-addressed, single-flight result cache.
+//! Content-addressed, single-flight, bounded result cache.
 //!
 //! Jobs are keyed by [`JobRequest::cache_key`] — the canonical binary
 //! encoding of everything that determines the result. The cache is
@@ -8,13 +8,24 @@
 //! (the sweep is deterministic, so a failed mapping fails identically on
 //! every retry — recomputing it would only burn pool time).
 //!
+//! The cache is bounded: when filling an entry pushes the map past
+//! `max_entries`, the least-recently-used *ready* slot is evicted. Pending
+//! slots are never evicted — waiters are parked on their condvars and an
+//! evicted pending slot would strand them.
+//!
 //! [`JobRequest::cache_key`]: crate::proto::JobRequest::cache_key
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+use shiptlm_kernel::causal::CausalSpan;
 
 use crate::lock;
 use crate::proto::ReportRow;
+
+/// Default entry bound for [`ResultCache::new`].
+pub const DEFAULT_CACHE_ENTRIES: usize = 1024;
 
 /// The materialized output of one job.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,10 +35,47 @@ pub struct JobOutput {
     /// Per-channel latency trace (CSV bytes); empty unless the job asked
     /// for a trace.
     pub trace: Vec<u8>,
+    /// Trace-neutral causal spans from the sweep (role-detect, chunk,
+    /// candidate, and kernel txn spans), stored with
+    /// [`shiptlm_kernel::causal::neutralize`] applied so one cached entry
+    /// can be replayed under every requester's own trace id via
+    /// [`shiptlm_kernel::causal::stamp`]. Empty unless the job was traced.
+    pub spans: Vec<CausalSpan>,
+    /// Kernel txn-recorder ring events dropped across every candidate of
+    /// this job (capacity overflow), surfaced on `/metrics`.
+    pub txn_dropped: u64,
 }
 
 /// What a job resolves to: output, or a deterministic failure message.
 pub type JobResult = Result<JobOutput, String>;
+
+/// How a [`ResultCache::get_or_compute`] call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// This call ran the compute closure (the miss path).
+    Computed,
+    /// The entry was already filled when the call looked it up.
+    Hit,
+    /// Another executor was mid-compute; this call parked on the slot's
+    /// condvar until the owner filled it (single-flight coalescing).
+    Waited,
+}
+
+impl CacheOutcome {
+    /// `true` when this call did *not* run the sweep itself.
+    pub fn served_from_cache(self) -> bool {
+        !matches!(self, CacheOutcome::Computed)
+    }
+
+    /// Stable label for span args and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheOutcome::Computed => "miss",
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Waited => "wait",
+        }
+    }
+}
 
 #[derive(Debug)]
 enum SlotState {
@@ -41,18 +89,44 @@ enum SlotState {
 struct Slot {
     state: Mutex<SlotState>,
     ready: Condvar,
+    /// LRU stamp from the cache-global tick; refreshed on every lookup.
+    last_used: AtomicU64,
+    /// Approximate heap bytes of the ready result (0 while pending).
+    bytes: AtomicU64,
 }
 
 /// The gateway's result cache. Cheap to share behind an [`Arc`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ResultCache {
     slots: Mutex<HashMap<Vec<u8>, Arc<Slot>>>,
+    max_entries: usize,
+    tick: AtomicU64,
+    evictions: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        ResultCache::bounded(DEFAULT_CACHE_ENTRIES)
+    }
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// An empty cache with the default entry bound.
     pub fn new() -> Self {
         ResultCache::default()
+    }
+
+    /// An empty cache evicting LRU entries beyond `max_entries` (clamped
+    /// to at least 1).
+    pub fn bounded(max_entries: usize) -> Self {
+        ResultCache {
+            slots: Mutex::new(HashMap::new()),
+            max_entries: max_entries.max(1),
+            tick: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
     }
 
     /// Number of entries (both pending and ready).
@@ -65,28 +139,41 @@ impl ResultCache {
         self.len() == 0
     }
 
+    /// Entries evicted by the LRU bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Approximate heap bytes held by ready entries.
+    pub fn approx_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
     /// Looks up `key`; on a miss, runs `compute` and fills the entry.
     ///
-    /// Returns the result plus whether it was served from the cache
-    /// (`true` for both ready hits and waits on an in-flight computation —
-    /// either way, this call did not run the sweep).
-    ///
-    /// `compute` must not panic: the executor converts job panics into
-    /// `Err` before they reach the cache, so a pending slot is always
-    /// eventually filled and waiters cannot deadlock.
+    /// Returns the result plus how the call was satisfied — see
+    /// [`CacheOutcome`]. `compute` must not panic: the executor converts
+    /// job panics into `Err` before they reach the cache, so a pending
+    /// slot is always eventually filled and waiters cannot deadlock.
     pub fn get_or_compute(
         &self,
         key: Vec<u8>,
         compute: impl FnOnce() -> JobResult,
-    ) -> (JobResult, bool) {
+    ) -> (JobResult, CacheOutcome) {
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
         let (slot, owner) = {
             let mut map = lock(&self.slots);
             match map.get(&key) {
-                Some(slot) => (Arc::clone(slot), false),
+                Some(slot) => {
+                    slot.last_used.store(stamp, Ordering::Relaxed);
+                    (Arc::clone(slot), false)
+                }
                 None => {
                     let slot = Arc::new(Slot {
                         state: Mutex::new(SlotState::Pending),
                         ready: Condvar::new(),
+                        last_used: AtomicU64::new(stamp),
+                        bytes: AtomicU64::new(0),
                     });
                     map.insert(key, Arc::clone(&slot));
                     (slot, true)
@@ -95,30 +182,96 @@ impl ResultCache {
         };
         if owner {
             let result = compute();
-            let mut state = lock(&slot.state);
-            *state = SlotState::Ready(result.clone());
+            let size = approx_result_bytes(&result);
+            slot.bytes.store(size, Ordering::Relaxed);
+            self.bytes.fetch_add(size, Ordering::Relaxed);
+            {
+                let mut state = lock(&slot.state);
+                *state = SlotState::Ready(result.clone());
+            }
             slot.ready.notify_all();
-            (result, false)
+            self.evict_excess();
+            (result, CacheOutcome::Computed)
         } else {
             let mut state = lock(&slot.state);
+            let waited = matches!(*state, SlotState::Pending);
             while matches!(*state, SlotState::Pending) {
                 state = slot
                     .ready
                     .wait(state)
                     .unwrap_or_else(|poisoned| poisoned.into_inner());
             }
+            let outcome = if waited {
+                CacheOutcome::Waited
+            } else {
+                CacheOutcome::Hit
+            };
             match &*state {
-                SlotState::Ready(result) => (result.clone(), true),
+                SlotState::Ready(result) => (result.clone(), outcome),
                 SlotState::Pending => unreachable!("woken while still pending"),
             }
         }
+    }
+
+    /// Evicts least-recently-used *ready* slots until the map is within
+    /// `max_entries`. Pending slots are skipped: their waiters are parked
+    /// on condvars held through the slot's `Arc`, and the owner still has
+    /// to fill them.
+    fn evict_excess(&self) {
+        let mut map = lock(&self.slots);
+        while map.len() > self.max_entries {
+            let victim = map
+                .iter()
+                .filter(|(_, slot)| {
+                    matches!(*lock(&slot.state), SlotState::Ready(_))
+                })
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                .map(|(key, _)| key.clone());
+            let Some(key) = victim else { break };
+            if let Some(slot) = map.remove(&key) {
+                let size = slot.bytes.load(Ordering::Relaxed);
+                self.bytes.fetch_sub(size, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Rough heap footprint of one cached result, for the
+/// `gateway_cache_bytes` gauge. An estimate, not an allocator audit:
+/// strings and vectors are counted by length plus a small per-object
+/// overhead.
+fn approx_result_bytes(result: &JobResult) -> u64 {
+    match result {
+        Ok(output) => {
+            let rows: usize = output
+                .rows
+                .iter()
+                .map(|r| r.label.len() + 5 * std::mem::size_of::<u64>())
+                .sum();
+            let spans: usize = output
+                .spans
+                .iter()
+                .map(|s| {
+                    s.stage.len()
+                        + s.name.len()
+                        + s.args
+                            .iter()
+                            .map(|(k, v)| k.len() + v.len() + 16)
+                            .sum::<usize>()
+                        + 64
+                })
+                .sum();
+            (rows + output.trace.len() + spans + 64) as u64
+        }
+        Err(message) => (message.len() + 64) as u64,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::AtomicUsize;
 
     fn output(n: u64) -> JobOutput {
         JobOutput {
@@ -130,6 +283,8 @@ mod tests {
                 delta_cycles: n,
             }],
             trace: Vec::new(),
+            spans: Vec::new(),
+            txn_dropped: 0,
         }
     }
 
@@ -143,12 +298,15 @@ mod tests {
                 Ok(output(1))
             })
         };
-        let (first, hit_a) = run();
-        let (second, hit_b) = run();
+        let (first, first_outcome) = run();
+        let (second, second_outcome) = run();
         assert_eq!(first, second);
-        assert!(!hit_a && hit_b);
+        assert_eq!(first_outcome, CacheOutcome::Computed);
+        assert_eq!(second_outcome, CacheOutcome::Hit);
+        assert!(second_outcome.served_from_cache());
         assert_eq!(computed.load(Ordering::SeqCst), 1);
         assert_eq!(cache.len(), 1);
+        assert!(cache.approx_bytes() > 0, "ready entries are accounted");
     }
 
     #[test]
@@ -156,12 +314,12 @@ mod tests {
         let cache = ResultCache::new();
         let computed = AtomicUsize::new(0);
         for round in 0..3 {
-            let (result, hit) = cache.get_or_compute(b"bad".to_vec(), || {
+            let (result, outcome) = cache.get_or_compute(b"bad".to_vec(), || {
                 computed.fetch_add(1, Ordering::SeqCst);
                 Err("deterministic failure".into())
             });
             assert_eq!(result, Err("deterministic failure".to_string()));
-            assert_eq!(hit, round > 0);
+            assert_eq!(outcome.served_from_cache(), round > 0);
         }
         assert_eq!(computed.load(Ordering::SeqCst), 1);
     }
@@ -170,14 +328,14 @@ mod tests {
     fn concurrent_same_key_is_single_flight() {
         let cache = Arc::new(ResultCache::new());
         let computed = Arc::new(AtomicUsize::new(0));
-        let hits = Arc::new(AtomicUsize::new(0));
+        let coalesced = Arc::new(AtomicUsize::new(0));
         std::thread::scope(|s| {
             for _ in 0..8 {
                 let cache = Arc::clone(&cache);
                 let computed = Arc::clone(&computed);
-                let hits = Arc::clone(&hits);
+                let coalesced = Arc::clone(&coalesced);
                 s.spawn(move || {
-                    let (result, hit) = cache.get_or_compute(b"shared".to_vec(), || {
+                    let (result, outcome) = cache.get_or_compute(b"shared".to_vec(), || {
                         computed.fetch_add(1, Ordering::SeqCst);
                         // Hold the slot pending long enough for the other
                         // threads to pile onto the condvar.
@@ -185,13 +343,51 @@ mod tests {
                         Ok(output(42))
                     });
                     assert_eq!(result.unwrap(), output(42));
-                    if hit {
-                        hits.fetch_add(1, Ordering::SeqCst);
+                    if outcome.served_from_cache() {
+                        coalesced.fetch_add(1, Ordering::SeqCst);
                     }
                 });
             }
         });
         assert_eq!(computed.load(Ordering::SeqCst), 1, "exactly one compute");
-        assert_eq!(hits.load(Ordering::SeqCst), 7, "everyone else hit");
+        assert_eq!(coalesced.load(Ordering::SeqCst), 7, "everyone else hit");
+    }
+
+    #[test]
+    fn lru_bound_evicts_the_coldest_ready_entry() {
+        let cache = ResultCache::bounded(2);
+        let (_, _) = cache.get_or_compute(b"a".to_vec(), || Ok(output(1)));
+        let (_, _) = cache.get_or_compute(b"b".to_vec(), || Ok(output(2)));
+        // Touch "a" so "b" becomes the LRU victim.
+        let (_, outcome) = cache.get_or_compute(b"a".to_vec(), || unreachable!());
+        assert_eq!(outcome, CacheOutcome::Hit);
+        let (_, _) = cache.get_or_compute(b"c".to_vec(), || Ok(output(3)));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // "b" was evicted; "a" survives.
+        let (_, a_again) = cache.get_or_compute(b"a".to_vec(), || Ok(output(1)));
+        assert_eq!(a_again, CacheOutcome::Hit);
+        let (_, b_again) = cache.get_or_compute(b"b".to_vec(), || Ok(output(2)));
+        assert_eq!(b_again, CacheOutcome::Computed, "evicted entry recomputes");
+    }
+
+    #[test]
+    fn byte_accounting_shrinks_on_eviction() {
+        let cache = ResultCache::bounded(1);
+        let big = || {
+            Ok(JobOutput {
+                rows: Vec::new(),
+                trace: vec![0u8; 4096],
+                spans: Vec::new(),
+                txn_dropped: 0,
+            })
+        };
+        let (_, _) = cache.get_or_compute(b"x".to_vec(), big);
+        let after_one = cache.approx_bytes();
+        assert!(after_one >= 4096);
+        let (_, _) = cache.get_or_compute(b"y".to_vec(), big);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.approx_bytes(), after_one, "evicted bytes released");
     }
 }

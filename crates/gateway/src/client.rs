@@ -2,7 +2,9 @@
 //! example, and anyone driving the gateway from Rust.
 
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use shiptlm_kernel::causal::{CausalSpan, CausalTrace, TraceCtx, TRACK_HOST};
 
 use crate::codec::WireCodec;
 use crate::proto::{
@@ -30,6 +32,23 @@ pub enum JobStatus {
     },
 }
 
+/// One live progress sample streamed by the server while a job runs.
+///
+/// The *content* is deterministic — every field is a pure function of the
+/// set of candidates completed so far — while the pacing (how many samples
+/// arrive, and when) is not part of any contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobProgress {
+    /// Candidates simulated to completion so far.
+    pub done: u64,
+    /// Total candidates in the job.
+    pub total: u64,
+    /// Candidates skipped by pruning so far.
+    pub pruned: u64,
+    /// Estimated remaining *simulated* picoseconds.
+    pub eta_hint_ps: u64,
+}
+
 /// Everything a job streamed back.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobOutcome {
@@ -42,6 +61,11 @@ pub struct JobOutcome {
     pub raw_rows: Vec<Vec<u8>>,
     /// Concatenated trace chunks (CSV bytes).
     pub trace: Vec<u8>,
+    /// Causal spans streamed back for a traced job (server stage spans
+    /// plus the sweep's own), already stamped with the request's trace id.
+    pub spans: Vec<CausalSpan>,
+    /// Progress samples in arrival order, for jobs that asked for them.
+    pub progress: Vec<JobProgress>,
 }
 
 impl JobOutcome {
@@ -52,11 +76,22 @@ impl JobOutcome {
 }
 
 /// One gateway connection speaking a fixed codec.
-#[derive(Debug)]
 pub struct GatewayClient {
     stream: TcpStream,
     codec: &'static dyn WireCodec,
     max_frame: u64,
+    /// Called on every [`Reply::Progress`] as it arrives, before the
+    /// sample is appended to the outcome.
+    on_progress: Option<Box<dyn FnMut(JobProgress) + Send>>,
+}
+
+impl std::fmt::Debug for GatewayClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatewayClient")
+            .field("codec", &self.codec.name())
+            .field("max_frame", &self.max_frame)
+            .finish_non_exhaustive()
+    }
 }
 
 impl GatewayClient {
@@ -74,7 +109,7 @@ impl GatewayClient {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         write_handshake(&mut stream, codec.tag())?;
-        let echoed = read_handshake(&mut stream)?;
+        let (_version, echoed) = read_handshake(&mut stream)?;
         if echoed != codec.tag() {
             return Err(GatewayError::Handshake(format!(
                 "server rejected codec '{}' (echoed tag {echoed:#x})",
@@ -85,7 +120,16 @@ impl GatewayClient {
             stream,
             codec,
             max_frame: DEFAULT_MAX_FRAME,
+            on_progress: None,
         })
+    }
+
+    /// Installs a live progress callback, invoked from [`run_job`] as
+    /// [`Reply::Progress`] frames arrive.
+    ///
+    /// [`run_job`]: GatewayClient::run_job
+    pub fn set_progress_handler(&mut self, cb: impl FnMut(JobProgress) + Send + 'static) {
+        self.on_progress = Some(Box::new(cb));
     }
 
     /// Submits one job and reads replies until it terminates.
@@ -102,6 +146,8 @@ impl GatewayClient {
         let mut rows = Vec::new();
         let mut raw_rows = Vec::new();
         let mut trace = Vec::new();
+        let mut spans = Vec::new();
+        let mut progress = Vec::new();
         let mut accepted = false;
         loop {
             let Some(frame) = read_frame(&mut self.stream, self.max_frame)? else {
@@ -125,6 +171,8 @@ impl GatewayClient {
                         rows,
                         raw_rows,
                         trace,
+                        spans,
+                        progress,
                     })
                 }
                 Reply::Row { row, .. } => {
@@ -132,6 +180,25 @@ impl GatewayClient {
                     raw_rows.push(frame);
                 }
                 Reply::TraceChunk { data, .. } => trace.extend_from_slice(&data),
+                Reply::Progress {
+                    done,
+                    total,
+                    pruned,
+                    eta_hint_ps,
+                    ..
+                } => {
+                    let sample = JobProgress {
+                        done,
+                        total,
+                        pruned,
+                        eta_hint_ps,
+                    };
+                    if let Some(cb) = &mut self.on_progress {
+                        cb(sample);
+                    }
+                    progress.push(sample);
+                }
+                Reply::Spans { spans: batch, .. } => spans.extend(batch),
                 Reply::Done { cached, rows: n, .. } => {
                     if !accepted {
                         return Err(GatewayError::Protocol("Done before Accepted".into()));
@@ -147,6 +214,8 @@ impl GatewayClient {
                         rows,
                         raw_rows,
                         trace,
+                        spans,
+                        progress,
                     });
                 }
                 Reply::Error { message, .. } => {
@@ -155,10 +224,40 @@ impl GatewayClient {
                         rows,
                         raw_rows,
                         trace,
+                        spans,
+                        progress,
                     })
                 }
             }
         }
+    }
+
+    /// Mints a fresh trace context, runs `req` under it, and returns the
+    /// outcome together with the merged causal trace: a client-side `job`
+    /// root span (timestamp 0, duration = the RPC wall time) with every
+    /// server/sweep span streamed back parented underneath.
+    ///
+    /// Any `trace` already on `req` is replaced; `want_progress` is left
+    /// as the caller set it.
+    ///
+    /// # Errors
+    ///
+    /// As [`GatewayClient::run_job`].
+    pub fn run_job_traced(
+        &mut self,
+        req: &JobRequest,
+    ) -> Result<(JobOutcome, CausalTrace), GatewayError> {
+        let ctx = TraceCtx::mint();
+        let root = CausalSpan::new(ctx, "job", format!("job:{}", req.id), TRACK_HOST);
+        let mut traced = req.clone();
+        traced.trace = Some(ctx.child(root.span_id));
+        let started = Instant::now();
+        let outcome = self.run_job(&traced)?;
+        let root = root.at(0, started.elapsed().as_nanos() as u64);
+        let mut spans = Vec::with_capacity(1 + outcome.spans.len());
+        spans.push(root);
+        spans.extend(outcome.spans.iter().cloned());
+        Ok((outcome, CausalTrace::new(spans)))
     }
 
     /// Submits with bounded retries on [`JobStatus::Rejected`], sleeping

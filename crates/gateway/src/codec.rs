@@ -14,6 +14,7 @@
 
 use std::fmt;
 
+use shiptlm_kernel::causal::{CausalSpan, TraceCtx};
 use shiptlm_ship::prelude::{from_wire, to_wire};
 use shiptlm_testkit::corpus::{arch_from_json, arch_to_json};
 use shiptlm_testkit::json::Json;
@@ -133,6 +134,60 @@ fn get_bool(v: &Json, key: &str) -> Result<bool, GatewayError> {
         .ok_or_else(|| GatewayError::Codec(format!("missing or non-bool '{key}'")))
 }
 
+fn span_to_json(s: &CausalSpan) -> Json {
+    let args: Vec<Json> = s
+        .args
+        .iter()
+        .map(|(k, v)| Json::Arr(vec![Json::str(k), Json::str(v)]))
+        .collect();
+    Json::obj(vec![
+        ("trace_id", Json::u64_str(s.trace_id)),
+        ("span_id", Json::u64_str(s.span_id)),
+        ("parent_id", Json::u64_str(s.parent_id)),
+        ("stage", Json::str(&s.stage)),
+        ("name", Json::str(&s.name)),
+        ("track", Json::u64_str(u64::from(s.track))),
+        ("ts_ns", Json::u64_str(s.ts_ns)),
+        ("dur_ns", Json::u64_str(s.dur_ns)),
+        ("args", Json::Arr(args)),
+    ])
+}
+
+fn span_from_json(v: &Json) -> Result<CausalSpan, GatewayError> {
+    let args = v
+        .get("args")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| GatewayError::Codec("missing or non-array 'args'".into()))?
+        .iter()
+        .map(|pair| {
+            let kv = pair
+                .as_arr()
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| GatewayError::Codec("span arg is not a [k, v] pair".into()))?;
+            let k = kv[0]
+                .as_str()
+                .ok_or_else(|| GatewayError::Codec("non-string span arg key".into()))?;
+            let val = kv[1]
+                .as_str()
+                .ok_or_else(|| GatewayError::Codec("non-string span arg value".into()))?;
+            Ok((k.to_string(), val.to_string()))
+        })
+        .collect::<Result<Vec<_>, GatewayError>>()?;
+    let track = get_u64(v, "track")?;
+    Ok(CausalSpan {
+        trace_id: get_u64(v, "trace_id")?,
+        span_id: get_u64(v, "span_id")?,
+        parent_id: get_u64(v, "parent_id")?,
+        stage: get_str(v, "stage")?,
+        name: get_str(v, "name")?,
+        track: u32::try_from(track)
+            .map_err(|_| GatewayError::Codec(format!("span track {track} exceeds u32")))?,
+        ts_ns: get_u64(v, "ts_ns")?,
+        dur_ns: get_u64(v, "dur_ns")?,
+        args,
+    })
+}
+
 fn row_from_json(v: &Json) -> Result<ReportRow, GatewayError> {
     Ok(ReportRow {
         label: get_str(v, "label")?,
@@ -160,15 +215,29 @@ impl WireCodec for JsonCodec {
 
     fn encode_request(&self, req: &JobRequest) -> Result<Vec<u8>, GatewayError> {
         let archs: Vec<Json> = req.archs.iter().map(arch_to_json).collect();
-        let v = Json::obj(vec![
+        let mut fields = vec![
             ("kind", Json::str("job")),
             ("id", Json::u64_str(req.id)),
             ("model", req.spec.to_json()),
             ("archs", Json::Arr(archs)),
             ("backend", Json::str(req.backend.name())),
             ("want_trace", Json::Bool(req.want_trace)),
-        ]);
-        Ok(v.to_string().into_bytes())
+        ];
+        // Version-2 extension fields, emitted only when used so the JSON a
+        // version-1 server would see is unchanged.
+        if let Some(ctx) = req.trace {
+            fields.push((
+                "trace",
+                Json::obj(vec![
+                    ("trace_id", Json::u64_str(ctx.trace_id)),
+                    ("parent_span", Json::u64_str(ctx.parent_span)),
+                ]),
+            ));
+        }
+        if req.want_progress {
+            fields.push(("want_progress", Json::Bool(true)));
+        }
+        Ok(Json::obj(fields).to_string().into_bytes())
     }
 
     fn decode_request(&self, body: &[u8]) -> Result<JobRequest, GatewayError> {
@@ -189,12 +258,28 @@ impl WireCodec for JsonCodec {
             .collect::<Result<Vec<_>, _>>()?;
         let backend =
             BackendChoice::from_name(&get_str(&v, "backend")?).map_err(GatewayError::Codec)?;
+        // Optional version-2 extension fields; absent means v1 semantics.
+        let trace = match v.get("trace") {
+            Some(t) => Some(TraceCtx {
+                trace_id: get_u64(t, "trace_id")?,
+                parent_span: get_u64(t, "parent_span")?,
+            }),
+            None => None,
+        };
+        let want_progress = match v.get("want_progress") {
+            Some(b) => b
+                .as_bool()
+                .ok_or_else(|| GatewayError::Codec("non-bool 'want_progress'".into()))?,
+            None => false,
+        };
         Ok(JobRequest {
             id: get_u64(&v, "id")?,
             spec,
             archs,
             backend,
             want_trace: get_bool(&v, "want_trace")?,
+            trace,
+            want_progress,
         })
     }
 
@@ -235,6 +320,25 @@ impl WireCodec for JsonCodec {
                 ("id", Json::u64_str(*id)),
                 ("message", Json::str(message)),
             ]),
+            Reply::Progress {
+                id,
+                done,
+                total,
+                pruned,
+                eta_hint_ps,
+            } => Json::obj(vec![
+                ("kind", Json::str("progress")),
+                ("id", Json::u64_str(*id)),
+                ("done", Json::u64_str(*done)),
+                ("total", Json::u64_str(*total)),
+                ("pruned", Json::u64_str(*pruned)),
+                ("eta_hint_ps", Json::u64_str(*eta_hint_ps)),
+            ]),
+            Reply::Spans { id, spans } => Json::obj(vec![
+                ("kind", Json::str("spans")),
+                ("id", Json::u64_str(*id)),
+                ("spans", Json::Arr(spans.iter().map(span_to_json).collect())),
+            ]),
         };
         Ok(v.to_string().into_bytes())
     }
@@ -270,6 +374,23 @@ impl WireCodec for JsonCodec {
                 id,
                 message: get_str(&v, "message")?,
             }),
+            "progress" => Ok(Reply::Progress {
+                id,
+                done: get_u64(&v, "done")?,
+                total: get_u64(&v, "total")?,
+                pruned: get_u64(&v, "pruned")?,
+                eta_hint_ps: get_u64(&v, "eta_hint_ps")?,
+            }),
+            "spans" => Ok(Reply::Spans {
+                id,
+                spans: v
+                    .get("spans")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| GatewayError::Codec("missing or non-array 'spans'".into()))?
+                    .iter()
+                    .map(span_from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
             other => Err(GatewayError::Codec(format!("unknown reply kind '{other}'"))),
         }
     }
@@ -288,16 +409,29 @@ mod tests {
             archs: vec![ArchSpec::opb().with_burst(16), ArchSpec::crossbar()],
             backend: BackendChoice::De,
             want_trace: false,
+            trace: None,
+            want_progress: false,
         }
     }
 
     #[test]
     fn both_codecs_round_trip_requests() {
-        let req = a_request();
+        let mut req = a_request();
         for codec in [&BIN as &dyn WireCodec, &JSON as &dyn WireCodec] {
             let body = codec.encode_request(&req).unwrap();
             let back = codec.decode_request(&body).unwrap();
             assert_eq!(back, req, "codec {}", codec.name());
+        }
+        // And with the version-2 extension populated.
+        req.trace = Some(TraceCtx {
+            trace_id: u64::MAX - 1,
+            parent_span: 12,
+        });
+        req.want_progress = true;
+        for codec in [&BIN as &dyn WireCodec, &JSON as &dyn WireCodec] {
+            let body = codec.encode_request(&req).unwrap();
+            let back = codec.decode_request(&body).unwrap();
+            assert_eq!(back, req, "codec {} (traced)", codec.name());
         }
     }
 
@@ -331,6 +465,43 @@ mod tests {
             Reply::Error {
                 id: 6,
                 message: "bad \"model\"\nline two".into(),
+            },
+            Reply::Progress {
+                id: 7,
+                done: 3,
+                total: 13,
+                pruned: 2,
+                eta_hint_ps: 42_000_000,
+            },
+            Reply::Spans {
+                id: 8,
+                spans: vec![
+                    CausalSpan {
+                        trace_id: 0x1234_5678_9abc_def0,
+                        span_id: 2,
+                        parent_id: 1,
+                        stage: "exec".into(),
+                        name: "sweep".into(),
+                        track: 0,
+                        ts_ns: 100,
+                        dur_ns: 5_000,
+                        args: vec![("outcome".into(), "miss".into())],
+                    },
+                    CausalSpan {
+                        trace_id: 0x1234_5678_9abc_def0,
+                        span_id: 3,
+                        parent_id: 2,
+                        stage: "txn".into(),
+                        name: "ship:send".into(),
+                        track: 1,
+                        ts_ns: 0,
+                        dur_ns: 250,
+                        args: vec![
+                            ("resource".into(), "ch \"0\"\n".into()),
+                            ("bytes".into(), "64".into()),
+                        ],
+                    },
+                ],
             },
         ];
         for codec in [&BIN as &dyn WireCodec, &JSON as &dyn WireCodec] {

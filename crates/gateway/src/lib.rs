@@ -26,6 +26,8 @@
 //!         archs: vec![ArchSpec::plb(), ArchSpec::crossbar()],
 //!         backend: BackendChoice::De,
 //!         want_trace: false,
+//!         trace: None,
+//!         want_progress: false,
 //!     })
 //!     .unwrap();
 //! assert!(outcome.is_done());
@@ -56,8 +58,8 @@ pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// Commonly used gateway items.
 pub mod prelude {
-    pub use crate::cache::{JobOutput, JobResult, ResultCache};
-    pub use crate::client::{GatewayClient, JobOutcome, JobStatus};
+    pub use crate::cache::{CacheOutcome, JobOutput, JobResult, ResultCache};
+    pub use crate::client::{GatewayClient, JobOutcome, JobProgress, JobStatus};
     pub use crate::codec::{codec_for, BinCodec, JsonCodec, WireCodec, BIN, JSON};
     pub use crate::metrics::{http_get, GatewayMetrics};
     pub use crate::proto::{

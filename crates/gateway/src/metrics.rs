@@ -5,6 +5,12 @@
 //! consistent with the kernel exporter — including label-value escaping,
 //! which matters here because one label (`model`) carries *user-supplied*
 //! model names straight off the wire.
+//!
+//! Besides the job counters, the gateway exports per-stage latency
+//! histograms mirroring the causal span stages: `queue_wait_ms`
+//! (admission enqueue → executor pop), `cache_wait_ms` (host time of jobs
+//! answered from the cache, including single-flight waits), and `exec_ms`
+//! (host time of jobs that ran a sweep).
 
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -20,7 +26,49 @@ use crate::lock;
 
 /// Number of power-of-two latency buckets before `+Inf`
 /// (`le="1"` … `le="1024"` milliseconds).
-const HOST_BUCKETS: usize = 11;
+const MS_BUCKETS: usize = 11;
+
+/// A lock-free power-of-two millisecond histogram (non-cumulative
+/// internally, rendered cumulative as Prometheus requires).
+#[derive(Debug, Default)]
+struct MsHistogram {
+    buckets: [AtomicU64; MS_BUCKETS + 1],
+    sum_ms: AtomicU64,
+}
+
+impl MsHistogram {
+    fn observe(&self, d: Duration) {
+        let ms = d.as_millis() as u64;
+        self.buckets[ms_bucket(ms)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ms.fetch_add(ms, Ordering::Relaxed);
+    }
+
+    #[cfg(test)]
+    fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    fn render(&self, out: &mut String, family: &str) {
+        let hist = prom_name(family);
+        out.push_str(&format!("# TYPE {hist} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if i < MS_BUCKETS {
+                out.push_str(&format!(
+                    "{hist}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    1u64 << i
+                ));
+            } else {
+                out.push_str(&format!("{hist}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "{hist}_sum {}\n{hist}_count {cumulative}\n",
+            self.sum_ms.load(Ordering::Relaxed)
+        ));
+    }
+}
 
 /// Counters and gauges for one gateway instance. Cheap to share behind an
 /// [`Arc`]; every field is updated lock-free except the per-model map.
@@ -38,11 +86,21 @@ pub struct GatewayMetrics {
     rejected: AtomicU64,
     /// Request frames that failed to decode.
     decode_errors: AtomicU64,
-    /// Host-time histogram of completed jobs, in milliseconds
-    /// (power-of-two buckets, non-cumulative internally).
-    host_ms: [AtomicU64; HOST_BUCKETS + 1],
-    /// Sum of observed job host times, for `_sum`.
-    host_ms_sum: AtomicU64,
+    /// Host-time histogram of completed jobs (cached or not).
+    host: MsHistogram,
+    /// Admission enqueue → executor pop.
+    queue_wait: MsHistogram,
+    /// Host time of jobs answered from the cache (hits and single-flight
+    /// waits).
+    cache_wait: MsHistogram,
+    /// Host time of jobs that actually ran a sweep.
+    exec: MsHistogram,
+    /// Result-cache entries evicted by the LRU bound (sampled counter).
+    cache_evictions: AtomicU64,
+    /// Approximate result-cache heap bytes (sampled gauge).
+    cache_bytes: AtomicU64,
+    /// Kernel txn-recorder ring events dropped across traced jobs.
+    txn_dropped: AtomicU64,
     /// Completed-job counts keyed by (untrusted) model name.
     per_model: Mutex<BTreeMap<String, u64>>,
 }
@@ -58,9 +116,10 @@ impl GatewayMetrics {
         self.queue_depth.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records a job leaving the admission queue.
-    pub fn queue_pop(&self) {
+    /// Records a job leaving the admission queue after `waited` in it.
+    pub fn queue_pop(&self, waited: Duration) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.queue_wait.observe(waited);
     }
 
     /// Current queue depth.
@@ -74,17 +133,19 @@ impl GatewayMetrics {
     }
 
     /// Records a job finishing execution (cached or not), with its host
-    /// time and the model name it carried.
+    /// time and the model name it carried. The host time also lands in the
+    /// stage histogram matching how the job resolved: `cache_wait_ms` when
+    /// served from the cache, `exec_ms` when it ran a sweep.
     pub fn job_finished(&self, model: &str, host: Duration, cached: bool) {
         self.jobs_inflight.fetch_sub(1, Ordering::Relaxed);
         if cached {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.cache_wait.observe(host);
         } else {
             self.cache_misses.fetch_add(1, Ordering::Relaxed);
+            self.exec.observe(host);
         }
-        let ms = host.as_millis() as u64;
-        self.host_ms[host_bucket(ms)].fetch_add(1, Ordering::Relaxed);
-        self.host_ms_sum.fetch_add(ms, Ordering::Relaxed);
+        self.host.observe(host);
         *lock(&self.per_model).entry(model.to_string()).or_insert(0) += 1;
     }
 
@@ -96,6 +157,21 @@ impl GatewayMetrics {
     /// Records a request frame that failed to decode.
     pub fn decode_error(&self) {
         self.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples the result cache's eviction counter and byte gauge (both
+    /// owned by the cache; the executor mirrors them here after each job).
+    pub fn sample_cache(&self, evictions: u64, bytes: u64) {
+        self.cache_evictions.store(evictions, Ordering::Relaxed);
+        self.cache_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Adds kernel txn-recorder ring drops observed by one freshly
+    /// computed job.
+    pub fn add_txn_dropped(&self, dropped: u64) {
+        if dropped > 0 {
+            self.txn_dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
     }
 
     /// Jobs currently executing.
@@ -118,9 +194,19 @@ impl GatewayMetrics {
         self.rejected.load(Ordering::Relaxed)
     }
 
+    /// Total txn-recorder ring drops observed so far.
+    pub fn txn_dropped(&self) -> u64 {
+        self.txn_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Last-sampled result-cache eviction count.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache_evictions.load(Ordering::Relaxed)
+    }
+
     /// Renders the Prometheus text 0.0.4 exposition.
     pub fn to_prometheus(&self) -> String {
-        let mut out = String::with_capacity(1024);
+        let mut out = String::with_capacity(2048);
         let gauge = |out: &mut String, family: &str, v: u64| {
             let name = prom_name(family);
             out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
@@ -135,33 +221,26 @@ impl GatewayMetrics {
             "gateway.jobs_inflight",
             self.jobs_inflight.load(Ordering::Relaxed),
         );
+        gauge(
+            &mut out,
+            "gateway.cache_bytes",
+            self.cache_bytes.load(Ordering::Relaxed),
+        );
         counter(&mut out, "gateway.cache_hits", self.cache_hits());
         counter(&mut out, "gateway.cache_misses", self.cache_misses());
+        counter(&mut out, "gateway.cache_evictions", self.cache_evictions());
         counter(&mut out, "gateway.jobs_rejected", self.rejections());
         counter(
             &mut out,
             "gateway.decode_errors",
             self.decode_errors.load(Ordering::Relaxed),
         );
+        counter(&mut out, "gateway.txn_trace_dropped", self.txn_dropped());
 
-        let hist = prom_name("gateway.job_host_ms");
-        out.push_str(&format!("# TYPE {hist} histogram\n"));
-        let mut cumulative = 0u64;
-        for (i, bucket) in self.host_ms.iter().enumerate() {
-            cumulative += bucket.load(Ordering::Relaxed);
-            if i < HOST_BUCKETS {
-                out.push_str(&format!(
-                    "{hist}_bucket{{le=\"{}\"}} {cumulative}\n",
-                    1u64 << i
-                ));
-            } else {
-                out.push_str(&format!("{hist}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
-            }
-        }
-        out.push_str(&format!(
-            "{hist}_sum {}\n{hist}_count {cumulative}\n",
-            self.host_ms_sum.load(Ordering::Relaxed)
-        ));
+        self.host.render(&mut out, "gateway.job_host_ms");
+        self.queue_wait.render(&mut out, "gateway.queue_wait_ms");
+        self.cache_wait.render(&mut out, "gateway.cache_wait_ms");
+        self.exec.render(&mut out, "gateway.exec_ms");
 
         let jobs = prom_name("gateway.jobs");
         out.push_str(&format!("# TYPE {jobs} counter\n"));
@@ -177,11 +256,11 @@ impl GatewayMetrics {
 
 /// Index of the power-of-two bucket covering `ms`: the smallest `i` with
 /// `ms <= 1 << i`, clamped to the `+Inf` bucket.
-fn host_bucket(ms: u64) -> usize {
+fn ms_bucket(ms: u64) -> usize {
     if ms <= 1 {
         0
     } else {
-        ((u64::BITS - (ms - 1).leading_zeros()) as usize).min(HOST_BUCKETS)
+        ((u64::BITS - (ms - 1).leading_zeros()) as usize).min(MS_BUCKETS)
     }
 }
 
@@ -275,7 +354,7 @@ mod tests {
         let m = GatewayMetrics::new();
         m.queue_push();
         m.queue_push();
-        m.queue_pop();
+        m.queue_pop(Duration::from_millis(2));
         m.job_started();
         m.job_finished("alpha", Duration::from_millis(3), false);
         m.job_started();
@@ -310,6 +389,65 @@ mod tests {
             .find(|s| s.name == "shiptlm_gateway_job_host_ms_count")
             .unwrap();
         assert_eq!(count.value, 2.0);
+    }
+
+    #[test]
+    fn stage_histograms_split_cached_from_executed() {
+        let m = GatewayMetrics::new();
+        m.queue_push();
+        m.queue_pop(Duration::from_millis(5));
+        m.job_started();
+        m.job_finished("m", Duration::from_millis(40), false);
+        m.job_started();
+        m.job_finished("m", Duration::from_millis(1), true);
+        assert_eq!(m.exec.count(), 1);
+        assert_eq!(m.cache_wait.count(), 1);
+        assert_eq!(m.queue_wait.count(), 1);
+        let parsed = PromText::parse(&m.to_prometheus()).unwrap();
+        for family in [
+            "shiptlm_gateway_queue_wait_ms",
+            "shiptlm_gateway_cache_wait_ms",
+            "shiptlm_gateway_exec_ms",
+        ] {
+            assert_eq!(
+                parsed.types.get(family),
+                Some(&PromKind::Histogram),
+                "{family} must be exported as a histogram"
+            );
+            let count = parsed
+                .samples
+                .iter()
+                .find(|s| s.name == format!("{family}_count"))
+                .unwrap();
+            assert_eq!(count.value, 1.0, "{family} saw exactly one observation");
+        }
+    }
+
+    #[test]
+    fn cache_and_txn_drop_families_render() {
+        let m = GatewayMetrics::new();
+        m.sample_cache(3, 4096);
+        m.add_txn_dropped(7);
+        m.add_txn_dropped(0); // no-op
+        let parsed = PromText::parse(&m.to_prometheus()).unwrap();
+        let bytes = parsed
+            .samples
+            .iter()
+            .find(|s| s.name == "shiptlm_gateway_cache_bytes")
+            .unwrap();
+        assert_eq!(bytes.value, 4096.0);
+        let evictions = parsed
+            .samples
+            .iter()
+            .find(|s| s.name == "shiptlm_gateway_cache_evictions_total")
+            .unwrap();
+        assert_eq!(evictions.value, 3.0);
+        let dropped = parsed
+            .samples
+            .iter()
+            .find(|s| s.name == "shiptlm_gateway_txn_trace_dropped_total")
+            .unwrap();
+        assert_eq!(dropped.value, 7.0);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 use shiptlm_explore::prelude::{ArchSpec, Backend, RunMetrics};
+use shiptlm_kernel::causal::{CausalSpan, TraceCtx};
 use shiptlm_ship::prelude::*;
 use shiptlm_testkit::model::ModelSpec;
 use shiptlm_testkit::wirecase::{get_archs, put_archs};
@@ -19,8 +20,15 @@ use shiptlm_testkit::wirecase::{get_archs, put_archs};
 /// Handshake magic: the first four bytes of every gateway connection.
 pub const MAGIC: [u8; 4] = *b"SHTG";
 
-/// Protocol version carried in the handshake.
-pub const VERSION: u8 = 1;
+/// Protocol version carried in the handshake. Version 2 added the optional
+/// causal-tracing / progress extension on [`JobRequest`] and the
+/// [`Reply::Progress`] / [`Reply::Spans`] variants.
+pub const VERSION: u8 = 2;
+
+/// Oldest protocol version this build still serves. Version-1 peers get
+/// byte-identical version-1 behavior: their requests carry no extension and
+/// they are never sent a reply tag newer than their handshake.
+pub const MIN_VERSION: u8 = 1;
 
 /// Default cap on a single frame body, in bytes.
 pub const DEFAULT_MAX_FRAME: u64 = 16 * 1024 * 1024;
@@ -157,19 +165,38 @@ pub struct JobRequest {
     pub backend: BackendChoice,
     /// Stream the per-channel latency trace back in chunks.
     pub want_trace: bool,
+    /// Version-2 extension: the client-minted causal trace context. When
+    /// set, the server records admission/queue/cache/exec/candidate spans
+    /// under it and streams them back as [`Reply::Spans`] before `Done`.
+    /// Absent on version-1 connections.
+    pub trace: Option<TraceCtx>,
+    /// Version-2 extension: stream [`Reply::Progress`] samples at worker
+    /// chunk boundaries while the job runs. Absent on version-1
+    /// connections.
+    pub want_progress: bool,
 }
 
 impl JobRequest {
     /// Content address of this job: the canonical binary encoding of
     /// everything that determines the result — model, architectures,
-    /// backend and trace flag, but *not* the correlation id, so identical
-    /// work from different clients shares one cache entry.
+    /// backend, trace flag and *whether* causal tracing is on (traced
+    /// entries carry spans, so they cannot share an entry with untraced
+    /// ones) — but *not* the correlation id or the concrete trace/span
+    /// ids, so identical work from different clients shares one cache
+    /// entry and a cached traced job is replayed under each requester's
+    /// own trace id. `want_progress` is pacing, not content, and is
+    /// likewise excluded.
     pub fn cache_key(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         self.spec.serialize(&mut w);
         put_archs(&mut w, &self.archs);
         w.put_u8(self.backend.tag());
         w.put_bool(self.want_trace);
+        if self.trace.is_some() {
+            // Appended only when set, so version-1 jobs (and untraced
+            // version-2 jobs) keep their pre-extension cache keys.
+            w.put_bool(true);
+        }
         w.into_bytes()
     }
 }
@@ -271,6 +298,32 @@ pub enum Reply {
         /// Human-readable failure description.
         message: String,
     },
+    /// A live progress sample (version 2, only when the request set
+    /// `want_progress`). Content is a pure function of the candidates
+    /// completed so far — see `SweepProgress` in `shiptlm-explore`; pacing
+    /// and sample count are outside the determinism contract.
+    Progress {
+        /// Echoed correlation id.
+        id: u64,
+        /// Candidates simulated to completion so far.
+        done: u64,
+        /// Total candidates in the job.
+        total: u64,
+        /// Candidates skipped by pruning so far.
+        pruned: u64,
+        /// Estimated remaining *simulated* picoseconds.
+        eta_hint_ps: u64,
+    },
+    /// The job's causal spans (version 2, only when the request carried a
+    /// [`TraceCtx`]). Sent once, after rows/trace and before `Done`;
+    /// already stamped with the requester's trace id and parented under
+    /// its `parent_span`.
+    Spans {
+        /// Echoed correlation id.
+        id: u64,
+        /// The spans, in collection order.
+        spans: Vec<CausalSpan>,
+    },
 }
 
 impl Reply {
@@ -282,9 +335,68 @@ impl Reply {
             | Reply::Row { id, .. }
             | Reply::TraceChunk { id, .. }
             | Reply::Done { id, .. }
-            | Reply::Error { id, .. } => *id,
+            | Reply::Error { id, .. }
+            | Reply::Progress { id, .. }
+            | Reply::Spans { id, .. } => *id,
         }
     }
+
+    /// `true` for reply variants that exist only in protocol version 2;
+    /// the server never sends these to a version-1 peer.
+    pub fn is_v2_only(&self) -> bool {
+        matches!(self, Reply::Progress { .. } | Reply::Spans { .. })
+    }
+}
+
+/// Encodes one causal span into the canonical binary body.
+pub fn put_span(w: &mut ByteWriter, s: &CausalSpan) {
+    w.put_u64(s.trace_id);
+    w.put_u64(s.span_id);
+    w.put_u64(s.parent_id);
+    s.stage.serialize(w);
+    s.name.serialize(w);
+    w.put_u32(s.track);
+    w.put_u64(s.ts_ns);
+    w.put_u64(s.dur_ns);
+    w.put_u64(s.args.len() as u64);
+    for (k, v) in &s.args {
+        k.serialize(w);
+        v.serialize(w);
+    }
+}
+
+/// Decodes one causal span.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncated or invalid bodies.
+pub fn get_span(r: &mut ByteReader<'_>) -> Result<CausalSpan, WireError> {
+    let trace_id = r.get_u64()?;
+    let span_id = r.get_u64()?;
+    let parent_id = r.get_u64()?;
+    let stage = String::deserialize(r)?;
+    let name = String::deserialize(r)?;
+    let track = r.get_u32()?;
+    let ts_ns = r.get_u64()?;
+    let dur_ns = r.get_u64()?;
+    let n = r.get_u64()?;
+    // Cap pre-allocation by what the body could possibly hold (two length-
+    // prefixed strings per arg cannot be smaller than 2 bytes each).
+    let mut args = Vec::with_capacity((n as usize).min(r.remaining() / 2).min(1024));
+    for _ in 0..n {
+        args.push((String::deserialize(r)?, String::deserialize(r)?));
+    }
+    Ok(CausalSpan {
+        trace_id,
+        span_id,
+        parent_id,
+        stage,
+        name,
+        track,
+        ts_ns,
+        dur_ns,
+        args,
+    })
 }
 
 // Binary bodies for the request/reply vocabulary. These are the canonical
@@ -299,15 +411,48 @@ impl ShipSerialize for JobRequest {
         put_archs(w, &self.archs);
         w.put_u8(self.backend.tag());
         w.put_bool(self.want_trace);
+        // Version-2 extension, *always* appended by this encoder. The
+        // decoder is self-extending: a version-1 body simply ends after
+        // `want_trace` and the extension defaults apply.
+        match self.trace {
+            Some(ctx) => {
+                w.put_bool(true);
+                w.put_u64(ctx.trace_id);
+                w.put_u64(ctx.parent_span);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_bool(self.want_progress);
     }
 
     fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        let id = r.get_u64()?;
+        let spec = ModelSpec::deserialize(r)?;
+        let archs = get_archs(r)?;
+        let backend = BackendChoice::from_tag(r.get_u8()?)?;
+        let want_trace = r.get_bool()?;
+        // Trailing-optional extension: absent on version-1 bodies.
+        let (trace, want_progress) = if r.remaining() == 0 {
+            (None, false)
+        } else {
+            let trace = if r.get_bool()? {
+                Some(TraceCtx {
+                    trace_id: r.get_u64()?,
+                    parent_span: r.get_u64()?,
+                })
+            } else {
+                None
+            };
+            (trace, r.get_bool()?)
+        };
         Ok(JobRequest {
-            id: r.get_u64()?,
-            spec: ModelSpec::deserialize(r)?,
-            archs: get_archs(r)?,
-            backend: BackendChoice::from_tag(r.get_u8()?)?,
-            want_trace: r.get_bool()?,
+            id,
+            spec,
+            archs,
+            backend,
+            want_trace,
+            trace,
+            want_progress,
         })
     }
 }
@@ -345,6 +490,28 @@ impl ShipSerialize for Reply {
                 w.put_u64(*id);
                 message.serialize(w);
             }
+            Reply::Progress {
+                id,
+                done,
+                total,
+                pruned,
+                eta_hint_ps,
+            } => {
+                w.put_u8(6);
+                w.put_u64(*id);
+                w.put_u64(*done);
+                w.put_u64(*total);
+                w.put_u64(*pruned);
+                w.put_u64(*eta_hint_ps);
+            }
+            Reply::Spans { id, spans } => {
+                w.put_u8(7);
+                w.put_u64(*id);
+                w.put_u64(spans.len() as u64);
+                for s in spans {
+                    put_span(w, s);
+                }
+            }
         }
     }
 
@@ -372,6 +539,22 @@ impl ShipSerialize for Reply {
                 id: r.get_u64()?,
                 message: String::deserialize(r)?,
             }),
+            6 => Ok(Reply::Progress {
+                id: r.get_u64()?,
+                done: r.get_u64()?,
+                total: r.get_u64()?,
+                pruned: r.get_u64()?,
+                eta_hint_ps: r.get_u64()?,
+            }),
+            7 => {
+                let id = r.get_u64()?;
+                let n = r.get_u64()?;
+                let mut spans = Vec::with_capacity((n as usize).min(r.remaining()).min(4096));
+                for _ in 0..n {
+                    spans.push(get_span(r)?);
+                }
+                Ok(Reply::Spans { id, spans })
+            }
             t => Err(WireError::InvalidValue(format!("unknown reply tag {t}"))),
         }
     }
@@ -425,26 +608,39 @@ pub fn read_frame(r: &mut impl Read, max_frame: u64) -> Result<Option<Vec<u8>>, 
     Ok(Some(body))
 }
 
-/// Writes the 6-byte handshake (magic, version, codec tag).
+/// Writes the 6-byte handshake (magic, [`VERSION`], codec tag).
 ///
 /// # Errors
 ///
 /// Propagates transport errors.
 pub fn write_handshake(w: &mut impl Write, codec_tag: u8) -> io::Result<()> {
+    write_handshake_version(w, VERSION, codec_tag)
+}
+
+/// Writes the 6-byte handshake at an explicit protocol version — how a
+/// server echoes the version it negotiated, and how compatibility tests
+/// speak as an old client.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_handshake_version(w: &mut impl Write, version: u8, codec_tag: u8) -> io::Result<()> {
     let mut buf = [0u8; 6];
     buf[..4].copy_from_slice(&MAGIC);
-    buf[4] = VERSION;
+    buf[4] = version;
     buf[5] = codec_tag;
     w.write_all(&buf)
 }
 
-/// Reads and validates the handshake, returning the codec tag.
+/// Reads and validates the handshake, returning `(version, codec_tag)`.
+/// Every version in `MIN_VERSION..=VERSION` is accepted; the caller pins
+/// per-connection behavior to the returned version.
 ///
 /// # Errors
 ///
-/// [`GatewayError::Handshake`] on bad magic or version;
-/// [`GatewayError::Io`] when the stream ends early.
-pub fn read_handshake(r: &mut impl Read) -> Result<u8, GatewayError> {
+/// [`GatewayError::Handshake`] on bad magic or a version outside the
+/// supported range; [`GatewayError::Io`] when the stream ends early.
+pub fn read_handshake(r: &mut impl Read) -> Result<(u8, u8), GatewayError> {
     let mut buf = [0u8; 6];
     r.read_exact(&mut buf)?;
     if buf[..4] != MAGIC {
@@ -454,13 +650,13 @@ pub fn read_handshake(r: &mut impl Read) -> Result<u8, GatewayError> {
             MAGIC
         )));
     }
-    if buf[4] != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&buf[4]) {
         return Err(GatewayError::Handshake(format!(
-            "unsupported protocol version {} (this build speaks {VERSION})",
+            "unsupported protocol version {} (this build speaks {MIN_VERSION}..={VERSION})",
             buf[4]
         )));
     }
-    Ok(buf[5])
+    Ok((buf[4], buf[5]))
 }
 
 #[cfg(test)]
@@ -476,6 +672,8 @@ mod tests {
             archs: vec![ArchSpec::plb(), ArchSpec::crossbar().with_burst(16)],
             backend: BackendChoice::Auto,
             want_trace: true,
+            trace: None,
+            want_progress: false,
         }
     }
 
@@ -487,6 +685,35 @@ mod tests {
     }
 
     #[test]
+    fn traced_request_round_trips_in_binary() {
+        let mut req = a_request();
+        req.trace = Some(TraceCtx {
+            trace_id: 0xdead_beef,
+            parent_span: 42,
+        });
+        req.want_progress = true;
+        let back: JobRequest = from_wire(&to_wire(&req)).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn version1_request_body_decodes_with_extension_defaults() {
+        // A v1 peer encodes exactly the base fields — no extension bytes.
+        let req = a_request();
+        let mut w = ByteWriter::new();
+        w.put_u64(req.id);
+        req.spec.serialize(&mut w);
+        put_archs(&mut w, &req.archs);
+        w.put_u8(req.backend.tag());
+        w.put_bool(req.want_trace);
+        let back: JobRequest = from_wire(&w.into_bytes()).unwrap();
+        assert_eq!(back, req, "v1 body must decode with trace=None/progress=false");
+        // And the cache key of the extension-free request matches what the
+        // v1 encoder produced — old and new clients share cache entries.
+        assert_eq!(back.cache_key(), req.cache_key());
+    }
+
+    #[test]
     fn cache_key_ignores_the_correlation_id() {
         let a = a_request();
         let mut b = a.clone();
@@ -495,6 +722,32 @@ mod tests {
         let mut c = a.clone();
         c.want_trace = false;
         assert_ne!(a.cache_key(), c.cache_key());
+    }
+
+    #[test]
+    fn cache_key_separates_traced_from_untraced_but_not_by_ids() {
+        let a = a_request();
+        let mut traced = a.clone();
+        traced.trace = Some(TraceCtx {
+            trace_id: 1,
+            parent_span: 2,
+        });
+        assert_ne!(
+            a.cache_key(),
+            traced.cache_key(),
+            "traced entries carry spans; they must not alias untraced ones"
+        );
+        let mut traced2 = traced.clone();
+        traced2.trace = Some(TraceCtx {
+            trace_id: 777,
+            parent_span: 888,
+        });
+        traced2.want_progress = true;
+        assert_eq!(
+            traced.cache_key(),
+            traced2.cache_key(),
+            "concrete ids and progress pacing must not fragment the cache"
+        );
     }
 
     #[test]
@@ -527,6 +780,27 @@ mod tests {
             Reply::Error {
                 id: 6,
                 message: "boom".into(),
+            },
+            Reply::Progress {
+                id: 7,
+                done: 12,
+                total: 48,
+                pruned: 3,
+                eta_hint_ps: 9_000_000,
+            },
+            Reply::Spans {
+                id: 8,
+                spans: vec![CausalSpan {
+                    trace_id: 0xfeed,
+                    span_id: 10,
+                    parent_id: 3,
+                    stage: "candidate".into(),
+                    name: "plb/fixed/b64".into(),
+                    track: 1,
+                    ts_ns: 5_500,
+                    dur_ns: 1_200,
+                    args: vec![("index".into(), "0".into())],
+                }],
             },
         ];
         for r in replies {
@@ -566,8 +840,21 @@ mod tests {
     fn handshake_round_trips_and_rejects_bad_magic() {
         let mut buf = Vec::new();
         write_handshake(&mut buf, 1).unwrap();
-        assert_eq!(read_handshake(&mut &buf[..]).unwrap(), 1);
+        assert_eq!(read_handshake(&mut &buf[..]).unwrap(), (VERSION, 1));
         buf[0] = b'X';
+        let err = read_handshake(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, GatewayError::Handshake(_)), "got {err}");
+    }
+
+    #[test]
+    fn handshake_accepts_the_whole_supported_version_range() {
+        for v in MIN_VERSION..=VERSION {
+            let mut buf = Vec::new();
+            write_handshake_version(&mut buf, v, 0).unwrap();
+            assert_eq!(read_handshake(&mut &buf[..]).unwrap(), (v, 0));
+        }
+        let mut buf = Vec::new();
+        write_handshake_version(&mut buf, VERSION + 1, 0).unwrap();
         let err = read_handshake(&mut &buf[..]).unwrap_err();
         assert!(matches!(err, GatewayError::Handshake(_)), "got {err}");
     }

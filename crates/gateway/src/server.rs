@@ -15,7 +15,7 @@
 //!
 //! Replies for one connection are serialized through a mutex around the
 //! write half, so rows from an executor never interleave mid-frame with
-//! an `Accepted` from the reader.
+//! an `Accepted` from the reader (or a `Progress` from a sweep callback).
 //!
 //! ## Admission and shutdown
 //!
@@ -25,6 +25,20 @@
 //! unblock the readers, join them (no new jobs can arrive), then let the
 //! executors drain what was admitted before joining them — every job that
 //! got an `Accepted` gets its rows and `Done` before the sockets close.
+//!
+//! ## Causal tracing
+//!
+//! A version-2 request may carry a client-minted [`TraceCtx`]. The server
+//! then records one span per stage the job passes through — `gateway`
+//! (the whole server residency), `admission`, `queue-wait`, `cache`
+//! (with an `outcome` arg of `hit`/`miss`/`wait`), and `exec` on a miss —
+//! and parents the sweep's own spans (role-detect, chunk, candidate,
+//! kernel txn) underneath. Sweep spans are cached *trace-neutral*
+//! ([`neutralize`]) and re-stamped per requester ([`stamp`]), so a cache
+//! hit replays the original execution's spans under the requester's own
+//! trace id. Version-1 connections never see any of this: extension
+//! fields are stripped at the reader and v2-only reply tags are never
+//! emitted toward them.
 
 use std::collections::VecDeque;
 use std::io;
@@ -35,19 +49,25 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use shiptlm_explore::prelude::{RunOptions, Sweep, WorkerPool};
+use shiptlm_explore::prelude::{RunOptions, Sweep, SweepProgress, WorkerPool};
+use shiptlm_kernel::causal::{neutralize, stamp, CausalSpan, SpanSink, TraceCtx, TRACK_HOST};
 
-use crate::cache::{JobOutput, JobResult, ResultCache};
+use crate::cache::{CacheOutcome, JobOutput, JobResult, ResultCache};
 use crate::codec::{codec_for, WireCodec};
 use crate::lock;
 use crate::metrics::{spawn_metrics_server, GatewayMetrics};
 use crate::proto::{
-    read_frame, read_handshake, write_frame, write_handshake, GatewayError, JobRequest, Reply,
-    ReportRow, DEFAULT_MAX_FRAME,
+    read_frame, read_handshake, write_frame, write_handshake_version, GatewayError, JobRequest,
+    Reply, ReportRow, DEFAULT_MAX_FRAME,
 };
 
 /// Trace CSV is streamed in chunks of this many bytes.
 const TRACE_CHUNK_BYTES: usize = 64 * 1024;
+
+/// Kernel txn-recorder capacity (events per candidate) enabled for traced
+/// jobs, so candidate spans carry their transaction children without the
+/// client having to size a ring.
+const TRACED_TXN_CAPACITY: usize = 2048;
 
 /// Tuning knobs for one gateway instance.
 #[derive(Debug, Clone)]
@@ -66,6 +86,9 @@ pub struct GatewayConfig {
     pub retry_after_ms: u64,
     /// Per-frame size cap, enforced before allocation.
     pub max_frame_bytes: u64,
+    /// Result-cache entry bound; least-recently-used ready entries beyond
+    /// it are evicted.
+    pub cache_max_entries: usize,
 }
 
 impl Default for GatewayConfig {
@@ -78,6 +101,7 @@ impl Default for GatewayConfig {
             threads_per_job: 2,
             retry_after_ms: 50,
             max_frame_bytes: DEFAULT_MAX_FRAME,
+            cache_max_entries: crate::cache::DEFAULT_CACHE_ENTRIES,
         }
     }
 }
@@ -87,6 +111,11 @@ struct QueuedJob {
     req: JobRequest,
     writer: Arc<Mutex<TcpStream>>,
     codec: &'static dyn WireCodec,
+    /// When the request frame arrived — the epoch every span timestamp of
+    /// this job is measured from.
+    received: Instant,
+    /// When admission pushed the job onto the queue.
+    enqueued: Instant,
 }
 
 /// State shared by every gateway thread.
@@ -148,7 +177,7 @@ impl Gateway {
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
             metrics: Arc::clone(&metrics),
-            cache: ResultCache::new(),
+            cache: ResultCache::bounded(cfg.cache_max_entries),
             cfg,
         });
 
@@ -201,6 +230,11 @@ impl Gateway {
     /// Number of distinct results in the content-addressed cache.
     pub fn cache_len(&self) -> usize {
         self.shared.cache.len()
+    }
+
+    /// Entries evicted from the result cache by its LRU bound so far.
+    pub fn cache_evictions(&self) -> u64 {
+        self.shared.cache.evictions()
     }
 
     /// Drain-based shutdown: stop accepting, let readers finish, drain
@@ -278,20 +312,23 @@ fn send_reply(
 }
 
 /// Per-connection reader: handshake, then frames until EOF or a fatal
-/// frame error.
+/// frame error. The negotiated protocol version sticks to the connection:
+/// version-1 peers have extension fields stripped at admission so no
+/// executor can ever emit a v2-only reply toward them.
 fn reader_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
-    let tag = match read_handshake(&mut stream) {
-        Ok(tag) => tag,
+    let (version, tag) = match read_handshake(&mut stream) {
+        Ok(pair) => pair,
         Err(_) => return,
     };
     let Some(codec) = codec_for(tag) else {
         // Unknown codec: echo back tag 0xFF so the client can tell the
         // negotiation failed, then drop the connection.
-        let _ = write_handshake(&mut stream, 0xFF);
+        let _ = write_handshake_version(&mut stream, version, 0xFF);
         return;
     };
-    // Echo the handshake: the client knows the codec is agreed.
-    if write_handshake(&mut stream, tag).is_err() {
+    // Echo the handshake at the *negotiated* version: a version-1 client
+    // sees its own version back and never learns about v2 extensions.
+    if write_handshake_version(&mut stream, version, tag).is_err() {
         return;
     }
 
@@ -302,22 +339,35 @@ fn reader_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
 
     loop {
         match read_frame(&mut stream, shared.cfg.max_frame_bytes) {
-            Ok(Some(body)) => match codec.decode_request(&body) {
-                Ok(req) => submit(req, &writer, codec, shared),
-                Err(e) => {
-                    // The frame layer is still in sync (the length prefix
-                    // was honoured), so report and keep the connection.
-                    shared.metrics.decode_error();
-                    let _ = send_reply(
-                        &writer,
-                        codec,
-                        &Reply::Error {
-                            id: 0,
-                            message: format!("request decode failed: {e}"),
-                        },
-                    );
+            Ok(Some(body)) => {
+                let received = Instant::now();
+                match codec.decode_request(&body) {
+                    Ok(mut req) => {
+                        if version < 2 {
+                            // A v1 peer cannot receive Progress/Spans
+                            // replies; drop any extension fields a hostile
+                            // encoder smuggled into the body.
+                            req.trace = None;
+                            req.want_progress = false;
+                        }
+                        submit(req, received, &writer, codec, shared);
+                    }
+                    Err(e) => {
+                        // The frame layer is still in sync (the length
+                        // prefix was honoured), so report and keep the
+                        // connection.
+                        shared.metrics.decode_error();
+                        let _ = send_reply(
+                            &writer,
+                            codec,
+                            &Reply::Error {
+                                id: 0,
+                                message: format!("request decode failed: {e}"),
+                            },
+                        );
+                    }
                 }
-            },
+            }
             // Clean EOF at a frame boundary: the client is done.
             Ok(None) => return,
             Err(e) => {
@@ -341,6 +391,7 @@ fn reader_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
 /// acknowledge and enqueue.
 fn submit(
     req: JobRequest,
+    received: Instant,
     writer: &Arc<Mutex<TcpStream>>,
     codec: &'static dyn WireCodec,
     shared: &Arc<Shared>,
@@ -369,20 +420,22 @@ fn submit(
         req,
         writer: Arc::clone(writer),
         codec,
+        received,
+        enqueued: Instant::now(),
     });
     shared.metrics.queue_push();
     drop(queue);
     shared.queue_ready.notify_one();
 }
 
-/// Executor: pop, run (through the cache), stream replies.
+/// Executor: pop, run (through the cache), stitch the server-side spans,
+/// stream replies.
 fn executor_loop(shared: &Arc<Shared>) {
     loop {
         let job = {
             let mut queue = lock(&shared.queue);
             loop {
                 if let Some(job) = queue.pop_front() {
-                    shared.metrics.queue_pop();
                     break Some(job);
                 }
                 if shared.shutdown.load(Ordering::Acquire) {
@@ -396,28 +449,145 @@ fn executor_loop(shared: &Arc<Shared>) {
         };
         let Some(job) = job else { return };
 
+        let popped = Instant::now();
+        shared.metrics.queue_pop(popped.duration_since(job.enqueued));
         shared.metrics.job_started();
-        let start = Instant::now();
         let key = job.req.cache_key();
-        let (result, cached) = shared
+        let (result, outcome) = shared
             .cache
-            .get_or_compute(key, || run_job(&job.req, shared.cfg.threads_per_job));
+            .get_or_compute(key, || run_job(&job, shared.cfg.threads_per_job));
+        let finished = Instant::now();
+        let cached = outcome.served_from_cache();
         shared
             .metrics
-            .job_finished(&job.req.spec.name, start.elapsed(), cached);
-        stream_result(&job, &result, cached);
+            .job_finished(&job.req.spec.name, finished.duration_since(popped), cached);
+        if !cached {
+            if let Ok(output) = &result {
+                shared.metrics.add_txn_dropped(output.txn_dropped);
+            }
+        }
+        shared
+            .metrics
+            .sample_cache(shared.cache.evictions(), shared.cache.approx_bytes());
+
+        let spans = job
+            .req
+            .trace
+            .map(|ctx| job_spans(&job, ctx, &result, outcome, popped, finished))
+            .unwrap_or_default();
+        stream_result(&job, &result, cached, spans);
     }
+}
+
+/// Builds the server-side stage spans for one traced job and stitches the
+/// (cached, trace-neutral) sweep spans underneath. All timestamps are
+/// nanoseconds since the job's receipt.
+fn job_spans(
+    job: &QueuedJob,
+    ctx: TraceCtx,
+    result: &JobResult,
+    outcome: CacheOutcome,
+    popped: Instant,
+    finished: Instant,
+) -> Vec<CausalSpan> {
+    let ns = |t: Instant| t.duration_since(job.received).as_nanos() as u64;
+    let mut spans = Vec::new();
+
+    let gateway = CausalSpan::new(ctx, "gateway", format!("job:{}", job.req.id), TRACK_HOST)
+        .at(0, ns(finished));
+    let under_gateway = ctx.child(gateway.span_id);
+    spans.push(gateway);
+
+    spans.push(
+        CausalSpan::new(under_gateway, "admission", "admit", TRACK_HOST).at(0, ns(job.enqueued)),
+    );
+    spans.push(
+        CausalSpan::new(under_gateway, "queue-wait", "queue", TRACK_HOST)
+            .at(ns(job.enqueued), ns(popped) - ns(job.enqueued)),
+    );
+    let cache_span = CausalSpan::new(under_gateway, "cache", "lookup", TRACK_HOST)
+        .at(ns(popped), ns(finished) - ns(popped))
+        .arg("outcome", outcome.label());
+    let cache_id = cache_span.span_id;
+    spans.push(cache_span);
+
+    // Sweep spans hang under `exec` on a miss (this executor ran them) and
+    // under `cache` on a hit/wait (they are a replay of the original run).
+    let attach_under = if matches!(outcome, CacheOutcome::Computed) {
+        let exec = CausalSpan::new(under_gateway, "exec", "sweep", TRACK_HOST)
+            .at(ns(popped), ns(finished) - ns(popped));
+        let exec_id = exec.span_id;
+        spans.push(exec);
+        exec_id
+    } else {
+        cache_id
+    };
+
+    if let Ok(output) = result {
+        if !output.spans.is_empty() {
+            let mut sweep_spans = output.spans.clone();
+            stamp(&mut sweep_spans, ctx.child(attach_under));
+            // Sweep timestamps are relative to the sweep's own start;
+            // shift host-track spans onto this job's receipt epoch.
+            // Candidate tracks carry *simulated* time and stay untouched.
+            let offset = ns(popped);
+            for span in &mut sweep_spans {
+                if span.track == TRACK_HOST {
+                    span.ts_ns += offset;
+                }
+            }
+            spans.extend(sweep_spans);
+        }
+    }
+    spans
 }
 
 /// Runs one sweep on the shared worker pool, converting mapping errors
 /// *and panics* into deterministic failure strings. A panicking model
 /// must not take the executor thread (or the pool) down with it.
-fn run_job(req: &JobRequest, threads_per_job: usize) -> JobResult {
+///
+/// Traced jobs run with a neutral causal context (trace id 0) and get
+/// [`neutralize`]d before caching, so the stored spans can be re-stamped
+/// under any requester's trace id. Progress jobs stream
+/// [`Reply::Progress`] directly from the sweep callback — live, never
+/// cached.
+fn run_job(job: &QueuedJob, threads_per_job: usize) -> JobResult {
+    let req = &job.req;
+    let sink = req.trace.map(|_| SpanSink::new());
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        Sweep::new(req.spec.to_app())
+        let mut sweep = Sweep::new(req.spec.to_app())
             .archs(req.archs.iter().cloned())
-            .with_options(RunOptions::default().with_backend(req.backend.to_backend()))
-            .run_on(WorkerPool::global(), threads_per_job.max(1))
+            .with_options(RunOptions::default().with_backend(req.backend.to_backend()));
+        if let Some(sink) = &sink {
+            sweep = sweep
+                .with_causal(
+                    TraceCtx {
+                        trace_id: 0,
+                        parent_span: 0,
+                    },
+                    sink.clone(),
+                )
+                .with_recorder(TRACED_TXN_CAPACITY);
+        }
+        if req.want_progress {
+            let writer = Arc::clone(&job.writer);
+            let codec = job.codec;
+            let id = req.id;
+            sweep = sweep.with_progress(move |p: SweepProgress| {
+                let _ = send_reply(
+                    &writer,
+                    codec,
+                    &Reply::Progress {
+                        id,
+                        done: p.done as u64,
+                        total: p.total as u64,
+                        pruned: p.pruned as u64,
+                        eta_hint_ps: p.eta_hint_ps,
+                    },
+                );
+            });
+        }
+        sweep.run_on(WorkerPool::global(), threads_per_job.max(1))
     }));
     match outcome {
         Ok(Ok(report)) => {
@@ -427,7 +597,25 @@ fn run_job(req: &JobRequest, threads_per_job: usize) -> JobResult {
             } else {
                 Vec::new()
             };
-            Ok(JobOutput { rows, trace })
+            let txn_dropped = report
+                .rows()
+                .iter()
+                .filter_map(|row| row.txn.as_ref())
+                .map(|t| t.dropped())
+                .sum();
+            let spans = sink
+                .map(|s| {
+                    let mut spans = s.take();
+                    neutralize(&mut spans);
+                    spans
+                })
+                .unwrap_or_default();
+            Ok(JobOutput {
+                rows,
+                trace,
+                spans,
+                txn_dropped,
+            })
         }
         Ok(Err(e)) => Err(e.to_string()),
         Err(payload) => Err(format!("job panicked: {}", panic_message(&payload))),
@@ -444,10 +632,10 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Streams a finished job back to its client: rows, trace chunks, `Done`
-/// (or a single `Error`). Write failures mean the client went away; the
-/// result stays cached either way.
-fn stream_result(job: &QueuedJob, result: &JobResult, cached: bool) {
+/// Streams a finished job back to its client: rows, trace chunks, spans
+/// (traced jobs only), `Done` (or a single `Error`). Write failures mean
+/// the client went away; the result stays cached either way.
+fn stream_result(job: &QueuedJob, result: &JobResult, cached: bool, spans: Vec<CausalSpan>) {
     let id = job.req.id;
     match result {
         Ok(output) => {
@@ -478,6 +666,11 @@ fn stream_result(job: &QueuedJob, result: &JobResult, cached: bool) {
                 {
                     return;
                 }
+            }
+            if !spans.is_empty()
+                && send_reply(&job.writer, job.codec, &Reply::Spans { id, spans }).is_err()
+            {
+                return;
             }
             let _ = send_reply(
                 &job.writer,

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod causal;
 pub mod clock;
 pub mod direct;
 pub mod event;
@@ -64,6 +65,7 @@ pub use kernel::{EventId, MethodApi, ProcessId, RunResult, StopReason};
 
 /// Commonly used kernel items.
 pub mod prelude {
+    pub use crate::causal::{CausalSpan, CausalTrace, SpanSink, TraceCtx};
     pub use crate::clock::Clock;
     pub use crate::direct::{
         Construct, DirectCore, DirectOutcome, DirectSim, Disqualified, Gate, ParkInfo, ParkVerdict,

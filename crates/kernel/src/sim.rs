@@ -194,6 +194,14 @@ impl Simulation {
         self.kernel.txn.snapshot()
     }
 
+    /// Number of events evicted from the transaction ring so far (the live
+    /// counterpart of [`TxnTrace::dropped`]); zero when recording was never
+    /// enabled. Exporters surface this as the `txn_trace_dropped_total`
+    /// counter.
+    pub fn txn_dropped(&self) -> u64 {
+        self.kernel.txn.dropped_count()
+    }
+
     /// Enables the time-resolved metrics registry with the given sim-time
     /// sampling window (bus busy time, SHIP message/byte rates, mailbox
     /// occupancy, … become per-window series). Calling again resets the

@@ -162,6 +162,25 @@ pub struct TxnTrace {
 }
 
 impl TxnTrace {
+    /// Builds a trace from pre-recorded events; per-resource statistics are
+    /// recomputed from the given events. Used by tests and by external
+    /// tools that stitch transaction spans into other trace formats (see
+    /// [`causal`](crate::causal)).
+    pub fn from_events(events: Vec<TxnEvent>, dropped: u64) -> Self {
+        let mut stats: BTreeMap<TxnKey, ChannelTxnStats> = BTreeMap::new();
+        for ev in &events {
+            stats
+                .entry((ev.level, Arc::clone(&ev.resource)))
+                .or_default()
+                .record(ev);
+        }
+        TxnTrace {
+            events,
+            dropped,
+            stats,
+        }
+    }
+
     /// The retained events, in completion order.
     pub fn events(&self) -> &[TxnEvent] {
         &self.events
@@ -394,6 +413,12 @@ impl TxnShared {
             g.dropped += 1;
         }
         g.buf.push_back(ev);
+    }
+
+    /// Events evicted from the ring so far — the live counterpart of
+    /// [`TxnTrace::dropped`], exported as `txn_trace_dropped_total`.
+    pub(crate) fn dropped_count(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).dropped
     }
 
     pub(crate) fn snapshot(&self) -> TxnTrace {

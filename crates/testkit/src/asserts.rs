@@ -110,6 +110,186 @@ pub fn check_chrome_trace(text: &str) -> Result<ChromeShape, String> {
     Ok(shape)
 }
 
+/// One parsed span from a causal Chrome export, reconstructed from the
+/// `args` ids the exporter embeds (Chrome itself nests only by time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalSpanInfo {
+    /// Stage label (the event's `cat`): `job`, `gateway`, `admission`,
+    /// `queue-wait`, `cache`, `exec`, `role-detect`, `chunk`, `candidate`,
+    /// or `txn`.
+    pub stage: String,
+    /// Human-readable span name.
+    pub name: String,
+    /// Unique span id.
+    pub span_id: u64,
+    /// Parent span id (0 = trace root).
+    pub parent_id: u64,
+    /// Track / Chrome `pid` (0 = host wall clock, `i + 1` = candidate
+    /// `i`'s simulated timeline).
+    pub track: u64,
+}
+
+/// Structure of a validated causal Chrome export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalShape {
+    /// The single trace id shared by every span (16 hex digits).
+    pub trace_id: String,
+    /// Every complete event, in file order.
+    pub spans: Vec<CausalSpanInfo>,
+}
+
+impl CausalShape {
+    /// Spans whose stage equals `stage`, in file order.
+    pub fn stage(&self, stage: &str) -> Vec<&CausalSpanInfo> {
+        self.spans.iter().filter(|s| s.stage == stage).collect()
+    }
+
+    /// The stage of `span`'s parent, or `None` for a trace root.
+    pub fn parent_stage(&self, span: &CausalSpanInfo) -> Option<&str> {
+        self.spans
+            .iter()
+            .find(|s| s.span_id == span.parent_id)
+            .map(|s| s.stage.as_str())
+    }
+
+    /// Asserts every span of `child_stage` is parented under a span of
+    /// `parent_stage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics naming the first offending span.
+    pub fn assert_nested(&self, child_stage: &str, parent_stage: &str) {
+        let children = self.stage(child_stage);
+        assert!(
+            !children.is_empty(),
+            "no '{child_stage}' spans to check nesting for"
+        );
+        for child in children {
+            let parent = self.parent_stage(child);
+            assert_eq!(
+                parent,
+                Some(parent_stage),
+                "'{child_stage}' span '{}' must be parented under '{parent_stage}', found {parent:?}",
+                child.name
+            );
+        }
+    }
+}
+
+/// Parses `text` as a *causal* Chrome `trace_event` export (the
+/// [`CausalTrace`] flavor: span/parent/trace ids in `args`) and validates
+/// end-to-end causality: exactly one trace id across all complete events,
+/// unique span ids, every non-zero parent resolving to a span in the same
+/// file, at least one root, and no parent cycles.
+///
+/// # Errors
+///
+/// Returns a description of the first violated property.
+///
+/// [`CausalTrace`]: shiptlm_kernel::causal::CausalTrace
+pub fn check_causal_trace(text: &str) -> Result<CausalShape, String> {
+    let doc = Json::parse(text)?;
+    if doc.get("displayTimeUnit").and_then(Json::as_str) != Some("ns") {
+        return Err("displayTimeUnit is not \"ns\"".into());
+    }
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut trace_id: Option<String> = None;
+    let mut spans = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        match ev.get("ph").and_then(Json::as_str) {
+            Some("M") => continue,
+            Some("X") => {
+                let args = ev
+                    .get("args")
+                    .ok_or_else(|| format!("event {i} missing args"))?;
+                let tid = args
+                    .get("trace_id")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {i} missing args.trace_id"))?;
+                match &trace_id {
+                    None => trace_id = Some(tid.to_string()),
+                    Some(seen) if seen != tid => {
+                        return Err(format!(
+                            "event {i} carries trace id {tid} but the trace started with {seen}"
+                        ))
+                    }
+                    Some(_) => {}
+                }
+                let num = |key: &str| {
+                    args.get(key)
+                        .and_then(Json::as_num)
+                        .filter(|v| *v >= 0.0)
+                        .map(|v| v as u64)
+                        .ok_or_else(|| format!("event {i} missing numeric args.{key}"))
+                };
+                spans.push(CausalSpanInfo {
+                    stage: ev
+                        .get("cat")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("event {i} missing cat"))?
+                        .to_string(),
+                    name: ev
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("event {i} missing name"))?
+                        .to_string(),
+                    span_id: num("span_id")?,
+                    parent_id: num("parent_id")?,
+                    track: ev
+                        .get("pid")
+                        .and_then(Json::as_num)
+                        .map(|v| v as u64)
+                        .ok_or_else(|| format!("event {i} missing pid"))?,
+                });
+            }
+            other => return Err(format!("event {i} has unexpected phase {other:?}")),
+        }
+    }
+    let trace_id = trace_id.ok_or("trace holds no complete events")?;
+
+    let mut ids = std::collections::BTreeMap::new();
+    for s in &spans {
+        if s.span_id == 0 {
+            return Err(format!("span '{}' has id 0 (reserved for roots)", s.name));
+        }
+        if ids.insert(s.span_id, s.parent_id).is_some() {
+            return Err(format!("duplicate span id {}", s.span_id));
+        }
+    }
+    let mut roots = 0usize;
+    for s in &spans {
+        if s.parent_id == 0 {
+            roots += 1;
+            continue;
+        }
+        if !ids.contains_key(&s.parent_id) {
+            return Err(format!(
+                "span '{}' (id {}) parents under {} which is not in the trace",
+                s.name, s.span_id, s.parent_id
+            ));
+        }
+        // Walk to a root; a walk longer than the span count is a cycle.
+        let mut cursor = s.parent_id;
+        let mut steps = 0usize;
+        while cursor != 0 {
+            cursor = *ids.get(&cursor).ok_or_else(|| {
+                format!("span chain from {} escapes the trace at {cursor}", s.span_id)
+            })?;
+            steps += 1;
+            if steps > spans.len() {
+                return Err(format!("parent cycle reachable from span {}", s.span_id));
+            }
+        }
+    }
+    if roots == 0 {
+        return Err("trace has no root span (every parent_id is non-zero)".into());
+    }
+    Ok(CausalShape { trace_id, spans })
+}
+
 /// Asserts that `trace`'s Chrome export is well-formed and covers exactly
 /// the retained events; returns the shape for further inspection.
 pub fn assert_chrome_export(trace: &TxnTrace) -> ChromeShape {
@@ -176,6 +356,54 @@ mod tests {
             "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{\"ph\":\"X\",\"cat\":\"nope\",\"ts\":0,\"dur\":0,\"args\":{}}]}"
         )
         .is_err());
+    }
+
+    #[test]
+    fn causal_checker_accepts_a_real_export_and_checks_nesting() {
+        use shiptlm_kernel::causal::{CausalSpan, CausalTrace, TraceCtx, TRACK_HOST};
+        let ctx = TraceCtx::mint();
+        let root = CausalSpan::new(ctx, "job", "job:1", TRACK_HOST).at(0, 100);
+        let child = CausalSpan::new(ctx.child(root.span_id), "gateway", "job:1", TRACK_HOST)
+            .at(10, 80)
+            .arg("outcome", "miss");
+        let grand =
+            CausalSpan::new(ctx.child(child.span_id), "exec", "sweep", TRACK_HOST).at(20, 60);
+        let trace = CausalTrace::new(vec![root, child, grand]);
+        let shape = check_causal_trace(&trace.to_chrome_json()).unwrap();
+        assert_eq!(shape.spans.len(), 3);
+        assert_eq!(shape.trace_id.len(), 16, "trace id renders as 16 hex chars");
+        shape.assert_nested("gateway", "job");
+        shape.assert_nested("exec", "gateway");
+        assert_eq!(shape.parent_stage(shape.stage("job")[0]), None);
+    }
+
+    #[test]
+    fn causal_checker_rejects_broken_causality() {
+        let bad = |events: &str| {
+            check_causal_trace(&format!(
+                "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{events}]}}"
+            ))
+        };
+        let span = |id: u64, parent: u64, tid: &str| {
+            format!(
+                "{{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"cat\":\"job\",\"name\":\"s{id}\",\"ts\":0,\"dur\":1,\
+                 \"args\":{{\"trace_id\":\"{tid}\",\"span_id\":{id},\"parent_id\":{parent}}}}}"
+            )
+        };
+        // Two different trace ids.
+        let mixed = format!("{},{}", span(1, 0, "aa"), span(2, 1, "bb"));
+        assert!(bad(&mixed).unwrap_err().contains("trace id"));
+        // Parent outside the trace.
+        assert!(bad(&span(1, 99, "aa")).unwrap_err().contains("not in the trace"));
+        // Duplicate span ids.
+        let dup = format!("{},{}", span(1, 0, "aa"), span(1, 0, "aa"));
+        assert!(bad(&dup).unwrap_err().contains("duplicate"));
+        // Parent cycle (2 -> 3 -> 2).
+        let cycle = format!("{},{},{}", span(1, 0, "aa"), span(2, 3, "aa"), span(3, 2, "aa"));
+        assert!(bad(&cycle).unwrap_err().contains("cycle"));
+        // No root at all is unreachable without a cycle or an escape, so
+        // the empty trace is the remaining edge.
+        assert!(bad("").unwrap_err().contains("no complete events"));
     }
 
     #[test]

@@ -45,6 +45,8 @@ fn request(id: u64, spec: &ModelSpec) -> JobRequest {
         archs: the_archs(),
         backend: BackendChoice::De,
         want_trace: true,
+        trace: None,
+        want_progress: false,
     }
 }
 
@@ -239,6 +241,82 @@ fn corrupted_frames_are_classified_and_the_connection_survives_decode_errors() {
 fn read_reply(stream: &mut TcpStream) -> Reply {
     let frame = read_frame(stream, 1 << 20).unwrap().expect("reply frame");
     BIN.decode_reply(&frame).unwrap()
+}
+
+/// Wire-compat regression: a protocol-version-1 peer (pre-extension
+/// handshake and request body) must be served byte-identically to a
+/// version-2 client, and must never receive a version-2-only reply tag —
+/// even when extension fields are smuggled into its request body.
+#[test]
+fn version1_clients_are_served_byte_identically() {
+    let gateway = Gateway::start(GatewayConfig::default()).unwrap();
+    let spec = unique_specs()[0].clone();
+    let req = request(1, &spec);
+
+    // Ground truth: a current (version-2) client runs the job first.
+    let mut client = GatewayClient::connect(gateway.addr(), &BIN).unwrap();
+    let v2 = client.run_job(&req).unwrap();
+    assert!(v2.is_done());
+
+    // Hand-rolled version-1 peer: old 6-byte handshake, request body
+    // ending at `want_trace` (the encoder's trailing extension for an
+    // untraced request is exactly two flag bytes — strip them).
+    let mut raw = TcpStream::connect(gateway.addr()).unwrap();
+    raw.write_all(b"SHTG\x01\x00").unwrap();
+    let mut echoed = [0u8; 6];
+    std::io::Read::read_exact(&mut raw, &mut echoed).unwrap();
+    assert_eq!(
+        &echoed, b"SHTG\x01\x00",
+        "server must echo the negotiated version, not its own maximum"
+    );
+    let full = BIN.encode_request(&req).unwrap();
+    let v1_body = &full[..full.len() - 2];
+    // Sanity: the stripped body is a decodable request with extension
+    // defaults — i.e. exactly what a version-1 encoder produced.
+    assert_eq!(BIN.decode_request(v1_body).unwrap(), req);
+    write_frame(&mut raw, v1_body).unwrap();
+    let v1_rows = collect_v1_rows(&mut raw, req.id, v2.rows.len());
+    assert_eq!(
+        v1_rows, v2.raw_rows,
+        "version-1 peers must receive byte-identical Row frames"
+    );
+
+    // Same connection, but now the body *claims* tracing and progress:
+    // the reader must strip the extension (a v1 peer cannot decode
+    // Progress/Spans tags) and still serve the rows byte-identically.
+    let mut smuggled = req.clone();
+    smuggled.trace = Some(shiptlm::kernel::causal::TraceCtx::mint());
+    smuggled.want_progress = true;
+    let body = BIN.encode_request(&smuggled).unwrap();
+    write_frame(&mut raw, &body).unwrap();
+    let again = collect_v1_rows(&mut raw, req.id, v2.rows.len());
+    assert_eq!(again, v2.raw_rows);
+
+    gateway.shutdown();
+}
+
+/// Drains one job's replies off a raw version-1 connection, asserting no
+/// version-2-only tags appear; returns the raw Row frame bodies.
+fn collect_v1_rows(stream: &mut TcpStream, id: u64, expect_rows: usize) -> Vec<Vec<u8>> {
+    let mut raw_rows = Vec::new();
+    loop {
+        let frame = read_frame(stream, 1 << 20).unwrap().expect("reply frame");
+        let reply = BIN.decode_reply(&frame).unwrap();
+        assert!(
+            !reply.is_v2_only(),
+            "version-1 connection received a v2-only reply: {reply:?}"
+        );
+        match reply {
+            Reply::Accepted { .. } | Reply::TraceChunk { .. } => {}
+            Reply::Row { .. } => raw_rows.push(frame),
+            Reply::Done { id: done_id, rows, cached: _ } => {
+                assert_eq!(done_id, id);
+                assert_eq!(rows as usize, expect_rows);
+                return raw_rows;
+            }
+            other => panic!("unexpected reply on v1 connection: {other:?}"),
+        }
+    }
 }
 
 #[test]
